@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the decoder and container parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzDecoders -fuzztime=30s ./internal/compress
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/cdf
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every table and figure of the paper (laptop-scale defaults).
+experiments:
+	$(GO) run ./cmd/climatebench -members 101 table1 table2 table3 table4 table5 ssim fig1 | tee results_bench.txt
+	$(GO) run ./cmd/climatebench -members 101 table6 table7 table8 fig2 fig3 fig4 thresholds | tee results_small.txt
+	$(GO) run ./cmd/climatebench -members 101 gradient restart analysis portverify characterize | tee results_extensions.txt
+
+clean:
+	rm -f results_*.txt test_output.txt bench_output.txt

@@ -1,0 +1,370 @@
+// Top-level benchmark harness: one benchmark per table and figure of the
+// paper (each regenerates the corresponding result on a reduced grid and
+// reports wall-clock cost), plus ablation benchmarks for the design
+// choices called out in DESIGN.md §5. Codec-level throughput benchmarks
+// live next to each codec implementation.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package climcompress
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/compress/apax"
+	"climcompress/internal/compress/fpzip"
+	"climcompress/internal/compress/grib2"
+	"climcompress/internal/compress/isabela"
+	"climcompress/internal/compress/nclossless"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/experiments"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/stats"
+	"climcompress/internal/varcatalog"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+)
+
+// benchConfig builds one small shared runner: test grid, 7 members, six
+// representative variables. Every table/figure benchmark reuses it so the
+// substrate is integrated once.
+func sharedBenchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig(grid.Test())
+		cfg.Members = 7
+		cfg.L96 = l96.EnsembleConfig{
+			Members: 7, Dt: 0.002, SpinupSteps: 1000,
+			DivergeSteps: 6000, CalibSteps: 3000, Eps: 1e-14,
+		}
+		cfg.Variables = []string{"U", "FSDSC", "Z3", "CCN3", "T", "SST"}
+		benchRunner = experiments.NewRunner(cfg, nil)
+	})
+	return benchRunner
+}
+
+func benchExperiment(b *testing.B, fn func() (string, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkTable1Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table 1")
+		}
+	}
+}
+
+func BenchmarkTable2Characteristics(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table2)
+}
+
+func BenchmarkTable3NRMSE(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table3)
+}
+
+func BenchmarkTable4Enmax(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table4)
+}
+
+func BenchmarkTable5Timings(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table5)
+}
+
+func BenchmarkTable6Passes(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table6)
+}
+
+func BenchmarkTable7Hybrid(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table7)
+}
+
+func BenchmarkTable8Composition(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Table8)
+}
+
+func BenchmarkFigure1Boxplots(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Fig1)
+}
+
+func BenchmarkFigure2RMSZ(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Fig2)
+}
+
+func BenchmarkFigure3Enmax(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Fig3)
+}
+
+func BenchmarkFigure4Bias(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.Fig4)
+}
+
+func BenchmarkSSIMExtension(b *testing.B) {
+	r := sharedBenchRunner(b)
+	benchExperiment(b, r.SSIMReport)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+var (
+	benchFieldOnce  sync.Once
+	benchFieldData  []float32
+	benchFieldShape compress.Shape
+)
+
+// benchField synthesizes a realistic 3-D field for the codec ablations
+// (built once per test binary).
+func benchField(b *testing.B) ([]float32, compress.Shape) {
+	b.Helper()
+	benchFieldOnce.Do(func() {
+		g := grid.Small()
+		ens := l96.NewEnsemble(l96.DefaultParams(), l96.EnsembleConfig{
+			Members: 3, Dt: 0.002, SpinupSteps: 1000,
+			DivergeSteps: 4000, CalibSteps: 2000, Eps: 1e-14,
+		})
+		catalog := varcatalog.Default()
+		gen := model.NewGenerator(g, catalog, ens)
+		_, idx, _ := varcatalog.ByName(catalog, "U")
+		f := gen.Field(idx, 0)
+		benchFieldData = f.Data
+		benchFieldShape = compress.Shape{NLev: f.NLev, NLat: g.NLat, NLon: g.NLon}
+	})
+	b.ResetTimer()
+	return benchFieldData, benchFieldShape
+}
+
+// reportCR attaches the achieved compression ratio to the benchmark output.
+func reportCR(b *testing.B, compressed, n int) {
+	b.ReportMetric(compress.Ratio(compressed, n), "CR")
+}
+
+// Ablation: the HDF5-style shuffle filter in the NetCDF-4 lossless baseline.
+func BenchmarkAblationShuffleOn(b *testing.B) {
+	data, shape := benchField(b)
+	c := &nclossless.Codec{Shuffle: true}
+	b.SetBytes(int64(4 * len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, _ = c.Compress(data, shape)
+	}
+	reportCR(b, len(out), len(data))
+}
+
+func BenchmarkAblationShuffleOff(b *testing.B) {
+	data, shape := benchField(b)
+	c := &nclossless.Codec{Shuffle: false}
+	b.SetBytes(int64(4 * len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, _ = c.Compress(data, shape)
+	}
+	reportCR(b, len(out), len(data))
+}
+
+// Ablation: fpzip's 2-D Lorenzo predictor vs previous-value prediction.
+func BenchmarkAblationFPZipLorenzo(b *testing.B) {
+	data, shape := benchField(b)
+	c := &fpzip.Codec{Bits: 24, Predictor: fpzip.Lorenzo2D}
+	b.SetBytes(int64(4 * len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, _ = c.Compress(data, shape)
+	}
+	reportCR(b, len(out), len(data))
+}
+
+func BenchmarkAblationFPZipPrevious(b *testing.B) {
+	data, shape := benchField(b)
+	c := &fpzip.Codec{Bits: 24, Predictor: fpzip.Previous}
+	b.SetBytes(int64(4 * len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, _ = c.Compress(data, shape)
+	}
+	reportCR(b, len(out), len(data))
+}
+
+// Ablation: ISABELA window size (the paper uses the authors' 1024).
+func BenchmarkAblationISABELAWindow(b *testing.B) {
+	data, shape := benchField(b)
+	for _, w := range []int{256, 1024, 4096} {
+		w := w
+		b.Run(nameInt("window", w), func(b *testing.B) {
+			c := &isabela.Codec{RelErr: 0.5, Window: w}
+			b.SetBytes(int64(4 * len(data)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				out, _ = c.Compress(data, shape)
+			}
+			reportCR(b, len(out), len(data))
+		})
+	}
+}
+
+// Ablation: APAX block size.
+func BenchmarkAblationAPAXBlock(b *testing.B) {
+	data, shape := benchField(b)
+	for _, blk := range []int{32, 64, 128} {
+		blk := blk
+		b.Run(nameInt("block", blk), func(b *testing.B) {
+			c := &apax.Codec{Rate: 4, Block: blk}
+			b.SetBytes(int64(4 * len(data)))
+			var maxErr float64
+			for i := 0; i < b.N; i++ {
+				buf, _ := c.Compress(data, shape)
+				recon, _ := c.Decompress(buf)
+				maxErr = 0
+				for j := range data {
+					if e := math.Abs(float64(recon[j] - data[j])); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+			b.ReportMetric(maxErr, "e_max")
+		})
+	}
+}
+
+// Ablation: GRIB2's JPEG2000-style wavelet path vs simple (template 5.0)
+// fixed-width packing.
+func BenchmarkAblationGRIB2Packing(b *testing.B) {
+	data, shape := benchField(b)
+	for _, cfg := range []struct {
+		name  string
+		codec compress.Codec
+	}{
+		{"jpeg2000", &grib2.Codec{D: 2}},
+		{"simple", &grib2.Codec{D: 2, Packing: grib2.Simple}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(data)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = cfg.codec.Compress(data, shape)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCR(b, len(out), len(data))
+		})
+	}
+}
+
+// Ablation: fpzip predictor order (previous-value, 2-D, 3-D Lorenzo).
+func BenchmarkAblationFPZipLorenzo3D(b *testing.B) {
+	data, shape := benchField(b)
+	c := &fpzip.Codec{Bits: 24, Predictor: fpzip.Lorenzo3D}
+	b.SetBytes(int64(4 * len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out, _ = c.Compress(data, shape)
+	}
+	reportCR(b, len(out), len(data))
+}
+
+// Ablation: leave-one-out aggregates vs naive per-member recomputation of
+// the RMSZ distribution (O(M·N) vs O(M²·N)).
+func benchEnsembleFields(b *testing.B, nm int) []*field.Field {
+	b.Helper()
+	g := grid.Test()
+	fields := make([]*field.Field, nm)
+	x := uint64(99)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%10000)/5000 - 1
+	}
+	for m := range fields {
+		f := field.New("X", "1", g, false)
+		for i := range f.Data {
+			f.Data[i] = float32(10 + float64(i%7) + next())
+		}
+		fields[m] = f
+	}
+	return fields
+}
+
+func BenchmarkAblationRMSZLeaveOneOut(b *testing.B) {
+	fields := benchEnsembleFields(b, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ensemble.Build(fields); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRMSZNaive(b *testing.B) {
+	fields := benchEnsembleFields(b, 31)
+	n := fields[0].Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Naive: for each member, recompute the sub-ensemble mean/std from
+		// scratch at every point.
+		for m := range fields {
+			var sum float64
+			var cnt int
+			for p := 0; p < n; p++ {
+				var w stats.Welford
+				for o := range fields {
+					if o == m {
+						continue
+					}
+					w.Add(float64(fields[o].Data[p]))
+				}
+				std := w.StdDev()
+				if std == 0 || math.IsNaN(std) {
+					continue
+				}
+				z := (float64(fields[m].Data[p]) - w.Mean()) / std
+				sum += z * z
+				cnt++
+			}
+			if cnt == 0 {
+				b.Fatal("no valid points")
+			}
+			_ = math.Sqrt(sum / float64(cnt))
+		}
+	}
+}
+
+func nameInt(prefix string, v int) string {
+	return prefix + "_" + strconv.Itoa(v)
+}

@@ -1,0 +1,147 @@
+// Command climatebench regenerates every table and figure of the paper's
+// evaluation section from the synthetic CESM substrate.
+//
+// Usage:
+//
+//	climatebench [flags] <experiment>...
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 table8
+// fig1 fig2 fig3 fig4 ssim all
+//
+// By default the §5.2 error experiments (tables 2–5, fig1, ssim) run on the
+// "bench" grid and the 101-member ensemble experiments (tables 6–8,
+// figs 2–4) on the "small" grid so the whole suite completes on a laptop;
+// -grid forces one grid for everything (use -grid ne30 -members 101 for the
+// full-size reproduction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"climcompress/internal/experiments"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+)
+
+var (
+	gridName = flag.String("grid", "", "grid preset for all experiments (test|small|bench|ne30); empty = per-experiment default")
+	members  = flag.Int("members", 101, "ensemble size for the CESM-PVT experiments")
+	workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	seed     = flag.Uint64("seed", 2014, "seed for test-member selection")
+	vars     = flag.String("vars", "", "comma-separated variable subset (default: all 170)")
+	quiet    = flag.Bool("q", false, "suppress progress timing lines")
+)
+
+// experimentSpec maps a name to its runner method and default grid.
+type experimentSpec struct {
+	name        string
+	defaultGrid string // "bench" for error experiments, "small" for ensemble ones
+	run         func(r *experiments.Runner) (string, error)
+}
+
+func specs() []experimentSpec {
+	return []experimentSpec{
+		{"table1", "bench", func(*experiments.Runner) (string, error) { return experiments.Table1(), nil }},
+		{"table2", "bench", (*experiments.Runner).Table2},
+		{"table3", "bench", (*experiments.Runner).Table3},
+		{"table4", "bench", (*experiments.Runner).Table4},
+		{"table5", "bench", (*experiments.Runner).Table5},
+		{"table6", "small", (*experiments.Runner).Table6},
+		{"table7", "small", (*experiments.Runner).Table7},
+		{"table8", "small", (*experiments.Runner).Table8},
+		{"fig1", "bench", (*experiments.Runner).Fig1},
+		{"fig2", "small", (*experiments.Runner).Fig2},
+		{"fig3", "small", (*experiments.Runner).Fig3},
+		{"fig4", "small", (*experiments.Runner).Fig4},
+		{"ssim", "bench", (*experiments.Runner).SSIMReport},
+		{"gradient", "bench", (*experiments.Runner).GradientReport},
+		{"restart", "bench", (*experiments.Runner).RestartReport},
+		{"characterize", "bench", (*experiments.Runner).CharacterizeReport},
+		{"portverify", "small", (*experiments.Runner).PortVerifyReport},
+		{"analysis", "bench", (*experiments.Runner).AnalysisReport},
+		{"thresholds", "small", (*experiments.Runner).ThresholdSweep},
+	}
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: climatebench [flags] <experiment>...")
+		fmt.Fprintln(os.Stderr, "experiments: table1..table8 fig1..fig4 ssim gradient restart all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	all := specs()
+	byName := make(map[string]experimentSpec, len(all))
+	for _, s := range all {
+		byName[s.name] = s
+	}
+	var selected []experimentSpec
+	for _, a := range args {
+		if a == "all" {
+			selected = all
+			break
+		}
+		s, ok := byName[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "climatebench: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		selected = append(selected, s)
+	}
+
+	var varList []string
+	if *vars != "" {
+		varList = strings.Split(*vars, ",")
+	}
+
+	// One runner per grid, sharing the grid-independent chaotic ensemble.
+	runners := make(map[string]*experiments.Runner)
+	var sharedL96 *l96.Ensemble
+	runnerFor := func(gname string) *experiments.Runner {
+		if *gridName != "" {
+			gname = *gridName
+		}
+		if r, ok := runners[gname]; ok {
+			return r
+		}
+		g := grid.ByName(gname)
+		if g == nil {
+			fmt.Fprintf(os.Stderr, "climatebench: unknown grid %q\n", gname)
+			os.Exit(2)
+		}
+		cfg := experiments.DefaultConfig(g)
+		cfg.Members = *members
+		cfg.Workers = *workers
+		cfg.Seed = *seed
+		cfg.Variables = varList
+		r := experiments.NewRunner(cfg, sharedL96)
+		if sharedL96 == nil {
+			sharedL96 = r.L96()
+		}
+		runners[gname] = r
+		return r
+	}
+
+	exitCode := 0
+	for _, s := range selected {
+		start := time.Now()
+		out, err := s.run(runnerFor(s.defaultGrid))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "climatebench: %s: %v\n", s.name, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Println(out)
+		if !*quiet {
+			fmt.Printf("[%s completed in %.1fs]\n\n", s.name, time.Since(start).Seconds())
+		}
+	}
+	os.Exit(exitCode)
+}

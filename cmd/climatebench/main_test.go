@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"climcompress/internal/grid"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range specs() {
+		if s.name == "" || s.run == nil {
+			t.Fatalf("malformed spec %+v", s)
+		}
+		if seen[s.name] {
+			t.Fatalf("duplicate experiment %q", s.name)
+		}
+		seen[s.name] = true
+		if grid.ByName(s.defaultGrid) == nil {
+			t.Fatalf("experiment %q has unknown default grid %q", s.name, s.defaultGrid)
+		}
+	}
+	// Every paper artifact must be present.
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+		"fig1", "fig2", "fig3", "fig4",
+	} {
+		if !seen[want] {
+			t.Errorf("experiment %q missing", want)
+		}
+	}
+	// And the extensions.
+	for _, want := range []string{"ssim", "gradient", "restart", "analysis", "characterize", "portverify", "thresholds"} {
+		if !seen[want] {
+			t.Errorf("extension %q missing", want)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Command compresstool works with .cdf datasets (the repository's
+// NetCDF-like container): it generates synthetic history files, rewrites
+// them with any codec (per-variable overrides supported), inspects achieved
+// compression ratios, and verifies a reconstructed file against its
+// original with the paper's §4.2 metrics.
+//
+// Usage:
+//
+//	compresstool gen      -out history.cdf [-grid bench] [-member 0] [-vars U,T,...]
+//	compresstool compress -in a.cdf -out b.cdf -codec fpzip-24 [-per U=fpzip-32,SST=grib2]
+//	compresstool inspect  file.cdf
+//	compresstool verify   -orig a.cdf -recon b.cdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"climcompress/internal/cdf"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/convert"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/metrics"
+	"climcompress/internal/model"
+	"climcompress/internal/report"
+	"climcompress/internal/varcatalog"
+	"climcompress/internal/visualize"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "compress":
+		err = runCompress(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "map":
+		err = runMap(os.Args[2:])
+	case "export":
+		err = runExport(os.Args[2:])
+	case "import":
+		err = runImport(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  compresstool gen      -out history.cdf [-grid bench] [-member 0] [-vars U,T]
+  compresstool compress -in a.cdf -out b.cdf -codec fpzip-24 [-per V=codec,...]
+  compresstool inspect  file.cdf
+  compresstool verify   -orig a.cdf -recon b.cdf
+  compresstool convert  -out dir/ -codec fpzip-24 [-per V=codec] history1.cdf history2.cdf ...
+  compresstool map      -in file.cdf -var U [-level N] [-diff recon.cdf]
+  compresstool export   -in file.cdf -out file.nc     (NetCDF classic, ncdump-readable)
+  compresstool import   -in file.nc  -out file.cdf [-codec nc]`)
+	os.Exit(2)
+}
+
+// runExport writes a dataset as a NetCDF classic file for the standard
+// toolchain (ncdump, xarray, NCO).
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "input .cdf path")
+	out := fs.String("out", "", "output .nc path")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("export requires -in and -out")
+	}
+	f, err := cdf.Open(*in)
+	if err != nil {
+		return err
+	}
+	if err := f.ExportNetCDFFile(*out); err != nil {
+		return err
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("wrote %s (%d bytes, NetCDF classic)\n", *out, st.Size())
+	return nil
+}
+
+// runImport converts a NetCDF classic file into the container format,
+// optionally compressing it on the way in.
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("in", "", "input .nc path")
+	out := fs.String("out", "", "output .cdf path")
+	codec := fs.String("codec", "raw", "codec registry name for the stored payloads")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("import requires -in and -out")
+	}
+	f, err := cdf.ImportNetCDFFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteFile(*out, cdf.WriteOptions{Codec: *codec}); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d variables into %s (codec %s)\n", len(f.Vars), *out, *codec)
+	return nil
+}
+
+// runMap renders an ASCII map of a variable, or an error map against a
+// reconstructed file (the §6 visualization concern).
+func runMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	in := fs.String("in", "", "dataset path")
+	varName := fs.String("var", "", "variable to render")
+	level := fs.Int("level", 0, "vertical level, 1-based (0 = surface)")
+	diff := fs.String("diff", "", "reconstructed dataset to difference against")
+	width := fs.Int("width", 72, "map width in characters")
+	fs.Parse(args)
+	if *in == "" || *varName == "" {
+		return fmt.Errorf("map requires -in and -var")
+	}
+	load := func(path string) (*field.Field, error) {
+		ds, err := cdf.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := ds.Var(*varName)
+		if !ok {
+			return nil, fmt.Errorf("%s: variable %q missing", path, *varName)
+		}
+		data, err := ds.ReadVar(*varName)
+		if err != nil {
+			return nil, err
+		}
+		nd := len(v.Dims)
+		if nd < 2 {
+			return nil, fmt.Errorf("variable %q is not a map", *varName)
+		}
+		nlat := ds.Dims[v.Dims[nd-2]].Len
+		nlon := ds.Dims[v.Dims[nd-1]].Len
+		nlev := 1
+		for _, d := range v.Dims[:nd-2] {
+			nlev *= ds.Dims[d].Len
+		}
+		g := grid.New("file", nlat, nlon, max(nlev, 1))
+		f := field.New(*varName, attrValue(v.Attrs, "units"), g, nlev > 1)
+		copy(f.Data, data)
+		f.HasFill, f.Fill = v.HasFill, v.Fill
+		return f, nil
+	}
+	orig, err := load(*in)
+	if err != nil {
+		return err
+	}
+	opts := visualize.Options{Width: *width, Level: *level}
+	if *diff == "" {
+		fmt.Print(visualize.RenderMap(orig, opts))
+		return nil
+	}
+	recon, err := load(*diff)
+	if err != nil {
+		return err
+	}
+	out, err := visualize.RenderDiff(orig, recon, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func attrValue(attrs []cdf.Attr, name string) string {
+	for _, a := range attrs {
+		if a.Name == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runConvert performs the §1 workflow: time-slice history files to
+// compressed per-variable time-series files.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("out", "", "output directory for series files")
+	codec := fs.String("codec", "nc", "default codec registry name")
+	per := fs.String("per", "", "per-variable overrides: V1=codec,V2=codec")
+	varsFlag := fs.String("vars", "", "comma-separated variable subset")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("convert requires -out and at least one history file")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	opts := convert.Options{Codec: *codec, OutDir: *out, PerVar: map[string]string{}}
+	if *per != "" {
+		for _, kv := range strings.Split(*per, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -per entry %q", kv)
+			}
+			opts.PerVar[parts[0]] = parts[1]
+		}
+	}
+	if *varsFlag != "" {
+		opts.Variables = strings.Split(*varsFlag, ",")
+	}
+	res, err := convert.Convert(fs.Args(), opts)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{Headers: []string{"Variable", "codec", "CR", "file"}}
+	for name, vr := range res.PerVariable {
+		t.AddRow(name, vr.Codec, report.Fix(vr.CR, 3), vr.Path)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("converted %d variables × %d slices; payload ratio %.3f (%.1f:1)\n",
+		res.Variables, res.TimeSlices, res.Ratio(), 1/res.Ratio())
+	return nil
+}
+
+// runGen synthesizes one history-file time slice.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "history.cdf", "output path")
+	gridName := fs.String("grid", "bench", "grid preset")
+	member := fs.Int("member", 0, "ensemble member to generate")
+	vars := fs.String("vars", "", "comma-separated variable subset (default: all)")
+	restart := fs.Bool("restart", false, "write full double-precision restart-file state instead of a float32 history file")
+	fs.Parse(args)
+
+	g := grid.ByName(*gridName)
+	if g == nil {
+		return fmt.Errorf("unknown grid %q", *gridName)
+	}
+	catalog := varcatalog.Default()
+	if *vars != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*vars, ",") {
+			want[n] = true
+		}
+		var sub []varcatalog.Spec
+		for _, s := range catalog {
+			if want[s.Name] {
+				sub = append(sub, s)
+			}
+		}
+		catalog = sub
+	}
+	nm := *member + 1
+	if nm < 3 {
+		nm = 3
+	}
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.DefaultEnsembleConfig(nm))
+	gen := model.NewGenerator(g, catalog, ens)
+
+	f := cdf.New()
+	f.GlobalAttr("source", "climcompress synthetic CAM history")
+	f.GlobalAttr("grid", g.Name)
+	f.GlobalAttr("member", fmt.Sprint(*member))
+	lev := f.AddDim("lev", g.NLev)
+	lat := f.AddDim("lat", g.NLat)
+	lon := f.AddDim("lon", g.NLon)
+	for idx, spec := range catalog {
+		dims := []int{lat, lon}
+		if spec.ThreeD {
+			dims = []int{lev, lat, lon}
+		}
+		if *restart {
+			if spec.HasFill {
+				continue // the Float64 path carries no fill values
+			}
+			_, data, _ := gen.Field64(idx, *member)
+			if _, err := f.AddVar64(spec.Name, dims, data, cdf.Attr{Name: "units", Value: spec.Units}); err != nil {
+				return err
+			}
+			continue
+		}
+		fl := gen.Field(idx, *member)
+		v, err := f.AddVar(spec.Name, dims, fl.Data, cdf.Attr{Name: "units", Value: spec.Units})
+		if err != nil {
+			return err
+		}
+		if fl.HasFill {
+			v.HasFill = true
+			v.Fill = fl.Fill
+		}
+	}
+	if err := f.WriteFile(*out, cdf.WriteOptions{Codec: "raw"}); err != nil {
+		return err
+	}
+	kind := "history"
+	if *restart {
+		kind = "restart (float64)"
+	}
+	fmt.Printf("wrote %s: %d %s variables on grid %s\n", *out, len(f.Vars), kind, g)
+	return nil
+}
+
+// runCompress rewrites a dataset with a codec.
+func runCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input path")
+	out := fs.String("out", "", "output path")
+	codec := fs.String("codec", "nc", "default codec registry name")
+	per := fs.String("per", "", "per-variable overrides: V1=codec,V2=codec")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress requires -in and -out")
+	}
+	f, err := cdf.Open(*in)
+	if err != nil {
+		return err
+	}
+	opts := cdf.WriteOptions{Codec: *codec, PerVar: map[string]string{}}
+	if *per != "" {
+		for _, kv := range strings.Split(*per, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -per entry %q", kv)
+			}
+			opts.PerVar[parts[0]] = parts[1]
+		}
+	}
+	if err := f.WriteFile(*out, opts); err != nil {
+		return err
+	}
+	a, _ := os.Stat(*in)
+	b, _ := os.Stat(*out)
+	fmt.Printf("wrote %s (%d bytes; input %d bytes; file ratio %.3f)\n",
+		*out, b.Size(), a.Size(), float64(b.Size())/float64(a.Size()))
+	return nil
+}
+
+// runInspect lists variables and their achieved compression ratios.
+func runInspect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("inspect requires exactly one path")
+	}
+	f, err := cdf.Open(args[0])
+	if err != nil {
+		return err
+	}
+	for _, a := range f.Attrs {
+		fmt.Printf(":%s = %s\n", a.Name, a.Value)
+	}
+	for _, d := range f.Dims {
+		fmt.Printf("dim %s = %d\n", d.Name, d.Len)
+	}
+	t := &report.Table{Headers: []string{"Variable", "type", "codec", "points", "bytes", "CR", "fill"}}
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		n := v.Len(f)
+		size, _ := f.PayloadSize(v.Name)
+		fill := ""
+		if v.HasFill {
+			fill = fmt.Sprintf("%g", v.Fill)
+		}
+		elemBytes, typeName := 4, "f32"
+		if v.Type == cdf.Float64 {
+			elemBytes, typeName = 8, "f64"
+		}
+		cr := float64(size) / float64(elemBytes*n)
+		t.AddRow(v.Name, typeName, v.Codec, fmt.Sprint(n), fmt.Sprint(size),
+			report.Fix(cr, 3), fill)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// runVerify compares two datasets with the §4.2 measures.
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	origPath := fs.String("orig", "", "original dataset")
+	reconPath := fs.String("recon", "", "reconstructed dataset")
+	fs.Parse(args)
+	if *origPath == "" || *reconPath == "" {
+		return fmt.Errorf("verify requires -orig and -recon")
+	}
+	a, err := cdf.Open(*origPath)
+	if err != nil {
+		return err
+	}
+	b, err := cdf.Open(*reconPath)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Verification of %s against %s", *reconPath, *origPath),
+		Headers: []string{"Variable", "e_max", "e_nmax", "RMSE", "NRMSE", "rho", "pass(rho)"},
+	}
+	failures := 0
+	for _, name := range a.VarNames() {
+		origData, err := a.ReadVar(name)
+		if err != nil {
+			return err
+		}
+		reconData, err := b.ReadVar(name)
+		if err != nil {
+			return fmt.Errorf("variable %s missing from %s: %w", name, *reconPath, err)
+		}
+		v, _ := a.Var(name)
+		e := metrics.Compare(origData, reconData, v.Fill, v.HasFill)
+		pass := "yes"
+		if !e.PassesCorrelation() {
+			pass = "NO"
+			failures++
+		}
+		t.AddRow(name, report.Sci(e.EMax), report.Sci(e.ENMax),
+			report.Sci(e.RMSE), report.Sci(e.NRMSE), report.Fix(e.Pearson, 7), pass)
+	}
+	fmt.Print(t.String())
+	if failures > 0 {
+		return fmt.Errorf("%d variables fail the correlation threshold", failures)
+	}
+	return nil
+}

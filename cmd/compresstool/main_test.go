@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The run* functions are exercised directly (they are ordinary functions
+// returning errors); stdout output is not asserted beyond side effects.
+
+func TestGenCompressInspectVerifyFlow(t *testing.T) {
+	dir := t.TempDir()
+	h := filepath.Join(dir, "h.cdf")
+	c := filepath.Join(dir, "c.cdf")
+	if err := runGen([]string{"-out", h, "-grid", "test", "-vars", "TS,SST"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompress([]string{"-in", h, "-out", c, "-codec", "fpzip-32"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInspect([]string{c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-orig", h, "-recon", c}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFailsOnBadReconstruction(t *testing.T) {
+	dir := t.TempDir()
+	h := filepath.Join(dir, "h.cdf")
+	c := filepath.Join(dir, "c.cdf")
+	if err := runGen([]string{"-out", h, "-grid", "test", "-vars", "TS"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompress([]string{"-in", h, "-out", c, "-codec", "apax-7"}); err != nil {
+		t.Fatal(err)
+	}
+	err := runVerify([]string{"-orig", h, "-recon", c})
+	if err == nil || !strings.Contains(err.Error(), "fail") {
+		t.Fatalf("aggressive codec should fail verification, got %v", err)
+	}
+}
+
+func TestConvertFlow(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		p := filepath.Join(dir, "h"+string(rune('0'+i))+".cdf")
+		if err := runGen([]string{"-out", p, "-grid", "test", "-vars", "TS", "-member", "0"}); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	out := filepath.Join(dir, "series")
+	args := append([]string{"-out", out, "-codec", "nc"}, paths...)
+	if err := runConvert(args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "series_TS.cdf")); err != nil {
+		t.Fatal("series file missing")
+	}
+}
+
+func TestExportImportFlow(t *testing.T) {
+	dir := t.TempDir()
+	h := filepath.Join(dir, "h.cdf")
+	nc := filepath.Join(dir, "h.nc")
+	back := filepath.Join(dir, "back.cdf")
+	if err := runGen([]string{"-out", h, "-grid", "test", "-vars", "TS"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExport([]string{"-in", h, "-out", nc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runImport([]string{"-in", nc, "-out", back}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-orig", h, "-recon", back}); err != nil {
+		t.Fatalf("NetCDF round trip not lossless: %v", err)
+	}
+}
+
+func TestRestartGen(t *testing.T) {
+	dir := t.TempDir()
+	r := filepath.Join(dir, "r.cdf")
+	if err := runGen([]string{"-out", r, "-grid", "test", "-vars", "T,U", "-restart"}); err != nil {
+		t.Fatal(err)
+	}
+	c := filepath.Join(dir, "c.cdf")
+	if err := runCompress([]string{"-in", r, "-out", c, "-codec", "fpzip64-64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInspect([]string{c}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFlow(t *testing.T) {
+	dir := t.TempDir()
+	h := filepath.Join(dir, "h.cdf")
+	c := filepath.Join(dir, "c.cdf")
+	if err := runGen([]string{"-out", h, "-grid", "test", "-vars", "SST"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMap([]string{"-in", h, "-var", "SST", "-width", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompress([]string{"-in", h, "-out", c, "-codec", "apax-4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMap([]string{"-in", h, "-var", "SST", "-diff", c}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if err := runCompress([]string{"-in", "x"}); err == nil {
+		t.Error("compress without -out should error")
+	}
+	if err := runVerify([]string{"-orig", "x"}); err == nil {
+		t.Error("verify without -recon should error")
+	}
+	if err := runConvert([]string{"-codec", "nc"}); err == nil {
+		t.Error("convert without -out should error")
+	}
+	if err := runMap([]string{"-in", "x"}); err == nil {
+		t.Error("map without -var should error")
+	}
+	if err := runExport([]string{}); err == nil {
+		t.Error("export without args should error")
+	}
+	if err := runGen([]string{"-grid", "nope", "-out", filepath.Join(t.TempDir(), "x.cdf")}); err == nil {
+		t.Error("unknown grid should error")
+	}
+}

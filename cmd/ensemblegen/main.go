@@ -1,0 +1,287 @@
+// Command ensemblegen generates and inspects the CESM-PVT-style
+// perturbation ensemble: it can write all member history files of selected
+// variables to disk, or print a variable's ensemble statistics (the RMSZ
+// and E_nmax distributions of §4.3).
+//
+// Usage:
+//
+//	ensemblegen write -dir out/ [-grid small] [-members 101] [-vars U,FSDSC]
+//	ensemblegen stats -var U [-grid small] [-members 101]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"climcompress/internal/cdf"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/pvt"
+	"climcompress/internal/report"
+	"climcompress/internal/stats"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "write":
+		err = runWrite(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "check":
+		err = runCheck(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ensemblegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ensemblegen write -dir out/ [-grid small] [-members 101] [-vars U,FSDSC] [-codec nc]
+  ensemblegen stats -var U [-grid small] [-members 101]
+  ensemblegen check -orig dir/ -recon dir/ -var U`)
+	os.Exit(2)
+}
+
+// runCheck verifies externally reconstructed ensemble member files against
+// the originals with the paper's four tests (§4.3): both directories must
+// hold the same member_NNN.cdf files; -orig carries the trusted data.
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	origDir := fs.String("orig", "", "directory of original member files")
+	reconDir := fs.String("recon", "", "directory of reconstructed member files")
+	varName := fs.String("var", "", "variable to verify")
+	fs.Parse(args)
+	if *origDir == "" || *reconDir == "" || *varName == "" {
+		return fmt.Errorf("check requires -orig, -recon and -var")
+	}
+	paths, err := filepath.Glob(filepath.Join(*origDir, "member_*.cdf"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	if len(paths) < 3 {
+		return fmt.Errorf("need at least 3 member files in %s, found %d", *origDir, len(paths))
+	}
+
+	var fields []*field.Field
+	var recon [][]float32
+	var g *grid.Grid
+	for _, p := range paths {
+		of, err := cdf.Open(p)
+		if err != nil {
+			return err
+		}
+		v, ok := of.Var(*varName)
+		if !ok {
+			return fmt.Errorf("%s: variable %q missing", p, *varName)
+		}
+		data, err := of.ReadVar(*varName)
+		if err != nil {
+			return err
+		}
+		// Infer the grid from the variable's trailing dimensions.
+		if g == nil {
+			nd := len(v.Dims)
+			nlat := of.Dims[v.Dims[nd-2]].Len
+			nlon := of.Dims[v.Dims[nd-1]].Len
+			nlev := 1
+			for _, d := range v.Dims[:nd-2] {
+				nlev *= of.Dims[d].Len
+			}
+			if nlev < 1 {
+				nlev = 1
+			}
+			g = grid.New("file", nlat, nlon, nlev)
+		}
+		f := field.New(*varName, "", g, len(v.Dims) > 2)
+		copy(f.Data, data)
+		f.HasFill, f.Fill = v.HasFill, v.Fill
+		fields = append(fields, f)
+
+		rp := filepath.Join(*reconDir, filepath.Base(p))
+		rf, err := cdf.Open(rp)
+		if err != nil {
+			return fmt.Errorf("reconstructed member missing: %w", err)
+		}
+		rdata, err := rf.ReadVar(*varName)
+		if err != nil {
+			return err
+		}
+		recon = append(recon, rdata)
+	}
+
+	vs, err := ensemble.Build(fields)
+	if err != nil {
+		return err
+	}
+	verifier := &pvt.Verifier{
+		Stats: vs,
+		Thr:   pvt.Default(),
+	}
+	res, err := verifier.VerifyData(*reconDir, recon)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Verification of %s against %s (%s, %d members)", *reconDir, *origDir, *varName, len(fields)),
+		Headers: []string{"test", "result"},
+	}
+	pass := func(b bool) string {
+		if b {
+			return "pass"
+		}
+		return "FAIL"
+	}
+	t.AddRow("correlation >= 0.99999", pass(res.RhoPass))
+	t.AddRow("RMSZ within ensemble (eq. 8)", pass(res.RMSZPass))
+	t.AddRow("E_nmax ratio <= 1/10 (eq. 11)", pass(res.EnmaxPass))
+	t.AddRow("bias |s_I - s_WC| <= 0.05 (eq. 9)", pass(res.BiasPass))
+	t.AddRow("ALL", pass(res.AllPass))
+	fmt.Print(t.String())
+	for _, c := range res.Checks {
+		fmt.Printf("member %d: rho=%.7f e_nmax=%s RMSZ %0.4f -> %0.4f\n",
+			c.Member, c.Errors.Pearson, report.Sci(c.Errors.ENMax), c.RMSZOrig, c.RMSZRecon)
+	}
+	if !res.AllPass {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}
+
+func buildGenerator(gridName string, members int, vars string) (*model.Generator, []varcatalog.Spec, error) {
+	g := grid.ByName(gridName)
+	if g == nil {
+		return nil, nil, fmt.Errorf("unknown grid %q", gridName)
+	}
+	catalog := varcatalog.Default()
+	if vars != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(vars, ",") {
+			want[n] = true
+		}
+		var sub []varcatalog.Spec
+		for _, s := range catalog {
+			if want[s.Name] {
+				sub = append(sub, s)
+			}
+		}
+		if len(sub) == 0 {
+			return nil, nil, fmt.Errorf("no catalog variables match %q", vars)
+		}
+		catalog = sub
+	}
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.DefaultEnsembleConfig(members))
+	return model.NewGenerator(g, catalog, ens), catalog, nil
+}
+
+func runWrite(args []string) error {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	dir := fs.String("dir", "", "output directory")
+	gridName := fs.String("grid", "small", "grid preset")
+	members := fs.Int("members", 101, "ensemble size")
+	vars := fs.String("vars", "", "variable subset (default: all 170)")
+	codec := fs.String("codec", "nc", "codec for the written files")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("write requires -dir")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	gen, catalog, err := buildGenerator(*gridName, *members, *vars)
+	if err != nil {
+		return err
+	}
+	g := gen.Grid
+	for m := 0; m < *members; m++ {
+		f := cdf.New()
+		f.GlobalAttr("member", fmt.Sprint(m))
+		f.GlobalAttr("grid", g.Name)
+		lev := f.AddDim("lev", g.NLev)
+		lat := f.AddDim("lat", g.NLat)
+		lon := f.AddDim("lon", g.NLon)
+		for idx, spec := range catalog {
+			fl := gen.Field(idx, m)
+			dims := []int{lat, lon}
+			if spec.ThreeD {
+				dims = []int{lev, lat, lon}
+			}
+			v, err := f.AddVar(spec.Name, dims, fl.Data, cdf.Attr{Name: "units", Value: spec.Units})
+			if err != nil {
+				return err
+			}
+			if fl.HasFill {
+				v.HasFill = true
+				v.Fill = fl.Fill
+			}
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("member_%03d.cdf", m))
+		if err := f.WriteFile(path, cdf.WriteOptions{Codec: *codec}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d member files (%d variables each) to %s\n", *members, len(catalog), *dir)
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	varName := fs.String("var", "U", "variable to analyze")
+	gridName := fs.String("grid", "small", "grid preset")
+	members := fs.Int("members", 101, "ensemble size")
+	fs.Parse(args)
+
+	gen, catalog, err := buildGenerator(*gridName, *members, *varName)
+	if err != nil {
+		return err
+	}
+	_, idx, ok := varcatalog.ByName(catalog, *varName)
+	if !ok {
+		return fmt.Errorf("unknown variable %q", *varName)
+	}
+	fields := ensemble.CollectFields(gen, idx)
+	vs, err := ensemble.Build(fields)
+	if err != nil {
+		return err
+	}
+	rmszBox := vs.RMSZBox()
+	enmaxBox := vs.EnmaxBox()
+	gmBox := vs.GlobalMeanBox()
+	t := &report.Table{
+		Title:   fmt.Sprintf("Ensemble statistics for %s (grid %s, %d members)", *varName, *gridName, *members),
+		Headers: []string{"quantity", "min", "q1", "median", "q3", "max"},
+	}
+	addBox := func(name string, b stats.Boxplot) {
+		t.AddRow(name, report.Sci(b.Min), report.Sci(b.Q1), report.Sci(b.Median),
+			report.Sci(b.Q3), report.Sci(b.Max))
+	}
+	addBox("RMSZ (eq. 7)", rmszBox)
+	addBox("E_nmax (eq. 10)", enmaxBox)
+	addBox("global mean", gmBox)
+	fmt.Print(t.String())
+	fmt.Printf("median per-point ensemble sigma: %s\n", report.Sci(vs.SigmaMedian()))
+	fmt.Println()
+	fmt.Print(report.HistogramChart("RMSZ distribution", stats.NewHistogram(vs.RMSZ, 15), nil, nil, 50))
+	return nil
+}

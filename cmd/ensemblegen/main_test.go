@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"climcompress/internal/cdf"
+)
+
+func TestWriteStatsCheckFlow(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig")
+	if err := runWrite([]string{"-dir", orig, "-grid", "test", "-members", "7", "-vars", "U"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("wrote %d member files, want 7", len(entries))
+	}
+
+	if err := runStats([]string{"-var", "U", "-grid", "test", "-members", "7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lossless "reconstruction": check must pass.
+	recon := filepath.Join(dir, "recon")
+	if err := os.MkdirAll(recon, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		f, err := cdf.Open(filepath.Join(orig, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteFile(filepath.Join(recon, e.Name()), cdf.WriteOptions{Codec: "fpzip-32"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runCheck([]string{"-orig", orig, "-recon", recon, "-var", "U"}); err != nil {
+		t.Fatalf("lossless check failed: %v", err)
+	}
+
+	// Destroyed reconstruction: check must fail.
+	bad := filepath.Join(dir, "bad")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		f, err := cdf.Open(filepath.Join(orig, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := f.ReadVar("U")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] += 5 // several sigma: climate-changing
+		}
+		g := cdf.New()
+		lev := g.AddDim("lev", f.Dims[0].Len)
+		lat := g.AddDim("lat", f.Dims[1].Len)
+		lon := g.AddDim("lon", f.Dims[2].Len)
+		if _, err := g.AddVar("U", []int{lev, lat, lon}, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.WriteFile(filepath.Join(bad, e.Name()), cdf.WriteOptions{Codec: "raw"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = runCheck([]string{"-orig", orig, "-recon", bad, "-var", "U"})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("shifted reconstruction should fail the check, got %v", err)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	if err := runCheck([]string{"-orig", "x"}); err == nil {
+		t.Error("check without -recon/-var should error")
+	}
+	dir := t.TempDir()
+	if err := runCheck([]string{"-orig", dir, "-recon", dir, "-var", "U"}); err == nil {
+		t.Error("empty directories should error")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	if err := runWrite([]string{"-grid", "test"}); err == nil {
+		t.Error("write without -dir should error")
+	}
+	if err := runWrite([]string{"-dir", t.TempDir(), "-grid", "test", "-members", "3", "-vars", "NOPE"}); err == nil {
+		t.Error("unknown variable should error")
+	}
+}

@@ -1,0 +1,14 @@
+// Package climcompress is a from-scratch Go reproduction of Baker et al.,
+// "A Methodology for Evaluating the Impact of Data Compression on Climate
+// Simulation Data" (HPDC 2014): a verification methodology that decides
+// whether lossily compressed climate-model output is statistically
+// distinguishable from the model's natural variability, evaluated over
+// reimplementations of the four compressors the paper studies (fpzip,
+// APAX, ISABELA, GRIB2+JPEG2000) on a synthetic CESM/CAM substrate.
+//
+// Start with internal/core for the verification API, cmd/climatebench to
+// regenerate the paper's tables and figures, and the examples/ directory
+// for runnable walkthroughs. DESIGN.md maps every paper artifact to the
+// module that reproduces it; EXPERIMENTS.md records paper-vs-measured
+// results.
+package climcompress

@@ -1,0 +1,154 @@
+// Archivepipeline: the paper's target workflow (§1). CESM writes
+// "history files" — one file per time slice containing every variable.
+// The post-processing step converts them into per-variable time-series
+// files, and that conversion is where the paper proposes integrating
+// compression. This example simulates a season of monthly history files,
+// converts them to compressed per-variable time series with a per-variable
+// codec assignment, and reports the storage saved.
+//
+//	go run ./examples/archivepipeline [-slices 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"climcompress/internal/cdf"
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/report"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	slices := flag.Int("slices", 4, "number of monthly time slices")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "archivepipeline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g := grid.Small()
+	varNames := []string{"U", "T", "FSDSC", "Z3", "CCN3", "PS", "SST"}
+	catalog := varcatalog.Default()
+	var subset []varcatalog.Spec
+	for _, s := range catalog {
+		for _, n := range varNames {
+			if s.Name == n {
+				subset = append(subset, s)
+			}
+		}
+	}
+	// One simulation, sampled at *slices temporally correlated instants
+	// (successive history-file time slices of the same run).
+	cfg := l96.DefaultEnsembleConfig(1)
+	cfg.TimeSlices = *slices
+	cfg.SliceSteps = 250
+	ens := l96.NewEnsemble(l96.DefaultParams(), cfg)
+	gen := model.NewGenerator(g, subset, ens)
+
+	// Step 1: write raw (uncompressed) time-slice history files.
+	fmt.Printf("Writing %d monthly history files (%d variables, grid %s)...\n", *slices, len(subset), g.Name)
+	var historyBytes int64
+	for ts := 0; ts < *slices; ts++ {
+		f := cdf.New()
+		f.GlobalAttr("time", fmt.Sprintf("month %d", ts))
+		lev := f.AddDim("lev", g.NLev)
+		lat := f.AddDim("lat", g.NLat)
+		lon := f.AddDim("lon", g.NLon)
+		for idx, spec := range subset {
+			fl := gen.FieldAt(idx, 0, ts)
+			dims := []int{lat, lon}
+			if spec.ThreeD {
+				dims = []int{lev, lat, lon}
+			}
+			v, err := f.AddVar(spec.Name, dims, fl.Data, cdf.Attr{Name: "units", Value: spec.Units})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fl.HasFill {
+				v.HasFill = true
+				v.Fill = fl.Fill
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("history_%02d.cdf", ts))
+		if err := f.WriteFile(path, cdf.WriteOptions{Codec: "raw"}); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		historyBytes += st.Size()
+	}
+
+	// Step 2: per-variable codec assignment — the hybrid idea of §5.4.
+	codecFor := map[string]string{
+		"U": "fpzip-16", "T": "fpzip-16", "FSDSC": "fpzip-24",
+		"Z3": "fpzip-24", "CCN3": "fpzip-24", "PS": "fpzip-16", "SST": "fpzip-24",
+	}
+
+	// Step 3: convert time slices to compressed per-variable time series.
+	fmt.Println("Converting to compressed per-variable time-series files...")
+	var seriesBytes int64
+	t := &report.Table{
+		Headers: []string{"variable", "codec", "series bytes", "CR"},
+	}
+	for _, spec := range subset {
+		out := cdf.New()
+		out.GlobalAttr("variable", spec.Name)
+		timeDim := out.AddDim("time", *slices)
+		lev := out.AddDim("lev", g.NLev)
+		lat := out.AddDim("lat", g.NLat)
+		lon := out.AddDim("lon", g.NLon)
+		var series []float32
+		var hasFill bool
+		var fill float32
+		for ts := 0; ts < *slices; ts++ {
+			path := filepath.Join(dir, fmt.Sprintf("history_%02d.cdf", ts))
+			h, err := cdf.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data, err := h.ReadVar(spec.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, _ := h.Var(spec.Name)
+			hasFill, fill = v.HasFill, v.Fill
+			series = append(series, data...)
+		}
+		dims := []int{timeDim, lat, lon}
+		if spec.ThreeD {
+			dims = []int{timeDim, lev, lat, lon}
+		}
+		v, err := out.AddVar(spec.Name, dims, series, cdf.Attr{Name: "units", Value: spec.Units})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v.HasFill, v.Fill = hasFill, fill
+		path := filepath.Join(dir, fmt.Sprintf("series_%s.cdf", spec.Name))
+		codec := codecFor[spec.Name]
+		if err := out.WriteFile(path, cdf.WriteOptions{Codec: codec}); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		seriesBytes += st.Size()
+		t.AddRow(spec.Name, codec, fmt.Sprint(st.Size()),
+			report.Fix(compress.Ratio(int(st.Size()), len(series)), 3))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nhistory (raw):       %10d bytes\n", historyBytes)
+	fmt.Printf("time series (comp.): %10d bytes\n", seriesBytes)
+	fmt.Printf("overall ratio:       %10.3f (%.1f:1)\n",
+		float64(seriesBytes)/float64(historyBytes), float64(historyBytes)/float64(seriesBytes))
+}

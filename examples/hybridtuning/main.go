@@ -1,0 +1,119 @@
+// Hybridtuning: the paper's §5.4 per-variable customization. For each
+// variable, walk a method family's variants from most to least aggressive
+// and keep the first that passes all verification tests, falling back to
+// lossless when none does. The result is a "hybrid" method whose average
+// compression ratio beats any fixed variant at acceptable quality.
+//
+//	go run ./examples/hybridtuning [-members 21] [-family APAX]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/core"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/grid"
+	"climcompress/internal/hybrid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/report"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	members := flag.Int("members", 21, "ensemble size (paper: 101)")
+	famName := flag.String("family", "APAX", "method family: GRIB2|ISABELA|fpzip|APAX")
+	flag.Parse()
+
+	var fam hybrid.Family
+	found := false
+	for _, f := range hybrid.StudyFamilies() {
+		if f.Name == *famName {
+			fam, found = f, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown family %q", *famName)
+	}
+
+	// A representative spread of variables: smooth, huge-range, log-scale,
+	// masked, and noisy ones.
+	varNames := []string{"U", "FSDSC", "Z3", "CCN3", "T", "PS", "SST", "Q", "SO2", "CLDTOT"}
+	g := grid.Small()
+	catalog := varcatalog.Default()
+	fmt.Printf("Building %d-member verification ensemble...\n\n", *members)
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.DefaultEnsembleConfig(*members))
+	gen := model.NewGenerator(g, catalog, ens)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("Hybrid construction for family %s (variants tried most aggressive first)", fam.Name),
+		Headers: []string{"variable", "trail", "selected", "CR"},
+	}
+	var choices []hybrid.Choice
+	for _, name := range varNames {
+		_, idx, ok := varcatalog.ByName(catalog, name)
+		if !ok {
+			log.Fatalf("unknown variable %q", name)
+		}
+		fields := ensemble.CollectFields(gen, idx)
+		suite, err := core.NewSuite(fields)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes := map[string]hybrid.Outcome{}
+		trail := ""
+		for _, variant := range fam.Variants {
+			codec, err := core.NewCodec(variant)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fields[0].HasFill {
+				codec = core.WrapFill(codec, fields[0].Fill)
+			}
+			res, err := suite.Verify(codec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			outcomes[variant] = hybrid.Outcome{
+				Pass: res.AllPass, CR: res.MeanCR,
+				Rho: res.Checks[0].Errors.Pearson, NRMSE: res.Checks[0].Errors.NRMSE,
+				Enmax: res.Checks[0].Errors.ENMax,
+			}
+			if res.AllPass {
+				trail += variant + "(pass) "
+				break
+			}
+			trail += variant + "(fail) "
+		}
+		// Lossless fallback CR if needed.
+		fb, err := core.NewCodec(fam.Fallback)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fields[0].HasFill {
+			fb = core.WrapFill(fb, fields[0].Fill)
+		}
+		shape := compress.Shape{NLev: fields[0].NLev, NLat: g.NLat, NLon: g.NLon}
+		buf, err := fb.Compress(fields[0].Data, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fbOutcome := hybrid.Outcome{CR: float64(len(buf)) / float64(4*fields[0].Len()), Rho: 1}
+		choice := hybrid.Select(name, fam, outcomes, fbOutcome)
+		if choice.Fallback {
+			trail += "-> lossless " + fam.Fallback
+		}
+		choices = append(choices, choice)
+		t.AddRow(name, trail, choice.Variant, report.Fix(choice.Outcome.CR, 3))
+	}
+	fmt.Print(t.String())
+
+	s := hybrid.Summarize(choices)
+	fmt.Printf("\nHybrid %s over %d variables: avg CR %.3f (best %.3f, worst %.3f), avg rho %.7f\n",
+		fam.Name, s.Variables, s.AvgCR, s.BestCR, s.WorstCR, s.AvgRho)
+	comp := hybrid.Composition(choices)
+	fmt.Printf("Composition: %v\n", comp)
+}

@@ -1,0 +1,115 @@
+// Portverify: the CESM-PVT's original job (§4.3). After porting a climate
+// model to a new machine (or changing compiler flags, or reordering
+// parallel reductions) the results are no longer bit-for-bit. Are they
+// climate-changing? Run a few simulations on the "new machine" and check
+// them against the trusted ensemble: global means must show no range shift
+// and RMSZ scores must fall within the ensemble's distribution.
+//
+// This example verifies two scenarios against a trusted ensemble:
+//
+//  1. a benign port — the same model started from different tiny
+//     perturbations (bit-for-bit different, statistically identical);
+//
+//  2. a broken port — the model's forcing constant drifted (a genuinely
+//     changed climate).
+//
+//     go run ./examples/portverify [-members 41]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"climcompress/internal/ensemble"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/pvt"
+	"climcompress/internal/report"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	members := flag.Int("members", 41, "trusted ensemble size (paper: 101)")
+	flag.Parse()
+
+	g := grid.Small()
+	catalog := varcatalog.Default()
+	varNames := []string{"T", "U", "FSDSC"}
+
+	fmt.Printf("Integrating the trusted %d-member ensemble...\n", *members)
+	// Three extra members play the role of new-machine runs: same model,
+	// different O(1e-14) perturbations.
+	trustedCfg := l96.DefaultEnsembleConfig(*members + 3)
+	trusted := l96.NewEnsemble(l96.DefaultParams(), trustedCfg)
+	gen := model.NewGenerator(g, catalog, trusted)
+
+	fmt.Println("Integrating the broken port (forcing constant drifted F=10 -> 13)...")
+	brokenParams := l96.DefaultParams()
+	brokenParams.F = 13
+	broken := l96.NewEnsemble(brokenParams, l96.DefaultEnsembleConfig(3))
+	// The anomaly projection keeps the trusted calibration: a different
+	// attractor then shows up as biased mode weights, exactly like a model
+	// whose climate drifted.
+	broken.MeanX, broken.StdX = trusted.MeanX, trusted.StdX
+	brokenGen := model.NewGenerator(g, catalog, broken)
+
+	for _, name := range varNames {
+		_, idx, ok := varcatalog.ByName(catalog, name)
+		if !ok {
+			log.Fatalf("unknown variable %q", name)
+		}
+		// Trusted ensemble statistics from the first *members runs.
+		fields := ensemble.CollectFields(gen, idx)[:*members]
+		vs, err := ensemble.Build(fields)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		benign := make([][]float32, 3)
+		for i := range benign {
+			benign[i] = gen.Field(idx, *members+i).Data
+		}
+		bad := make([][]float32, 3)
+		for i := range bad {
+			bad[i] = brokenGen.Field(idx, i).Data
+		}
+
+		resGood, err := pvt.PortVerify(vs, benign)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resBad, err := pvt.PortVerify(vs, bad)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t := &report.Table{
+			Title:   fmt.Sprintf("Port verification: %s (trusted RMSZ in [%.3f, %.3f])", name, resGood.RMSZBox.Min, resGood.RMSZBox.Max),
+			Headers: []string{"scenario", "run", "RMSZ", "global mean", "RMSZ ok", "mean ok"},
+		}
+		addRuns := func(label string, res pvt.PortResult) {
+			for i, run := range res.Runs {
+				t.AddRow(label, fmt.Sprint(i),
+					report.Fix(run.RMSZ, 3), report.Fix(run.GlobalMean, 4),
+					pass(run.RMSZOK), pass(run.MeanOK))
+			}
+		}
+		addRuns("benign port", resGood)
+		addRuns("broken port", resBad)
+		fmt.Print(t.String())
+		fmt.Printf("verdict: benign=%s broken=%s\n\n", pass(resGood.Pass), pass(resBad.Pass))
+	}
+	fmt.Println("The benign port is statistically indistinguishable everywhere; the drifted")
+	fmt.Println("forcing is caught on the climate-sensitive variables — as in the CESM-PVT,")
+	fmt.Println("where pass/fail is judged per variable and some variables are more critical")
+	fmt.Println("than others (§4.3).")
+}
+
+func pass(b bool) string {
+	if b {
+		return "pass"
+	}
+	return "FAIL"
+}

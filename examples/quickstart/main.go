@@ -1,0 +1,60 @@
+// Quickstart: compress one synthetic climate field with several codecs and
+// evaluate the reconstruction with the paper's §4.2 measures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/core"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/report"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	// Synthesize the zonal-wind field U of one simulation on a small grid.
+	g := grid.Small()
+	catalog := varcatalog.Default()
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.DefaultEnsembleConfig(3))
+	gen := model.NewGenerator(g, catalog, ens)
+	_, idx, _ := varcatalog.ByName(catalog, "U")
+	f := gen.Field(idx, 0)
+	s := f.Summarize()
+	fmt.Printf("U on %s: min %.2f, max %.2f, mean %.2f, std %.2f (%d points)\n\n",
+		g, s.Min, s.Max, s.Mean, s.Std, f.Len())
+
+	shape := compress.Shape{NLev: f.NLev, NLat: g.NLat, NLon: g.NLon}
+	t := &report.Table{
+		Title:   "Original-vs-reconstructed measures (§4.2 of the paper)",
+		Headers: []string{"codec", "CR", "e_nmax", "NRMSE", "rho", "rho >= .99999"},
+	}
+	for _, name := range []string{"nc", "fpzip-32", "fpzip-24", "fpzip-16", "apax-2", "apax-4", "isa-0.5"} {
+		codec, err := core.NewCodec(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := codec.Compress(f.Data, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := codec.Decompress(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := core.Compare(f.Data, recon)
+		pass := "yes"
+		if !e.PassesCorrelation() {
+			pass = "NO"
+		}
+		t.AddRow(name, report.Fix(compress.Ratio(len(buf), f.Len()), 3),
+			report.Sci(e.ENMax), report.Sci(e.NRMSE), report.Fix(e.Pearson, 7), pass)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nCR is compressed/original (eq. 1): smaller is better; 0.2 = the paper's 5:1 headline.")
+}

@@ -1,0 +1,3 @@
+module climcompress
+
+go 1.22

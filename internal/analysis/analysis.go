@@ -1,0 +1,144 @@
+// Package analysis implements the post-processing analytics climate
+// scientists run on history files — zonal means, vertical profiles,
+// area-weighted global means. The paper's acceptance criterion is that the
+// reconstructed data be indistinguishable "during the post-processing
+// analysis, which includes both visualization and analytics" (§1); this
+// package provides those analytics and comparisons of their values between
+// original and reconstructed fields.
+package analysis
+
+import (
+	"math"
+
+	"climcompress/internal/field"
+)
+
+// ZonalMean returns the mean over longitude at each (level, latitude),
+// skipping fill values; entries with no valid points are NaN. The result
+// is indexed [lev][lat].
+func ZonalMean(f *field.Field) [][]float64 {
+	g := f.Grid
+	out := make([][]float64, f.NLev)
+	for lev := 0; lev < f.NLev; lev++ {
+		row := make([]float64, g.NLat)
+		for lat := 0; lat < g.NLat; lat++ {
+			var sum float64
+			var n int
+			base := (lev*g.NLat + lat) * g.NLon
+			for lon := 0; lon < g.NLon; lon++ {
+				i := base + lon
+				if f.IsFill(i) {
+					continue
+				}
+				sum += float64(f.Data[i])
+				n++
+			}
+			if n == 0 {
+				row[lat] = math.NaN()
+			} else {
+				row[lat] = sum / float64(n)
+			}
+		}
+		out[lev] = row
+	}
+	return out
+}
+
+// VerticalProfile returns the area-weighted horizontal mean at each level
+// (one value for 2-D fields), skipping fill values.
+func VerticalProfile(f *field.Field) []float64 {
+	g := f.Grid
+	w := g.AreaWeights()
+	out := make([]float64, f.NLev)
+	for lev := 0; lev < f.NLev; lev++ {
+		var sum, wsum float64
+		for lat := 0; lat < g.NLat; lat++ {
+			base := (lev*g.NLat + lat) * g.NLon
+			for lon := 0; lon < g.NLon; lon++ {
+				i := base + lon
+				if f.IsFill(i) {
+					continue
+				}
+				sum += w[lat] * float64(f.Data[i])
+				wsum += w[lat]
+			}
+		}
+		if wsum == 0 {
+			out[lev] = math.NaN()
+		} else {
+			out[lev] = sum / wsum
+		}
+	}
+	return out
+}
+
+// Diff summarizes how far a derived quantity moved between original and
+// reconstruction.
+type Diff struct {
+	MaxAbs     float64 // largest absolute difference
+	RMS        float64 // root-mean-square difference
+	Normalized float64 // RMS / range of the original quantity
+	N          int
+}
+
+// compareSeries diffs two flat series, skipping NaN pairs.
+func compareSeries(a, b []float64) Diff {
+	var d Diff
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sumsq float64
+	for i := range a {
+		if i >= len(b) || math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		diff := math.Abs(a[i] - b[i])
+		if diff > d.MaxAbs {
+			d.MaxAbs = diff
+		}
+		sumsq += diff * diff
+		if a[i] < lo {
+			lo = a[i]
+		}
+		if a[i] > hi {
+			hi = a[i]
+		}
+		d.N++
+	}
+	if d.N == 0 {
+		nan := math.NaN()
+		return Diff{MaxAbs: nan, RMS: nan, Normalized: nan}
+	}
+	d.RMS = math.Sqrt(sumsq / float64(d.N))
+	if r := hi - lo; r > 0 {
+		d.Normalized = d.RMS / r
+	} else if d.RMS == 0 {
+		d.Normalized = 0
+	} else {
+		d.Normalized = math.Inf(1)
+	}
+	return d
+}
+
+// CompareZonalMeans diffs the zonal-mean analytics of two fields.
+func CompareZonalMeans(orig, recon *field.Field) Diff {
+	a := flatten(ZonalMean(orig))
+	b := flatten(ZonalMean(recon))
+	return compareSeries(a, b)
+}
+
+// CompareVerticalProfiles diffs the vertical-profile analytics.
+func CompareVerticalProfiles(orig, recon *field.Field) Diff {
+	return compareSeries(VerticalProfile(orig), VerticalProfile(recon))
+}
+
+// GlobalMeanDelta returns |Δ| of the area-weighted global means.
+func GlobalMeanDelta(orig, recon *field.Field) float64 {
+	return math.Abs(orig.GlobalMean() - recon.GlobalMean())
+}
+
+func flatten(rows [][]float64) []float64 {
+	var out []float64
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

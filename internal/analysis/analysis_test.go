@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+func constField(t *testing.T, v float32, threeD bool) *field.Field {
+	t.Helper()
+	f := field.New("X", "1", grid.Test(), threeD)
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+	return f
+}
+
+func TestZonalMeanConstant(t *testing.T) {
+	f := constField(t, 7, true)
+	zm := ZonalMean(f)
+	if len(zm) != f.NLev || len(zm[0]) != f.Grid.NLat {
+		t.Fatalf("shape %dx%d", len(zm), len(zm[0]))
+	}
+	for _, row := range zm {
+		for _, v := range row {
+			if v != 7 {
+				t.Fatalf("zonal mean of constant field = %v", v)
+			}
+		}
+	}
+}
+
+func TestZonalMeanStructure(t *testing.T) {
+	g := grid.Test()
+	f := field.New("X", "1", g, false)
+	for lat := 0; lat < g.NLat; lat++ {
+		for lon := 0; lon < g.NLon; lon++ {
+			f.Set(0, lat, lon, float32(lat*10+lon%2)) // zonal mean = 10·lat + 0.5
+		}
+	}
+	zm := ZonalMean(f)
+	for lat := 0; lat < g.NLat; lat++ {
+		want := float64(lat*10) + 0.5
+		if math.Abs(zm[0][lat]-want) > 1e-6 {
+			t.Fatalf("zonal mean at lat %d = %v, want %v", lat, zm[0][lat], want)
+		}
+	}
+}
+
+func TestZonalMeanSkipsFill(t *testing.T) {
+	g := grid.Test()
+	f := field.New("X", "1", g, false)
+	f.HasFill = true
+	for i := range f.Data {
+		f.Data[i] = 4
+	}
+	// Fill an entire latitude row.
+	for lon := 0; lon < g.NLon; lon++ {
+		f.Set(0, 2, lon, f.Fill)
+	}
+	f.Set(0, 3, 0, f.Fill)
+	zm := ZonalMean(f)
+	if !math.IsNaN(zm[0][2]) {
+		t.Fatalf("fully filled row should be NaN, got %v", zm[0][2])
+	}
+	if zm[0][3] != 4 {
+		t.Fatalf("partially filled row mean = %v", zm[0][3])
+	}
+}
+
+func TestVerticalProfile(t *testing.T) {
+	g := grid.Test()
+	f := field.New("X", "1", g, true)
+	for lev := 0; lev < g.NLev; lev++ {
+		for lat := 0; lat < g.NLat; lat++ {
+			for lon := 0; lon < g.NLon; lon++ {
+				f.Set(lev, lat, lon, float32(lev)*2)
+			}
+		}
+	}
+	vp := VerticalProfile(f)
+	for lev, v := range vp {
+		if math.Abs(v-float64(lev)*2) > 1e-9 {
+			t.Fatalf("profile level %d = %v", lev, v)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	f := constField(t, 3, true)
+	d := CompareZonalMeans(f, f)
+	if d.MaxAbs != 0 || d.RMS != 0 || d.Normalized != 0 {
+		t.Fatalf("identical fields differ: %+v", d)
+	}
+	if GlobalMeanDelta(f, f) != 0 {
+		t.Fatal("identical global means differ")
+	}
+	if dv := CompareVerticalProfiles(f, f); dv.MaxAbs != 0 {
+		t.Fatalf("identical profiles differ: %+v", dv)
+	}
+}
+
+func TestCompareDetectsShift(t *testing.T) {
+	g := grid.Test()
+	a := field.New("X", "1", g, false)
+	b := field.New("X", "1", g, false)
+	for lat := 0; lat < g.NLat; lat++ {
+		for lon := 0; lon < g.NLon; lon++ {
+			a.Set(0, lat, lon, float32(lat))
+			b.Set(0, lat, lon, float32(lat)+0.25)
+		}
+	}
+	d := CompareZonalMeans(a, b)
+	if math.Abs(d.MaxAbs-0.25) > 1e-6 {
+		t.Fatalf("MaxAbs = %v, want 0.25", d.MaxAbs)
+	}
+	if math.Abs(GlobalMeanDelta(a, b)-0.25) > 1e-6 {
+		t.Fatalf("global mean delta = %v", GlobalMeanDelta(a, b))
+	}
+	// Normalized against the zonal-mean range (7).
+	if math.Abs(d.Normalized-0.25/7) > 1e-6 {
+		t.Fatalf("Normalized = %v", d.Normalized)
+	}
+}
+
+func TestCompareDegenerate(t *testing.T) {
+	f := constField(t, 5, false)
+	g := constField(t, 6, false)
+	d := CompareZonalMeans(f, g)
+	if !math.IsInf(d.Normalized, 1) {
+		t.Fatalf("zero-range original with nonzero diff should normalize to +Inf, got %v", d.Normalized)
+	}
+}

@@ -1,0 +1,248 @@
+// Package bitstream provides MSB-first bit-level readers and writers used by
+// the entropy coders and the fixed-rate codecs.
+//
+// Both Writer and Reader operate on an in-memory byte buffer. Bits are packed
+// most-significant-bit first within each byte, which makes the packed output
+// byte-order independent and easy to inspect in hex dumps.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when a read runs past the end of the
+// underlying buffer.
+var ErrShortBuffer = errors.New("bitstream: read past end of buffer")
+
+// Writer accumulates bits MSB-first into an internal byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits not yet flushed, left-aligned in the low `n` bits
+	n    uint   // number of valid bits in cur (0..63)
+	bits uint64 // total number of bits written
+}
+
+// NewWriter returns a Writer whose internal buffer has the given capacity
+// hint in bytes.
+func NewWriter(capHint int) *Writer {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 64 {
+		w.flushWord()
+	}
+}
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits width %d > 64", width))
+	}
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	space := 64 - w.n
+	if width <= space {
+		w.cur = w.cur<<width | v
+		w.n += width
+		w.bits += uint64(width)
+		if w.n == 64 {
+			w.flushWord()
+		}
+		return
+	}
+	// Split across the word boundary.
+	hi := width - space
+	w.cur = w.cur<<space | v>>hi
+	w.n = 64
+	w.bits += uint64(space)
+	w.flushWord()
+	w.cur = v & ((1 << hi) - 1)
+	w.n = hi
+	w.bits += uint64(hi)
+}
+
+// WriteUnary writes v as v one-bits followed by a terminating zero bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for v >= 32 {
+		w.WriteBits((1<<32)-1, 32)
+		v -= 32
+	}
+	// v ones followed by a zero: value (2^v - 1) << 1 in v+1 bits.
+	w.WriteBits(((1<<v)-1)<<1, uint(v)+1)
+}
+
+// WriteEliasGamma writes v >= 1 in Elias gamma code: the bit length of v in
+// unary (as leading zeros) followed by v itself.
+func (w *Writer) WriteEliasGamma(v uint64) {
+	if v == 0 {
+		panic("bitstream: Elias gamma requires v >= 1")
+	}
+	n := uint(0)
+	for 1<<(n+1) <= v {
+		n++
+	}
+	w.WriteBits(0, n)   // n zeros
+	w.WriteBits(v, n+1) // v starts with its leading one bit
+}
+
+// flushWord drains the 64-bit accumulator into the byte buffer. Only valid
+// when w.n == 64.
+func (w *Writer) flushWord() {
+	w.buf = append(w.buf,
+		byte(w.cur>>56), byte(w.cur>>48), byte(w.cur>>40), byte(w.cur>>32),
+		byte(w.cur>>24), byte(w.cur>>16), byte(w.cur>>8), byte(w.cur))
+	w.cur = 0
+	w.n = 0
+}
+
+// BitsWritten reports the total number of bits written so far.
+func (w *Writer) BitsWritten() uint64 { return w.bits }
+
+// Len reports the number of bytes the finished stream will occupy.
+func (w *Writer) Len() int { return int((w.bits + 7) / 8) }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// packed stream. The Writer remains usable: further writes continue from the
+// unpadded bit position, and a later Bytes call re-derives the padding.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, 0, len(w.buf)+8)
+	out = append(out, w.buf...)
+	n := w.n
+	cur := w.cur
+	for n >= 8 {
+		out = append(out, byte(cur>>(n-8)))
+		n -= 8
+	}
+	if n > 0 {
+		out = append(out, byte(cur<<(8-n)))
+	}
+	return out
+}
+
+// Reset discards all written bits, retaining the buffer capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.n = 0
+	w.bits = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	cur  uint64 // bit accumulator, valid in the low `n` bits
+	n    uint   // number of valid bits in cur
+	read uint64 // total bits consumed
+	err  error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// fill tops up the accumulator so that at least `need` bits are available,
+// or sets err if the buffer is exhausted.
+func (r *Reader) fill(need uint) bool {
+	for r.n < need {
+		if r.pos >= len(r.buf) {
+			r.err = ErrShortBuffer
+			return false
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+	return true
+}
+
+// ReadBit reads a single bit. After an error, it returns 0.
+func (r *Reader) ReadBit() uint {
+	if r.err != nil || !r.fill(1) {
+		return 0
+	}
+	r.n--
+	r.read++
+	return uint(r.cur>>r.n) & 1
+}
+
+// ReadBits reads `width` bits MSB-first. width must be in [0, 64].
+// After an error, it returns 0.
+func (r *Reader) ReadBits(width uint) uint64 {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits width %d > 64", width))
+	}
+	if width == 0 || r.err != nil {
+		return 0
+	}
+	if width <= 56 { // fits alongside a partial byte in the accumulator
+		if !r.fill(width) {
+			return 0
+		}
+		r.n -= width
+		r.read += uint64(width)
+		v := r.cur >> r.n
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		return v
+	}
+	hi := r.ReadBits(width - 32)
+	lo := r.ReadBits(32)
+	return hi<<32 | lo
+}
+
+// ReadUnary reads a unary-coded value (count of one-bits before a zero).
+func (r *Reader) ReadUnary() uint64 {
+	var v uint64
+	for {
+		if r.err != nil {
+			return v
+		}
+		if r.ReadBit() == 0 {
+			return v
+		}
+		v++
+	}
+}
+
+// ReadEliasGamma reads a value written by WriteEliasGamma.
+func (r *Reader) ReadEliasGamma() uint64 {
+	n := uint(0)
+	for r.err == nil && r.ReadBit() == 0 {
+		n++
+		if n > 64 {
+			r.err = ErrShortBuffer
+			return 0
+		}
+	}
+	if r.err != nil {
+		return 0
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1<<n | r.ReadBits(n)
+}
+
+// BitsRead reports the total number of bits consumed.
+func (r *Reader) BitsRead() uint64 { return r.read }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,228 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBitsRoundTrip(t *testing.T) {
+	w := NewWriter(16)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitsWritten(), uint64(len(pattern)); got != want {
+		t.Fatalf("BitsWritten = %d, want %d", got, want)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected reader error: %v", r.Err())
+	}
+}
+
+func TestWriteBitsWidths(t *testing.T) {
+	w := NewWriter(64)
+	type item struct {
+		v     uint64
+		width uint
+	}
+	items := []item{
+		{0x1, 1}, {0x3, 2}, {0xff, 8}, {0xabc, 12}, {0xdeadbeef, 32},
+		{0x0123456789abcdef, 64}, {0, 5}, {0x7fffffffffffffff, 63},
+		{1, 64}, {0x55, 7},
+	}
+	for _, it := range items {
+		w.WriteBits(it.v, it.width)
+	}
+	r := NewReader(w.Bytes())
+	for i, it := range items {
+		want := it.v
+		if it.width < 64 {
+			want &= (1 << it.width) - 1
+		}
+		if got := r.ReadBits(it.width); got != want {
+			t.Fatalf("item %d: got %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []uint64{0, 1, 2, 7, 31, 32, 33, 64, 100, 250}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		if got := r.ReadUnary(); got != want {
+			t.Fatalf("unary %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEliasGammaRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	vals := []uint64{1, 2, 3, 4, 7, 8, 255, 256, 1 << 20, 1<<40 + 5}
+	for _, v := range vals {
+		w.WriteEliasGamma(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		if got := r.ReadEliasGamma(); got != want {
+			t.Fatalf("gamma %d: got %d want %d", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestEliasGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteEliasGamma(0) should panic")
+		}
+	}()
+	NewWriter(8).WriteEliasGamma(0)
+}
+
+func TestLenMatchesBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0x5, 3)
+	if w.Len() != 1 {
+		t.Fatalf("Len after 3 bits = %d, want 1", w.Len())
+	}
+	w.WriteBits(0xff, 8)
+	if w.Len() != 2 {
+		t.Fatalf("Len after 11 bits = %d, want 2", w.Len())
+	}
+	if got := len(w.Bytes()); got != 2 {
+		t.Fatalf("len(Bytes) = %d, want 2", got)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	_ = r.ReadBits(8)
+	if r.Err() != nil {
+		t.Fatalf("unexpected error after exact read: %v", r.Err())
+	}
+	_ = r.ReadBit()
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("expected ErrShortBuffer, got %v", r.Err())
+	}
+	// Subsequent reads stay at zero and keep the error.
+	if got := r.ReadBits(17); got != 0 {
+		t.Fatalf("read after error = %d, want 0", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xdead, 16)
+	w.Reset()
+	if w.BitsWritten() != 0 || w.Len() != 0 {
+		t.Fatalf("Reset did not clear state: bits=%d len=%d", w.BitsWritten(), w.Len())
+	}
+	w.WriteBits(0x2, 2)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("post-reset bytes = %#v, want [0x80]", b)
+	}
+}
+
+func TestBytesIsIdempotent(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xabcd, 13)
+	b1 := w.Bytes()
+	b2 := w.Bytes()
+	if string(b1) != string(b2) {
+		t.Fatalf("Bytes not idempotent: %x vs %x", b1, b2)
+	}
+	// Writing after Bytes continues the logical stream.
+	w.WriteBits(0x3, 3)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(13); got != 0xabcd&((1<<13)-1) {
+		t.Fatalf("first field corrupted after continued write: %#x", got)
+	}
+	if got := r.ReadBits(3); got != 0x3 {
+		t.Fatalf("second field = %#x, want 0x3", got)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%200) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter(0)
+		for i := range vals {
+			widths[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			if widths[i] == 64 {
+				vals[i] = rng.Uint64()
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			if r.ReadBits(widths[i]) != vals[i] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordBoundaryCrossing(t *testing.T) {
+	// Write 63 bits then a 33-bit value to force the split path in WriteBits.
+	w := NewWriter(0)
+	w.WriteBits((1<<63)-1, 63)
+	w.WriteBits(0x1aaaaaaaa, 33)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(63); got != (1<<63)-1 {
+		t.Fatalf("first read = %#x", got)
+	}
+	if got := r.ReadBits(33); got != 0x1aaaaaaaa {
+		t.Fatalf("second read = %#x", got)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<17) == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 23)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 1<<17; i++ {
+		w.WriteBits(uint64(i), 23)
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%(1<<17) == 0 {
+			r = NewReader(data)
+		}
+		_ = r.ReadBits(23)
+	}
+}

@@ -1,0 +1,154 @@
+// Package bspline provides least-squares fitting and evaluation of uniform
+// cubic B-splines, the curve-fitting core of the ISABELA compressor: after
+// window sorting, the monotone value curve is approximated by a small number
+// of spline coefficients.
+package bspline
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadFit is returned when a fit is requested with too few points or
+// coefficients.
+var ErrBadFit = errors.New("bspline: need ncoef >= 4 and len(y) >= ncoef")
+
+// basis returns the four cubic B-spline blending weights at local
+// parameter t in [0, 1].
+func basis(t float64) (b0, b1, b2, b3 float64) {
+	u := 1 - t
+	t2 := t * t
+	t3 := t2 * t
+	b0 = u * u * u / 6
+	b1 = (3*t3 - 6*t2 + 4) / 6
+	b2 = (-3*t3 + 3*t2 + 3*t + 1) / 6
+	b3 = t3 / 6
+	return
+}
+
+// segment maps a global parameter x in [0, 1] to a segment index and local
+// parameter for a spline with ncoef control points.
+func segment(x float64, ncoef int) (s int, t float64) {
+	nseg := ncoef - 3
+	u := x * float64(nseg)
+	s = int(u)
+	if s >= nseg {
+		s = nseg - 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	t = u - float64(s)
+	if t > 1 {
+		t = 1
+	}
+	return
+}
+
+// Eval evaluates the spline with the given control points at x in [0, 1].
+func Eval(coefs []float64, x float64) float64 {
+	s, t := segment(x, len(coefs))
+	b0, b1, b2, b3 := basis(t)
+	return b0*coefs[s] + b1*coefs[s+1] + b2*coefs[s+2] + b3*coefs[s+3]
+}
+
+// EvalAll evaluates the spline at n equally spaced parameters i/(n-1),
+// writing into out (grown or allocated as needed).
+func EvalAll(coefs []float64, n int, out []float64) []float64 {
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	if n == 1 {
+		out[0] = Eval(coefs, 0)
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = Eval(coefs, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Fit computes the least-squares control points of a uniform cubic B-spline
+// through the points (i/(n-1), y[i]). It solves the banded normal equations
+// with a dense Cholesky factorization (ncoef is small) plus a tiny ridge
+// term for numerical safety on degenerate inputs.
+func Fit(y []float64, ncoef int) ([]float64, error) {
+	n := len(y)
+	if ncoef < 4 || n < ncoef {
+		return nil, ErrBadFit
+	}
+	// Normal equations N c = b with N = AᵀA, b = Aᵀy; A has 4 nonzeros/row.
+	N := make([]float64, ncoef*ncoef)
+	b := make([]float64, ncoef)
+	var w [4]float64
+	for i := 0; i < n; i++ {
+		x := 0.0
+		if n > 1 {
+			x = float64(i) / float64(n-1)
+		}
+		s, t := segment(x, ncoef)
+		w[0], w[1], w[2], w[3] = basis(t)
+		for a := 0; a < 4; a++ {
+			ia := s + a
+			b[ia] += w[a] * y[i]
+			for c := 0; c < 4; c++ {
+				N[ia*ncoef+s+c] += w[a] * w[c]
+			}
+		}
+	}
+	// Ridge regularization keeps the factorization positive definite even
+	// when some control point is unconstrained (short windows).
+	var trace float64
+	for i := 0; i < ncoef; i++ {
+		trace += N[i*ncoef+i]
+	}
+	ridge := 1e-10 * (trace/float64(ncoef) + 1)
+	for i := 0; i < ncoef; i++ {
+		N[i*ncoef+i] += ridge
+	}
+	if err := choleskySolve(N, b, ncoef); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// choleskySolve solves the SPD system in place: on return b holds x.
+func choleskySolve(a []float64, b []float64, n int) error {
+	// Factor a = L·Lᵀ (lower triangle stored in a).
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d <= 0 {
+			return errors.New("bspline: normal equations not positive definite")
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s / d
+		}
+	}
+	// Forward substitution L z = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*n+k] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	// Back substitution Lᵀ x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k*n+i] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package bspline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBasisPartitionOfUnity(t *testing.T) {
+	for _, tt := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.99, 1} {
+		b0, b1, b2, b3 := basis(tt)
+		sum := b0 + b1 + b2 + b3
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("basis weights at t=%v sum to %v", tt, sum)
+		}
+		for _, b := range []float64{b0, b1, b2, b3} {
+			if b < 0 {
+				t.Fatalf("negative basis weight at t=%v", tt)
+			}
+		}
+	}
+}
+
+func TestEvalConstant(t *testing.T) {
+	coefs := []float64{5, 5, 5, 5, 5, 5}
+	for _, x := range []float64{0, 0.3, 0.5, 0.999, 1} {
+		if got := Eval(coefs, x); math.Abs(got-5) > 1e-12 {
+			t.Fatalf("constant spline at %v = %v", x, got)
+		}
+	}
+}
+
+func TestFitRecoversSmoothCurve(t *testing.T) {
+	n := 512
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = 3 + 2*x + math.Sin(3*x)
+	}
+	coefs, err := Fit(y, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := EvalAll(coefs, n, nil)
+	var maxErr float64
+	for i := range y {
+		if e := math.Abs(rec[i] - y[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-3 {
+		t.Fatalf("smooth curve max fit error %v", maxErr)
+	}
+}
+
+func TestFitMonotoneSortedData(t *testing.T) {
+	// ISABELA's use case: a sorted (monotone) window.
+	rng := rand.New(rand.NewSource(1))
+	n := 1024
+	y := make([]float64, n)
+	y[0] = 0
+	for i := 1; i < n; i++ {
+		y[i] = y[i-1] + rng.Float64()
+	}
+	coefs, err := Fit(y, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := EvalAll(coefs, n, nil)
+	var sumsq float64
+	for i := range y {
+		d := rec[i] - y[i]
+		sumsq += d * d
+	}
+	rmse := math.Sqrt(sumsq / float64(n))
+	if rng := y[n-1] - y[0]; rmse > 0.01*rng {
+		t.Fatalf("sorted-curve RMSE %v too large relative to range %v", rmse, rng)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 4); err == nil {
+		t.Fatal("too few points should error")
+	}
+	if _, err := Fit(make([]float64, 100), 3); err == nil {
+		t.Fatal("ncoef < 4 should error")
+	}
+}
+
+func TestFitExactlyRepresentableLine(t *testing.T) {
+	// A straight line is exactly representable by a cubic B-spline.
+	n := 64
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 2*float64(i)/float64(n-1) - 1
+	}
+	coefs, err := Fit(y, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		if got := Eval(coefs, x); math.Abs(got-y[i]) > 1e-6 {
+			t.Fatalf("line not reproduced at %v: %v vs %v", x, got, y[i])
+		}
+	}
+}
+
+func TestEvalAllAllocates(t *testing.T) {
+	coefs := []float64{0, 1, 2, 3}
+	out := EvalAll(coefs, 10, nil)
+	if len(out) != 10 {
+		t.Fatalf("EvalAll length %d", len(out))
+	}
+	buf := make([]float64, 10)
+	out2 := EvalAll(coefs, 10, buf)
+	if &out2[0] != &buf[0] {
+		t.Fatal("EvalAll should reuse the provided buffer")
+	}
+}
+
+func TestDegenerateConstantInput(t *testing.T) {
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = 7
+	}
+	coefs, err := Fit(y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 1} {
+		if got := Eval(coefs, x); math.Abs(got-7) > 1e-6 {
+			t.Fatalf("constant input reproduced as %v", got)
+		}
+	}
+}
+
+func BenchmarkFit1024x30(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	y := make([]float64, 1024)
+	y[0] = 0
+	for i := 1; i < len(y); i++ {
+		y[i] = y[i-1] + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(y, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,596 @@
+// Package cdf implements a self-describing container format standing in
+// for NetCDF: named dimensions, attributed variables, fill values, and
+// per-variable compressed payloads using any codec from the compress
+// registry. CESM writes "history files" of this kind; the paper's target
+// workflow converts time-slice history files into per-variable time-series
+// files with compression applied — see cmd/compresstool and the
+// archivepipeline example.
+package cdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"climcompress/internal/compress"
+)
+
+// Magic identifies the format; the version byte follows it.
+var Magic = [4]byte{'C', 'C', 'D', 'F'}
+
+// Version is the current format version.
+const Version = 2
+
+// maxStringLen bounds on-disk string fields during parsing.
+const maxStringLen = 1 << 16
+
+// Dim is a named dimension.
+type Dim struct {
+	Name string
+	Len  int
+}
+
+// Attr is a name/value attribute pair (values are strings, as in classic
+// NetCDF text attributes).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// DataType is a variable's element type.
+type DataType byte
+
+// Variable element types. History files are Float32 (CESM truncates on
+// write); restart files are Float64.
+const (
+	Float32 DataType = 0
+	Float64 DataType = 1
+)
+
+// Variable is one variable's metadata and (possibly compressed) payload.
+type Variable struct {
+	Name    string
+	Type    DataType
+	Dims    []int // indices into File.Dims, slowest-varying first
+	Attrs   []Attr
+	HasFill bool
+	Fill    float32
+	Codec   string // registry name of the codec used for the payload
+
+	payload []byte
+	data    []float32 // set when a Float32 variable was added in memory
+	data64  []float64 // set when a Float64 variable was added in memory
+}
+
+// Len returns the number of values implied by the variable's dimensions.
+func (v *Variable) Len(f *File) int {
+	n := 1
+	for _, d := range v.Dims {
+		n *= f.Dims[d].Len
+	}
+	return n
+}
+
+// File is an in-memory dataset: global attributes, dimensions, variables.
+type File struct {
+	Attrs []Attr
+	Dims  []Dim
+	Vars  []Variable
+}
+
+// New returns an empty dataset.
+func New() *File { return &File{} }
+
+// AddDim appends a dimension and returns its index.
+func (f *File) AddDim(name string, n int) int {
+	f.Dims = append(f.Dims, Dim{Name: name, Len: n})
+	return len(f.Dims) - 1
+}
+
+// GlobalAttr appends a global attribute.
+func (f *File) GlobalAttr(name, value string) {
+	f.Attrs = append(f.Attrs, Attr{Name: name, Value: value})
+}
+
+// AddVar appends a variable with its data. dims are dimension indices from
+// AddDim. The data length must match the dimension product.
+func (f *File) AddVar(name string, dims []int, data []float32, attrs ...Attr) (*Variable, error) {
+	n := 1
+	for _, d := range dims {
+		if d < 0 || d >= len(f.Dims) {
+			return nil, fmt.Errorf("cdf: variable %s references unknown dimension %d", name, d)
+		}
+		n *= f.Dims[d].Len
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("cdf: variable %s has %d values, dimensions imply %d", name, len(data), n)
+	}
+	f.Vars = append(f.Vars, Variable{
+		Name:  name,
+		Dims:  append([]int(nil), dims...),
+		Attrs: append([]Attr(nil), attrs...),
+		data:  data,
+	})
+	return &f.Vars[len(f.Vars)-1], nil
+}
+
+// AddVar64 appends a double-precision variable (restart-file data).
+func (f *File) AddVar64(name string, dims []int, data []float64, attrs ...Attr) (*Variable, error) {
+	n := 1
+	for _, d := range dims {
+		if d < 0 || d >= len(f.Dims) {
+			return nil, fmt.Errorf("cdf: variable %s references unknown dimension %d", name, d)
+		}
+		n *= f.Dims[d].Len
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("cdf: variable %s has %d values, dimensions imply %d", name, len(data), n)
+	}
+	f.Vars = append(f.Vars, Variable{
+		Name:   name,
+		Type:   Float64,
+		Dims:   append([]int(nil), dims...),
+		Attrs:  append([]Attr(nil), attrs...),
+		data64: data,
+	})
+	return &f.Vars[len(f.Vars)-1], nil
+}
+
+// Var returns the variable with the given name.
+func (f *File) Var(name string) (*Variable, bool) {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i], true
+		}
+	}
+	return nil, false
+}
+
+// VarNames lists variable names in file order.
+func (f *File) VarNames() []string {
+	out := make([]string, len(f.Vars))
+	for i := range f.Vars {
+		out[i] = f.Vars[i].Name
+	}
+	return out
+}
+
+// shapeOf derives the codec Shape from a variable's trailing dimensions:
+// (... , lat, lon) with any leading dimensions folded into levels.
+func (f *File) shapeOf(v *Variable) compress.Shape {
+	nd := len(v.Dims)
+	switch nd {
+	case 0:
+		return compress.Shape{NLev: 1, NLat: 1, NLon: 1}
+	case 1:
+		return compress.Shape{NLev: 1, NLat: 1, NLon: f.Dims[v.Dims[0]].Len}
+	default:
+		lat := f.Dims[v.Dims[nd-2]].Len
+		lon := f.Dims[v.Dims[nd-1]].Len
+		lev := 1
+		for _, d := range v.Dims[:nd-2] {
+			lev *= f.Dims[d].Len
+		}
+		return compress.Shape{NLev: lev, NLat: lat, NLon: lon}
+	}
+}
+
+// WriteOptions controls per-variable compression when writing.
+type WriteOptions struct {
+	// Codec is the default codec registry name ("raw" stores uncompressed).
+	Codec string
+	// PerVar overrides the codec for specific variables.
+	PerVar map[string]string
+}
+
+// Write serializes the dataset. Each variable is compressed with its
+// selected codec; variables with fill values are wrapped with special-value
+// masking unless the codec handles them natively.
+func (f *File) Write(w io.Writer, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	writeAttrs(bw, f.Attrs)
+	writeUvarint(bw, uint64(len(f.Dims)))
+	for _, d := range f.Dims {
+		writeString(bw, d.Name)
+		writeUvarint(bw, uint64(d.Len))
+	}
+	writeUvarint(bw, uint64(len(f.Vars)))
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		codecName := opts.Codec
+		if codecName == "" {
+			codecName = "raw"
+		}
+		if over, ok := opts.PerVar[v.Name]; ok {
+			codecName = over
+		}
+		payload, err := f.encodeVar(v, codecName)
+		if err != nil {
+			return err
+		}
+		writeString(bw, v.Name)
+		bw.WriteByte(byte(v.Type))
+		writeUvarint(bw, uint64(len(v.Dims)))
+		for _, d := range v.Dims {
+			writeUvarint(bw, uint64(d))
+		}
+		writeAttrs(bw, v.Attrs)
+		fillFlag := byte(0)
+		if v.HasFill {
+			fillFlag = 1
+		}
+		bw.WriteByte(fillFlag)
+		var fb [4]byte
+		binary.LittleEndian.PutUint32(fb[:], math.Float32bits(v.Fill))
+		bw.Write(fb[:])
+		writeString(bw, codecName)
+		writeUvarint(bw, uint64(len(payload)))
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// encodeVar compresses one variable's data with the named codec.
+func (f *File) encodeVar(v *Variable, codecName string) ([]byte, error) {
+	if v.Type == Float64 {
+		return f.encodeVar64(v, codecName)
+	}
+	data := v.data
+	if data == nil {
+		// Round-tripping a file that was read from disk: decode first.
+		var err error
+		data, err = f.decodeVar(v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	shape := f.shapeOf(v)
+	if codecName == "raw" {
+		out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDRaw, Shape: shape})
+		var b [4]byte
+		for _, x := range data {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+			out = append(out, b[:]...)
+		}
+		return out, nil
+	}
+	codec, err := compress.New(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("cdf: variable %s: %w", v.Name, err)
+	}
+	if v.HasFill {
+		codec = compress.WithFill(codec, v.Fill)
+	}
+	return codec.Compress(data, shape)
+}
+
+// encodeVar64 compresses a double-precision variable. "raw" stores 8-byte
+// values; any registered codec implementing compress.Codec64 (fpzip64-*,
+// apax-*) is accepted; fill values are not supported on the 64-bit path.
+func (f *File) encodeVar64(v *Variable, codecName string) ([]byte, error) {
+	data := v.data64
+	if data == nil {
+		var err error
+		data, err = f.decodeVar64(v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if v.HasFill {
+		return nil, fmt.Errorf("cdf: variable %s: fill values are not supported for Float64 variables", v.Name)
+	}
+	shape := f.shapeOf(v)
+	if codecName == "raw" {
+		out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDRaw64, Shape: shape})
+		var b [8]byte
+		for _, x := range data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			out = append(out, b[:]...)
+		}
+		return out, nil
+	}
+	c, err := compress.New(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("cdf: variable %s: %w", v.Name, err)
+	}
+	c64, ok := c.(compress.Codec64)
+	if !ok {
+		return nil, fmt.Errorf("cdf: variable %s: codec %s has no 64-bit mode", v.Name, codecName)
+	}
+	return c64.Compress64(data, shape)
+}
+
+// WriteFile writes the dataset to a file path.
+func (f *File) WriteFile(path string, opts WriteOptions) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(fh, opts); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// Read parses a dataset. Variable payloads stay compressed until ReadVar.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, errors.New("cdf: bad magic")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("cdf: unsupported version %d", ver)
+	}
+	f := New()
+	if f.Attrs, err = readAttrs(br); err != nil {
+		return nil, err
+	}
+	ndims, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ndims; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		f.Dims = append(f.Dims, Dim{Name: name, Len: int(n)})
+	}
+	nvars, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nvars; i++ {
+		var v Variable
+		if v.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if tb > 1 {
+			return nil, fmt.Errorf("cdf: variable %s has unknown type %d", v.Name, tb)
+		}
+		v.Type = DataType(tb)
+		nd, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nd; j++ {
+			d, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if int(d) >= len(f.Dims) {
+				return nil, fmt.Errorf("cdf: variable %s references unknown dimension %d", v.Name, d)
+			}
+			v.Dims = append(v.Dims, int(d))
+		}
+		if v.Attrs, err = readAttrs(br); err != nil {
+			return nil, err
+		}
+		fillFlag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		v.HasFill = fillFlag != 0
+		var fb [4]byte
+		if _, err := io.ReadFull(br, fb[:]); err != nil {
+			return nil, err
+		}
+		v.Fill = math.Float32frombits(binary.LittleEndian.Uint32(fb[:]))
+		if v.Codec, err = readString(br); err != nil {
+			return nil, err
+		}
+		plen, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if plen > 1<<32 {
+			return nil, fmt.Errorf("cdf: payload of %s implausibly large", v.Name)
+		}
+		v.payload = make([]byte, plen)
+		if _, err := io.ReadFull(br, v.payload); err != nil {
+			return nil, err
+		}
+		f.Vars = append(f.Vars, v)
+	}
+	return f, nil
+}
+
+// Open reads a dataset from a file path.
+func Open(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Read(fh)
+}
+
+// ReadVar decompresses and returns a Float32 variable's values. Use
+// ReadVar64 for Float64 variables.
+func (f *File) ReadVar(name string) ([]float32, error) {
+	v, ok := f.Var(name)
+	if !ok {
+		return nil, fmt.Errorf("cdf: no variable %q", name)
+	}
+	if v.Type == Float64 {
+		return nil, fmt.Errorf("cdf: variable %s is Float64; use ReadVar64", name)
+	}
+	return f.decodeVar(v)
+}
+
+// ReadVar64 decompresses and returns a Float64 variable's values.
+func (f *File) ReadVar64(name string) ([]float64, error) {
+	v, ok := f.Var(name)
+	if !ok {
+		return nil, fmt.Errorf("cdf: no variable %q", name)
+	}
+	if v.Type != Float64 {
+		return nil, fmt.Errorf("cdf: variable %s is Float32; use ReadVar", name)
+	}
+	return f.decodeVar64(v)
+}
+
+func (f *File) decodeVar64(v *Variable) ([]float64, error) {
+	if v.payload == nil {
+		if v.data64 != nil {
+			return append([]float64(nil), v.data64...), nil
+		}
+		return nil, fmt.Errorf("cdf: variable %s has no data", v.Name)
+	}
+	h, rest, err := compress.ParseHeader(v.payload)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID == compress.IDRaw64 {
+		n := h.Shape.Len()
+		if len(rest) < 8*n {
+			return nil, fmt.Errorf("%w: truncated raw64 payload", compress.ErrCorrupt)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return out, nil
+	}
+	c, err := compress.New(v.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("cdf: variable %s: %w", v.Name, err)
+	}
+	c64, ok := c.(compress.Codec64)
+	if !ok {
+		return nil, fmt.Errorf("cdf: variable %s: codec %s has no 64-bit mode", v.Name, v.Codec)
+	}
+	return c64.Decompress64(v.payload)
+}
+
+func (f *File) decodeVar(v *Variable) ([]float32, error) {
+	if v.payload == nil {
+		if v.data != nil {
+			return append([]float32(nil), v.data...), nil
+		}
+		return nil, fmt.Errorf("cdf: variable %s has no data", v.Name)
+	}
+	h, rest, err := compress.ParseHeader(v.payload)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID == compress.IDRaw {
+		n := h.Shape.Len()
+		if len(rest) < 4*n {
+			return nil, fmt.Errorf("%w: truncated raw payload", compress.ErrCorrupt)
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		return out, nil
+	}
+	codec, err := compress.New(v.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("cdf: variable %s: %w", v.Name, err)
+	}
+	if v.HasFill {
+		codec = compress.WithFill(codec, v.Fill)
+	}
+	return codec.Decompress(v.payload)
+}
+
+// PayloadSize returns the stored (compressed) byte count of a variable,
+// for computing achieved compression ratios from files on disk.
+func (f *File) PayloadSize(name string) (int, bool) {
+	v, ok := f.Var(name)
+	if !ok {
+		return 0, false
+	}
+	return len(v.payload), true
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", errors.New("cdf: string too long")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeAttrs(w *bufio.Writer, attrs []Attr) {
+	writeUvarint(w, uint64(len(attrs)))
+	for _, a := range attrs {
+		writeString(w, a.Name)
+		writeString(w, a.Value)
+	}
+}
+
+func readAttrs(r *bufio.Reader) ([]Attr, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStringLen {
+		return nil, errors.New("cdf: too many attributes")
+	}
+	attrs := make([]Attr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		val, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Name: name, Value: val})
+	}
+	return attrs, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}

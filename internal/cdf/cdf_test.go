@@ -1,0 +1,350 @@
+package cdf
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+)
+
+func buildTestFile(t *testing.T) *File {
+	t.Helper()
+	f := New()
+	f.GlobalAttr("source", "CAM5 synthetic")
+	f.GlobalAttr("case", "unit-test")
+	lev := f.AddDim("lev", 3)
+	lat := f.AddDim("lat", 8)
+	lon := f.AddDim("lon", 16)
+
+	t3 := make([]float32, 3*8*16)
+	for i := range t3 {
+		t3[i] = 250 + float32(i%40)
+	}
+	if _, err := f.AddVar("T", []int{lev, lat, lon}, t3, Attr{"units", "K"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]float32, 8*16)
+	for i := range ts {
+		ts[i] = 288 + float32(i%10)
+	}
+	if _, err := f.AddVar("TS", []int{lat, lon}, ts, Attr{"units", "K"}); err != nil {
+		t.Fatal(err)
+	}
+	sst := make([]float32, 8*16)
+	for i := range sst {
+		if i%5 == 0 {
+			sst[i] = 1e35
+		} else {
+			sst[i] = 290 + float32(i%7)
+		}
+	}
+	v, err := f.AddVar("SST", []int{lat, lon}, sst, Attr{"units", "K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.HasFill = true
+	v.Fill = 1e35
+	return f
+}
+
+func TestRoundTripRaw(t *testing.T) {
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Vars) != 3 || len(g.Dims) != 3 || len(g.Attrs) != 2 {
+		t.Fatalf("structure lost: %d vars %d dims %d attrs", len(g.Vars), len(g.Dims), len(g.Attrs))
+	}
+	want, _ := f.ReadVar("T")
+	got, err := g.ReadVar("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("T mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundTripCompressed(t *testing.T) {
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	err := f.Write(&buf, WriteOptions{
+		Codec:  "nc",
+		PerVar: map[string]string{"T": "fpzip-32"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"T", "TS", "SST"} {
+		want, _ := f.ReadVar(name)
+		got, err := g.ReadVar(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s mismatch at %d: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	v, _ := g.Var("T")
+	if v.Codec != "fpzip-32" {
+		t.Fatalf("per-var codec not recorded: %q", v.Codec)
+	}
+}
+
+func TestFillSurvivesLossyCodec(t *testing.T) {
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "apax-4"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := f.ReadVar("SST")
+	got, err := g.ReadVar("SST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] == 1e35 {
+			if got[i] != 1e35 {
+				t.Fatalf("fill lost at %d", i)
+			}
+		} else if math.Abs(float64(got[i]-orig[i])) > 5 {
+			// apax-4 on values ~300 quantizes with step 2^(e-126-k) ≈ 8.
+			t.Fatalf("SST error too large at %d: %v vs %v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestWriteFileOpen(t *testing.T) {
+	f := buildTestFile(t)
+	path := filepath.Join(t.TempDir(), "test.cdf")
+	if err := f.WriteFile(path, WriteOptions{Codec: "nc"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.VarNames()
+	if len(names) != 3 || names[0] != "T" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, ok := g.PayloadSize("T"); !ok {
+		t.Fatal("PayloadSize missing for T")
+	}
+}
+
+func TestCompressionActuallyShrinks(t *testing.T) {
+	f := New()
+	lat := f.AddDim("lat", 64)
+	lon := f.AddDim("lon", 64)
+	data := make([]float32, 64*64)
+	for i := range data {
+		data[i] = float32(100 + i%3)
+	}
+	if _, err := f.AddVar("X", []int{lat, lon}, data); err != nil {
+		t.Fatal(err)
+	}
+	var raw, comp bytes.Buffer
+	if err := f.Write(&raw, WriteOptions{Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(&comp, WriteOptions{Codec: "nc"}); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= raw.Len()/2 {
+		t.Fatalf("compression ineffective: raw %d, nc %d", raw.Len(), comp.Len())
+	}
+}
+
+func TestAddVarValidation(t *testing.T) {
+	f := New()
+	lat := f.AddDim("lat", 4)
+	if _, err := f.AddVar("bad", []int{lat}, make([]float32, 5)); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := f.AddVar("bad2", []int{99}, make([]float32, 4)); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("JUNKJUNK"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatal("truncated file should error")
+	}
+	g, _ := Read(bytes.NewReader(full))
+	if _, err := g.ReadVar("NOPE"); err == nil {
+		t.Fatal("unknown variable should error")
+	}
+}
+
+func TestUnknownCodecOnWrite(t *testing.T) {
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "not-a-codec"}); err == nil {
+		t.Fatal("unknown codec should error at write time")
+	}
+}
+
+func TestRewriteReadFile(t *testing.T) {
+	// Read a file, rewrite it with a different codec, verify contents.
+	f := buildTestFile(t)
+	var a bytes.Buffer
+	if err := f.Write(&a, WriteOptions{Codec: "nc"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := g.Write(&b, WriteOptions{Codec: "fpzip-32"}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.ReadVar("TS")
+	got, err := h.ReadVar("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("rewrite corrupted TS at %d", i)
+		}
+	}
+}
+
+func TestFloat64VariableRoundTrip(t *testing.T) {
+	f := New()
+	lat := f.AddDim("lat", 8)
+	lon := f.AddDim("lon", 16)
+	data := make([]float64, 8*16)
+	for i := range data {
+		data[i] = 300.123456789 + float64(i)*1e-7 // needs full precision
+	}
+	if _, err := f.AddVar64("TREST", []int{lat, lon}, data, Attr{"units", "K"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []string{"raw", "fpzip64-64", "apax-2"} {
+		var buf bytes.Buffer
+		if err := f.Write(&buf, WriteOptions{Codec: codec}); err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		g, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		v, ok := g.Var("TREST")
+		if !ok || v.Type != Float64 {
+			t.Fatalf("%s: type metadata lost", codec)
+		}
+		got, err := g.ReadVar64("TREST")
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		for i := range data {
+			e := got[i] - data[i]
+			if e < 0 {
+				e = -e
+			}
+			lossless := codec == "raw" || codec == "fpzip64-64"
+			if lossless && got[i] != data[i] {
+				t.Fatalf("%s: not lossless at %d: %v vs %v", codec, i, got[i], data[i])
+			}
+			if e > 1e-5 {
+				t.Fatalf("%s: error %v at %d", codec, e, i)
+			}
+		}
+		// The float32 accessor must refuse.
+		if _, err := g.ReadVar("TREST"); err == nil {
+			t.Fatalf("%s: ReadVar should refuse Float64 variables", codec)
+		}
+	}
+}
+
+func TestFloat64RejectsNon64Codec(t *testing.T) {
+	f := New()
+	d := f.AddDim("n", 4)
+	if _, err := f.AddVar64("X", []int{d}, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "isa-0.5"}); err == nil {
+		t.Fatal("ISABELA has no 64-bit mode and should be rejected for Float64 data")
+	}
+}
+
+func TestFloat64FillRejected(t *testing.T) {
+	f := New()
+	d := f.AddDim("n", 2)
+	v, err := f.AddVar64("X", []int{d}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.HasFill = true
+	var buf bytes.Buffer
+	if err := f.Write(&buf, WriteOptions{Codec: "fpzip64-64"}); err == nil {
+		t.Fatal("fill on Float64 variables should be rejected")
+	}
+}
+
+func TestReadVar64OnFloat32(t *testing.T) {
+	f := buildTestFile(t)
+	if _, err := f.ReadVar64("T"); err == nil {
+		t.Fatal("ReadVar64 should refuse Float32 variables")
+	}
+}
+
+func TestShapeOfVariants(t *testing.T) {
+	f := New()
+	a := f.AddDim("a", 2)
+	b := f.AddDim("b", 3)
+	c := f.AddDim("c", 5)
+	v1, _ := f.AddVar("v1", []int{c}, make([]float32, 5))
+	v2, _ := f.AddVar("v2", []int{b, c}, make([]float32, 15))
+	v3, _ := f.AddVar("v3", []int{a, b, c}, make([]float32, 30))
+	if s := f.shapeOf(v1); s != (compress.Shape{NLev: 1, NLat: 1, NLon: 5}) {
+		t.Fatalf("1-D shape %+v", s)
+	}
+	if s := f.shapeOf(v2); s != (compress.Shape{NLev: 1, NLat: 3, NLon: 5}) {
+		t.Fatalf("2-D shape %+v", s)
+	}
+	if s := f.shapeOf(v3); s != (compress.Shape{NLev: 2, NLat: 3, NLon: 5}) {
+		t.Fatalf("3-D shape %+v", s)
+	}
+}

@@ -1,0 +1,75 @@
+package cdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzImportNetCDF ensures the classic-format parser never panics.
+func FuzzImportNetCDF(f *testing.F) {
+	file := New()
+	lat := file.AddDim("lat", 2)
+	if _, err := file.AddVar("X", []int{lat}, []float32{1, 2}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := file.ExportNetCDF(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CDF\x01"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ImportNetCDF(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, name := range g.VarNames() {
+			v, _ := g.Var(name)
+			if v.Type == Float64 {
+				_, _ = g.ReadVar64(name)
+			} else {
+				_, _ = g.ReadVar(name)
+			}
+		}
+	})
+}
+
+// FuzzRead ensures the container parser never panics on arbitrary input.
+func FuzzRead(f *testing.F) {
+	// Seed with a small valid file.
+	file := New()
+	lat := file.AddDim("lat", 2)
+	lon := file.AddDim("lon", 3)
+	if _, err := file.AddVar("X", []int{lat, lon}, []float32{1, 2, 3, 4, 5, 6}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := file.Write(&buf, WriteOptions{Codec: "raw"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CCDF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := Read(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A parsed file must also survive variable reads.
+		for _, name := range g.VarNames() {
+			v, _ := g.Var(name)
+			if v.Type == Float64 {
+				_, _ = g.ReadVar64(name)
+			} else {
+				_, _ = g.ReadVar(name)
+			}
+		}
+	})
+}

@@ -1,0 +1,437 @@
+// NetCDF classic-format (CDF-1) export and import, so datasets produced
+// here are readable by the standard NetCDF toolchain (ncdump, xarray, NCO)
+// and real NetCDF classic files can be pulled in for verification. Only
+// the features this repository uses are covered: named dimensions, text
+// attributes, and float/double variables without a record dimension.
+//
+// Format reference: the NetCDF classic format specification (the on-disk
+// layout of CDF-1 files).
+
+package cdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// NetCDF classic on-disk tags.
+const (
+	ncDimension = 0x0a
+	ncVariable  = 0x0b
+	ncAttribute = 0x0c
+
+	ncChar   = 2
+	ncFloat  = 5
+	ncDouble = 6
+)
+
+// ExportNetCDF writes the dataset as a NetCDF classic (CDF-1) file:
+// uncompressed, big-endian, with all attributes as text. Fill-bearing
+// variables gain the conventional _FillValue attribute.
+func (f *File) ExportNetCDF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	// ---- plan the file layout ----
+	type varPlan struct {
+		v     *Variable
+		vsize int
+		begin int
+	}
+	pad4 := func(n int) int { return (n + 3) &^ 3 }
+	nameBytes := func(s string) int { return 4 + pad4(len(s)) }
+
+	headerSize := 4 /*magic*/ + 4 /*numrecs*/
+	// dim_list
+	headerSize += 8
+	for _, d := range f.Dims {
+		headerSize += nameBytes(d.Name) + 4
+	}
+	attrListSize := func(attrs []Attr, hasFill bool) int {
+		n := len(attrs)
+		if hasFill {
+			n++
+		}
+		if n == 0 {
+			return 8
+		}
+		size := 8
+		for _, a := range attrs {
+			size += nameBytes(a.Name) + 4 /*type*/ + 4 /*nelems*/ + pad4(len(a.Value))
+		}
+		if hasFill {
+			size += nameBytes("_FillValue") + 4 + 4 + 4 // one float
+		}
+		return size
+	}
+	headerSize += attrListSize(f.Attrs, false)
+	// var_list
+	headerSize += 8
+	plans := make([]varPlan, len(f.Vars))
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		headerSize += nameBytes(v.Name) + 4 + 4*len(v.Dims) +
+			attrListSize(v.Attrs, v.HasFill) + 4 /*type*/ + 4 /*vsize*/ + 4 /*begin*/
+		elem := 4
+		if v.Type == Float64 {
+			elem = 8
+		}
+		plans[i] = varPlan{v: v, vsize: pad4(elem * v.Len(f))}
+	}
+	offset := pad4(headerSize)
+	for i := range plans {
+		plans[i].begin = offset
+		offset += plans[i].vsize
+	}
+
+	// ---- emit ----
+	be := binary.BigEndian
+	var scratch [8]byte
+	writeU32 := func(v uint32) {
+		be.PutUint32(scratch[:4], v)
+		bw.Write(scratch[:4])
+	}
+	writeName := func(s string) {
+		writeU32(uint32(len(s)))
+		bw.WriteString(s)
+		for p := len(s); p%4 != 0; p++ {
+			bw.WriteByte(0)
+		}
+	}
+	writeAttrList := func(attrs []Attr, fill float32, hasFill bool) {
+		n := len(attrs)
+		if hasFill {
+			n++
+		}
+		if n == 0 {
+			writeU32(0) // ABSENT tag
+			writeU32(0)
+			return
+		}
+		writeU32(ncAttribute)
+		writeU32(uint32(n))
+		for _, a := range attrs {
+			writeName(a.Name)
+			writeU32(ncChar)
+			writeU32(uint32(len(a.Value)))
+			bw.WriteString(a.Value)
+			for p := len(a.Value); p%4 != 0; p++ {
+				bw.WriteByte(0)
+			}
+		}
+		if hasFill {
+			writeName("_FillValue")
+			writeU32(ncFloat)
+			writeU32(1)
+			writeU32(math.Float32bits(fill))
+		}
+	}
+
+	bw.WriteString("CDF\x01")
+	writeU32(0) // numrecs: no record dimension
+	writeU32(ncDimension)
+	writeU32(uint32(len(f.Dims)))
+	for _, d := range f.Dims {
+		writeName(d.Name)
+		writeU32(uint32(d.Len))
+	}
+	writeAttrList(f.Attrs, 0, false)
+	writeU32(ncVariable)
+	writeU32(uint32(len(f.Vars)))
+	for i := range plans {
+		v := plans[i].v
+		writeName(v.Name)
+		writeU32(uint32(len(v.Dims)))
+		for _, d := range v.Dims {
+			writeU32(uint32(d))
+		}
+		writeAttrList(v.Attrs, v.Fill, v.HasFill)
+		if v.Type == Float64 {
+			writeU32(ncDouble)
+		} else {
+			writeU32(ncFloat)
+		}
+		writeU32(uint32(plans[i].vsize))
+		writeU32(uint32(plans[i].begin))
+	}
+	// Pad the header to the first data offset.
+	for p := headerSize; p < pad4(headerSize); p++ {
+		bw.WriteByte(0)
+	}
+	// Variable data, big-endian, 4-byte padded.
+	for i := range plans {
+		v := plans[i].v
+		written := 0
+		if v.Type == Float64 {
+			data, err := f.decodeVar64(v)
+			if err != nil {
+				return err
+			}
+			for _, x := range data {
+				be.PutUint64(scratch[:8], math.Float64bits(x))
+				bw.Write(scratch[:8])
+			}
+			written = 8 * len(data)
+		} else {
+			data, err := f.decodeVar(v)
+			if err != nil {
+				return err
+			}
+			for _, x := range data {
+				be.PutUint32(scratch[:4], math.Float32bits(x))
+				bw.Write(scratch[:4])
+			}
+			written = 4 * len(data)
+		}
+		for p := written; p < plans[i].vsize; p++ {
+			bw.WriteByte(0)
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportNetCDFFile writes a NetCDF classic file to path.
+func (f *File) ExportNetCDFFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.ExportNetCDF(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// ImportNetCDF parses a NetCDF classic (CDF-1 or CDF-2) file containing
+// float/double variables without a record dimension. Text attributes are
+// kept; a float _FillValue attribute populates the variable's fill.
+func ImportNetCDF(r io.Reader) (*File, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	p := &ncParser{buf: raw}
+	magic := p.bytes(3)
+	version := p.u8()
+	if string(magic) != "CDF" || (version != 1 && version != 2) {
+		return nil, errors.New("cdf: not a NetCDF classic file")
+	}
+	p.offset64 = version == 2
+	numrecs := p.u32()
+	if numrecs != 0 {
+		return nil, errors.New("cdf: record dimensions are not supported")
+	}
+	out := New()
+
+	// Hostile headers can claim absurd counts; everything parsed below is
+	// bounded so allocations stay proportional to the actual input.
+	const (
+		maxEntities   = 1 << 16 // dims/vars/attrs per list
+		maxDimsPerVar = 256
+		maxValues     = 1 << 28 // values per variable
+	)
+
+	// dim_list
+	tag, count := p.u32(), p.u32()
+	if tag != ncDimension && !(tag == 0 && count == 0) {
+		return nil, fmt.Errorf("cdf: unexpected dimension tag %#x", tag)
+	}
+	if count > maxEntities {
+		return nil, errors.New("cdf: implausible dimension count")
+	}
+	for i := uint32(0); i < count && p.err == nil; i++ {
+		name := p.name()
+		size := p.u32()
+		if size > maxValues {
+			return nil, fmt.Errorf("cdf: dimension %s implausibly large", name)
+		}
+		out.AddDim(name, int(size))
+	}
+	// global attributes
+	gattrs, _, err2 := p.attrList()
+	if err2 != nil {
+		return nil, err2
+	}
+	out.Attrs = gattrs
+
+	// var_list
+	tag, count = p.u32(), p.u32()
+	if tag != ncVariable && !(tag == 0 && count == 0) {
+		return nil, fmt.Errorf("cdf: unexpected variable tag %#x", tag)
+	}
+	if count > maxEntities {
+		return nil, errors.New("cdf: implausible variable count")
+	}
+	type pending struct {
+		idx   int // index into out.Vars (the slice reallocates while growing)
+		typ   uint32
+		begin uint64
+	}
+	var pendings []pending
+	for i := uint32(0); i < count && p.err == nil; i++ {
+		name := p.name()
+		nd := p.u32()
+		if nd > maxDimsPerVar {
+			return nil, fmt.Errorf("cdf: variable %s has implausible rank %d", name, nd)
+		}
+		dims := make([]int, nd)
+		nvals := 1
+		for j := range dims {
+			d := int(p.u32())
+			if d < 0 || d >= len(out.Dims) {
+				return nil, fmt.Errorf("cdf: variable %s has bad dimension id", name)
+			}
+			dims[j] = d
+			nvals *= out.Dims[d].Len
+			if nvals > maxValues || nvals < 0 {
+				return nil, fmt.Errorf("cdf: variable %s implausibly large", name)
+			}
+		}
+		attrs, fill, err2 := p.attrList()
+		if err2 != nil {
+			return nil, err2
+		}
+		typ := p.u32()
+		p.u32() // vsize (recomputed)
+		var begin uint64
+		if p.offset64 {
+			begin = p.u64()
+		} else {
+			begin = uint64(p.u32())
+		}
+		if typ != ncFloat && typ != ncDouble {
+			return nil, fmt.Errorf("cdf: variable %s has unsupported type %d", name, typ)
+		}
+		v := Variable{Name: name, Dims: dims, Attrs: attrs}
+		if typ == ncDouble {
+			v.Type = Float64
+		}
+		if fill != nil {
+			v.HasFill, v.Fill = true, *fill
+		}
+		out.Vars = append(out.Vars, v)
+		pendings = append(pendings, pending{idx: len(out.Vars) - 1, typ: typ, begin: begin})
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	// data
+	for _, pd := range pendings {
+		v := &out.Vars[pd.idx]
+		n := v.Len(out)
+		elem := 4
+		if pd.typ == ncDouble {
+			elem = 8
+		}
+		end := pd.begin + uint64(elem*n)
+		if pd.begin > uint64(len(raw)) || end > uint64(len(raw)) {
+			return nil, fmt.Errorf("cdf: variable %s data out of bounds", v.Name)
+		}
+		seg := raw[pd.begin:end]
+		if pd.typ == ncDouble {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = math.Float64frombits(binary.BigEndian.Uint64(seg[8*i:]))
+			}
+			v.data64 = data
+		} else {
+			data := make([]float32, n)
+			for i := range data {
+				data[i] = math.Float32frombits(binary.BigEndian.Uint32(seg[4*i:]))
+			}
+			v.data = data
+		}
+	}
+	return out, nil
+}
+
+// ImportNetCDFFile parses a NetCDF classic file from path.
+func ImportNetCDFFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ImportNetCDF(fh)
+}
+
+// ncParser is a minimal big-endian cursor over a classic-format header.
+type ncParser struct {
+	buf      []byte
+	pos      int
+	offset64 bool
+	err      error
+}
+
+func (p *ncParser) bytes(n int) []byte {
+	if p.err != nil || p.pos+n > len(p.buf) {
+		if p.err == nil {
+			p.err = errors.New("cdf: truncated NetCDF header")
+		}
+		return make([]byte, n)
+	}
+	out := p.buf[p.pos : p.pos+n]
+	p.pos += n
+	return out
+}
+
+func (p *ncParser) u8() byte    { return p.bytes(1)[0] }
+func (p *ncParser) u32() uint32 { return binary.BigEndian.Uint32(p.bytes(4)) }
+func (p *ncParser) u64() uint64 { return binary.BigEndian.Uint64(p.bytes(8)) }
+
+func (p *ncParser) name() string {
+	n := int(p.u32())
+	if n < 0 || n > maxStringLen {
+		p.err = errors.New("cdf: bad name length")
+		return ""
+	}
+	s := string(p.bytes(n))
+	if pad := (4 - n%4) % 4; pad > 0 {
+		p.bytes(pad)
+	}
+	return s
+}
+
+// attrList parses an attribute list, returning text attributes and the
+// float _FillValue if present. Non-text, non-fill attributes are skipped.
+func (p *ncParser) attrList() ([]Attr, *float32, error) {
+	tag, count := p.u32(), p.u32()
+	if tag == 0 && count == 0 {
+		return nil, nil, p.err
+	}
+	if tag != ncAttribute {
+		return nil, nil, fmt.Errorf("cdf: unexpected attribute tag %#x", tag)
+	}
+	var attrs []Attr
+	var fill *float32
+	for i := uint32(0); i < count && p.err == nil; i++ {
+		name := p.name()
+		typ := p.u32()
+		nelems := int(p.u32())
+		if nelems < 0 || nelems > 1<<24 {
+			return nil, nil, errors.New("cdf: implausible attribute size")
+		}
+		elem := map[uint32]int{1: 1, ncChar: 1, 3: 2, 4: 4, ncFloat: 4, ncDouble: 8}[typ]
+		if elem == 0 {
+			return nil, nil, fmt.Errorf("cdf: attribute %s has unknown type %d", name, typ)
+		}
+		size := elem * nelems
+		payload := p.bytes(size)
+		if pad := (4 - size%4) % 4; pad > 0 {
+			p.bytes(pad)
+		}
+		switch {
+		case typ == ncChar:
+			attrs = append(attrs, Attr{Name: name, Value: string(payload)})
+		case name == "_FillValue" && typ == ncFloat && nelems == 1:
+			v := math.Float32frombits(binary.BigEndian.Uint32(payload))
+			fill = &v
+		}
+	}
+	return attrs, fill, p.err
+}

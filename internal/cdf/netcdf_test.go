@@ -1,0 +1,159 @@
+package cdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestNetCDFExportImportRoundTrip(t *testing.T) {
+	f := buildTestFile(t)
+	var buf bytes.Buffer
+	if err := f.ExportNetCDF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ImportNetCDF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Dims) != len(f.Dims) || len(g.Vars) != len(f.Vars) || len(g.Attrs) != len(f.Attrs) {
+		t.Fatalf("structure lost: %d dims %d vars %d attrs", len(g.Dims), len(g.Vars), len(g.Attrs))
+	}
+	for i, d := range f.Dims {
+		if g.Dims[i] != d {
+			t.Fatalf("dim %d mismatch: %+v vs %+v", i, g.Dims[i], d)
+		}
+	}
+	for _, name := range f.VarNames() {
+		want, _ := f.ReadVar(name)
+		got, err := g.ReadVar(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("%s: mismatch at %d: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	// Fill metadata travels via _FillValue.
+	v, _ := g.Var("SST")
+	if !v.HasFill || v.Fill != 1e35 {
+		t.Fatalf("fill metadata lost: %+v", v)
+	}
+	// Units attributes preserved.
+	tv, _ := g.Var("T")
+	if len(tv.Attrs) == 0 || tv.Attrs[0].Name != "units" || tv.Attrs[0].Value != "K" {
+		t.Fatalf("attributes lost: %+v", tv.Attrs)
+	}
+}
+
+func TestNetCDFExportFloat64(t *testing.T) {
+	f := New()
+	d := f.AddDim("n", 3)
+	if _, err := f.AddVar64("X", []int{d}, []float64{1.5, math.Pi, -2e300}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.ExportNetCDF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ImportNetCDF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ReadVar64("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, math.Pi, -2e300}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNetCDFWellFormedHeader(t *testing.T) {
+	// Spot-check the on-disk layout against the classic-format spec.
+	f := New()
+	lat := f.AddDim("lat", 4)
+	if _, err := f.AddVar("v", []int{lat}, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.ExportNetCDF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:4]) != "CDF\x01" {
+		t.Fatalf("magic = %q", b[:4])
+	}
+	if binary.BigEndian.Uint32(b[4:]) != 0 {
+		t.Fatal("numrecs must be 0")
+	}
+	if binary.BigEndian.Uint32(b[8:]) != ncDimension {
+		t.Fatal("dimension list tag missing")
+	}
+	if binary.BigEndian.Uint32(b[12:]) != 1 {
+		t.Fatal("dimension count wrong")
+	}
+	// Data offsets are 4-byte aligned and values big-endian.
+	want := []float32{1, 2, 3, 4}
+	data := b[len(b)-16:]
+	for i, w := range want {
+		if got := math.Float32frombits(binary.BigEndian.Uint32(data[4*i:])); got != w {
+			t.Fatalf("data[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestNetCDFImportRejectsJunk(t *testing.T) {
+	if _, err := ImportNetCDF(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := ImportNetCDF(bytes.NewReader([]byte("CDF\x01\x00\x00"))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Record dimensions unsupported.
+	var rec bytes.Buffer
+	rec.WriteString("CDF\x01")
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], 5)
+	rec.Write(u[:])
+	if _, err := ImportNetCDF(bytes.NewReader(rec.Bytes())); err == nil {
+		t.Fatal("record dimension accepted")
+	}
+}
+
+func TestNetCDFExportOfCompressedDataset(t *testing.T) {
+	// Export must transparently decompress stored payloads.
+	f := buildTestFile(t)
+	var comp bytes.Buffer
+	if err := f.Write(&comp, WriteOptions{Codec: "fpzip-32"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nc bytes.Buffer
+	if err := g.ExportNetCDF(&nc); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ImportNetCDF(bytes.NewReader(nc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.ReadVar("T")
+	got, err := h.ReadVar("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package apax
+
+import (
+	"fmt"
+	"math"
+
+	"climcompress/internal/bitstream"
+	"climcompress/internal/compress"
+)
+
+// Double-precision side information: 11-bit biased exponent, 6-bit mantissa
+// width, 64-bit block mean.
+const (
+	expBits64     = 11
+	widthBits64   = 6
+	meanBits64    = 64
+	maxMantissa64 = 56
+	overhead64    = expBits64 + widthBits64 + meanBits64
+)
+
+// rawExp64 extracts the biased IEEE-754 exponent of |v|.
+func rawExp64(v float64) int {
+	return int(math.Float64bits(v)>>52) & 0x7ff
+}
+
+// Compress64 packs double-precision values at the codec's fixed rate
+// (relative to 64-bit samples, so rate 2 stores 32 bits per sample).
+func (c *Codec) Compress64(data []float64, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("apax64: shape %v does not match %d values", shape, len(data))
+	}
+	bs := c.blockSize()
+	targetBits := 64 / c.Rate
+
+	w := bitstream.NewWriter(int(float64(len(data))*targetBits/8) + 64)
+	budget := 0.0
+	for start := 0; start < len(data); start += bs {
+		end := start + bs
+		if end > len(data) {
+			end = len(data)
+		}
+		block := data[start:end]
+		n := len(block)
+		budget += targetBits * float64(n)
+
+		var sum float64
+		for _, v := range block {
+			sum += v
+		}
+		mean := sum / float64(n)
+
+		e := 0
+		for _, v := range block {
+			if ex := rawExp64(v - mean); ex > e {
+				e = ex
+			}
+		}
+		k := int((budget - overhead64) / float64(n))
+		if k < 0 {
+			k = 0
+		}
+		if k > maxMantissa64 {
+			k = maxMantissa64
+		}
+		budget -= float64(overhead64) + float64(k*n)
+
+		w.WriteBits(uint64(e), expBits64)
+		w.WriteBits(uint64(k), widthBits64)
+		w.WriteBits(math.Float64bits(mean), meanBits64)
+		if k == 0 {
+			continue
+		}
+		// q = round((x−μ) · 2^(k-1-(e-1022))) ∈ [-2^(k-1), 2^(k-1)-1]
+		scale := math.Ldexp(1, k-1-(e-1022))
+		hi := int64(1)<<(k-1) - 1
+		lo := -(int64(1) << (k - 1))
+		for _, v := range block {
+			q := int64(math.RoundToEven((v - mean) * scale))
+			if q > hi {
+				q = hi
+			}
+			if q < lo {
+				q = lo
+			}
+			w.WriteBits(uint64(q-lo), uint(k))
+		}
+	}
+	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDAPAX, Shape: shape})
+	out = append(out, byte(math.Round(c.Rate*10)), byte(bs), 64) // trailing 64 marks wide variant
+	return append(out, w.Bytes()...), nil
+}
+
+// Decompress64 reconstructs double-precision values.
+func (c *Codec) Decompress64(buf []byte) ([]float64, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != compress.IDAPAX {
+		return nil, fmt.Errorf("%w: not an apax stream", compress.ErrCorrupt)
+	}
+	if len(rest) < 3 || rest[2] != 64 {
+		return nil, fmt.Errorf("%w: not an apax64 stream", compress.ErrCorrupt)
+	}
+	bs := int(rest[1])
+	if bs <= 0 {
+		return nil, fmt.Errorf("%w: bad block size", compress.ErrCorrupt)
+	}
+	n := h.Shape.Len()
+	if err := compress.CheckPlausible(n, len(rest)-3); err != nil {
+		return nil, err
+	}
+	r := bitstream.NewReader(rest[3:])
+	out := make([]float64, n)
+	for start := 0; start < n; start += bs {
+		end := start + bs
+		if end > n {
+			end = n
+		}
+		e := int(r.ReadBits(expBits64))
+		k := int(r.ReadBits(widthBits64))
+		mean := math.Float64frombits(r.ReadBits(meanBits64))
+		if k == 0 {
+			for i := start; i < end; i++ {
+				out[i] = mean
+			}
+			continue
+		}
+		lo := -(int64(1) << (k - 1))
+		inv := math.Ldexp(1, (e-1022)-(k-1))
+		for i := start; i < end; i++ {
+			q := int64(r.ReadBits(uint(k))) + lo
+			out[i] = mean + float64(q)*inv
+		}
+		if r.Err() != nil { // fail fast on truncated streams
+			return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+		}
+	}
+	return out, nil
+}

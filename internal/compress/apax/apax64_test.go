@@ -1,0 +1,104 @@
+package apax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+func makeData64(n int, seed int64) ([]float64, compress.Shape) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/7)*50 + rng.NormFloat64() + 300
+	}
+	return data, shape
+}
+
+func TestApax64FixedRate(t *testing.T) {
+	data, shape := makeData64(65536, 1)
+	for _, rate := range []float64{2, 4, 5} {
+		c := New(rate)
+		buf, err := c.Compress64(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(len(buf)) / float64(8*len(data))
+		want := 1 / rate
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rate %v: CR %v, want %v", rate, got, want)
+		}
+	}
+}
+
+func TestApax64RoundTripQuality(t *testing.T) {
+	data, shape := makeData64(8192, 2)
+	c := New(2)
+	buf, err := c.Compress64(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate 2 on 64-bit data keeps ~31 mantissa bits of the block residual:
+	// errors must be minuscule relative to the signal.
+	for i := range data {
+		if e := math.Abs(got[i] - data[i]); e > 1e-6 {
+			t.Fatalf("error %v at %d", e, i)
+		}
+	}
+}
+
+func TestApax64MeanOnlyBlocks(t *testing.T) {
+	// Constant blocks decode exactly (mean carries everything).
+	n := BlockSize * 2
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 42.5
+	}
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	c := New(5)
+	buf, err := c.Compress64(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 42.5 {
+			t.Fatalf("constant block lost at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestApax64RejectsNarrowStream(t *testing.T) {
+	data32, shape := makeData(1024, 3)
+	buf, _ := New(4).Compress(data32, shape)
+	if _, err := New(4).Decompress64(buf); err == nil {
+		t.Fatal("Decompress64 should reject a 32-bit stream")
+	}
+	data64, shape64 := makeData64(1024, 3)
+	buf64, _ := New(4).Compress64(data64, shape64)
+	if _, err := New(4).Decompress(buf64); err == nil {
+		t.Fatal("Decompress should reject a 64-bit stream")
+	}
+}
+
+func BenchmarkCompressApax64(b *testing.B) {
+	data, shape := makeData64(32768, 4)
+	c := New(2)
+	b.SetBytes(int64(8 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress64(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

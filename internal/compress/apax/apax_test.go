@@ -1,0 +1,242 @@
+package apax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+func makeData(n int, seed int64) ([]float32, compress.Shape) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i)/7)*50 + rng.NormFloat64())
+	}
+	return data, shape
+}
+
+func TestFixedRateAchieved(t *testing.T) {
+	data, shape := makeData(65536, 1)
+	for _, rate := range []float64{2, 4, 5} {
+		c := New(rate)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := compress.Ratio(len(buf), len(data))
+		want := 1 / rate
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rate %v: CR %v, want %v ± 0.01 (this is APAX's defining fixed-rate property)",
+				rate, got, want)
+		}
+	}
+}
+
+func TestRoundTripQuality(t *testing.T) {
+	data, shape := makeData(8192, 2)
+	var lo, hi float32 = data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	rangeX := float64(hi - lo)
+	prevErr := 0.0
+	for _, rate := range []float64{2, 4, 5} {
+		c := New(rate)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for i := range data {
+			if e := math.Abs(float64(got[i] - data[i])); e > maxErr {
+				maxErr = e
+			}
+		}
+		nmax := maxErr / rangeX
+		if nmax > 0.05 {
+			t.Fatalf("rate %v: normalized max error %v too large", rate, nmax)
+		}
+		if nmax < prevErr {
+			t.Fatalf("error should grow with rate: rate %v gave %v after %v", rate, nmax, prevErr)
+		}
+		prevErr = nmax
+	}
+}
+
+func TestBlockAbsoluteErrorBound(t *testing.T) {
+	// Error within each block must be bounded by blockmax · 2^(1-k); with
+	// rate 2 (k ≈ 15) the bound is tiny even for wild magnitudes.
+	rng := rand.New(rand.NewSource(3))
+	n := 4096
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * math.Pow(10, float64(i/256%8-4)))
+	}
+	c := New(2)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < n; b += BlockSize {
+		e := b + BlockSize
+		if e > n {
+			e = n
+		}
+		var blockMax, maxErr float64
+		for i := b; i < e; i++ {
+			if a := math.Abs(float64(data[i])); a > blockMax {
+				blockMax = a
+			}
+			if er := math.Abs(float64(got[i] - data[i])); er > maxErr {
+				maxErr = er
+			}
+		}
+		// k ≥ 14 at rate 2, so bound ≈ blockMax·2^-13 with margin.
+		if blockMax > 0 && maxErr > blockMax*math.Ldexp(1, -12) {
+			t.Fatalf("block %d: error %v exceeds bound for blockmax %v", b, maxErr, blockMax)
+		}
+	}
+}
+
+func TestZerosPreserved(t *testing.T) {
+	n := 1024
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	c := New(4)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero block not preserved at %d: %v", i, v)
+		}
+	}
+}
+
+func TestMixedMagnitudeBlocks(t *testing.T) {
+	// A block mixing 1e-8 and 1e3 values: small values are crushed to the
+	// block quantum (APAX's known failure mode on huge dynamic range), but
+	// large values must stay accurate.
+	n := BlockSize * 2
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	for i := range data {
+		if i%2 == 0 {
+			data[i] = 1e3 + float32(i)
+		} else {
+			data[i] = 1e-8
+		}
+	}
+	c := New(4)
+	buf, _ := c.Compress(data, shape)
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 2 {
+		rel := math.Abs(float64(got[i]-data[i])) / float64(data[i])
+		if rel > 0.02 {
+			t.Fatalf("large value %v reconstructed as %v", data[i], got[i])
+		}
+	}
+}
+
+func TestShortTailBlock(t *testing.T) {
+	n := BlockSize + 7 // forces a 7-sample tail block
+	data, _ := makeData(n, 4)
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	c := New(2)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("length %d, want %d", len(got), n)
+	}
+}
+
+func TestRegistryVariants(t *testing.T) {
+	for _, name := range []string{"apax-2", "apax-4", "apax-5", "apax-6", "apax-7"} {
+		c, err := compress.New(name)
+		if err != nil {
+			t.Fatalf("registry missing %s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("name mismatch: %q vs %q", c.Name(), name)
+		}
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	data, shape := makeData(1024, 5)
+	c := New(4)
+	buf, _ := c.Compress(data, shape)
+	if _, err := c.Decompress(buf[:8]); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = compress.IDFPZip
+	if _, err := c.Decompress(bad); err == nil {
+		t.Fatal("wrong codec ID should error")
+	}
+}
+
+func TestBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0.5) should panic")
+		}
+	}()
+	New(0.5)
+}
+
+func BenchmarkCompressAPAX4(b *testing.B) {
+	data, shape := makeData(32768, 7)
+	c := New(4)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressAPAX4(b *testing.B) {
+	data, shape := makeData(32768, 7)
+	c := New(4)
+	buf, _ := c.Compress(data, shape)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

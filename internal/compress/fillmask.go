@@ -1,0 +1,102 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// fillMasked wraps a codec with special-value support: a bitmap records
+// which points hold the fill sentinel, fill points are replaced by a
+// neighborhood-continuation value before inner compression (so spatial
+// predictors see smooth data), and the sentinel is restored bit exactly on
+// reconstruction. This implements the pre-/post-processing the paper
+// anticipates for fpzip and APAX ("we assume that could be ... handled
+// through our pre- and post-processing", §5.4).
+type fillMasked struct {
+	inner Codec
+	fill  float32
+}
+
+// WithFill returns a codec that handles the fill sentinel around inner.
+func WithFill(inner Codec, fill float32) Codec {
+	return &fillMasked{inner: inner, fill: fill}
+}
+
+func (f *fillMasked) Name() string   { return f.inner.Name() + "+fill" }
+func (f *fillMasked) Lossless() bool { return f.inner.Lossless() }
+
+// Stream layout after the common header:
+//
+//	fill   float32 (LE bits)
+//	bitmap (len(data)+7)/8 bytes, bit i set => point i is fill
+//	inner  the wrapped codec's self-describing stream
+func (f *fillMasked) Compress(data []float32, shape Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("compress: shape %v does not match %d values", shape, len(data))
+	}
+	n := len(data)
+	bitmap := make([]byte, (n+7)/8)
+	work := make([]float32, n)
+	// Continuation value: the most recent valid value in scan order (or the
+	// first valid value for a leading run of fills). Keeps the field smooth
+	// for spatial predictors without influencing reconstruction.
+	first := float32(0)
+	for _, v := range data {
+		if v != f.fill {
+			first = v
+			break
+		}
+	}
+	last := first
+	for i, v := range data {
+		if v == f.fill {
+			bitmap[i/8] |= 1 << (i % 8)
+			work[i] = last
+		} else {
+			work[i] = v
+			last = v
+		}
+	}
+	payload, err := f.inner.Compress(work, shape)
+	if err != nil {
+		return nil, err
+	}
+	out := PutHeader(nil, Header{CodecID: IDFillMask, Shape: shape})
+	var fb [4]byte
+	binary.LittleEndian.PutUint32(fb[:], math.Float32bits(f.fill))
+	out = append(out, fb[:]...)
+	out = append(out, bitmap...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+func (f *fillMasked) Decompress(buf []byte) ([]float32, error) {
+	h, rest, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != IDFillMask {
+		return nil, fmt.Errorf("%w: not a fill-masked stream", ErrCorrupt)
+	}
+	n := h.Shape.Len()
+	need := 4 + (n+7)/8
+	if len(rest) < need {
+		return nil, fmt.Errorf("%w: truncated fill mask", ErrCorrupt)
+	}
+	fill := math.Float32frombits(binary.LittleEndian.Uint32(rest))
+	bitmap := rest[4:need]
+	vals, err := f.inner.Decompress(rest[need:])
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != n {
+		return nil, fmt.Errorf("%w: inner stream has %d values, want %d", ErrCorrupt, len(vals), n)
+	}
+	for i := range vals {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			vals[i] = fill
+		}
+	}
+	return vals, nil
+}

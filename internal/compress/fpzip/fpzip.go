@@ -1,0 +1,231 @@
+// Package fpzip reimplements the algorithmic core of Lindstrom &
+// Isenburg's fpzip (IEEE TVCG 2006): floating-point values are optionally
+// truncated to a precision that is a multiple of 8 bits, mapped to a
+// monotonic integer code, predicted from already-coded spatial neighbors
+// with a Lorenzo predictor, and the prediction residuals are entropy-coded
+// with an adaptive range coder. Precision 32 is lossless for
+// single-precision data; 24 and 16 are the lossy variants the paper
+// evaluates (fpzip-24, fpzip-16).
+package fpzip
+
+import (
+	"fmt"
+	"math"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/entropy"
+)
+
+// Codec is an fpzip-style predictive coder at a fixed precision.
+type Codec struct {
+	// Bits is the retained precision; fpzip requires a multiple of 8
+	// (8, 16, 24 or 32). 32 is lossless.
+	Bits int
+	// Predictor selects the spatial predictor: Lorenzo2D (default) uses
+	// f(i-1,j) + f(i,j-1) - f(i-1,j-1); Previous uses the preceding value
+	// in scan order. Exposed for the DESIGN.md predictor ablation.
+	Predictor Predictor
+}
+
+// Predictor enumerates the available spatial predictors.
+type Predictor int
+
+const (
+	// Lorenzo2D is the 2-D Lorenzo parallelogram predictor.
+	Lorenzo2D Predictor = iota
+	// Previous predicts each value from its predecessor in scan order.
+	Previous
+	// Lorenzo3D extends the parallelogram across levels (the 7-term
+	// third-order Lorenzo predictor of the original fpzip), falling back
+	// to 2-D at level boundaries.
+	Lorenzo3D
+)
+
+// New returns a codec retaining bits of precision. It panics if bits is
+// not one of 8, 16, 24, 32 (mirroring fpzip's interface restriction that
+// the paper calls out as its "biggest drawback").
+func New(bits int) *Codec {
+	if bits != 8 && bits != 16 && bits != 24 && bits != 32 {
+		panic(fmt.Sprintf("fpzip: precision %d is not a multiple of 8 in [8,32]", bits))
+	}
+	return &Codec{Bits: bits}
+}
+
+func init() {
+	for _, b := range []int{8, 16, 24, 32} {
+		b := b
+		compress.Register(fmt.Sprintf("fpzip-%d", b), func() compress.Codec { return New(b) })
+	}
+	compress.Register("fpzip-16-prev", func() compress.Codec {
+		return &Codec{Bits: 16, Predictor: Previous}
+	})
+	compress.Register("fpzip-24-3d", func() compress.Codec {
+		return &Codec{Bits: 24, Predictor: Lorenzo3D}
+	})
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return fmt.Sprintf("fpzip-%d", c.Bits) }
+
+// Lossless implements compress.Codec.
+func (c *Codec) Lossless() bool { return c.Bits >= 32 }
+
+// forwardMap truncates a float32 to the retained precision and maps its bit
+// pattern to a monotonically increasing unsigned code, shifted down so
+// residuals are small integers. drop = 32 - Bits.
+func forwardMap(v float32, drop uint) uint32 {
+	u := math.Float32bits(v)
+	u &^= (1 << drop) - 1 // truncate least significant mantissa bits
+	// Sign-magnitude to monotonic: negative values reverse order.
+	if u&0x80000000 != 0 {
+		u = ^u
+	} else {
+		u |= 0x80000000
+	}
+	return u >> drop
+}
+
+// inverseMap undoes forwardMap.
+func inverseMap(code uint32, drop uint) float32 {
+	u := code << drop
+	if u&0x80000000 != 0 {
+		u &^= 0x80000000
+	} else {
+		u = ^u
+		u &^= (1 << drop) - 1
+	}
+	return math.Float32frombits(u)
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("fpzip: shape %v does not match %d values", shape, len(data))
+	}
+	drop := uint(32 - c.Bits)
+	maxCode := int64(^uint32(0) >> drop)
+
+	enc := entropy.NewEncoder(len(data))
+	model := entropy.NewSignedModel()
+
+	nlat, nlon := shape.NLat, shape.NLon
+	codes := make([]uint32, len(data))
+	for i, v := range data {
+		codes[i] = forwardMap(v, drop)
+	}
+	levStride := nlat * nlon
+	for lev := 0; lev < shape.NLev; lev++ {
+		base := lev * levStride
+		for lat := 0; lat < nlat; lat++ {
+			row := base + lat*nlon
+			for lon := 0; lon < nlon; lon++ {
+				i := row + lon
+				pred := c.predict(codes, i, lat, lon, nlon, levStride, maxCode)
+				model.Encode(enc, int64(codes[i])-pred)
+			}
+		}
+	}
+	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDFPZip, Shape: shape})
+	out = append(out, byte(c.Bits), byte(c.Predictor))
+	return append(out, enc.Flush()...), nil
+}
+
+// predict returns the Lorenzo or previous-value prediction for index i,
+// clamped into the valid code range. levStride is the number of points per
+// level, so i-levStride is the same horizontal position one level up.
+func (c *Codec) predict(codes []uint32, i, lat, lon, nlon, levStride int, maxCode int64) int64 {
+	var p int64
+	switch {
+	case c.Predictor == Previous:
+		if i > 0 {
+			p = int64(codes[i-1])
+		}
+	case c.Predictor == Lorenzo3D && i >= levStride && lat > 0 && lon > 0:
+		p = int64(codes[i-1]) + int64(codes[i-nlon]) + int64(codes[i-levStride]) -
+			int64(codes[i-nlon-1]) - int64(codes[i-levStride-1]) - int64(codes[i-levStride-nlon]) +
+			int64(codes[i-levStride-nlon-1])
+	case lat > 0 && lon > 0:
+		p = int64(codes[i-1]) + int64(codes[i-nlon]) - int64(codes[i-nlon-1])
+	case lat > 0:
+		p = int64(codes[i-nlon])
+	case lon > 0:
+		p = int64(codes[i-1])
+	case i >= levStride: // first point of a level: same point, level above
+		p = int64(codes[i-levStride])
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > maxCode {
+		p = maxCode
+	}
+	return p
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != compress.IDFPZip {
+		return nil, fmt.Errorf("%w: not an fpzip stream", compress.ErrCorrupt)
+	}
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("%w: missing fpzip parameters", compress.ErrCorrupt)
+	}
+	bits := int(rest[0])
+	if bits != 8 && bits != 16 && bits != 24 && bits != 32 {
+		return nil, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
+	}
+	dc := &Codec{Bits: bits, Predictor: Predictor(rest[1])}
+	drop := uint(32 - bits)
+	maxCode := int64(^uint32(0) >> drop)
+	if err := compress.CheckPlausible(h.Shape.Len(), len(rest)-2); err != nil {
+		return nil, err
+	}
+
+	dec := entropy.NewDecoder(rest[2:])
+	model := entropy.NewSignedModel()
+	n := h.Shape.Len()
+	codes := make([]uint32, n)
+	nlat, nlon := h.Shape.NLat, h.Shape.NLon
+	levStride := nlat * nlon
+	for lev := 0; lev < h.Shape.NLev; lev++ {
+		base := lev * levStride
+		for lat := 0; lat < nlat; lat++ {
+			row := base + lat*nlon
+			for lon := 0; lon < nlon; lon++ {
+				i := row + lon
+				pred := dc.predict(codes, i, lat, lon, nlon, levStride, maxCode)
+				v := pred + model.Decode(dec)
+				if v < 0 || v > maxCode {
+					return nil, fmt.Errorf("%w: residual out of range", compress.ErrCorrupt)
+				}
+				codes[i] = uint32(v)
+			}
+			if dec.Overrun() {
+				return nil, fmt.Errorf("%w: truncated fpzip stream", compress.ErrCorrupt)
+			}
+		}
+	}
+	out := make([]float32, n)
+	for i, code := range codes {
+		out[i] = inverseMap(code, drop)
+	}
+	return out, nil
+}
+
+// MaxRelativeError returns the worst-case relative error of the codec's
+// precision on normalized floats: 2^-(mantissa bits kept + 1). The paper's
+// fpzip bounds relative (not absolute) error, in contrast to APAX.
+func (c *Codec) MaxRelativeError() float64 {
+	kept := c.Bits - 9 // 1 sign + 8 exponent bits
+	if kept >= 23 {
+		return 0
+	}
+	if kept < 0 {
+		kept = 0
+	}
+	return math.Ldexp(1, -kept)
+}

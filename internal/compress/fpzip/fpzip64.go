@@ -1,0 +1,199 @@
+package fpzip
+
+import (
+	"fmt"
+	"math"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/entropy"
+)
+
+// Codec64 is the double-precision variant of the predictive coder. CESM
+// "restart files" hold the full 8-byte model state and must be compressed
+// losslessly (the paper defers them to future work, citing Laney et al.);
+// Codec64 at 64 bits provides exactly that, and lower precisions give the
+// lossy modes fpzip offers for 64-bit data.
+type Codec64 struct {
+	// Bits is the retained precision, a multiple of 8 in [8, 64].
+	// 64 is lossless.
+	Bits int
+	// Predictor selects the spatial predictor (shared with the 32-bit
+	// codec).
+	Predictor Predictor
+}
+
+// New64 returns a double-precision codec retaining bits of precision.
+func New64(bits int) *Codec64 {
+	if bits%8 != 0 || bits < 8 || bits > 64 {
+		panic(fmt.Sprintf("fpzip: precision %d is not a multiple of 8 in [8,64]", bits))
+	}
+	return &Codec64{Bits: bits}
+}
+
+func init() {
+	for _, b := range []int{48, 64} {
+		b := b
+		compress.Register(fmt.Sprintf("fpzip64-%d", b), func() compress.Codec { return New64(b) })
+	}
+}
+
+// Name identifies the codec variant.
+func (c *Codec64) Name() string { return fmt.Sprintf("fpzip64-%d", c.Bits) }
+
+// Lossless reports bit-exact reconstruction (Bits == 64).
+func (c *Codec64) Lossless() bool { return c.Bits >= 64 }
+
+// forwardMap64 truncates a float64 to the retained precision and maps it to
+// a monotonic unsigned code, shifted down by the dropped bits.
+func forwardMap64(v float64, drop uint) uint64 {
+	u := math.Float64bits(v)
+	if drop > 0 {
+		u &^= 1<<drop - 1
+	}
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return u >> drop
+}
+
+// inverseMap64 undoes forwardMap64.
+func inverseMap64(code uint64, drop uint) float64 {
+	u := code << drop
+	if u&(1<<63) != 0 {
+		u &^= 1 << 63
+	} else {
+		u = ^u
+		if drop > 0 {
+			u &^= 1<<drop - 1
+		}
+	}
+	return math.Float64frombits(u)
+}
+
+// predict64 mirrors the 32-bit predictor in uint64 code space. Prediction
+// wrap-around is harmless: residuals are taken modulo 2^64 and the minimal
+// signed representative is coded.
+func (c *Codec64) predict64(codes []uint64, i, lat, lon, nlon, levStride int) uint64 {
+	switch {
+	case c.Predictor == Previous:
+		if i > 0 {
+			return codes[i-1]
+		}
+	case lat > 0 && lon > 0:
+		return codes[i-1] + codes[i-nlon] - codes[i-nlon-1]
+	case lat > 0:
+		return codes[i-nlon]
+	case lon > 0:
+		return codes[i-1]
+	case i >= levStride:
+		return codes[i-levStride]
+	}
+	return 0
+}
+
+// Compress64 packs double-precision values.
+func (c *Codec64) Compress64(data []float64, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("fpzip64: shape %v does not match %d values", shape, len(data))
+	}
+	drop := uint(64 - c.Bits)
+	enc := entropy.NewEncoder(2 * len(data))
+	model := entropy.NewSignedModel()
+	codes := make([]uint64, len(data))
+	for i, v := range data {
+		codes[i] = forwardMap64(v, drop)
+	}
+	nlat, nlon := shape.NLat, shape.NLon
+	levStride := nlat * nlon
+	for lev := 0; lev < shape.NLev; lev++ {
+		base := lev * levStride
+		for lat := 0; lat < nlat; lat++ {
+			row := base + lat*nlon
+			for lon := 0; lon < nlon; lon++ {
+				i := row + lon
+				pred := c.predict64(codes, i, lat, lon, nlon, levStride)
+				// Residual modulo 2^64; int64 reinterpretation selects the
+				// minimal-magnitude representative.
+				model.Encode(enc, int64(codes[i]-pred))
+			}
+		}
+	}
+	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDFPZip, Shape: shape})
+	out = append(out, 64, byte(c.Bits), byte(c.Predictor)) // 64 marks the wide variant
+	return append(out, enc.Flush()...), nil
+}
+
+// Decompress64 reconstructs double-precision values.
+func (c *Codec64) Decompress64(buf []byte) ([]float64, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != compress.IDFPZip || len(rest) < 3 || rest[0] != 64 {
+		return nil, fmt.Errorf("%w: not an fpzip64 stream", compress.ErrCorrupt)
+	}
+	bits := int(rest[1])
+	if bits%8 != 0 || bits < 8 || bits > 64 {
+		return nil, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
+	}
+	dc := &Codec64{Bits: bits, Predictor: Predictor(rest[2])}
+	drop := uint(64 - bits)
+	if err := compress.CheckPlausible(h.Shape.Len(), len(rest)-3); err != nil {
+		return nil, err
+	}
+	dec := entropy.NewDecoder(rest[3:])
+	model := entropy.NewSignedModel()
+	n := h.Shape.Len()
+	codes := make([]uint64, n)
+	nlat, nlon := h.Shape.NLat, h.Shape.NLon
+	levStride := nlat * nlon
+	maxCode := ^uint64(0) >> drop
+	for lev := 0; lev < h.Shape.NLev; lev++ {
+		base := lev * levStride
+		for lat := 0; lat < nlat; lat++ {
+			row := base + lat*nlon
+			for lon := 0; lon < nlon; lon++ {
+				i := row + lon
+				pred := dc.predict64(codes, i, lat, lon, nlon, levStride)
+				code := pred + uint64(model.Decode(dec))
+				if code > maxCode {
+					return nil, fmt.Errorf("%w: code out of range", compress.ErrCorrupt)
+				}
+				codes[i] = code
+			}
+			if dec.Overrun() {
+				return nil, fmt.Errorf("%w: truncated fpzip64 stream", compress.ErrCorrupt)
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i, code := range codes {
+		out[i] = inverseMap64(code, drop)
+	}
+	return out, nil
+}
+
+// Compress implements compress.Codec by widening float32 input, so the
+// 64-bit coder can be used anywhere a Codec is expected.
+func (c *Codec64) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	wide := make([]float64, len(data))
+	for i, v := range data {
+		wide[i] = float64(v)
+	}
+	return c.Compress64(wide, shape)
+}
+
+// Decompress implements compress.Codec (narrowing to float32).
+func (c *Codec64) Decompress(buf []byte) ([]float32, error) {
+	wide, err := c.Decompress64(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(wide))
+	for i, v := range wide {
+		out[i] = float32(v)
+	}
+	return out, nil
+}

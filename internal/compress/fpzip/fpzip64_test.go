@@ -1,0 +1,185 @@
+package fpzip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"climcompress/internal/compress"
+)
+
+func smooth64(n int) ([]float64, compress.Shape) {
+	shape := compress.Shape{NLev: 2, NLat: 16, NLon: n / 32}
+	data := make([]float64, shape.Len())
+	for lev := 0; lev < shape.NLev; lev++ {
+		for lat := 0; lat < shape.NLat; lat++ {
+			for lon := 0; lon < shape.NLon; lon++ {
+				i := (lev*shape.NLat+lat)*shape.NLon + lon
+				data[i] = 10*math.Sin(float64(lat)/3)*math.Cos(float64(lon)/5) + float64(lev)
+			}
+		}
+	}
+	return data, shape
+}
+
+func TestFpzip64LosslessRoundTrip(t *testing.T) {
+	data, shape := smooth64(1024)
+	data[0] = 0
+	data[1] = math.Copysign(0, -1)
+	data[2] = math.MaxFloat64
+	data[3] = -math.MaxFloat64
+	data[4] = 5e-324 // smallest denormal
+	data[5] = math.Pi
+	c := New64(64)
+	if !c.Lossless() {
+		t.Fatal("fpzip64-64 must report lossless")
+	}
+	buf, err := c.Compress64(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float64bits(got[i]) != math.Float64bits(data[i]) {
+			t.Fatalf("not lossless at %d: %v vs %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestFpzip64LossyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shape := compress.Shape{NLev: 1, NLat: 32, NLon: 32}
+	data := make([]float64, shape.Len())
+	for i := range data {
+		data[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	for _, bits := range []int{32, 48, 56} {
+		c := &Codec64{Bits: bits}
+		buf, err := c.Compress64(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress64(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mantissa bits kept = bits - 12 (sign + 11 exponent bits).
+		bound := math.Ldexp(1, -(bits - 12))
+		for i := range data {
+			if data[i] == 0 {
+				continue
+			}
+			rel := math.Abs(got[i]-data[i]) / math.Abs(data[i])
+			if rel > bound {
+				t.Fatalf("bits=%d: rel error %v exceeds %v at %d", bits, rel, bound, i)
+			}
+		}
+	}
+}
+
+func TestFpzip64MapQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ca, cb := forwardMap64(a, 0), forwardMap64(b, 0)
+		switch {
+		case a < b:
+			return ca < cb
+		case a > b:
+			return ca > cb
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpzip64MapInverse(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, -math.E, 1e300, -1e300, 1e-300, 5e-324}
+	for _, drop := range []uint{0, 16, 32} {
+		for _, v := range vals {
+			code := forwardMap64(v, drop)
+			back := inverseMap64(code, drop)
+			if forwardMap64(back, drop) != code {
+				t.Fatalf("drop %d: map not idempotent for %v", drop, v)
+			}
+		}
+	}
+}
+
+func TestFpzip64BetterThanRawOnSmoothData(t *testing.T) {
+	data, shape := smooth64(8192)
+	c := New64(64)
+	buf, err := c.Compress64(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) >= 8*len(data) {
+		t.Fatalf("lossless fpzip64 did not compress: %d vs %d raw bytes", len(buf), 8*len(data))
+	}
+}
+
+func TestFpzip64ViaCodecInterface(t *testing.T) {
+	c, err := compress.New("fpzip64-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := compress.Shape{NLev: 1, NLat: 8, NLon: 8}
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = float32(i) * 1.5
+	}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("interface round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFpzip64RejectsNarrowStream(t *testing.T) {
+	data, shape := smoothData(1024)
+	buf, _ := New(32).Compress(data, shape)
+	if _, err := New64(64).Decompress64(buf); err == nil {
+		t.Fatal("fpzip64 should reject a 32-bit stream")
+	}
+	wide, _ := smooth64(1024)
+	buf64, _ := New64(64).Compress64(wide, compress.Shape{NLev: 2, NLat: 16, NLon: 32})
+	if _, err := New(32).Decompress(buf64); err == nil {
+		t.Fatal("fpzip32 should reject a 64-bit stream")
+	}
+}
+
+func TestFpzip64BadPrecisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New64(63) should panic")
+		}
+	}()
+	New64(63)
+}
+
+func BenchmarkCompressFpzip64Lossless(b *testing.B) {
+	data, shape := smooth64(32768)
+	c := New64(64)
+	b.SetBytes(int64(8 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress64(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

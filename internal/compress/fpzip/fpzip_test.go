@@ -1,0 +1,328 @@
+package fpzip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"climcompress/internal/compress"
+)
+
+func smoothData(n int) ([]float32, compress.Shape) {
+	shape := compress.Shape{NLev: 2, NLat: 16, NLon: n / 32}
+	data := make([]float32, shape.Len())
+	for lev := 0; lev < shape.NLev; lev++ {
+		for lat := 0; lat < shape.NLat; lat++ {
+			for lon := 0; lon < shape.NLon; lon++ {
+				i := (lev*shape.NLat+lat)*shape.NLon + lon
+				data[i] = float32(10*math.Sin(float64(lat)/3)*math.Cos(float64(lon)/5) + float64(lev))
+			}
+		}
+	}
+	return data, shape
+}
+
+func TestLosslessRoundTrip(t *testing.T) {
+	data, shape := smoothData(1024)
+	// Sprinkle in awkward values.
+	data[0] = 0
+	data[1] = float32(math.Copysign(0, -1))
+	data[2] = math.MaxFloat32
+	data[3] = -math.MaxFloat32
+	data[4] = 1e-38
+	data[5] = -1e-45
+	c := New(32)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float32bits(got[i]) != math.Float32bits(data[i]) {
+			t.Fatalf("fpzip-32 not lossless at %d: %v vs %v", i, got[i], data[i])
+		}
+	}
+	if !c.Lossless() {
+		t.Fatal("fpzip-32 must report lossless")
+	}
+}
+
+func TestLossyErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shape := compress.Shape{NLev: 1, NLat: 32, NLon: 32}
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = float32((rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(8)-4)))
+	}
+	for _, bits := range []int{16, 24} {
+		c := New(bits)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := c.MaxRelativeError()
+		for i := range data {
+			if data[i] == 0 {
+				if got[i] != 0 {
+					t.Fatalf("fpzip-%d: zero not preserved", bits)
+				}
+				continue
+			}
+			rel := math.Abs(float64(got[i]-data[i])) / math.Abs(float64(data[i]))
+			if rel > bound {
+				t.Fatalf("fpzip-%d: relative error %v exceeds bound %v at %d (%v -> %v)",
+					bits, rel, bound, i, data[i], got[i])
+			}
+		}
+		if c.Lossless() {
+			t.Fatalf("fpzip-%d must report lossy", bits)
+		}
+	}
+}
+
+func TestMonotonicMapOrderPreserving(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		ca, cb := forwardMap(a, 0), forwardMap(b, 0)
+		switch {
+		case a < b:
+			return ca < cb
+		case a > b:
+			return ca > cb
+		default:
+			return true // -0 and +0 may differ in code; both map back to 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRoundTripAllDrops(t *testing.T) {
+	vals := []float32{0, 1, -1, 3.14159, -2.71828, 1e10, -1e10, 1e-10, -1e-10}
+	for _, drop := range []uint{0, 8, 16, 24} {
+		for _, v := range vals {
+			code := forwardMap(v, drop)
+			back := inverseMap(code, drop)
+			// Re-encoding the truncated value must be a fixed point.
+			if forwardMap(back, drop) != code {
+				t.Fatalf("drop %d: map not idempotent for %v", drop, v)
+			}
+		}
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	data, shape := smoothData(4096)
+	c := New(32)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := compress.Ratio(len(buf), len(data))
+	if cr > 0.8 {
+		t.Fatalf("lossless fpzip on smooth data: CR %v, expected < 0.8", cr)
+	}
+	lossy := New(16)
+	buf16, _ := lossy.Compress(data, shape)
+	if len(buf16) >= len(buf) {
+		t.Fatalf("fpzip-16 (%d bytes) should be smaller than fpzip-32 (%d bytes)", len(buf16), len(buf))
+	}
+}
+
+func TestHigherPrecisionLargerError(t *testing.T) {
+	data, shape := smoothData(2048)
+	var prevMax float64
+	for i, bits := range []int{24, 16} {
+		c := New(bits)
+		buf, _ := c.Compress(data, shape)
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for j := range data {
+			if e := math.Abs(float64(got[j] - data[j])); e > maxErr {
+				maxErr = e
+			}
+		}
+		if i > 0 && maxErr < prevMax {
+			t.Fatalf("fpzip-16 error %v not larger than fpzip-24 error %v", maxErr, prevMax)
+		}
+		prevMax = maxErr
+	}
+}
+
+func TestPreviousPredictorRoundTrip(t *testing.T) {
+	data, shape := smoothData(1024)
+	c := &Codec{Bits: 32, Predictor: Previous}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("previous-predictor mismatch at %d", i)
+		}
+	}
+}
+
+func TestLorenzo3DRoundTrip(t *testing.T) {
+	data, shape := smoothData(4096) // NLev=2 exercises the 3-D branch
+	c := &Codec{Bits: 32, Predictor: Lorenzo3D}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("3-D Lorenzo mismatch at %d", i)
+		}
+	}
+}
+
+func TestLorenzo3DHelpsOnVerticallyCorrelatedData(t *testing.T) {
+	// A field whose levels are near-copies: the 3-D predictor should beat
+	// the 2-D one.
+	shape := compress.Shape{NLev: 8, NLat: 16, NLon: 16}
+	data := make([]float32, shape.Len())
+	for lev := 0; lev < shape.NLev; lev++ {
+		for lat := 0; lat < shape.NLat; lat++ {
+			for lon := 0; lon < shape.NLon; lon++ {
+				i := (lev*shape.NLat+lat)*shape.NLon + lon
+				data[i] = float32(math.Sin(float64(lat*lon))*20 + float64(lev)*0.01)
+			}
+		}
+	}
+	c2 := &Codec{Bits: 32, Predictor: Lorenzo2D}
+	c3 := &Codec{Bits: 32, Predictor: Lorenzo3D}
+	b2, _ := c2.Compress(data, shape)
+	b3, err := c3.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b3) >= len(b2) {
+		t.Fatalf("3-D Lorenzo (%d bytes) did not beat 2-D (%d bytes) on vertically correlated data",
+			len(b3), len(b2))
+	}
+	got, err := c3.Decompress(b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestBadPrecisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(20) should panic: precision must be a multiple of 8")
+		}
+	}()
+	New(20)
+}
+
+func TestShapeMismatch(t *testing.T) {
+	c := New(32)
+	if _, err := c.Compress(make([]float32, 10), compress.Shape{NLev: 1, NLat: 2, NLon: 3}); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	data, shape := smoothData(1024)
+	c := New(32)
+	buf, _ := c.Compress(data, shape)
+	if _, err := c.Decompress(buf[:5]); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	buf[0] = 99
+	if _, err := c.Decompress(buf); err == nil {
+		t.Fatal("wrong codec ID should error")
+	}
+}
+
+func TestRegistryVariants(t *testing.T) {
+	for _, name := range []string{"fpzip-16", "fpzip-24", "fpzip-32"} {
+		c, err := compress.New(name)
+		if err != nil {
+			t.Fatalf("registry missing %s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("name mismatch: %s vs %s", c.Name(), name)
+		}
+	}
+}
+
+func TestRandomDataRoundTrip(t *testing.T) {
+	// Pure noise: compression will be poor but must remain correct.
+	rng := rand.New(rand.NewSource(3))
+	shape := compress.Shape{NLev: 1, NLat: 20, NLon: 50}
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = math.Float32frombits(rng.Uint32())
+		if math.IsNaN(float64(data[i])) {
+			data[i] = 0
+		}
+	}
+	c := New(32)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float32bits(got[i]) != math.Float32bits(data[i]) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkCompressFPZip24(b *testing.B) {
+	data, shape := smoothData(32768)
+	c := New(24)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressFPZip24(b *testing.B) {
+	data, shape := smoothData(32768)
+	c := New(24)
+	buf, _ := c.Compress(data, shape)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

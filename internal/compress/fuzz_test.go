@@ -1,0 +1,71 @@
+package compress_test
+
+import (
+	"math"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+// FuzzDecoders feeds arbitrary bytes to every registered decoder: none may
+// panic, whatever the input. Valid streams from several codecs seed the
+// corpus so mutations explore the interesting parts of each format.
+func FuzzDecoders(f *testing.F) {
+	shape := compress.Shape{NLev: 1, NLat: 6, NLon: 10}
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = float32(10 + math.Sin(float64(i)))
+	}
+	for _, name := range []string{"fpzip-24", "apax-4", "isa-0.5", "grib2", "nc", "fpzip64-64"} {
+		c, err := compress.New(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	names := compress.Names()
+	codecs := make([]compress.Codec, 0, len(names))
+	for _, n := range names {
+		c, err := compress.New(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		codecs = append(codecs, c)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		for _, c := range codecs {
+			out, err := c.Decompress(in)
+			if err == nil && len(out) > 1<<28 {
+				t.Fatalf("%s: implausible decode length %d", c.Name(), len(out))
+			}
+		}
+	})
+}
+
+// FuzzFillMaskDecompress targets the special-value wrapper's framing.
+func FuzzFillMaskDecompress(f *testing.F) {
+	shape := compress.Shape{NLev: 1, NLat: 4, NLon: 8}
+	data := make([]float32, shape.Len())
+	data[3] = 1e35
+	inner, _ := compress.New("fpzip-32")
+	c := compress.WithFill(inner, 1e35)
+	if buf, err := c.Compress(data, shape); err == nil {
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		_, _ = c.Decompress(in)
+	})
+}

@@ -1,0 +1,290 @@
+package grib2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+func smoothField(rows, cols, levs int, seed int64) ([]float32, compress.Shape) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := compress.Shape{NLev: levs, NLat: rows, NLon: cols}
+	data := make([]float32, shape.Len())
+	for l := 0; l < levs; l++ {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				idx := (l*rows+i)*cols + j
+				data[idx] = float32(100*math.Sin(float64(i)/6)*math.Cos(float64(j)/9) +
+					float64(l)*10 + rng.NormFloat64())
+			}
+		}
+	}
+	return data, shape
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	data, shape := smoothField(24, 48, 2, 1)
+	for _, d := range []int{0, 1, 2, 3} {
+		c := New(d)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := c.MaxAbsoluteError()
+		for i := range data {
+			// float32 output rounding adds up to one ulp of the value.
+			slack := math.Abs(float64(data[i]))*1e-6 + 1e-9
+			if e := math.Abs(float64(got[i] - data[i])); e > bound+slack {
+				t.Fatalf("D=%d: error %v exceeds bound %v at %d", d, e, bound, i)
+			}
+		}
+	}
+}
+
+func TestHigherDCostsMore(t *testing.T) {
+	data, shape := smoothField(24, 48, 1, 2)
+	var prev int
+	for i, d := range []int{0, 2, 4} {
+		c := New(d)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(buf) <= prev {
+			t.Fatalf("D=%d stream (%d bytes) not larger than coarser D (%d bytes)", d, len(buf), prev)
+		}
+		prev = len(buf)
+	}
+}
+
+func TestFillValuesRestoredExactly(t *testing.T) {
+	data, shape := smoothField(16, 16, 1, 3)
+	const fill = float32(1e35)
+	for i := 0; i < len(data); i += 7 {
+		data[i] = fill
+	}
+	c := &Codec{D: 2, Fill: fill, HasFill: true}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] == fill {
+			if got[i] != fill {
+				t.Fatalf("fill not restored at %d: %v", i, got[i])
+			}
+		} else if e := math.Abs(float64(got[i] - data[i])); e > 0.005001 {
+			t.Fatalf("non-fill error %v at %d", e, i)
+		}
+	}
+}
+
+func TestSmoothFieldCompressesWell(t *testing.T) {
+	data, shape := smoothField(48, 96, 1, 4)
+	c := New(1)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := compress.Ratio(len(buf), len(data))
+	if cr > 0.5 {
+		t.Fatalf("smooth field CR %v, expected < 0.5", cr)
+	}
+}
+
+func TestNegativeD(t *testing.T) {
+	// D=-1 quantizes to tens.
+	data := []float32{1234, 5678, -910}
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: 3}
+	c := New(-1)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(float64(got[i] - data[i])); e > 5.001 {
+			t.Fatalf("D=-1 error %v at %d", e, i)
+		}
+		if math.Mod(float64(got[i]), 10) != 0 {
+			t.Fatalf("D=-1 should produce multiples of 10, got %v", got[i])
+		}
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	data := []float32{3e38}
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: 1}
+	c := New(20)
+	if _, err := c.Compress(data, shape); err == nil {
+		t.Fatal("expected overflow error for huge value at D=20")
+	}
+}
+
+func TestDForTarget(t *testing.T) {
+	cases := []struct {
+		absErr float64
+		want   int
+	}{
+		{0.05, 1},   // 0.5·10^-1 = 0.05 ≤ 0.05
+		{0.005, 2},  // 0.5·10^-2
+		{0.5, 0},    // 0.5·10^0
+		{50, -2},    // 0.5·10^2
+		{5e-7, 6},   // 0.5·10^-6 = 5e-7, exactly on target
+		{1e-30, 20}, // clamped
+		{0, 20},     // degenerate
+	}
+	for _, cse := range cases {
+		if got := DForTarget(cse.absErr); got != cse.want {
+			t.Errorf("DForTarget(%v) = %d, want %d", cse.absErr, got, cse.want)
+		}
+	}
+	// The returned D must actually satisfy the bound.
+	for _, absErr := range []float64{0.05, 0.005, 0.5, 50, 5e-7} {
+		d := DForTarget(absErr)
+		if got := 0.5 * math.Pow(10, -float64(d)); got > absErr*(1+1e-12) {
+			t.Errorf("D=%d gives error %v > target %v", d, got, absErr)
+		}
+	}
+}
+
+func TestLargeDynamicRangeFailureMode(t *testing.T) {
+	// The paper's CCN3 observation: a variable spanning many decades under
+	// absolute quantization crushes its small values to zero.
+	n := 1024
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Pow(10, float64(i%8)-4)) // 1e-4 .. 1e3
+	}
+	c := New(2) // resolves 0.005 — destroys 1e-4 values
+	buf, _ := c.Compress(data, shape)
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crushed := 0
+	for i := range data {
+		if data[i] <= 1e-3 && got[i] == 0 {
+			crushed++
+		}
+	}
+	if crushed == 0 {
+		t.Fatal("expected small values to be crushed by absolute quantization")
+	}
+}
+
+func TestSimplePackingRoundTrip(t *testing.T) {
+	data, shape := smoothField(24, 48, 2, 9)
+	c := &Codec{D: 2, Packing: Simple}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := c.MaxAbsoluteError()
+	for i := range data {
+		slack := math.Abs(float64(data[i]))*1e-6 + 1e-9
+		if e := math.Abs(float64(got[i] - data[i])); e > bound+slack {
+			t.Fatalf("simple packing error %v at %d", e, i)
+		}
+	}
+}
+
+func TestJPEG2000BeatsSimplePacking(t *testing.T) {
+	// The wavelet + range-coder path must outperform fixed-width packing
+	// on smooth data — that is the point of GRIB2's template 5.40.
+	data, shape := smoothField(48, 96, 1, 10)
+	wave := &Codec{D: 2}
+	simple := &Codec{D: 2, Packing: Simple}
+	bw, err := wave.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := simple.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bw) >= len(bs) {
+		t.Fatalf("wavelet path (%d bytes) did not beat simple packing (%d bytes)", len(bw), len(bs))
+	}
+}
+
+func TestSimplePackingConstantField(t *testing.T) {
+	data := []float32{5, 5, 5, 5}
+	shape := compress.Shape{NLev: 1, NLat: 2, NLon: 2}
+	c := &Codec{D: 1, Packing: Simple}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 5 {
+			t.Fatalf("constant field corrupted: %v", got[i])
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	c, err := compress.New("grib2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "grib2" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	data, shape := smoothField(8, 8, 1, 5)
+	c := New(2)
+	buf, _ := c.Compress(data, shape)
+	if _, err := c.Decompress(buf[:10]); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}
+
+func BenchmarkCompressGRIB2(b *testing.B) {
+	data, shape := smoothField(72, 144, 2, 6)
+	c := New(2)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressGRIB2(b *testing.B) {
+	data, shape := smoothField(72, 144, 2, 6)
+	c := New(2)
+	buf, _ := c.Compress(data, shape)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package isabela reimplements the ISABELA compressor (Lakshminarasimhan
+// et al., Euro-Par 2011): data is processed in fixed windows, each window is
+// sorted (storing the permutation index) so the value curve becomes smooth
+// and monotone, the sorted curve is approximated by a least-squares cubic
+// B-spline, and points whose per-point relative error exceeds the user's
+// tolerance are patched with exact values. Because each window decodes
+// independently, subsets of the data can be reconstructed without touching
+// the rest — the random-access property the paper highlights.
+//
+// As the paper observes for single-precision data, the sort index
+// (⌈log2 window⌉ bits per point) dominates the payload, which is why the
+// three tolerance variants' compression ratios are nearly identical.
+package isabela
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"climcompress/internal/bitstream"
+	"climcompress/internal/bspline"
+	"climcompress/internal/compress"
+)
+
+// DefaultWindow is the window size recommended by the ISABELA authors and
+// used in the paper.
+const DefaultWindow = 1024
+
+// DefaultNCoef is the number of B-spline coefficients per window.
+const DefaultNCoef = 30
+
+// Codec is an ISABELA-style sort-and-spline coder.
+type Codec struct {
+	// RelErr is the per-point relative error tolerance in percent
+	// (the paper evaluates 1.0, 0.5 and 0.1).
+	RelErr float64
+	// Window is the sort window size (DefaultWindow if 0).
+	Window int
+	// NCoef is the spline coefficient count per window (DefaultNCoef if 0).
+	NCoef int
+}
+
+// New returns a codec with the given percent relative-error tolerance.
+func New(relErrPercent float64) *Codec {
+	if relErrPercent <= 0 {
+		panic(fmt.Sprintf("isabela: relative error %v must be positive", relErrPercent))
+	}
+	return &Codec{RelErr: relErrPercent}
+}
+
+func init() {
+	for _, e := range []float64{1.0, 0.5, 0.1} {
+		e := e
+		compress.Register(fmt.Sprintf("isa-%g", e), func() compress.Codec { return New(e) })
+	}
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return fmt.Sprintf("isa-%g", c.RelErr) }
+
+// Lossless implements compress.Codec: ISABELA has no lossless mode
+// (Table 1), which forces the hybrid method to fall back to NetCDF-4.
+func (c *Codec) Lossless() bool { return false }
+
+func (c *Codec) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return DefaultWindow
+}
+
+func (c *Codec) ncoef() int {
+	if c.NCoef > 0 {
+		return c.NCoef
+	}
+	return DefaultNCoef
+}
+
+// indexBits returns the bits needed for a permutation index in an n-window.
+func indexBits(n int) uint {
+	b := uint(1)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("isabela: shape %v does not match %d values", shape, len(data))
+	}
+	wsize := c.window()
+	ncoef := c.ncoef()
+	// The tolerance travels in the stream as basis points; derive the
+	// working value the same way the decoder will, so the correction
+	// quantizer is bit-identical on both sides.
+	basisPoints := math.Round(c.RelErr * 100)
+	tol := basisPoints / 100 / 100
+
+	w := bitstream.NewWriter(len(data) * 2)
+	perm := make([]int, 0, wsize)
+	sorted := make([]float64, 0, wsize)
+	rec := make([]float64, 0, wsize)
+
+	for start := 0; start < len(data); start += wsize {
+		end := start + wsize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := data[start:end]
+		n := len(block)
+		nc := ncoef
+		if n < 2*nc {
+			nc = n / 2
+		}
+		if nc < 4 {
+			// Window too small for a spline: store raw.
+			w.WriteBit(1)
+			for _, v := range block {
+				w.WriteBits(uint64(math.Float32bits(v)), 32)
+			}
+			continue
+		}
+		w.WriteBit(0)
+
+		perm = perm[:n]
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return block[perm[a]] < block[perm[b]] })
+		sorted = sorted[:n]
+		for i, p := range perm {
+			sorted[i] = float64(block[p])
+		}
+
+		coefs, err := bspline.Fit(sorted, nc)
+		if err != nil {
+			return nil, fmt.Errorf("isabela: %w", err)
+		}
+		rec = bspline.EvalAll(coefs, n, rec[:0])
+
+		// Emit: coefficient count, coefficients, permutation, correction
+		// bitmap, then exact values for out-of-tolerance points.
+		w.WriteBits(uint64(nc), 16)
+		for _, cf := range coefs {
+			w.WriteBits(uint64(math.Float32bits(float32(cf))), 32)
+		}
+		ib := indexBits(n)
+		for _, p := range perm {
+			w.WriteBits(uint64(p), ib)
+		}
+		for i := 0; i < n; i++ {
+			approx := float32(rec[i])
+			if withinRel(sorted[i], float64(approx), tol) {
+				w.WriteBit(0)
+			} else {
+				w.WriteBit(1)
+			}
+		}
+		// Corrections: a quantized error delta when a few gamma-coded bits
+		// restore the tolerance (ISABELA's error encoding), or an exact
+		// escape for points the spline misses badly (zero crossings).
+		for i := 0; i < n; i++ {
+			approx := float32(rec[i])
+			if withinRel(sorted[i], float64(approx), tol) {
+				continue
+			}
+			q, ok := quantizeCorrection(sorted[i], approx, tol)
+			if ok {
+				w.WriteBit(0)
+				w.WriteEliasGamma(zigzag(q) + 1)
+			} else {
+				w.WriteBit(1)
+				w.WriteBits(uint64(math.Float32bits(float32(sorted[i]))), 32)
+			}
+		}
+	}
+
+	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDISABELA, Shape: shape})
+	var meta [6]byte
+	putU16 := func(off int, v uint16) { meta[off] = byte(v); meta[off+1] = byte(v >> 8) }
+	putU16(0, uint16(wsize))
+	putU16(2, uint16(ncoef))
+	putU16(4, uint16(basisPoints)) // tolerance in basis points
+	out = append(out, meta[:]...)
+	return append(out, w.Bytes()...), nil
+}
+
+// withinRel reports whether approx is within the relative tolerance of
+// exact. An exact zero requires an exact reconstruction.
+func withinRel(exact, approx, tol float64) bool {
+	if exact == 0 {
+		return approx == 0
+	}
+	return math.Abs(approx-exact) <= tol*math.Abs(exact)
+}
+
+// zigzag maps signed to unsigned with small magnitudes first.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// correctionStep is the quantization step for error corrections, derived
+// from the (decoder-visible) approximation so both sides agree.
+func correctionStep(approx float32, tol float64) float64 {
+	return tol * math.Abs(float64(approx))
+}
+
+// applyCorrection reconstructs the corrected value; shared by encoder
+// verification and decoder so the arithmetic is bit-identical.
+func applyCorrection(approx float32, q int64, tol float64) float32 {
+	return float32(float64(approx) + float64(q)*correctionStep(approx, tol))
+}
+
+// quantizeCorrection finds a small integer q whose correction brings approx
+// within tolerance of exact; ok is false when the encoder must escape to an
+// exact value instead.
+func quantizeCorrection(exact float64, approx float32, tol float64) (int64, bool) {
+	step := correctionStep(approx, tol)
+	if step <= 0 || exact == 0 {
+		return 0, false
+	}
+	q := int64(math.Round((exact - float64(approx)) / step))
+	if q > 1<<20 || q < -(1<<20) {
+		return 0, false
+	}
+	if withinRel(exact, float64(applyCorrection(approx, q, tol)), tol) {
+		return q, true
+	}
+	return 0, false
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != compress.IDISABELA {
+		return nil, fmt.Errorf("%w: not an isabela stream", compress.ErrCorrupt)
+	}
+	if len(rest) < 6 {
+		return nil, fmt.Errorf("%w: missing isabela parameters", compress.ErrCorrupt)
+	}
+	wsize := int(rest[0]) | int(rest[1])<<8
+	if wsize <= 0 {
+		return nil, fmt.Errorf("%w: bad window", compress.ErrCorrupt)
+	}
+	// Tolerance is stored in basis points (RelErr·100) and must round-trip
+	// exactly so encoder and decoder quantize corrections identically.
+	tol := float64(int(rest[4])|int(rest[5])<<8) / 100 / 100
+
+	r := bitstream.NewReader(rest[6:])
+	n := h.Shape.Len()
+	// ISABELA stores at least the sort index (≈10 bits/point); far smaller
+	// payloads are corrupt.
+	if err := compress.CheckPlausible(n, len(rest)-6); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	rec := make([]float64, 0, wsize)
+
+	for start := 0; start < n; start += wsize {
+		end := start + wsize
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		if r.ReadBit() == 1 { // raw window
+			for i := start; i < end; i++ {
+				out[i] = math.Float32frombits(uint32(r.ReadBits(32)))
+			}
+			continue
+		}
+		nc := int(r.ReadBits(16))
+		if nc < 4 || nc > bn {
+			return nil, fmt.Errorf("%w: bad coefficient count %d", compress.ErrCorrupt, nc)
+		}
+		coefs := make([]float64, nc)
+		for i := range coefs {
+			coefs[i] = float64(math.Float32frombits(uint32(r.ReadBits(32))))
+		}
+		ib := indexBits(bn)
+		perm := make([]int, bn)
+		for i := range perm {
+			p := int(r.ReadBits(ib))
+			if p >= bn {
+				return nil, fmt.Errorf("%w: permutation index out of range", compress.ErrCorrupt)
+			}
+			perm[i] = p
+		}
+		rec = bspline.EvalAll(coefs, bn, rec[:0])
+		corrected := make([]bool, bn)
+		for i := 0; i < bn; i++ {
+			corrected[i] = r.ReadBit() == 1
+		}
+		for i := 0; i < bn; i++ {
+			v := float32(rec[i])
+			if corrected[i] {
+				if r.ReadBit() == 1 { // exact escape
+					v = math.Float32frombits(uint32(r.ReadBits(32)))
+				} else {
+					q := unzigzag(r.ReadEliasGamma() - 1)
+					v = applyCorrection(v, q, tol)
+				}
+			}
+			out[start+perm[i]] = v
+		}
+		if r.Err() != nil { // fail fast on truncated streams
+			return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+		}
+	}
+	return out, nil
+}
+
+// MaxRelativeError returns the guaranteed per-point relative error bound
+// (as a fraction, not percent).
+func (c *Codec) MaxRelativeError() float64 { return c.RelErr / 100 }

@@ -1,0 +1,228 @@
+package isabela
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+func noisyData(n int, seed int64) ([]float32, compress.Shape) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(20*math.Sin(float64(i)/50) + 5*rng.NormFloat64() + 40)
+	}
+	return data, shape
+}
+
+func TestRelativeErrorGuarantee(t *testing.T) {
+	data, shape := noisyData(4096, 1)
+	for _, pct := range []float64{1.0, 0.5, 0.1} {
+		c := New(pct)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := pct / 100
+		for i := range data {
+			if data[i] == 0 {
+				if got[i] != 0 {
+					t.Fatalf("isa-%g: zero not preserved at %d", pct, i)
+				}
+				continue
+			}
+			rel := math.Abs(float64(got[i]-data[i])) / math.Abs(float64(data[i]))
+			// float32 storage of corrections costs ~1e-7 extra slack.
+			if rel > tol+1e-6 {
+				t.Fatalf("isa-%g: relative error %v exceeds %v at %d (%v -> %v)",
+					pct, rel, tol, i, data[i], got[i])
+			}
+		}
+	}
+}
+
+func TestTighterToleranceCostsMore(t *testing.T) {
+	data, shape := noisyData(8192, 2)
+	var prev int
+	for i, pct := range []float64{1.0, 0.5, 0.1} {
+		c := New(pct)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(buf) < prev {
+			t.Fatalf("isa-%g produced smaller stream (%d) than looser tolerance (%d)", pct, len(buf), prev)
+		}
+		prev = len(buf)
+	}
+}
+
+func TestSortIndexDominatesPayload(t *testing.T) {
+	// The paper's observation: for single precision, the three variants'
+	// CRs are close because the 10-bit/point sort index dominates.
+	data, shape := noisyData(8192, 3)
+	crs := make([]float64, 0, 3)
+	for _, pct := range []float64{1.0, 0.5, 0.1} {
+		c := New(pct)
+		buf, _ := c.Compress(data, shape)
+		crs = append(crs, compress.Ratio(len(buf), len(data)))
+	}
+	for _, cr := range crs {
+		if cr < 10.0/32.0 {
+			t.Fatalf("CR %v below the sort-index floor 10/32", cr)
+		}
+	}
+	if crs[2]-crs[0] > 0.35 {
+		t.Fatalf("variant CRs too far apart: %v", crs)
+	}
+}
+
+func TestWindowIndependence(t *testing.T) {
+	// Decoding must not leak state across windows: compressing two windows
+	// separately equals compressing them together.
+	data, _ := noisyData(2048, 4)
+	c := New(0.5)
+	whole, err := c.Compress(data, compress.Shape{NLev: 1, NLat: 1, NLon: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotWhole, err := c.Decompress(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(data[:1024], compress.Shape{NLev: 1, NLat: 1, NLon: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := c.Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if gotWhole[i] != gotA[i] {
+			t.Fatalf("window decode differs at %d: %v vs %v", i, gotWhole[i], gotA[i])
+		}
+	}
+}
+
+func TestShortWindowRawFallback(t *testing.T) {
+	data := []float32{3, 1, 4, 1, 5}
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: 5}
+	c := New(1.0)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("raw fallback not exact at %d", i)
+		}
+	}
+}
+
+func TestTailWindow(t *testing.T) {
+	n := DefaultWindow + 100
+	data, _ := noisyData(n, 5)
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: n}
+	c := New(0.5)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("length %d, want %d", len(got), n)
+	}
+	for i := range data {
+		if data[i] != 0 {
+			rel := math.Abs(float64(got[i]-data[i])) / math.Abs(float64(data[i]))
+			if rel > 0.005+1e-6 {
+				t.Fatalf("tail window error %v at %d", rel, i)
+			}
+		}
+	}
+}
+
+func TestNegativeAndZeroValues(t *testing.T) {
+	data := make([]float32, 2048)
+	for i := range data {
+		data[i] = float32(i%7) - 3 // includes zeros and negatives
+	}
+	shape := compress.Shape{NLev: 1, NLat: 1, NLon: len(data)}
+	c := New(0.1)
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] == 0 && got[i] != 0 {
+			t.Fatalf("zero not exact at %d: %v", i, got[i])
+		}
+		if data[i] != 0 {
+			rel := math.Abs(float64(got[i]-data[i])) / math.Abs(float64(data[i]))
+			if rel > 0.001+1e-6 {
+				t.Fatalf("error %v at %d", rel, i)
+			}
+		}
+	}
+}
+
+func TestRegistryVariants(t *testing.T) {
+	for _, name := range []string{"isa-1", "isa-0.5", "isa-0.1"} {
+		if _, err := compress.New(name); err != nil {
+			t.Fatalf("registry missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	data, shape := noisyData(1024, 6)
+	c := New(0.5)
+	buf, _ := c.Compress(data, shape)
+	if _, err := c.Decompress(buf[:10]); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}
+
+func BenchmarkCompressISA05(b *testing.B) {
+	data, shape := noisyData(32768, 7)
+	c := New(0.5)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressISA05(b *testing.B) {
+	data, shape := noisyData(32768, 7)
+	c := New(0.5)
+	buf, _ := c.Compress(data, shape)
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

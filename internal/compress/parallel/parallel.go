@@ -1,0 +1,243 @@
+// Package parallel provides a chunked, concurrent wrapper around any codec
+// in the registry: a field is split along its level dimension (or into
+// latitude bands for 2-D data), the chunks are compressed by a worker pool,
+// and the streams are framed back together. This is the shape compression
+// takes when integrated into a model's I/O path — the paper's stated goal
+// of folding compression into the CESM post-processing workflow — where
+// per-variable wall-clock matters and fields arrive as independent slabs.
+//
+// Chunking costs a little ratio (each chunk restarts the inner codec's
+// adaptive models) and buys near-linear scaling; the trade-off is measured
+// by BenchmarkParallelChunks.
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"climcompress/internal/compress"
+)
+
+// Codec compresses chunks of a field concurrently with an inner codec.
+type Codec struct {
+	// Factory creates one inner codec per chunk; instances must not be
+	// shared across goroutines because adaptive codecs carry state.
+	Factory func() compress.Codec
+	// Workers bounds the pool (GOMAXPROCS when 0).
+	Workers int
+	// ChunkLevels is the number of levels per chunk for 3-D fields, and
+	// the number of latitude rows per chunk for 2-D fields (default 4).
+	ChunkLevels int
+
+	nameOnce sync.Once
+	name     string
+}
+
+// New wraps a codec factory.
+func New(factory func() compress.Codec, workers, chunkLevels int) *Codec {
+	return &Codec{Factory: factory, Workers: workers, ChunkLevels: chunkLevels}
+}
+
+// FromRegistry wraps a registered codec by name.
+func FromRegistry(name string, workers, chunkLevels int) (*Codec, error) {
+	if _, err := compress.New(name); err != nil {
+		return nil, err
+	}
+	return New(func() compress.Codec {
+		c, _ := compress.New(name)
+		return c
+	}, workers, chunkLevels), nil
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string {
+	c.nameOnce.Do(func() { c.name = "parallel(" + c.Factory().Name() + ")" })
+	return c.name
+}
+
+// Lossless implements compress.Codec.
+func (c *Codec) Lossless() bool { return c.Factory().Lossless() }
+
+func (c *Codec) chunk() int {
+	if c.ChunkLevels > 0 {
+		return c.ChunkLevels
+	}
+	return 4
+}
+
+func (c *Codec) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkSpec describes one slab of the field.
+type chunkSpec struct {
+	offset int // starting value index
+	shape  compress.Shape
+}
+
+// plan splits the shape into chunk slabs.
+func (c *Codec) plan(shape compress.Shape) []chunkSpec {
+	var chunks []chunkSpec
+	step := c.chunk()
+	if shape.NLev > 1 {
+		perLev := shape.NLat * shape.NLon
+		for lev := 0; lev < shape.NLev; lev += step {
+			n := step
+			if lev+n > shape.NLev {
+				n = shape.NLev - lev
+			}
+			chunks = append(chunks, chunkSpec{
+				offset: lev * perLev,
+				shape:  compress.Shape{NLev: n, NLat: shape.NLat, NLon: shape.NLon},
+			})
+		}
+		return chunks
+	}
+	// 2-D: latitude bands.
+	for lat := 0; lat < shape.NLat; lat += step {
+		n := step
+		if lat+n > shape.NLat {
+			n = shape.NLat - lat
+		}
+		chunks = append(chunks, chunkSpec{
+			offset: lat * shape.NLon,
+			shape:  compress.Shape{NLev: 1, NLat: n, NLon: shape.NLon},
+		})
+	}
+	return chunks
+}
+
+// Compress implements compress.Codec. Stream layout after the header:
+//
+//	chunkParam byte      (ChunkLevels used, for Decompress planning)
+//	nchunks    uint32
+//	lengths    nchunks × uint32
+//	payloads   concatenated inner streams
+func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return nil, fmt.Errorf("parallel: shape %v does not match %d values", shape, len(data))
+	}
+	chunks := c.plan(shape)
+	payloads := make([][]byte, len(chunks))
+	errs := make([]error, len(chunks))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner := c.Factory()
+			for i := range jobs {
+				ch := chunks[i]
+				slab := data[ch.offset : ch.offset+ch.shape.Len()]
+				payloads[i], errs[i] = inner.Compress(slab, ch.shape)
+			}
+		}()
+	}
+	for i := range chunks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)
+		}
+	}
+
+	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDParallel, Shape: shape})
+	out = append(out, byte(c.chunk()))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunks)))
+	out = append(out, u32[:]...)
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(p)))
+		out = append(out, u32[:]...)
+	}
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Decompress implements compress.Codec, reconstructing chunks concurrently.
+func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.CodecID != compress.IDParallel {
+		return nil, fmt.Errorf("%w: not a parallel stream", compress.ErrCorrupt)
+	}
+	if len(rest) < 5 {
+		return nil, fmt.Errorf("%w: missing chunk table", compress.ErrCorrupt)
+	}
+	chunkParam := int(rest[0])
+	nchunks := int(binary.LittleEndian.Uint32(rest[1:]))
+	rest = rest[5:]
+	if nchunks <= 0 || len(rest) < 4*nchunks {
+		return nil, fmt.Errorf("%w: bad chunk count %d", compress.ErrCorrupt, nchunks)
+	}
+	lengths := make([]int, nchunks)
+	for i := range lengths {
+		lengths[i] = int(binary.LittleEndian.Uint32(rest[4*i:]))
+	}
+	rest = rest[4*nchunks:]
+
+	// Re-derive the chunk plan with the stored parameter.
+	planner := &Codec{Factory: c.Factory, ChunkLevels: chunkParam}
+	chunks := planner.plan(h.Shape)
+	if len(chunks) != nchunks {
+		return nil, fmt.Errorf("%w: chunk plan mismatch (%d vs %d)", compress.ErrCorrupt, len(chunks), nchunks)
+	}
+	payloads := make([][]byte, nchunks)
+	off := 0
+	for i, n := range lengths {
+		if off+n > len(rest) {
+			return nil, fmt.Errorf("%w: truncated chunk %d", compress.ErrCorrupt, i)
+		}
+		payloads[i] = rest[off : off+n]
+		off += n
+	}
+
+	out := make([]float32, h.Shape.Len())
+	errs := make([]error, nchunks)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner := c.Factory()
+			for i := range jobs {
+				vals, err := inner.Decompress(payloads[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if len(vals) != chunks[i].shape.Len() {
+					errs[i] = fmt.Errorf("%w: chunk %d wrong length", compress.ErrCorrupt, i)
+					continue
+				}
+				copy(out[chunks[i].offset:], vals)
+			}
+		}()
+	}
+	for i := 0; i < nchunks; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

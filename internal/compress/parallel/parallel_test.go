@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	"climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/nclossless"
+)
+
+func testData(levs, lat, lon int, seed int64) ([]float32, compress.Shape) {
+	rng := rand.New(rand.NewSource(seed))
+	shape := compress.Shape{NLev: levs, NLat: lat, NLon: lon}
+	data := make([]float32, shape.Len())
+	for i := range data {
+		data[i] = float32(100*math.Sin(float64(i)/40) + rng.NormFloat64())
+	}
+	return data, shape
+}
+
+func TestLosslessRoundTrip3D(t *testing.T) {
+	data, shape := testData(10, 16, 24, 1)
+	c, err := FromRegistry("fpzip-32", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Lossless() {
+		t.Fatal("wrapper must inherit losslessness")
+	}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundTrip2DBands(t *testing.T) {
+	data, shape := testData(1, 37, 24, 2) // odd rows force a tail band
+	c, err := FromRegistry("fpzip-32", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	data, shape := testData(8, 12, 16, 3)
+	var streams [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		c, _ := FromRegistry("fpzip-24", workers, 2)
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, buf)
+	}
+	for i := 1; i < len(streams); i++ {
+		if string(streams[i]) != string(streams[0]) {
+			t.Fatal("stream depends on worker count")
+		}
+	}
+}
+
+func TestLossyInnerPreserved(t *testing.T) {
+	data, shape := testData(6, 16, 16, 4)
+	seq, _ := compress.New("apax-4")
+	par, err := FromRegistry("apax-4", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbuf, err := seq.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbuf, err := par.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sout, _ := seq.Decompress(sbuf)
+	pout, err := par.Decompress(pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error magnitudes comparable between chunked and sequential paths.
+	var se, pe float64
+	for i := range data {
+		se += math.Abs(float64(sout[i] - data[i]))
+		pe += math.Abs(float64(pout[i] - data[i]))
+	}
+	if pe > 2*se+1e-9 {
+		t.Fatalf("chunked error %v much worse than sequential %v", pe, se)
+	}
+}
+
+func TestChunkOverheadBounded(t *testing.T) {
+	data, shape := testData(16, 24, 32, 5)
+	seq, _ := compress.New("fpzip-24")
+	par, _ := FromRegistry("fpzip-24", 2, 2)
+	sbuf, _ := seq.Compress(data, shape)
+	pbuf, _ := par.Compress(data, shape)
+	// Chunking resets adaptive models: some ratio loss, but bounded.
+	if float64(len(pbuf)) > 1.25*float64(len(sbuf)) {
+		t.Fatalf("chunk overhead too large: %d vs %d bytes", len(pbuf), len(sbuf))
+	}
+}
+
+func TestNameAndErrors(t *testing.T) {
+	c := New(func() compress.Codec { return fpzip.New(24) }, 2, 2)
+	if c.Name() != "parallel(fpzip-24)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if _, err := FromRegistry("nope", 1, 1); err == nil {
+		t.Fatal("unknown inner codec should error")
+	}
+	if _, err := c.Compress(make([]float32, 3), compress.Shape{NLev: 1, NLat: 2, NLon: 2}); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	data, shape := testData(4, 8, 8, 6)
+	c, _ := FromRegistry("fpzip-32", 2, 2)
+	buf, _ := c.Compress(data, shape)
+	if _, err := c.Decompress(buf[:6]); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	if _, err := c.Decompress(buf[:20]); err == nil {
+		t.Fatal("truncated chunk table should error")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = compress.IDAPAX
+	if _, err := c.Decompress(bad); err == nil {
+		t.Fatal("wrong stream ID should error")
+	}
+	short := append([]byte(nil), buf[:len(buf)-5]...)
+	if _, err := c.Decompress(short); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+func BenchmarkParallelChunks(b *testing.B) {
+	data, shape := testData(16, 48, 96, 7)
+	for _, workers := range []int{1, 2, 4} {
+		c, _ := FromRegistry("fpzip-24", workers, 2)
+		b.Run(c.Name()+"_w"+string(rune('0'+workers)), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compress(data, shape); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

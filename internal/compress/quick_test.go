@@ -1,0 +1,134 @@
+package compress_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"climcompress/internal/compress"
+)
+
+// arbitraryField builds a field of the given size from a seed, mixing
+// smooth structure, noise, exact zeros and denormals.
+func arbitraryField(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n)
+	for i := range data {
+		switch rng.Intn(6) {
+		case 0:
+			data[i] = 0
+		case 1:
+			data[i] = float32(math.Ldexp(rng.Float64(), rng.Intn(60)-30))
+		case 2:
+			data[i] = -float32(math.Ldexp(rng.Float64(), rng.Intn(60)-30))
+		default:
+			data[i] = float32(100*math.Sin(float64(i)/7) + rng.NormFloat64())
+		}
+	}
+	return data
+}
+
+// Property: every lossless codec reconstructs arbitrary fields bit exactly,
+// for arbitrary (valid) shapes.
+func TestQuickLosslessCodecs(t *testing.T) {
+	f := func(seed int64, a, b, c uint8) bool {
+		shape := compress.Shape{
+			NLev: int(a%4) + 1,
+			NLat: int(b%8) + 2,
+			NLon: int(c%16) + 2,
+		}
+		data := arbitraryField(seed, shape.Len())
+		for _, name := range []string{"fpzip-32", "fpzip64-64", "nc", "nc-noshuffle"} {
+			codec, err := compress.New(name)
+			if err != nil {
+				return false
+			}
+			buf, err := codec.Compress(data, shape)
+			if err != nil {
+				return false
+			}
+			out, err := codec.Decompress(buf)
+			if err != nil || len(out) != len(data) {
+				return false
+			}
+			for i := range data {
+				if math.Float32bits(out[i]) != math.Float32bits(data[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every lossy study codec round-trips to the right length with
+// finite values for arbitrary finite input.
+func TestQuickLossyCodecsTotal(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		shape := compress.Shape{
+			NLev: 1,
+			NLat: int(a%8) + 2,
+			NLon: int(b%32) + 4,
+		}
+		data := arbitraryField(seed, shape.Len())
+		for _, name := range []string{"fpzip-16", "fpzip-24", "apax-2", "apax-5", "isa-0.5", "grib2"} {
+			codec, err := compress.New(name)
+			if err != nil {
+				return false
+			}
+			buf, err := codec.Compress(data, shape)
+			if err != nil {
+				// grib2 legitimately rejects values that overflow its
+				// quantizer; other codecs must always accept.
+				if name == "grib2" {
+					continue
+				}
+				return false
+			}
+			out, err := codec.Decompress(buf)
+			if err != nil || len(out) != len(data) {
+				return false
+			}
+			for _, v := range out {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compression is deterministic — same input, same bytes.
+func TestQuickDeterministicStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		shape := compress.Shape{NLev: 2, NLat: 6, NLon: 10}
+		data := arbitraryField(seed, shape.Len())
+		for _, name := range []string{"fpzip-24", "apax-4", "isa-0.5", "grib2", "nc"} {
+			c1, _ := compress.New(name)
+			c2, _ := compress.New(name)
+			b1, err1 := c1.Compress(data, shape)
+			b2, err2 := c2.Compress(data, shape)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				continue
+			}
+			if string(b1) != string(b2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package convert implements the paper's target workflow (§1): converting
+// a sequence of time-slice "history files" (one file per instant, every
+// variable) into per-variable time-series files, applying a per-variable
+// compression assignment during the conversion — the post-processing step
+// the paper proposes as the integration point for lossy compression.
+package convert
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"climcompress/internal/cdf"
+)
+
+// Options configures a conversion.
+type Options struct {
+	// Codec is the default codec registry name for series variables.
+	Codec string
+	// PerVar overrides the codec for specific variables (the hybrid
+	// assignment of §5.4).
+	PerVar map[string]string
+	// Variables restricts conversion to the named variables (nil = all).
+	Variables []string
+	// OutDir receives one "series_<VAR>.cdf" file per variable.
+	OutDir string
+}
+
+// Result summarizes a conversion.
+type Result struct {
+	Variables  int
+	TimeSlices int
+	// BytesIn is the total size of the variable payloads read.
+	BytesIn int64
+	// BytesOut is the total size of the compressed series payloads.
+	BytesOut int64
+	// PerVariable maps variable name to its series file and achieved
+	// payload compression ratio.
+	PerVariable map[string]VariableResult
+}
+
+// VariableResult is one converted variable.
+type VariableResult struct {
+	Path  string
+	Codec string
+	CR    float64
+}
+
+// Ratio returns BytesOut / BytesIn.
+func (r Result) Ratio() float64 {
+	if r.BytesIn == 0 {
+		return 0
+	}
+	return float64(r.BytesOut) / float64(r.BytesIn)
+}
+
+// Convert reads the given history files (in time order) and writes one
+// compressed time-series file per variable. Every history file must carry
+// the same variables with identical shapes.
+func Convert(historyPaths []string, opts Options) (Result, error) {
+	res := Result{PerVariable: map[string]VariableResult{}}
+	if len(historyPaths) == 0 {
+		return res, fmt.Errorf("convert: no history files")
+	}
+	if opts.OutDir == "" {
+		return res, fmt.Errorf("convert: OutDir required")
+	}
+	first, err := cdf.Open(historyPaths[0])
+	if err != nil {
+		return res, err
+	}
+	wanted := map[string]bool{}
+	for _, v := range opts.Variables {
+		wanted[v] = true
+	}
+	var names []string
+	for _, n := range first.VarNames() {
+		if len(wanted) == 0 || wanted[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return res, fmt.Errorf("convert: no matching variables")
+	}
+	res.TimeSlices = len(historyPaths)
+
+	// Open all slices once; datasets are in-memory after Open.
+	files := make([]*cdf.File, len(historyPaths))
+	files[0] = first
+	for i := 1; i < len(historyPaths); i++ {
+		f, err := cdf.Open(historyPaths[i])
+		if err != nil {
+			return res, fmt.Errorf("convert: %s: %w", historyPaths[i], err)
+		}
+		files[i] = f
+	}
+
+	for _, name := range names {
+		v0, ok := first.Var(name)
+		if !ok {
+			return res, fmt.Errorf("convert: variable %s missing", name)
+		}
+		out := cdf.New()
+		out.GlobalAttr("variable", name)
+		out.GlobalAttr("source", "convert: time-slice to time-series")
+		timeDim := out.AddDim("time", len(files))
+		dims := []int{timeDim}
+		for _, d := range v0.Dims {
+			dims = append(dims, out.AddDim(first.Dims[d].Name, first.Dims[d].Len))
+		}
+		perSlice := v0.Len(first)
+		series := make([]float32, 0, perSlice*len(files))
+		for i, f := range files {
+			data, err := f.ReadVar(name)
+			if err != nil {
+				return res, fmt.Errorf("convert: %s slice %d: %w", name, i, err)
+			}
+			if len(data) != perSlice {
+				return res, fmt.Errorf("convert: %s slice %d has %d values, want %d", name, i, len(data), perSlice)
+			}
+			series = append(series, data...)
+			res.BytesIn += int64(4 * len(data))
+		}
+		sv, err := out.AddVar(name, dims, series, v0.Attrs...)
+		if err != nil {
+			return res, err
+		}
+		sv.HasFill, sv.Fill = v0.HasFill, v0.Fill
+
+		codec := opts.Codec
+		if codec == "" {
+			codec = "nc"
+		}
+		if over, ok := opts.PerVar[name]; ok {
+			codec = over
+		}
+		path := filepath.Join(opts.OutDir, "series_"+name+".cdf")
+		if err := out.WriteFile(path, cdf.WriteOptions{Codec: codec}); err != nil {
+			return res, fmt.Errorf("convert: %s: %w", name, err)
+		}
+		written, err := cdf.Open(path)
+		if err != nil {
+			return res, err
+		}
+		size, _ := written.PayloadSize(name)
+		res.BytesOut += int64(size)
+		res.PerVariable[name] = VariableResult{
+			Path:  path,
+			Codec: codec,
+			CR:    float64(size) / float64(4*len(series)),
+		}
+		res.Variables++
+	}
+	return res, nil
+}

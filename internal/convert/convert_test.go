@@ -1,0 +1,166 @@
+package convert
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"climcompress/internal/cdf"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/nclossless"
+)
+
+// writeHistory writes nslices tiny history files and returns their paths
+// plus the per-variable data for verification.
+func writeHistory(t *testing.T, dir string, nslices int) ([]string, map[string][][]float32) {
+	t.Helper()
+	want := map[string][][]float32{}
+	var paths []string
+	for ts := 0; ts < nslices; ts++ {
+		f := cdf.New()
+		f.GlobalAttr("time", fmt.Sprint(ts))
+		lat := f.AddDim("lat", 6)
+		lon := f.AddDim("lon", 8)
+		for _, name := range []string{"TS", "PS", "SST"} {
+			data := make([]float32, 48)
+			for i := range data {
+				data[i] = float32(ts*100 + i)
+			}
+			v, err := f.AddVar(name, []int{lat, lon}, data, cdf.Attr{Name: "units", Value: "x"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "SST" {
+				v.HasFill = true
+				v.Fill = 1e35
+				data[0] = 1e35
+			}
+			want[name] = append(want[name], data)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("h%02d.cdf", ts))
+		if err := f.WriteFile(p, cdf.WriteOptions{Codec: "raw"}); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, want
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	paths, want := writeHistory(t, dir, 4)
+	out := filepath.Join(dir, "series")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Convert(paths, Options{
+		Codec:  "fpzip-32",
+		PerVar: map[string]string{"PS": "nc"},
+		OutDir: out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variables != 3 || res.TimeSlices != 4 {
+		t.Fatalf("result summary wrong: %+v", res)
+	}
+	if res.PerVariable["PS"].Codec != "nc" || res.PerVariable["TS"].Codec != "fpzip-32" {
+		t.Fatalf("codec assignment wrong: %+v", res.PerVariable)
+	}
+	for name, slices := range want {
+		sf, err := cdf.Open(res.PerVariable[name].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sf.ReadVar(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 4*48 {
+			t.Fatalf("%s: series length %d", name, len(got))
+		}
+		for ts, data := range slices {
+			for i := range data {
+				if got[ts*48+i] != data[i] {
+					t.Fatalf("%s: slice %d point %d: %v vs %v", name, ts, i, got[ts*48+i], data[i])
+				}
+			}
+		}
+		// Time dimension must lead.
+		v, _ := sf.Var(name)
+		if sf.Dims[v.Dims[0]].Name != "time" || sf.Dims[v.Dims[0]].Len != 4 {
+			t.Fatalf("%s: time dimension missing", name)
+		}
+	}
+	if res.Ratio() <= 0 || math.IsNaN(res.Ratio()) {
+		t.Fatalf("ratio = %v", res.Ratio())
+	}
+}
+
+func TestConvertVariableSubset(t *testing.T) {
+	dir := t.TempDir()
+	paths, _ := writeHistory(t, dir, 2)
+	res, err := Convert(paths, Options{Codec: "nc", OutDir: dir, Variables: []string{"TS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variables != 1 {
+		t.Fatalf("expected 1 variable, got %d", res.Variables)
+	}
+	if _, ok := res.PerVariable["PS"]; ok {
+		t.Fatal("PS should not be converted")
+	}
+}
+
+func TestConvertCompressionEffective(t *testing.T) {
+	dir := t.TempDir()
+	paths, _ := writeHistory(t, dir, 6)
+	res, err := Convert(paths, Options{Codec: "nc", OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic ramps are highly compressible.
+	if res.Ratio() > 0.8 {
+		t.Fatalf("conversion achieved no compression: %v", res.Ratio())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Convert(nil, Options{OutDir: dir}); err == nil {
+		t.Fatal("no inputs should error")
+	}
+	paths, _ := writeHistory(t, dir, 2)
+	if _, err := Convert(paths, Options{}); err == nil {
+		t.Fatal("missing OutDir should error")
+	}
+	if _, err := Convert(paths, Options{OutDir: dir, Variables: []string{"NOPE"}}); err == nil {
+		t.Fatal("no matching variables should error")
+	}
+	if _, err := Convert([]string{filepath.Join(dir, "missing.cdf")}, Options{OutDir: dir}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestConvertMismatchedSlices(t *testing.T) {
+	dir := t.TempDir()
+	paths, _ := writeHistory(t, dir, 2)
+	// Third file with a different shape.
+	f := cdf.New()
+	lat := f.AddDim("lat", 3)
+	lon := f.AddDim("lon", 3)
+	_, err := f.AddVar("TS", []int{lat, lon}, make([]float32, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.cdf")
+	if err := f.WriteFile(bad, cdf.WriteOptions{Codec: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(append(paths, bad), Options{OutDir: dir, Variables: []string{"TS"}}); err == nil {
+		t.Fatal("mismatched slice shape should error")
+	}
+}

@@ -1,0 +1,164 @@
+// Package core is the public face of the verification methodology — the
+// paper's primary contribution. It ties together the ensemble statistics
+// (internal/ensemble), the four acceptance tests (internal/pvt) and the
+// error metrics (internal/metrics) behind a small API:
+//
+//	suite, _ := core.NewSuite(memberFields)
+//	result, _ := suite.Verify(codec)       // the four §4.3 tests
+//	errs := core.Compare(orig, recon)      // the §4.2 measures
+//
+// A codec "passes" for a variable when the reconstructed data is
+// statistically indistinguishable from the natural variability of the
+// perturbation ensemble: correlation, RMSZ closeness (eq. 8), E_nmax ratio
+// (eq. 11) and regression bias (eq. 9) all within thresholds.
+package core
+
+import (
+	"fmt"
+
+	"climcompress/internal/compress"
+	// The codec implementations register themselves; importing core gives
+	// callers the full registry.
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/field"
+	"climcompress/internal/metrics"
+	"climcompress/internal/pvt"
+	"climcompress/internal/stats"
+)
+
+// Codec is the compressor interface verified by a Suite.
+type Codec = compress.Codec
+
+// Thresholds are the acceptance limits of the four tests.
+type Thresholds = pvt.Thresholds
+
+// Result is a verification verdict.
+type Result = pvt.Result
+
+// Errors are the §4.2 original-vs-reconstructed measures.
+type Errors = metrics.Errors
+
+// DefaultThresholds returns the paper's limits (ρ ≥ 0.99999, |ΔRMSZ| ≤ 0.1,
+// e_nmax ratio ≤ 0.1, slope distance ≤ 0.05).
+func DefaultThresholds() Thresholds { return pvt.Default() }
+
+// Suite verifies codecs against one variable's perturbation ensemble.
+type Suite struct {
+	verifier *pvt.Verifier
+	stats    *ensemble.VarStats
+}
+
+// Option configures a Suite.
+type Option func(*pvt.Verifier)
+
+// WithThresholds overrides the acceptance limits.
+func WithThresholds(t Thresholds) Option {
+	return func(v *pvt.Verifier) { v.Thr = t }
+}
+
+// WithTestMembers pins the individually verified members (default: three
+// deterministically chosen, mirroring the paper's three random members).
+func WithTestMembers(members ...int) Option {
+	return func(v *pvt.Verifier) { v.TestMembers = members }
+}
+
+// WithoutBiasTest skips the (all-members) bias regression, keeping only the
+// three cheap tests. Used when the full ensemble sweep is too expensive.
+func WithoutBiasTest() Option {
+	return func(v *pvt.Verifier) { v.WithBias = false }
+}
+
+// WithWorkers bounds compression parallelism.
+func WithWorkers(n int) Option {
+	return func(v *pvt.Verifier) { v.Workers = n }
+}
+
+// NewSuite builds a verification suite from the ensemble member fields of
+// one variable (all members must share name, shape and fill handling).
+func NewSuite(members []*field.Field, opts ...Option) (*Suite, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: no ensemble members")
+	}
+	vs, err := ensemble.Build(members)
+	if err != nil {
+		return nil, err
+	}
+	f0 := members[0]
+	shape := compress.Shape{NLev: f0.NLev, NLat: f0.Grid.NLat, NLon: f0.Grid.NLon}
+	v := &pvt.Verifier{
+		Stats:    vs,
+		Shape:    shape,
+		Thr:      pvt.Default(),
+		WithBias: true,
+	}
+	for _, opt := range opts {
+		opt(v)
+	}
+	return &Suite{verifier: v, stats: vs}, nil
+}
+
+// Verify runs the four acceptance tests of the methodology for one codec.
+func (s *Suite) Verify(codec Codec) (Result, error) {
+	return s.verifier.Verify(codec)
+}
+
+// RMSZ returns the original ensemble's RMSZ distribution (eq. 7).
+func (s *Suite) RMSZ() []float64 { return append([]float64(nil), s.stats.RMSZ...) }
+
+// Enmax returns the ensemble's normalized-maximum-pointwise-error
+// distribution (eq. 10).
+func (s *Suite) Enmax() []float64 { return append([]float64(nil), s.stats.Enmax...) }
+
+// Members returns the ensemble size.
+func (s *Suite) Members() int { return s.stats.Members() }
+
+// Compare computes the §4.2 error measures between an original and a
+// reconstructed dataset with no fill handling. For data with special
+// values use CompareWithFill.
+func Compare(orig, recon []float32) Errors {
+	return metrics.Compare(orig, recon, 0, false)
+}
+
+// CompareWithFill is Compare for datasets carrying a fill sentinel.
+func CompareWithFill(orig, recon []float32, fill float32) Errors {
+	return metrics.Compare(orig, recon, fill, true)
+}
+
+// KSCompare runs a two-sample Kolmogorov–Smirnov test between the value
+// distributions of an original and a reconstructed dataset (fill values
+// excluded) — the distribution check adopted by NCAR's follow-up ensemble
+// consistency tooling. A small p-value means the reconstruction visibly
+// changed the distribution of values.
+func KSCompare(orig, recon []float32, fill float32, hasFill bool) stats.KSResult {
+	a := make([]float64, 0, len(orig))
+	b := make([]float64, 0, len(recon))
+	for i := range orig {
+		if hasFill && orig[i] == fill {
+			continue
+		}
+		a = append(a, float64(orig[i]))
+		if i < len(recon) {
+			if hasFill && recon[i] == fill {
+				continue
+			}
+			b = append(b, float64(recon[i]))
+		}
+	}
+	return stats.KolmogorovSmirnov(a, b)
+}
+
+// NewCodec resolves a codec by registry name (e.g. "fpzip-24", "apax-2",
+// "isa-0.5", "nc"); see compress.Names for the full list.
+func NewCodec(name string) (Codec, error) { return compress.New(name) }
+
+// CodecNames lists all registered codec variants.
+func CodecNames() []string { return compress.Names() }
+
+// WrapFill adds special-value masking around a codec that lacks native
+// fill support.
+func WrapFill(c Codec, fill float32) Codec { return compress.WithFill(c, fill) }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+func testMembers(t testing.TB, nm int) []*field.Field {
+	t.Helper()
+	g := grid.Test()
+	rng := rand.New(rand.NewSource(1))
+	out := make([]*field.Field, nm)
+	for m := range out {
+		f := field.New("X", "1", g, false)
+		for i := range f.Data {
+			f.Data[i] = float32(100 + 20*math.Sin(float64(i)/10) + rng.NormFloat64())
+		}
+		out[m] = f
+	}
+	return out
+}
+
+func TestSuiteLosslessPasses(t *testing.T) {
+	s, err := NewSuite(testMembers(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec("fpzip-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Verify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllPass {
+		t.Fatalf("lossless codec should pass: %+v", res)
+	}
+}
+
+func TestSuiteAggressiveLossFails(t *testing.T) {
+	s, err := NewSuite(testMembers(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec("fpzip-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Verify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllPass {
+		t.Fatal("8-bit precision should be climate-changing here")
+	}
+}
+
+func TestSuiteOptions(t *testing.T) {
+	s, err := NewSuite(testMembers(t, 9),
+		WithoutBiasTest(),
+		WithTestMembers(0, 4),
+		WithWorkers(2),
+		WithThresholds(DefaultThresholds()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCodec("apax-2")
+	res, err := s.Verify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SkippedBias {
+		t.Fatal("bias test should be skipped")
+	}
+	if len(res.Checks) != 2 {
+		t.Fatalf("expected 2 test members, got %d", len(res.Checks))
+	}
+	if res.Checks[0].Member != 0 || res.Checks[1].Member != 4 {
+		t.Fatalf("test members not honored: %+v", res.Checks)
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	s, err := NewSuite(testMembers(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Members() != 9 {
+		t.Fatalf("Members = %d", s.Members())
+	}
+	rm := s.RMSZ()
+	if len(rm) != 9 {
+		t.Fatalf("RMSZ length %d", len(rm))
+	}
+	rm[0] = -1 // must not corrupt internal state
+	if s.RMSZ()[0] == -1 {
+		t.Fatal("RMSZ returned internal slice")
+	}
+	if len(s.Enmax()) != 9 {
+		t.Fatal("Enmax length wrong")
+	}
+}
+
+func TestCompareHelpers(t *testing.T) {
+	orig := []float32{1, 2, 3}
+	recon := []float32{1, 2, 4}
+	e := Compare(orig, recon)
+	if e.EMax != 1 {
+		t.Fatalf("EMax = %v", e.EMax)
+	}
+	const fill = float32(1e35)
+	e2 := CompareWithFill([]float32{1, fill}, []float32{1, fill}, fill)
+	if e2.N != 1 || e2.EMax != 0 {
+		t.Fatalf("fill compare wrong: %+v", e2)
+	}
+}
+
+func TestKSCompare(t *testing.T) {
+	orig := make([]float32, 4000)
+	same := make([]float32, 4000)
+	shifted := make([]float32, 4000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range orig {
+		orig[i] = float32(rng.NormFloat64())
+		same[i] = orig[i] + float32(rng.NormFloat64()*1e-5)
+		shifted[i] = orig[i] + 1
+	}
+	if res := KSCompare(orig, same, 0, false); res.P < 0.5 {
+		t.Fatalf("near-identical data rejected by KS: p=%v", res.P)
+	}
+	if res := KSCompare(orig, shifted, 0, false); res.P > 1e-6 {
+		t.Fatalf("shifted data not caught by KS: p=%v", res.P)
+	}
+	const fill = float32(1e35)
+	withFill := append([]float32(nil), orig...)
+	withFill[0] = fill
+	if res := KSCompare(withFill, withFill, fill, true); res.N1 != 3999 {
+		t.Fatalf("fill not excluded: n=%d", res.N1)
+	}
+}
+
+func TestNewSuiteEmpty(t *testing.T) {
+	if _, err := NewSuite(nil); err == nil {
+		t.Fatal("empty suite should error")
+	}
+}
+
+func TestCodecNamesNonEmpty(t *testing.T) {
+	names := CodecNames()
+	if len(names) < 9 {
+		t.Fatalf("only %d codecs registered", len(names))
+	}
+	if _, err := NewCodec("definitely-not-a-codec"); err == nil {
+		t.Fatal("unknown codec should error")
+	}
+}
+
+func TestWrapFill(t *testing.T) {
+	inner, _ := NewCodec("apax-4")
+	c := WrapFill(inner, 1e35)
+	g := grid.Test()
+	data := make([]float32, g.Horizontal())
+	for i := range data {
+		data[i] = float32(i)
+	}
+	data[3] = 1e35
+	buf, err := c.Compress(data, compress.Shape{NLev: 1, NLat: g.NLat, NLon: g.NLon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != 1e35 {
+		t.Fatal("fill lost through WrapFill")
+	}
+}

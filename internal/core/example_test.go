@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+
+	"climcompress/internal/core"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+// ExampleCompare shows the §4.2 error measures on a toy reconstruction.
+func ExampleCompare() {
+	orig := []float32{10, 20, 30, 40, 50}
+	recon := []float32{10, 20.5, 30, 39.5, 50}
+	e := core.Compare(orig, recon)
+	fmt.Printf("e_max=%.1f e_nmax=%.5f nrmse=%.5f pass=%v\n",
+		e.EMax, e.ENMax, e.NRMSE, e.PassesCorrelation())
+	// Output: e_max=0.5 e_nmax=0.01250 nrmse=0.00791 pass=false
+}
+
+// ExampleSuite_Verify runs the full methodology on a small synthetic
+// ensemble: a lossless codec is always statistically indistinguishable.
+func ExampleSuite_Verify() {
+	g := grid.Test()
+	members := make([]*field.Field, 9)
+	x := uint64(7)
+	next := func() float64 { // tiny deterministic noise source
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%1000)/500 - 1
+	}
+	for m := range members {
+		f := field.New("TS", "K", g, false)
+		for i := range f.Data {
+			f.Data[i] = float32(288 + 5*math.Sin(float64(i)/9) + next())
+		}
+		members[m] = f
+	}
+	suite, err := core.NewSuite(members)
+	if err != nil {
+		panic(err)
+	}
+	codec, _ := core.NewCodec("fpzip-32")
+	res, _ := suite.Verify(codec)
+	fmt.Printf("codec=%s rho=%v rmsz=%v enmax=%v bias=%v all=%v\n",
+		res.Codec, res.RhoPass, res.RMSZPass, res.EnmaxPass, res.BiasPass, res.AllPass)
+	// Output: codec=fpzip-32 rho=true rmsz=true enmax=true bias=true all=true
+}
+
+// ExampleNewCodec lists a few of the registered codec variants.
+func ExampleNewCodec() {
+	for _, name := range []string{"fpzip-24", "apax-2", "isa-0.5", "grib2", "nc"} {
+		c, err := core.NewCodec(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s lossless=%v\n", c.Name(), c.Lossless())
+	}
+	// Output:
+	// fpzip-24 lossless=false
+	// apax-2 lossless=false
+	// isa-0.5 lossless=false
+	// grib2 lossless=false
+	// nc lossless=true
+}

@@ -1,0 +1,293 @@
+// Package ensemble builds the per-variable statistics of the CESM-PVT
+// verification ensemble (§4.3): leave-one-out per-point mean/std for the
+// Z-scores of eq. 6, the per-member RMSZ distribution of eq. 7, the
+// normalized maximum pointwise error distribution of eq. 10, per-member
+// ranges and global means. The aggregates are arranged so that excluding
+// any single member is O(1) per point, making the whole 101-member analysis
+// a two-pass streaming computation.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"climcompress/internal/field"
+	"climcompress/internal/stats"
+)
+
+// Source supplies ensemble member fields for the catalog variables.
+// model.Generator implements it.
+type Source interface {
+	Members() int
+	Field(varIdx, member int) *field.Field
+}
+
+// VarStats holds one variable's ensemble statistics. It retains references
+// to the member data (not copies) because the verification tests need the
+// original values when scoring reconstructions.
+type VarStats struct {
+	Name    string
+	NPoints int // stored points (including fill positions)
+
+	HasFill  bool
+	Fill     float32
+	FillMask []bool // true where every member holds the fill sentinel
+
+	// Per-point aggregates over members (fill points are zero-valued).
+	Loo []stats.LeaveOneOut
+
+	// Two smallest / largest member values per point, with the member that
+	// holds the extreme, enabling exact max-over-others (eq. 10).
+	min1, min2 []float32
+	max1, max2 []float32
+	min1m      []int32
+	max1m      []int32
+
+	orig [][]float32 // member data, indexed [member][point]
+
+	RangePerMember []float64 // R_X^m over valid points
+	RMSZ           []float64 // eq. 7 for each original member
+	Enmax          []float64 // eq. 10 for each member
+	GlobalMean     []float64 // area-weighted global mean per member
+}
+
+// CollectFields materializes all member fields of one variable.
+func CollectFields(src Source, varIdx int) []*field.Field {
+	out := make([]*field.Field, src.Members())
+	for m := range out {
+		out[m] = src.Field(varIdx, m)
+	}
+	return out
+}
+
+// Build computes the ensemble statistics for one variable from its member
+// fields (as produced by CollectFields). The fields' data slices are
+// retained by the returned VarStats.
+func Build(fields []*field.Field) (*VarStats, error) {
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("ensemble: need at least 3 members, got %d", len(fields))
+	}
+	f0 := fields[0]
+	n := f0.Len()
+	vs := &VarStats{
+		Name:    f0.Name,
+		NPoints: n,
+		HasFill: f0.HasFill,
+		Fill:    f0.Fill,
+		Loo:     make([]stats.LeaveOneOut, n),
+		min1:    make([]float32, n),
+		min2:    make([]float32, n),
+		max1:    make([]float32, n),
+		max2:    make([]float32, n),
+		min1m:   make([]int32, n),
+		max1m:   make([]int32, n),
+	}
+	vs.FillMask = make([]bool, n)
+	if vs.HasFill {
+		for i := 0; i < n; i++ {
+			vs.FillMask[i] = f0.Data[i] == f0.Fill
+		}
+	}
+	for i := range vs.min1 {
+		vs.min1[i] = float32(math.Inf(1))
+		vs.min2[i] = float32(math.Inf(1))
+		vs.max1[i] = float32(math.Inf(-1))
+		vs.max2[i] = float32(math.Inf(-1))
+	}
+
+	// Pass 1: per-point aggregates, per-member summaries.
+	for m, f := range fields {
+		if f.Len() != n {
+			return nil, fmt.Errorf("ensemble: member %d has %d points, want %d", m, f.Len(), n)
+		}
+		vs.orig = append(vs.orig, f.Data)
+		for i, v := range f.Data {
+			if vs.FillMask[i] {
+				continue
+			}
+			vs.Loo[i].Add(float64(v))
+			if v < vs.min1[i] {
+				vs.min2[i] = vs.min1[i]
+				vs.min1[i] = v
+				vs.min1m[i] = int32(m)
+			} else if v < vs.min2[i] {
+				vs.min2[i] = v
+			}
+			if v > vs.max1[i] {
+				vs.max2[i] = vs.max1[i]
+				vs.max1[i] = v
+				vs.max1m[i] = int32(m)
+			} else if v > vs.max2[i] {
+				vs.max2[i] = v
+			}
+		}
+		s := f.Summarize()
+		vs.RangePerMember = append(vs.RangePerMember, s.Range)
+		vs.GlobalMean = append(vs.GlobalMean, f.GlobalMean())
+	}
+
+	// Pass 2: RMSZ (eq. 7) and E_nmax (eq. 10) per member.
+	vs.RMSZ = make([]float64, len(fields))
+	vs.Enmax = make([]float64, len(fields))
+	for m, f := range fields {
+		vs.RMSZ[m] = vs.RMSZOf(m, f.Data)
+		vs.Enmax[m] = vs.enmaxOf(m)
+	}
+	return vs, nil
+}
+
+// Members returns the ensemble size.
+func (vs *VarStats) Members() int { return len(vs.orig) }
+
+// Original returns member m's original data (shared, do not modify).
+func (vs *VarStats) Original(m int) []float32 { return vs.orig[m] }
+
+// RMSZOf computes the RMSZ score (eqs. 6–7) of the given data against the
+// leave-one-out statistics of the sub-ensemble {E \ m}. data may be member
+// m's original values (yielding the eq. 7 score) or a reconstruction of
+// them; in both cases the excluded value is member m's original one, since
+// {E \ m} never contains reconstructed data.
+func (vs *VarStats) RMSZOf(m int, data []float32) float64 {
+	if len(data) != vs.NPoints {
+		return math.NaN()
+	}
+	om := vs.orig[m]
+	var sum float64
+	var cnt int
+	for i, v := range data {
+		if vs.FillMask[i] {
+			continue
+		}
+		mean, std := vs.Loo[i].Excluding(float64(om[i]))
+		if std == 0 || math.IsNaN(std) {
+			continue
+		}
+		z := (float64(v) - mean) / std
+		sum += z * z
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// enmaxOf computes eq. 10 for member m: the maximum over grid points of the
+// maximum pointwise distance to any other member, normalized by member m's
+// range. The per-point maximum over others is max(|x−min'|, |max'−x|) where
+// min'/max' exclude member m itself.
+func (vs *VarStats) enmaxOf(m int) float64 {
+	data := vs.orig[m]
+	var maxDiff float64
+	for i, v := range data {
+		if vs.FillMask[i] {
+			continue
+		}
+		lo := vs.min1[i]
+		if vs.min1m[i] == int32(m) {
+			lo = vs.min2[i]
+		}
+		hi := vs.max1[i]
+		if vs.max1m[i] == int32(m) {
+			hi = vs.max2[i]
+		}
+		if d := float64(v - lo); d > maxDiff {
+			maxDiff = d
+		}
+		if d := float64(hi - v); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	r := vs.RangePerMember[m]
+	if r <= 0 {
+		return math.NaN()
+	}
+	return maxDiff / r
+}
+
+// RMSZBox returns the five-number summary of the original RMSZ distribution
+// (the histogram of Figure 2).
+func (vs *VarStats) RMSZBox() stats.Boxplot { return stats.NewBoxplot(vs.RMSZ) }
+
+// EnmaxBox returns the summary of the eq. 10 distribution (Figure 3).
+func (vs *VarStats) EnmaxBox() stats.Boxplot { return stats.NewBoxplot(vs.Enmax) }
+
+// EnmaxRange returns R_{E_nmax}: the spread of the eq. 10 distribution used
+// as the denominator of the eq. 11 acceptance test.
+func (vs *VarStats) EnmaxRange() float64 {
+	b := vs.EnmaxBox()
+	return b.Max - b.Min
+}
+
+// GlobalMeanBox summarizes the per-member global means, used for the
+// paper's range-shift screen.
+func (vs *VarStats) GlobalMeanBox() stats.Boxplot { return stats.NewBoxplot(vs.GlobalMean) }
+
+// SigmaMedian returns the median per-point ensemble standard deviation over
+// valid points — the scale the paper used (via the RMSZ ensemble test) to
+// pick GRIB2's decimal scale factor per variable.
+func (vs *VarStats) SigmaMedian() float64 {
+	sigmas := make([]float64, 0, vs.NPoints)
+	for i := range vs.Loo {
+		if vs.FillMask[i] || vs.Loo[i].N < 2 {
+			continue
+		}
+		// Full-ensemble std from the aggregates.
+		n := float64(vs.Loo[i].N)
+		mean := vs.Loo[i].Sum / n
+		v := (vs.Loo[i].SumSq - vs.Loo[i].Sum*mean) / (n - 1)
+		if v < 0 {
+			v = 0
+		}
+		sigmas = append(sigmas, math.Sqrt(v))
+	}
+	if len(sigmas) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(sigmas)
+	return sigmas[len(sigmas)/2]
+}
+
+// RMSZScores computes the eq. 7 RMSZ of every member of an arbitrary
+// ensemble of data arrays against that ensemble's own leave-one-out
+// statistics. The paper's bias test applies this to the fully reconstructed
+// ensemble Ẽ ("substituting Ẽ for E"). fillMask marks points to skip.
+func RMSZScores(members [][]float32, fillMask []bool) []float64 {
+	if len(members) == 0 {
+		return nil
+	}
+	n := len(members[0])
+	loo := make([]stats.LeaveOneOut, n)
+	for _, data := range members {
+		for i, v := range data {
+			if fillMask != nil && fillMask[i] {
+				continue
+			}
+			loo[i].Add(float64(v))
+		}
+	}
+	out := make([]float64, len(members))
+	for m, data := range members {
+		var sum float64
+		var cnt int
+		for i, v := range data {
+			if fillMask != nil && fillMask[i] {
+				continue
+			}
+			mean, std := loo[i].Excluding(float64(v))
+			if std == 0 || math.IsNaN(std) {
+				continue
+			}
+			z := (float64(v) - mean) / std
+			sum += z * z
+			cnt++
+		}
+		if cnt == 0 {
+			out[m] = math.NaN()
+		} else {
+			out[m] = math.Sqrt(sum / float64(cnt))
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package entropy
+
+import "math/bits"
+
+// TreeModel codes fixed-width symbols bit by bit down a binary tree of
+// adaptive probabilities, so frequent symbols cost less than their raw width.
+type TreeModel struct {
+	width uint
+	probs []Prob
+}
+
+// NewTreeModel returns a model for symbols of the given bit width (1..16).
+func NewTreeModel(width uint) *TreeModel {
+	if width < 1 || width > 16 {
+		panic("entropy: tree model width out of range")
+	}
+	return &TreeModel{width: width, probs: NewProbs(1 << width)}
+}
+
+// Encode writes the low `width` bits of sym.
+func (m *TreeModel) Encode(e *Encoder, sym uint32) {
+	node := uint32(1)
+	for i := int(m.width) - 1; i >= 0; i-- {
+		bit := int(sym>>uint(i)) & 1
+		e.EncodeBit(&m.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+// Decode reads one symbol.
+func (m *TreeModel) Decode(d *Decoder) uint32 {
+	node := uint32(1)
+	for i := 0; i < int(m.width); i++ {
+		bit := d.DecodeBit(&m.probs[node])
+		node = node<<1 | uint32(bit)
+	}
+	return node - 1<<m.width
+}
+
+// UintModel codes unsigned 64-bit integers as an adaptively-coded bit length
+// followed by the length-1 trailing bits coded directly. It is the workhorse
+// for prediction residuals, which cluster around small magnitudes.
+type UintModel struct {
+	lenModel *TreeModel
+}
+
+// NewUintModel returns a fresh model.
+func NewUintModel() *UintModel {
+	return &UintModel{lenModel: NewTreeModel(7)} // lengths 0..64 fit in 7 bits
+}
+
+// Encode writes v.
+func (m *UintModel) Encode(e *Encoder, v uint64) {
+	n := uint(bits.Len64(v)) // 0 for v==0
+	m.lenModel.Encode(e, uint32(n))
+	if n > 1 {
+		// The leading one bit is implied by the length.
+		rest := v & ((1 << (n - 1)) - 1)
+		if n-1 > 32 {
+			e.EncodeDirect(uint32(rest>>32), n-1-32)
+			e.EncodeDirect(uint32(rest), 32)
+		} else {
+			e.EncodeDirect(uint32(rest), n-1)
+		}
+	}
+}
+
+// Decode reads one value.
+func (m *UintModel) Decode(d *Decoder) uint64 {
+	n := uint(m.lenModel.Decode(d))
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	}
+	var rest uint64
+	if n-1 > 32 {
+		hi := uint64(d.DecodeDirect(n - 1 - 32))
+		lo := uint64(d.DecodeDirect(32))
+		rest = hi<<32 | lo
+	} else {
+		rest = uint64(d.DecodeDirect(n - 1))
+	}
+	return 1<<(n-1) | rest
+}
+
+// SignedModel codes signed integers via zigzag mapping over a UintModel,
+// with a dedicated adaptive sign bit for values whose magnitude repeats.
+type SignedModel struct {
+	mag *UintModel
+}
+
+// NewSignedModel returns a fresh model.
+func NewSignedModel() *SignedModel {
+	return &SignedModel{mag: NewUintModel()}
+}
+
+// ZigZag maps a signed integer to an unsigned one with small magnitudes first.
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encode writes v.
+func (m *SignedModel) Encode(e *Encoder, v int64) { m.mag.Encode(e, ZigZag(v)) }
+
+// Decode reads one value.
+func (m *SignedModel) Decode(d *Decoder) int64 { return UnZigZag(m.mag.Decode(d)) }
+
+// ByteModel codes bytes with an order-0 adaptive model (a width-8 tree).
+type ByteModel struct{ tree *TreeModel }
+
+// NewByteModel returns a fresh model.
+func NewByteModel() *ByteModel { return &ByteModel{tree: NewTreeModel(8)} }
+
+// Encode writes one byte.
+func (m *ByteModel) Encode(e *Encoder, b byte) { m.tree.Encode(e, uint32(b)) }
+
+// Decode reads one byte.
+func (m *ByteModel) Decode(d *Decoder) byte { return byte(m.tree.Decode(d)) }

@@ -1,0 +1,184 @@
+// Package entropy implements an adaptive binary range coder (arithmetic
+// coder) plus the probability models used by the compressors in this
+// repository. The coder follows the classic carry-less LZMA construction:
+// 11-bit probabilities, 32-bit range, byte-wise renormalization.
+package entropy
+
+// Prob is an 11-bit adaptive probability of a zero bit, in [0, 2048).
+type Prob uint16
+
+const (
+	probBits = 11
+	probInit = 1 << (probBits - 1) // p(0) = 0.5
+	moveBits = 5
+	topValue = 1 << 24
+)
+
+// NewProbs returns n probability slots initialized to one half.
+func NewProbs(n int) []Prob {
+	p := make([]Prob, n)
+	for i := range p {
+		p[i] = probInit
+	}
+	return p
+}
+
+// Encoder is a binary range encoder. Create with NewEncoder; call Flush once
+// at the end to obtain the compressed bytes.
+type Encoder struct {
+	out       []byte
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+}
+
+// NewEncoder returns an Encoder with the given output capacity hint.
+func NewEncoder(capHint int) *Encoder {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Encoder{
+		out:       make([]byte, 0, capHint),
+		rng:       0xffffffff,
+		cacheSize: 1,
+	}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xff000000 || e.low>>32 == 1 {
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+byte(e.low>>32))
+			temp = 0xff
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xffffffff
+}
+
+// EncodeBit encodes one bit under the adaptive model *p and updates the model.
+func (e *Encoder) EncodeBit(p *Prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeDirect encodes the low n bits of v (MSB first) at fixed probability
+// one half, bypassing any model.
+func (e *Encoder) EncodeDirect(v uint32, n uint) {
+	for n > 0 {
+		n--
+		e.rng >>= 1
+		if (v>>n)&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// Flush terminates the stream and returns the encoded bytes. The Encoder
+// must not be used after Flush.
+func (e *Encoder) Flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Len reports the current number of output bytes (excluding unflushed state).
+func (e *Encoder) Len() int { return len(e.out) }
+
+// Decoder is the matching binary range decoder.
+type Decoder struct {
+	in   []byte
+	pos  int
+	rng  uint32
+	code uint32
+	over bool // ran past the end of input
+}
+
+// NewDecoder returns a Decoder over the bytes produced by Encoder.Flush.
+func NewDecoder(in []byte) *Decoder {
+	d := &Decoder{in: in, rng: 0xffffffff}
+	d.pos = 1 // the first output byte of the encoder is always zero
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *Decoder) nextByte() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	d.pos++
+	d.over = true
+	return 0
+}
+
+// Overrun reports whether the decoder has consumed more bytes than were
+// present in the input (i.e. the stream was truncated). A small overrun is
+// normal at end of stream because NewDecoder primes 4 bytes; callers that
+// need strict validation should frame their payloads with explicit counts.
+func (d *Decoder) Overrun() bool { return d.over }
+
+// DecodeBit decodes one bit under the adaptive model *p and updates the model.
+func (d *Decoder) DecodeBit(p *Prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+// DecodeDirect decodes n model-free bits, MSB first.
+func (d *Decoder) DecodeDirect(n uint) uint32 {
+	var v uint32
+	for n > 0 {
+		n--
+		d.rng >>= 1
+		var bit uint32
+		if d.code >= d.rng {
+			d.code -= d.rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.nextByte())
+		}
+	}
+	return v
+}

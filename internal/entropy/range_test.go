@@ -1,0 +1,224 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTripBiased(t *testing.T) {
+	// A heavily biased stream must round-trip and compress well.
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	bitsIn := make([]int, n)
+	for i := range bitsIn {
+		if rng.Float64() < 0.03 {
+			bitsIn[i] = 1
+		}
+	}
+	e := NewEncoder(0)
+	p := NewProbs(1)
+	for _, b := range bitsIn {
+		e.EncodeBit(&p[0], b)
+	}
+	out := e.Flush()
+	if len(out)*8 > n/3 {
+		t.Fatalf("biased stream compressed to %d bytes; expected < %d bits total", len(out), n/3)
+	}
+	d := NewDecoder(out)
+	q := NewProbs(1)
+	for i, want := range bitsIn {
+		if got := d.DecodeBit(&q[0]); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestDirectBitsRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	vals := []uint32{0, 1, 0xffffffff, 0x12345678, 7, 1 << 31}
+	widths := []uint{1, 3, 32, 29, 4, 32}
+	for i, v := range vals {
+		e.EncodeDirect(v&masku32(widths[i]), widths[i])
+	}
+	d := NewDecoder(e.Flush())
+	for i, v := range vals {
+		want := v & masku32(widths[i])
+		if got := d.DecodeDirect(widths[i]); got != want {
+			t.Fatalf("direct %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func masku32(w uint) uint32 {
+	if w >= 32 {
+		return 0xffffffff
+	}
+	return 1<<w - 1
+}
+
+func TestMixedModelAndDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEncoder(0)
+	p := NewProbs(4)
+	type ev struct {
+		kind int
+		v    uint32
+		w    uint
+		ctx  int
+	}
+	var evs []ev
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 {
+			x := ev{kind: 0, v: uint32(rng.Intn(2)), ctx: rng.Intn(4)}
+			e.EncodeBit(&p[x.ctx], int(x.v))
+			evs = append(evs, x)
+		} else {
+			w := uint(rng.Intn(16) + 1)
+			x := ev{kind: 1, v: rng.Uint32() & masku32(w), w: w}
+			e.EncodeDirect(x.v, x.w)
+			evs = append(evs, x)
+		}
+	}
+	d := NewDecoder(e.Flush())
+	q := NewProbs(4)
+	for i, x := range evs {
+		if x.kind == 0 {
+			if got := d.DecodeBit(&q[x.ctx]); uint32(got) != x.v {
+				t.Fatalf("event %d bit mismatch", i)
+			}
+		} else {
+			if got := d.DecodeDirect(x.w); got != x.v {
+				t.Fatalf("event %d direct mismatch: got %#x want %#x", i, got, x.v)
+			}
+		}
+	}
+}
+
+func TestTreeModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewTreeModel(8)
+	e := NewEncoder(0)
+	syms := make([]uint32, 4000)
+	for i := range syms {
+		// Skewed distribution: mostly small symbols.
+		syms[i] = uint32(rng.ExpFloat64() * 10)
+		if syms[i] > 255 {
+			syms[i] = 255
+		}
+		m.Encode(e, syms[i])
+	}
+	out := e.Flush()
+	d := NewDecoder(out)
+	m2 := NewTreeModel(8)
+	for i, want := range syms {
+		if got := m2.Decode(d); got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+	if len(out) >= 4000 {
+		t.Fatalf("skewed 8-bit symbols should compress below 1 byte/sym, got %d bytes", len(out))
+	}
+}
+
+func TestUintModelRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 2, 3, 255, 256, 1 << 20, 1<<40 + 12345, 1<<63 + 99, ^uint64(0)}
+	m := NewUintModel()
+	e := NewEncoder(0)
+	for _, v := range vals {
+		m.Encode(e, v)
+	}
+	d := NewDecoder(e.Flush())
+	m2 := NewUintModel()
+	for i, want := range vals {
+		if got := m2.Decode(d); got != want {
+			t.Fatalf("val %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSignedModelRoundTrip(t *testing.T) {
+	vals := []int64{0, -1, 1, -2, 2, 1000, -1000, 1 << 40, -(1 << 40), -9223372036854775808, 9223372036854775807}
+	m := NewSignedModel()
+	e := NewEncoder(0)
+	for _, v := range vals {
+		m.Encode(e, v)
+	}
+	d := NewDecoder(e.Flush())
+	m2 := NewSignedModel()
+	for i, want := range vals {
+		if got := m2.Decode(d); got != want {
+			t.Fatalf("val %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+		if back := UnZigZag(want); back != v {
+			t.Errorf("UnZigZag(%d) = %d, want %d", want, back, v)
+		}
+	}
+}
+
+func TestZigZagQuick(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteModelRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog, repeatedly: " +
+		"the quick brown fox jumps over the lazy dog")
+	m := NewByteModel()
+	e := NewEncoder(0)
+	for _, b := range data {
+		m.Encode(e, b)
+	}
+	d := NewDecoder(e.Flush())
+	m2 := NewByteModel()
+	for i, want := range data {
+		if got := m2.Decode(d); got != want {
+			t.Fatalf("byte %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestDecoderOverrunFlag(t *testing.T) {
+	d := NewDecoder([]byte{0})
+	_ = d.DecodeDirect(32)
+	_ = d.DecodeDirect(32)
+	if !d.Overrun() {
+		t.Fatal("expected Overrun after decoding past a 1-byte stream")
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	e := NewEncoder(1 << 20)
+	p := NewProbs(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<19 {
+			e = NewEncoder(1 << 20)
+		}
+		e.EncodeBit(&p[0], i&1)
+	}
+}
+
+func BenchmarkUintModel(b *testing.B) {
+	m := NewUintModel()
+	e := NewEncoder(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<19 {
+			e = NewEncoder(1 << 20)
+			m = NewUintModel()
+		}
+		m.Encode(e, uint64(i%1000))
+	}
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/varcatalog"
+)
+
+var (
+	runnerOnce sync.Once
+	testRunner *Runner
+)
+
+// sharedRunner returns a small shared runner (6 variables, 9 members, test
+// grid) so the suite builds the substrate once.
+func sharedRunner(t testing.TB) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		cfg := DefaultConfig(grid.Test())
+		cfg.Members = 9
+		cfg.L96 = l96.EnsembleConfig{
+			Members: 9, Dt: 0.002, SpinupSteps: 1000,
+			DivergeSteps: 6000, CalibSteps: 3000, Eps: 1e-14,
+		}
+		cfg.Variables = []string{"U", "FSDSC", "Z3", "CCN3", "T", "SST"}
+		testRunner = NewRunner(cfg, nil)
+	})
+	return testRunner
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"GRIB2 + jpeg2000", "APAX", "fpzip", "ISABELA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	// The paper's key Table 1 facts: only GRIB2 handles special values,
+	// only APAX is not freely available.
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "GRIB2") && !strings.Contains(l, "Y") {
+			t.Error("GRIB2 row lost its Y flags")
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := map[string]string{
+		"grib2": "GRIB2", "apax-2": "APAX-2", "isa-1": "ISA-1.0",
+		"isa-0.5": "ISA-0.5", "fpzip-24": "fpzip-24", "nc": "NetCDF-4",
+		"unknown-x": "unknown-x",
+	}
+	for in, want := range cases {
+		if got := Label(in); got != want {
+			t.Errorf("Label(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVariantsResolvable(t *testing.T) {
+	r := sharedRunner(t)
+	spec := r.Catalog[0]
+	for _, v := range Variants() {
+		if _, err := r.CodecFor(v, spec, nil, 100); err != nil {
+			t.Errorf("variant %s not resolvable: %v", v, err)
+		}
+	}
+}
+
+func TestCodecForWrapsFill(t *testing.T) {
+	r := sharedRunner(t)
+	spec, _, ok := varcatalog.ByName(r.Catalog, "SST")
+	if !ok {
+		t.Fatal("SST missing")
+	}
+	c, err := r.CodecFor("apax-4", spec, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Name(), "+fill") {
+		t.Fatalf("fill variable codec not wrapped: %s", c.Name())
+	}
+	g, err := r.CodecFor("grib2", spec, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(g.Name(), "+fill") {
+		t.Fatal("grib2 handles fill natively and must not be wrapped")
+	}
+}
+
+func TestErrorMatrixShapeAndOrdering(t *testing.T) {
+	r := sharedRunner(t)
+	m, err := r.ErrorMatrix([]string{"U", "CCN3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"U", "CCN3"} {
+		row := m[name]
+		if len(row) != len(Variants()) {
+			t.Fatalf("%s: %d variants, want %d", name, len(row), len(Variants()))
+		}
+		// Error monotonicity within families (the paper's consistent
+		// finding: more compression, more error).
+		if row["apax-5"].Errors.NRMSE < row["apax-2"].Errors.NRMSE {
+			t.Errorf("%s: APAX-5 NRMSE below APAX-2", name)
+		}
+		if row["fpzip-16"].Errors.NRMSE < row["fpzip-24"].Errors.NRMSE {
+			t.Errorf("%s: fpzip-16 NRMSE below fpzip-24", name)
+		}
+		if row["isa-1"].Errors.NRMSE < row["isa-0.1"].Errors.NRMSE {
+			t.Errorf("%s: ISA-1.0 NRMSE below ISA-0.1", name)
+		}
+		// APAX's defining fixed-rate property.
+		if cr := row["apax-4"].CR; cr < 0.24 || cr > 0.30 {
+			t.Errorf("%s: apax-4 CR = %v, want ≈ 0.25", name, cr)
+		}
+		if cr := row["apax-2"].CR; cr < 0.49 || cr > 0.55 {
+			t.Errorf("%s: apax-2 CR = %v, want ≈ 0.50", name, cr)
+		}
+	}
+}
+
+func TestTable6PassOrdering(t *testing.T) {
+	r := sharedRunner(t)
+	t6, err := r.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := t6.Passes()
+	// Conservative variants must pass at least as often as aggressive ones.
+	if passes["apax-2"].All < passes["apax-5"].All {
+		t.Errorf("apax-2 (%d) fewer passes than apax-5 (%d)", passes["apax-2"].All, passes["apax-5"].All)
+	}
+	if passes["fpzip-24"].All < passes["fpzip-16"].All {
+		t.Errorf("fpzip-24 fewer passes than fpzip-16")
+	}
+	if passes["isa-0.1"].All < passes["isa-1"].All {
+		t.Errorf("isa-0.1 fewer passes than isa-1.0")
+	}
+	// The 'all' column can never exceed any individual column.
+	for v, pc := range passes {
+		for _, col := range []int{pc.Rho, pc.RMSZ, pc.Enmax, pc.Bias} {
+			if pc.All > col {
+				t.Errorf("%s: all=%d exceeds a sub-test count %d", v, pc.All, col)
+			}
+		}
+	}
+}
+
+func TestThresholdSweepMonotone(t *testing.T) {
+	r := sharedRunner(t)
+	t6, err := r.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := r.Cfg.Thr
+	strict := def
+	strict.RMSZDiff /= 2
+	strict.EnmaxRatio /= 2
+	strict.SlopeDistance /= 2
+	strict.Correlation = 1 - (1-def.Correlation)/2
+	loose := def
+	loose.RMSZDiff *= 4
+	loose.EnmaxRatio *= 4
+	loose.SlopeDistance *= 4
+	loose.Correlation = 1 - (1-def.Correlation)*4
+	ps := t6.PassesAt(strict)
+	pd := t6.PassesAt(def)
+	pl := t6.PassesAt(loose)
+	for _, v := range t6.Variants {
+		if !(ps[v].All <= pd[v].All && pd[v].All <= pl[v].All) {
+			t.Fatalf("%s: pass counts not monotone in thresholds: %d, %d, %d",
+				v, ps[v].All, pd[v].All, pl[v].All)
+		}
+	}
+	// Default-threshold re-derivation must agree with the stored flags on
+	// the 'all' column.
+	stored := t6.Passes()
+	for _, v := range t6.Variants {
+		if pd[v].All != stored[v].All {
+			t.Fatalf("%s: re-derived all=%d differs from stored %d", v, pd[v].All, stored[v].All)
+		}
+	}
+}
+
+func TestHybridCompositionSumsToCatalog(t *testing.T) {
+	r := sharedRunner(t)
+	byFam, err := r.hybridChoices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam, choices := range byFam {
+		if len(choices) != len(r.Catalog) {
+			t.Errorf("%s: %d choices for %d variables", fam, len(choices), len(r.Catalog))
+		}
+		for _, c := range choices {
+			if c.Variant == "" {
+				t.Errorf("%s: empty variant for %s", fam, c.Variable)
+			}
+			if !c.Outcome.Pass && !c.Fallback {
+				t.Errorf("%s: non-passing non-fallback choice for %s", fam, c.Variable)
+			}
+		}
+	}
+}
+
+func TestAllRunnersProduceOutput(t *testing.T) {
+	r := sharedRunner(t)
+	t.Run("static", func(t *testing.T) {
+		if Table1() == "" {
+			t.Fatal("empty table 1")
+		}
+	})
+	funcs := map[string]func() (string, error){
+		"table2": r.Table2, "table3": r.Table3, "table4": r.Table4,
+		"table5": r.Table5, "table6": r.Table6, "table7": r.Table7,
+		"table8": r.Table8, "fig1": r.Fig1, "fig2": r.Fig2,
+		"fig3": r.Fig3, "fig4": r.Fig4, "ssim": r.SSIMReport,
+		"gradient": r.GradientReport, "restart": r.RestartReport,
+		"characterize": r.CharacterizeReport, "portverify": r.PortVerifyReport,
+		"analysis": r.AnalysisReport, "thresholds": r.ThresholdSweep,
+	}
+	for name, fn := range funcs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			out, err := fn()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(out) < 50 {
+				t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+			}
+		})
+	}
+}
+
+func TestRunnerRestrictsCatalog(t *testing.T) {
+	r := sharedRunner(t)
+	if len(r.Catalog) != 6 {
+		t.Fatalf("catalog restricted to %d variables, want 6", len(r.Catalog))
+	}
+	if _, err := r.varIndex("PS"); err == nil {
+		t.Fatal("PS should not be in the restricted catalog")
+	}
+}
+
+func TestTable6Cached(t *testing.T) {
+	r := sharedRunner(t)
+	a, err := r.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("RunTable6 not cached")
+	}
+}
+
+func TestZlibFloat64RoundTrip(t *testing.T) {
+	data := []float64{0, 1.5, -2.25, 1e300, -5e-324, 3.141592653589793}
+	buf, err := zlibFloat64(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unzlibFloat64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range data {
+		if got[i] != data[i] && !(got[i] != got[i] && data[i] != data[i]) {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], data[i])
+		}
+	}
+	if _, err := unzlibFloat64(buf[:4]); err == nil {
+		t.Fatal("truncated buffer should error")
+	}
+}
+
+func TestRestartReportLosslessRows(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.RestartReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fpzip64-64") || !strings.Contains(out, "yes") {
+		t.Fatalf("restart report missing lossless rows:\n%s", out)
+	}
+	// Every fpzip64-64 row must be lossless.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "fpzip64-64") && !strings.Contains(line, "yes") {
+			t.Fatalf("fpzip64-64 row not lossless: %q", line)
+		}
+	}
+}
+
+func TestGrib2TunedPerVariable(t *testing.T) {
+	// GRIB2's decimal scale factor must differ between a huge-magnitude
+	// variable (Z3) and a small one (CCN3) — the per-variable customization
+	// the paper describes.
+	r := sharedRunner(t)
+	vsZ3, err := r.VarStatsFor("Z3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsU, err := r.VarStatsFor("U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tZ3 := grib2AbsTarget(vsZ3, 0)
+	tU := grib2AbsTarget(vsU, 0)
+	if tZ3 <= tU {
+		t.Fatalf("Z3 abs target %v should exceed U's %v (larger spread)", tZ3, tU)
+	}
+}

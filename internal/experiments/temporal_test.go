@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/compress/fpzip"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/varcatalog"
+)
+
+// TestTemporalCompressionBenefit demonstrates why the §1 workflow converts
+// time slices into per-variable time series before compressing: when the
+// time dimension folds into the codec's level dimension, fpzip's
+// level-adjacent prediction exploits temporal correlation, so a correlated
+// series compresses better than the same slices compressed independently.
+func TestTemporalCompressionBenefit(t *testing.T) {
+	const slices = 6
+	cfg := l96.EnsembleConfig{
+		Members: 1, Dt: 0.002, SpinupSteps: 1500, DivergeSteps: 6000,
+		CalibSteps: 3000, Eps: 1e-14,
+		TimeSlices: slices, SliceSteps: 100, // 0.2 time units: strongly correlated
+	}
+	ens := l96.NewEnsemble(l96.DefaultParams(), cfg)
+	g := grid.Test()
+	gen := model.NewGenerator(g, varcatalog.Default(), ens)
+	_, idx, _ := varcatalog.ByName(gen.Catalog, "TS") // smooth 2-D variable
+
+	perSlice := g.Horizontal()
+	series := make([]float32, 0, slices*perSlice)
+	for ts := 0; ts < slices; ts++ {
+		series = append(series, gen.FieldAt(idx, 0, ts).Data...)
+	}
+
+	codec := fpzip.New(24)
+	// Time folded into the level dimension: prediction crosses slices.
+	folded := compress.Shape{NLev: slices, NLat: g.NLat, NLon: g.NLon}
+	foldedBuf, err := codec.Compress(series, folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each slice compressed independently.
+	var separate int
+	sliceShape := compress.Shape{NLev: 1, NLat: g.NLat, NLon: g.NLon}
+	for ts := 0; ts < slices; ts++ {
+		buf, err := codec.Compress(series[ts*perSlice:(ts+1)*perSlice], sliceShape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate += len(buf)
+	}
+
+	if len(foldedBuf) >= separate {
+		t.Fatalf("series compression (%d bytes) did not beat per-slice (%d bytes)",
+			len(foldedBuf), separate)
+	}
+
+	// And the round trip must still be within fpzip-24's bound.
+	out, err := codec.Decompress(foldedBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(series) {
+		t.Fatalf("series length %d, want %d", len(out), len(series))
+	}
+}

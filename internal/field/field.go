@@ -1,0 +1,161 @@
+// Package field defines the in-memory representation of one variable's data
+// on a grid: a flat float32 slice with an optional fill (missing/special)
+// value, mirroring how CESM history variables are stored in NetCDF. The
+// paper's POP2 example uses 1e35 for undefined ocean points; we use the same
+// sentinel.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"climcompress/internal/grid"
+)
+
+// DefaultFill matches the CESM convention for special values.
+const DefaultFill float32 = 1e35
+
+// Field is one variable's data for one time slice.
+type Field struct {
+	Name  string
+	Units string
+	Grid  *grid.Grid
+	NLev  int // 1 for 2-D variables, Grid.NLev for 3-D
+	Data  []float32
+
+	HasFill bool
+	Fill    float32
+}
+
+// New allocates a zeroed field. threeD selects Grid.NLev levels.
+func New(name, units string, g *grid.Grid, threeD bool) *Field {
+	nlev := 1
+	if threeD {
+		nlev = g.NLev
+	}
+	return &Field{
+		Name:  name,
+		Units: units,
+		Grid:  g,
+		NLev:  nlev,
+		Data:  make([]float32, nlev*g.Horizontal()),
+		Fill:  DefaultFill,
+	}
+}
+
+// Len returns the number of stored points.
+func (f *Field) Len() int { return len(f.Data) }
+
+// ThreeD reports whether the field has more than one level.
+func (f *Field) ThreeD() bool { return f.NLev > 1 }
+
+// At returns the value at (lev, lat, lon).
+func (f *Field) At(lev, lat, lon int) float32 {
+	return f.Data[(lev*f.Grid.NLat+lat)*f.Grid.NLon+lon]
+}
+
+// Set stores v at (lev, lat, lon).
+func (f *Field) Set(lev, lat, lon int, v float32) {
+	f.Data[(lev*f.Grid.NLat+lat)*f.Grid.NLon+lon] = v
+}
+
+// IsFill reports whether the value at flat index i is the fill sentinel.
+func (f *Field) IsFill(i int) bool { return f.HasFill && f.Data[i] == f.Fill }
+
+// Clone returns a deep copy sharing the grid.
+func (f *Field) Clone() *Field {
+	c := *f
+	c.Data = make([]float32, len(f.Data))
+	copy(c.Data, f.Data)
+	return &c
+}
+
+// Summary holds the paper's §4.1 characterization of a dataset: extremes,
+// mean, standard deviation and range, all computed over non-fill points.
+type Summary struct {
+	Min, Max   float64
+	Mean, Std  float64
+	Range      float64
+	N          int // valid points
+	FillPoints int
+}
+
+// Summarize computes the §4.1 statistics of the field.
+func (f *Field) Summarize() Summary {
+	var (
+		s   Summary
+		sum float64
+		min = math.Inf(1)
+		max = math.Inf(-1)
+	)
+	for i, v := range f.Data {
+		if f.IsFill(i) {
+			s.FillPoints++
+			continue
+		}
+		x := float64(v)
+		sum += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		s.N++
+	}
+	if s.N == 0 {
+		nan := math.NaN()
+		return Summary{Min: nan, Max: nan, Mean: nan, Std: nan, Range: nan, FillPoints: s.FillPoints}
+	}
+	s.Min, s.Max = min, max
+	s.Range = max - min
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for i, v := range f.Data {
+		if f.IsFill(i) {
+			continue
+		}
+		d := float64(v) - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	} else {
+		s.Std = 0
+	}
+	return s
+}
+
+// GlobalMean returns the area-weighted global mean over non-fill points,
+// averaged across levels — the quantity the CESM-PVT compares for range
+// shifts (§4.3).
+func (f *Field) GlobalMean() float64 {
+	w := f.Grid.AreaWeights()
+	var sum, wsum float64
+	for lev := 0; lev < f.NLev; lev++ {
+		for lat := 0; lat < f.Grid.NLat; lat++ {
+			base := (lev*f.Grid.NLat + lat) * f.Grid.NLon
+			for lon := 0; lon < f.Grid.NLon; lon++ {
+				i := base + lon
+				if f.IsFill(i) {
+					continue
+				}
+				sum += w[lat] * float64(f.Data[i])
+				wsum += w[lat]
+			}
+		}
+	}
+	if wsum == 0 {
+		return math.NaN()
+	}
+	return sum / wsum
+}
+
+// CheckCompatible verifies that g has the same shape as f, for pairing
+// original and reconstructed data.
+func (f *Field) CheckCompatible(data []float32) error {
+	if len(data) != len(f.Data) {
+		return fmt.Errorf("field %s: length mismatch: %d vs %d", f.Name, len(f.Data), len(data))
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"climcompress/internal/grid"
+)
+
+func TestNewShapes(t *testing.T) {
+	g := grid.Test()
+	f2 := New("TS", "K", g, false)
+	if f2.Len() != g.Horizontal() || f2.ThreeD() {
+		t.Fatalf("2-D field wrong shape: len=%d", f2.Len())
+	}
+	f3 := New("T", "K", g, true)
+	if f3.Len() != g.Size3D() || !f3.ThreeD() {
+		t.Fatalf("3-D field wrong shape: len=%d", f3.Len())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	g := grid.Test()
+	f := New("T", "K", g, true)
+	f.Set(2, 3, 5, 42.5)
+	if got := f.At(2, 3, 5); got != 42.5 {
+		t.Fatalf("At = %v", got)
+	}
+	if f.Data[g.Index(2, 3, 5)] != 42.5 {
+		t.Fatal("Set/Index disagree")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := grid.Test()
+	f := New("X", "1", g, false)
+	for i := range f.Data {
+		f.Data[i] = float32(i % 10)
+	}
+	s := f.Summarize()
+	if s.Min != 0 || s.Max != 9 || s.Range != 9 {
+		t.Fatalf("summary extremes wrong: %+v", s)
+	}
+	var want float64
+	for i := range f.Data {
+		want += float64(i % 10)
+	}
+	want /= float64(f.Len())
+	if math.Abs(s.Mean-want) > 1e-6 {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	if s.N != f.Len() || s.FillPoints != 0 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+}
+
+func TestSummarizeSkipsFill(t *testing.T) {
+	g := grid.Test()
+	f := New("SST", "K", g, false)
+	f.HasFill = true
+	for i := range f.Data {
+		f.Data[i] = 10
+	}
+	f.Data[0] = f.Fill
+	f.Data[1] = f.Fill
+	f.Data[2] = 20
+	s := f.Summarize()
+	if s.FillPoints != 2 {
+		t.Fatalf("FillPoints = %d", s.FillPoints)
+	}
+	if s.Max != 20 || s.Min != 10 {
+		t.Fatalf("fill leaked into extremes: %+v", s)
+	}
+	if s.N != f.Len()-2 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestSummarizeAllFill(t *testing.T) {
+	g := grid.Test()
+	f := New("SST", "K", g, false)
+	f.HasFill = true
+	for i := range f.Data {
+		f.Data[i] = f.Fill
+	}
+	s := f.Summarize()
+	if !math.IsNaN(s.Mean) || s.N != 0 {
+		t.Fatalf("all-fill summary should be NaN: %+v", s)
+	}
+}
+
+func TestGlobalMeanConstantField(t *testing.T) {
+	g := grid.Small()
+	f := New("TS", "K", g, true)
+	for i := range f.Data {
+		f.Data[i] = 288
+	}
+	if gm := f.GlobalMean(); math.Abs(gm-288) > 1e-9 {
+		t.Fatalf("GlobalMean = %v, want 288", gm)
+	}
+}
+
+func TestGlobalMeanWeighting(t *testing.T) {
+	g := grid.Small()
+	f := New("TS", "K", g, false)
+	// 1 at the equator-most rows, 0 elsewhere: weighted mean must exceed
+	// the unweighted fraction of ones.
+	ones := 0
+	for lat := 0; lat < g.NLat; lat++ {
+		v := float32(0)
+		if lat == g.NLat/2 || lat == g.NLat/2-1 {
+			v = 1
+			ones++
+		}
+		for lon := 0; lon < g.NLon; lon++ {
+			f.Set(0, lat, lon, v)
+		}
+	}
+	unweighted := float64(ones) / float64(g.NLat)
+	if gm := f.GlobalMean(); gm <= unweighted {
+		t.Fatalf("GlobalMean %v should exceed unweighted %v for equatorial signal", gm, unweighted)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := grid.Test()
+	f := New("T", "K", g, false)
+	f.Data[0] = 1
+	c := f.Clone()
+	c.Data[0] = 2
+	if f.Data[0] != 1 {
+		t.Fatal("Clone shares data")
+	}
+}
+
+func TestCheckCompatible(t *testing.T) {
+	g := grid.Test()
+	f := New("T", "K", g, false)
+	if err := f.CheckCompatible(make([]float32, f.Len())); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := f.CheckCompatible(make([]float32, f.Len()+1)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

@@ -1,0 +1,108 @@
+// Package grid defines the lat–lon–level grids on which synthetic climate
+// fields are generated. The paper's CAM runs use a spectral-element ne30
+// grid with 48,602 horizontal columns and 30 levels; we model it with a
+// regular latitude–longitude grid of equivalent size and provide smaller
+// presets so the full 101-member experiment suite runs on a laptop.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a regular latitude–longitude grid with NLev vertical levels.
+// Horizontal storage order is latitude-major: index = lat*NLon + lon.
+// 3-D fields are level-major: index = lev*NLat*NLon + lat*NLon + lon.
+type Grid struct {
+	Name string
+	NLat int
+	NLon int
+	NLev int
+
+	Lats []float64 // cell-center latitudes, degrees, south to north
+	Lons []float64 // cell-center longitudes, degrees, 0 .. 360
+	Levs []float64 // nominal mid-level pressures, hPa, top to bottom
+}
+
+// New constructs a grid with equally spaced cell centers.
+func New(name string, nlat, nlon, nlev int) *Grid {
+	if nlat < 2 || nlon < 2 || nlev < 1 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%dx%d", nlat, nlon, nlev))
+	}
+	g := &Grid{Name: name, NLat: nlat, NLon: nlon, NLev: nlev}
+	g.Lats = make([]float64, nlat)
+	dlat := 180.0 / float64(nlat)
+	for i := range g.Lats {
+		g.Lats[i] = -90 + dlat*(float64(i)+0.5)
+	}
+	g.Lons = make([]float64, nlon)
+	dlon := 360.0 / float64(nlon)
+	for i := range g.Lons {
+		g.Lons[i] = dlon * float64(i)
+	}
+	g.Levs = make([]float64, nlev)
+	// Roughly hybrid-sigma mid-level pressures from ~3 hPa to ~993 hPa.
+	for k := range g.Levs {
+		frac := (float64(k) + 0.5) / float64(nlev)
+		g.Levs[k] = 3 + 990*frac*frac // quadratic spacing, denser aloft
+	}
+	return g
+}
+
+// Horizontal returns the number of horizontal columns (NLat × NLon).
+func (g *Grid) Horizontal() int { return g.NLat * g.NLon }
+
+// Size3D returns the number of points in a 3-D field.
+func (g *Grid) Size3D() int { return g.NLev * g.NLat * g.NLon }
+
+// Index returns the flat index of (lev, lat, lon).
+func (g *Grid) Index(lev, lat, lon int) int {
+	return (lev*g.NLat+lat)*g.NLon + lon
+}
+
+// AreaWeights returns per-latitude cos(φ) quadrature weights normalized to
+// sum to 1 over the horizontal grid; used for area-weighted global means.
+func (g *Grid) AreaWeights() []float64 {
+	w := make([]float64, g.NLat)
+	var sum float64
+	for i, lat := range g.Lats {
+		w[i] = math.Cos(lat * math.Pi / 180)
+		sum += w[i]
+	}
+	norm := 1 / (sum * float64(g.NLon))
+	for i := range w {
+		w[i] *= norm
+	}
+	return w
+}
+
+func (g *Grid) String() string {
+	return fmt.Sprintf("%s (%d×%d×%d = %d columns × %d levels)",
+		g.Name, g.NLat, g.NLon, g.NLev, g.Horizontal(), g.NLev)
+}
+
+// Presets. NE30 approximates the paper's 48,602-column, 30-level grid
+// (162 × 300 = 48,600 columns). Bench is the default for the error-metric
+// experiments; Small is the default for the 101-member ensemble experiments;
+// Test keeps unit tests fast.
+var (
+	Test  = func() *Grid { return New("test", 8, 16, 4) }
+	Small = func() *Grid { return New("small", 24, 48, 8) }
+	Bench = func() *Grid { return New("bench", 72, 144, 16) }
+	NE30  = func() *Grid { return New("ne30", 162, 300, 30) }
+)
+
+// ByName resolves a preset name; it returns nil for unknown names.
+func ByName(name string) *Grid {
+	switch name {
+	case "test":
+		return Test()
+	case "small":
+		return Small()
+	case "bench":
+		return Bench()
+	case "ne30":
+		return NE30()
+	}
+	return nil
+}

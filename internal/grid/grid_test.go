@@ -1,0 +1,100 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		name string
+		hor  int
+		lev  int
+	}{
+		{"test", 128, 4},
+		{"small", 1152, 8},
+		{"bench", 10368, 16},
+		{"ne30", 48600, 30},
+	}
+	for _, c := range cases {
+		g := ByName(c.name)
+		if g == nil {
+			t.Fatalf("preset %q missing", c.name)
+		}
+		if g.Horizontal() != c.hor {
+			t.Errorf("%s: horizontal = %d, want %d", c.name, g.Horizontal(), c.hor)
+		}
+		if g.NLev != c.lev {
+			t.Errorf("%s: nlev = %d, want %d", c.name, g.NLev, c.lev)
+		}
+		if g.Size3D() != c.hor*c.lev {
+			t.Errorf("%s: Size3D inconsistent", c.name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown preset should return nil")
+	}
+}
+
+func TestCoordinates(t *testing.T) {
+	g := New("t", 10, 20, 5)
+	if len(g.Lats) != 10 || len(g.Lons) != 20 || len(g.Levs) != 5 {
+		t.Fatal("coordinate slices wrong length")
+	}
+	if g.Lats[0] >= g.Lats[9] {
+		t.Error("lats not ascending")
+	}
+	if g.Lats[0] < -90 || g.Lats[9] > 90 {
+		t.Error("lats out of range")
+	}
+	if g.Lons[0] != 0 || g.Lons[19] >= 360 {
+		t.Error("lons out of range")
+	}
+	for k := 1; k < 5; k++ {
+		if g.Levs[k] <= g.Levs[k-1] {
+			t.Error("levels not increasing in pressure")
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	g := New("t", 4, 6, 3)
+	seen := map[int]bool{}
+	for lev := 0; lev < 3; lev++ {
+		for lat := 0; lat < 4; lat++ {
+			for lon := 0; lon < 6; lon++ {
+				i := g.Index(lev, lat, lon)
+				if i < 0 || i >= g.Size3D() {
+					t.Fatalf("index out of bounds: %d", i)
+				}
+				if seen[i] {
+					t.Fatalf("duplicate index %d", i)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+func TestAreaWeightsNormalized(t *testing.T) {
+	g := New("t", 32, 64, 4)
+	w := g.AreaWeights()
+	var sum float64
+	for _, wi := range w {
+		sum += wi * float64(g.NLon)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// Equator rows must outweigh polar rows.
+	if w[16] <= w[0] {
+		t.Error("equatorial weight not larger than polar")
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	g := Bench()
+	if got := g.String(); got == "" || g.Name != "bench" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package hybrid implements the paper's §5.4 per-variable customization:
+// for each method family, pick for every variable the most aggressive
+// variant that passes all four verification tests, falling back to a
+// lossless option when none does (fpzip falls back to its own fpzip-32;
+// ISABELA and GRIB2 cannot run losslessly, so they — like APAX, whose
+// lossless mode excludes 64-bit data — fall back to NetCDF-4 compression).
+// The resulting per-family hybrids are the rows of Tables 7 and 8.
+package hybrid
+
+import (
+	"math"
+)
+
+// Family is one method family's ordered variants.
+type Family struct {
+	Name string
+	// Variants are codec registry names ordered most aggressive (best
+	// compression, worst quality) first — the order the paper's selection
+	// walks.
+	Variants []string
+	// Fallback is the lossless codec used when no variant passes.
+	Fallback string
+}
+
+// StudyFamilies returns the four families of the paper with their
+// fallbacks (Table 8's variant lists).
+func StudyFamilies() []Family {
+	return []Family{
+		{Name: "GRIB2", Variants: []string{"grib2"}, Fallback: "nc"},
+		{Name: "ISABELA", Variants: []string{"isa-1", "isa-0.5", "isa-0.1"}, Fallback: "nc"},
+		{Name: "fpzip", Variants: []string{"fpzip-16", "fpzip-24"}, Fallback: "fpzip-32"},
+		{Name: "APAX", Variants: []string{"apax-5", "apax-4", "apax-2"}, Fallback: "nc"},
+	}
+}
+
+// Outcome is the verification result of one codec variant on one variable.
+type Outcome struct {
+	Pass  bool
+	CR    float64
+	Rho   float64
+	NRMSE float64
+	Enmax float64
+}
+
+// Choice is the selected variant for one variable.
+type Choice struct {
+	Variable string
+	Variant  string
+	Fallback bool // true when the lossless fallback was selected
+	Outcome  Outcome
+}
+
+// Select walks the family's variants in order and returns the first that
+// passes; fallbackOutcome describes the lossless fallback (Pass is
+// ignored — lossless always "passes").
+func Select(variable string, fam Family, outcomes map[string]Outcome, fallbackOutcome Outcome) Choice {
+	for _, v := range fam.Variants {
+		if o, ok := outcomes[v]; ok && o.Pass {
+			return Choice{Variable: variable, Variant: v, Outcome: o}
+		}
+	}
+	fallbackOutcome.Pass = true
+	return Choice{Variable: variable, Variant: fam.Fallback, Fallback: true, Outcome: fallbackOutcome}
+}
+
+// Summary aggregates a family's choices into a Table 7 row set.
+type Summary struct {
+	AvgCR, BestCR, WorstCR float64
+	AvgRho                 float64
+	AvgNRMSE, AvgEnmax     float64
+	Variables              int
+}
+
+// Summarize computes the Table 7 statistics over all variables' choices.
+// NaN metric values (e.g. ρ of a constant field) are skipped in averages.
+func Summarize(choices []Choice) Summary {
+	s := Summary{BestCR: math.Inf(1), WorstCR: math.Inf(-1)}
+	var crSum, rhoSum, nrmseSum, enmaxSum float64
+	var rhoN, errN int
+	for _, c := range choices {
+		o := c.Outcome
+		crSum += o.CR
+		if o.CR < s.BestCR {
+			s.BestCR = o.CR
+		}
+		if o.CR > s.WorstCR {
+			s.WorstCR = o.CR
+		}
+		if !math.IsNaN(o.Rho) {
+			rhoSum += o.Rho
+			rhoN++
+		}
+		if !math.IsNaN(o.NRMSE) && !math.IsInf(o.NRMSE, 0) {
+			nrmseSum += o.NRMSE
+			enmaxSum += o.Enmax
+			errN++
+		}
+		s.Variables++
+	}
+	if s.Variables > 0 {
+		s.AvgCR = crSum / float64(s.Variables)
+	}
+	if rhoN > 0 {
+		s.AvgRho = rhoSum / float64(rhoN)
+	}
+	if errN > 0 {
+		s.AvgNRMSE = nrmseSum / float64(errN)
+		s.AvgEnmax = enmaxSum / float64(errN)
+	}
+	return s
+}
+
+// Composition counts how many variables use each variant (Table 8).
+func Composition(choices []Choice) map[string]int {
+	out := make(map[string]int)
+	for _, c := range choices {
+		out[c.Variant]++
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudyFamilies(t *testing.T) {
+	fams := StudyFamilies()
+	if len(fams) != 4 {
+		t.Fatalf("%d families, want 4", len(fams))
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		if f.Fallback == "" || len(f.Variants) == 0 {
+			t.Fatalf("family %s incomplete", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	// fpzip falls back to its own lossless mode; the others need NetCDF-4.
+	if byName["fpzip"].Fallback != "fpzip-32" {
+		t.Errorf("fpzip fallback = %s", byName["fpzip"].Fallback)
+	}
+	for _, name := range []string{"GRIB2", "ISABELA", "APAX"} {
+		if byName[name].Fallback != "nc" {
+			t.Errorf("%s fallback = %s, want nc", name, byName[name].Fallback)
+		}
+	}
+	// Variants ordered most aggressive first.
+	if byName["fpzip"].Variants[0] != "fpzip-16" {
+		t.Error("fpzip variants not ordered most aggressive first")
+	}
+	if byName["APAX"].Variants[0] != "apax-5" {
+		t.Error("APAX variants not ordered most aggressive first")
+	}
+}
+
+func TestSelectPicksFirstPassing(t *testing.T) {
+	fam := Family{Name: "APAX", Variants: []string{"apax-5", "apax-4", "apax-2"}, Fallback: "nc"}
+	outcomes := map[string]Outcome{
+		"apax-5": {Pass: false, CR: 0.2},
+		"apax-4": {Pass: true, CR: 0.25, Rho: 0.999999},
+		"apax-2": {Pass: true, CR: 0.5, Rho: 1},
+	}
+	c := Select("T", fam, outcomes, Outcome{CR: 0.6, Rho: 1})
+	if c.Variant != "apax-4" || c.Fallback {
+		t.Fatalf("selected %+v", c)
+	}
+}
+
+func TestSelectFallsBack(t *testing.T) {
+	fam := Family{Name: "ISABELA", Variants: []string{"isa-1", "isa-0.5", "isa-0.1"}, Fallback: "nc"}
+	outcomes := map[string]Outcome{
+		"isa-1":   {Pass: false},
+		"isa-0.5": {Pass: false},
+		"isa-0.1": {Pass: false},
+	}
+	c := Select("Z3", fam, outcomes, Outcome{CR: 0.58, Rho: 1})
+	if !c.Fallback || c.Variant != "nc" {
+		t.Fatalf("expected fallback, got %+v", c)
+	}
+	if c.Outcome.CR != 0.58 || !c.Outcome.Pass {
+		t.Fatalf("fallback outcome %+v", c.Outcome)
+	}
+}
+
+func TestSelectMissingOutcomeSkipped(t *testing.T) {
+	fam := Family{Name: "fpzip", Variants: []string{"fpzip-16", "fpzip-24"}, Fallback: "fpzip-32"}
+	outcomes := map[string]Outcome{
+		"fpzip-24": {Pass: true, CR: 0.3},
+	}
+	c := Select("U", fam, outcomes, Outcome{CR: 0.5})
+	if c.Variant != "fpzip-24" {
+		t.Fatalf("missing variant should be skipped: %+v", c)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	choices := []Choice{
+		{Variable: "A", Variant: "x", Outcome: Outcome{CR: 0.2, Rho: 1, NRMSE: 1e-5, Enmax: 1e-4}},
+		{Variable: "B", Variant: "x", Outcome: Outcome{CR: 0.4, Rho: 0.99999, NRMSE: 3e-5, Enmax: 3e-4}},
+		{Variable: "C", Variant: "nc", Outcome: Outcome{CR: 0.6, Rho: 1, NRMSE: 0, Enmax: 0}},
+	}
+	s := Summarize(choices)
+	if math.Abs(s.AvgCR-0.4) > 1e-12 {
+		t.Fatalf("AvgCR = %v", s.AvgCR)
+	}
+	if s.BestCR != 0.2 || s.WorstCR != 0.6 {
+		t.Fatalf("best/worst CR = %v/%v", s.BestCR, s.WorstCR)
+	}
+	if s.Variables != 3 {
+		t.Fatalf("Variables = %d", s.Variables)
+	}
+	wantNRMSE := (1e-5 + 3e-5 + 0) / 3
+	if math.Abs(s.AvgNRMSE-wantNRMSE) > 1e-18 {
+		t.Fatalf("AvgNRMSE = %v, want %v", s.AvgNRMSE, wantNRMSE)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	choices := []Choice{
+		{Outcome: Outcome{CR: 0.5, Rho: math.NaN(), NRMSE: math.NaN(), Enmax: math.NaN()}},
+		{Outcome: Outcome{CR: 0.3, Rho: 1, NRMSE: 1e-5, Enmax: 1e-4}},
+	}
+	s := Summarize(choices)
+	if math.IsNaN(s.AvgRho) || math.Abs(s.AvgRho-1) > 1e-12 {
+		t.Fatalf("AvgRho = %v", s.AvgRho)
+	}
+	if math.IsNaN(s.AvgNRMSE) {
+		t.Fatal("AvgNRMSE is NaN")
+	}
+}
+
+func TestComposition(t *testing.T) {
+	choices := []Choice{
+		{Variant: "apax-5"}, {Variant: "apax-5"}, {Variant: "apax-2"}, {Variant: "nc"},
+	}
+	comp := Composition(choices)
+	if comp["apax-5"] != 2 || comp["apax-2"] != 1 || comp["nc"] != 1 {
+		t.Fatalf("composition %v", comp)
+	}
+	total := 0
+	for _, n := range comp {
+		total += n
+	}
+	if total != len(choices) {
+		t.Fatal("composition does not sum to variable count")
+	}
+}

@@ -1,0 +1,170 @@
+package l96
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// EnsembleConfig controls the generation of a perturbation ensemble.
+type EnsembleConfig struct {
+	Members      int     // number of trajectories (the paper uses 101)
+	Dt           float64 // RK4 step size
+	SpinupSteps  int     // shared steps to reach the attractor before perturbing
+	DivergeSteps int     // per-member steps after the perturbation ("one year")
+	CalibSteps   int     // control-run steps used to calibrate attractor stats
+	Eps          float64 // base perturbation magnitude (paper: O(1e-14))
+	Workers      int     // parallel workers; 0 means GOMAXPROCS
+
+	// TimeSlices > 1 records a sequence of states per member after the
+	// divergence phase, SliceSteps integration steps apart, enabling
+	// temporally correlated "history file" sequences (the paper's
+	// time-slice-to-time-series workflow). Defaults to a single slice.
+	TimeSlices int
+	SliceSteps int
+}
+
+// DefaultEnsembleConfig mirrors the CESM-PVT setup: 101 members, O(1e-14)
+// initial perturbation, integrated long enough that members fully
+// decorrelate (perturbation growth e^{λt} with λ≈1.7 reaches O(1) well
+// before 30 model time units).
+func DefaultEnsembleConfig(members int) EnsembleConfig {
+	return EnsembleConfig{
+		Members:      members,
+		Dt:           0.002,
+		SpinupSteps:  5000,
+		DivergeSteps: 15000,
+		CalibSteps:   20000,
+		Eps:          1e-14,
+		Workers:      0,
+	}
+}
+
+// Member is the decorrelated end state of one ensemble trajectory.
+// For multi-slice configurations, X and Key describe the first slice and
+// Series/SeriesKeys hold the full temporal sequence.
+type Member struct {
+	X   []float64 // slow variables at the first recorded slice
+	Key uint64    // deterministic hash of that state
+
+	Series     [][]float64 // per-slice slow variables (len TimeSlices)
+	SeriesKeys []uint64    // per-slice state hashes
+}
+
+// Ensemble is the set of decorrelated members plus the attractor
+// standardization constants used to turn slow variables into unit-variance
+// anomaly-mode weights.
+type Ensemble struct {
+	Members []Member
+	MeanX   float64 // attractor time-mean of X_k
+	StdX    float64 // attractor time-std of X_k
+}
+
+// NewEnsemble integrates cfg.Members trajectories of the two-scale
+// Lorenz-96 model. Member m's initial condition differs from the base state
+// only by cfg.Eps·m added to X_0 (member 0 is unperturbed). The shared
+// spin-up and the calibration control run are computed once.
+func NewEnsemble(p Params, cfg EnsembleConfig) *Ensemble {
+	base := New(p)
+	s0 := base.InitialState(0)
+	base.Run(s0, cfg.Dt, cfg.SpinupSteps)
+
+	// Calibrate attractor statistics from a control run continuing s0.
+	calib := New(p)
+	cs := s0.Clone()
+	var n int
+	var sum, sumsq float64
+	for i := 0; i < cfg.CalibSteps; i++ {
+		calib.Step(cs, cfg.Dt)
+		if i%10 == 0 {
+			for _, x := range cs.X {
+				sum += x
+				sumsq += x * x
+				n++
+			}
+		}
+	}
+	meanX := sum / float64(n)
+	varX := sumsq/float64(n) - meanX*meanX
+	if varX < 1e-12 {
+		varX = 1e-12
+	}
+
+	e := &Ensemble{Members: make([]Member, cfg.Members), MeanX: meanX}
+	e.StdX = math.Sqrt(varX)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Members {
+		workers = cfg.Members
+	}
+	slices := cfg.TimeSlices
+	if slices < 1 {
+		slices = 1
+	}
+	sliceSteps := cfg.SliceSteps
+	if sliceSteps < 1 {
+		sliceSteps = 250
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := New(p)
+			for idx := range next {
+				s := s0.Clone()
+				s.X[0] += cfg.Eps * float64(idx)
+				m.Run(s, cfg.Dt, cfg.DivergeSteps)
+				mem := Member{
+					Series:     make([][]float64, slices),
+					SeriesKeys: make([]uint64, slices),
+				}
+				for t := 0; t < slices; t++ {
+					if t > 0 {
+						m.Run(s, cfg.Dt, sliceSteps)
+					}
+					x := make([]float64, len(s.X))
+					copy(x, s.X)
+					mem.Series[t] = x
+					mem.SeriesKeys[t] = s.Key()
+				}
+				mem.X = mem.Series[0]
+				mem.Key = mem.SeriesKeys[0]
+				e.Members[idx] = mem
+			}
+		}()
+	}
+	for i := 0; i < cfg.Members; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return e
+}
+
+// Weights returns member m's standardized anomaly-mode weights
+// (X_k − μ)/σ at the first time slice.
+func (e *Ensemble) Weights(m int) []float64 { return e.WeightsAt(m, 0) }
+
+// WeightsAt returns the standardized weights at time slice t.
+func (e *Ensemble) WeightsAt(m, t int) []float64 {
+	x := e.Members[m].Series[t]
+	w := make([]float64, len(x))
+	for k, v := range x {
+		w[k] = (v - e.MeanX) / e.StdX
+	}
+	return w
+}
+
+// TimeSlices returns the number of recorded slices per member.
+func (e *Ensemble) TimeSlices() int {
+	if len(e.Members) == 0 {
+		return 0
+	}
+	return len(e.Members[0].Series)
+}

@@ -1,0 +1,159 @@
+package l96
+
+import (
+	"math"
+	"testing"
+
+	"climcompress/internal/stats"
+)
+
+func testConfig(members int) EnsembleConfig {
+	// Scaled-down integration for unit tests; still long enough to diverge.
+	return EnsembleConfig{
+		Members:      members,
+		Dt:           0.002,
+		SpinupSteps:  1500,
+		DivergeSteps: 12000,
+		CalibSteps:   4000,
+		Eps:          1e-14,
+		Workers:      0,
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	s1 := m.InitialState(0)
+	s2 := m.InitialState(0)
+	m.Run(s1, 0.002, 500)
+	m2 := New(p)
+	m2.Run(s2, 0.002, 500)
+	for i := range s1.X {
+		if s1.X[i] != s2.X[i] {
+			t.Fatalf("non-deterministic trajectory at X[%d]: %v vs %v", i, s1.X[i], s2.X[i])
+		}
+	}
+}
+
+func TestStaysBounded(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	s := m.InitialState(0)
+	m.Run(s, 0.002, 20000)
+	for i, x := range s.X {
+		if math.IsNaN(x) || math.Abs(x) > 100 {
+			t.Fatalf("trajectory blew up: X[%d] = %v", i, x)
+		}
+	}
+	for i, y := range s.Y {
+		if math.IsNaN(y) || math.Abs(y) > 100 {
+			t.Fatalf("fast variables blew up: Y[%d] = %v", i, y)
+		}
+	}
+}
+
+func TestTinyPerturbationDiverges(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	a := m.InitialState(0)
+	b := m.InitialState(1e-14)
+	m.Run(a, 0.002, 15000)
+	m2 := New(p)
+	m2.Run(b, 0.002, 15000)
+	var dist float64
+	for i := range a.X {
+		d := a.X[i] - b.X[i]
+		dist += d * d
+	}
+	dist = math.Sqrt(dist)
+	if dist < 1 {
+		t.Fatalf("1e-14 perturbation only diverged to distance %v after 30 time units; chaos broken?", dist)
+	}
+}
+
+func TestSameICGivesSameState(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	a := m.InitialState(0)
+	m.Run(a, 0.002, 3000)
+	k1 := a.Key()
+	b := New(p).InitialState(0)
+	New(p).Run(b, 0.002, 3000)
+	if b.Key() != k1 {
+		t.Fatal("identical trajectories produced different keys")
+	}
+	c := New(p).InitialState(1e-14)
+	New(p).Run(c, 0.002, 3000)
+	if c.Key() == k1 {
+		t.Fatal("perturbed trajectory produced identical key")
+	}
+}
+
+func TestEnsembleMembersDecorrelated(t *testing.T) {
+	e := NewEnsemble(DefaultParams(), testConfig(8))
+	if len(e.Members) != 8 {
+		t.Fatalf("got %d members", len(e.Members))
+	}
+	// Pairwise correlation of slow states should be far from 1.
+	for i := 0; i < len(e.Members); i++ {
+		for j := i + 1; j < len(e.Members); j++ {
+			rho := stats.Pearson(e.Members[i].X, e.Members[j].X)
+			if rho > 0.9 {
+				t.Fatalf("members %d,%d still correlated: ρ=%v", i, j, rho)
+			}
+		}
+	}
+	// Keys must be distinct.
+	seen := map[uint64]bool{}
+	for _, m := range e.Members {
+		if seen[m.Key] {
+			t.Fatal("duplicate member key")
+		}
+		seen[m.Key] = true
+	}
+}
+
+func TestEnsembleWeightsStandardized(t *testing.T) {
+	e := NewEnsemble(DefaultParams(), testConfig(12))
+	var all []float64
+	for m := range e.Members {
+		w := e.Weights(m)
+		if len(w) != DefaultParams().K {
+			t.Fatalf("weights length %d", len(w))
+		}
+		all = append(all, w...)
+	}
+	// Standardized weights should be roughly zero-mean, unit-variance.
+	mean := stats.Mean(all)
+	std := stats.StdDev(all)
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("weights mean %v too far from 0", mean)
+	}
+	if std < 0.5 || std > 2 {
+		t.Fatalf("weights std %v too far from 1", std)
+	}
+}
+
+func TestEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg1 := testConfig(5)
+	cfg1.Workers = 1
+	cfg4 := testConfig(5)
+	cfg4.Workers = 4
+	e1 := NewEnsemble(DefaultParams(), cfg1)
+	e4 := NewEnsemble(DefaultParams(), cfg4)
+	for m := range e1.Members {
+		if e1.Members[m].Key != e4.Members[m].Key {
+			t.Fatalf("member %d differs between worker counts", m)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	m := New(DefaultParams())
+	s := m.InitialState(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(s, 0.002)
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+)
+
+// GradientMagnitude computes the centered-difference horizontal gradient
+// magnitude of each rows×cols slab of a (levs, rows, cols) field. One-sided
+// differences are used at the edges; points adjacent to fill values inherit
+// the fill sentinel.
+func GradientMagnitude(data []float32, levs, rows, cols int, fill float32, hasFill bool) []float32 {
+	out := make([]float32, len(data))
+	at := func(base, r, c int) (float32, bool) {
+		v := data[base+r*cols+c]
+		if hasFill && v == fill {
+			return 0, false
+		}
+		return v, true
+	}
+	for lev := 0; lev < levs; lev++ {
+		base := lev * rows * cols
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				idx := base + r*cols + c
+				if hasFill && data[idx] == fill {
+					out[idx] = fill
+					continue
+				}
+				// d/dx along the row.
+				c0, c1 := c-1, c+1
+				if c0 < 0 {
+					c0 = c
+				}
+				if c1 >= cols {
+					c1 = c
+				}
+				x0, ok0 := at(base, r, c0)
+				x1, ok1 := at(base, r, c1)
+				// d/dy along the column.
+				r0, r1 := r-1, r+1
+				if r0 < 0 {
+					r0 = r
+				}
+				if r1 >= rows {
+					r1 = r
+				}
+				y0, ok2 := at(base, r0, c)
+				y1, ok3 := at(base, r1, c)
+				if !ok0 || !ok1 || !ok2 || !ok3 {
+					out[idx] = fill
+					continue
+				}
+				dx := float64(x1-x0) / float64(c1-c0+boolInt(c1 == c0))
+				dy := float64(y1-y0) / float64(r1-r0+boolInt(r1 == r0))
+				out[idx] = float32(math.Sqrt(dx*dx + dy*dy))
+			}
+		}
+	}
+	return out
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GradientCompare evaluates how well a reconstruction preserves horizontal
+// field gradients — the paper's §6 plan ("extend our verification metrics
+// to evaluate the impact of compression ... on field gradients"). It
+// compares the gradient-magnitude fields of original and reconstruction
+// with the standard §4.2 measures.
+func GradientCompare(orig, recon []float32, levs, rows, cols int, fill float32, hasFill bool) Errors {
+	if len(orig) != len(recon) || len(orig) != levs*rows*cols {
+		return Compare(nil, nil, fill, hasFill) // NaN-filled
+	}
+	gFill := fill
+	go1 := GradientMagnitude(orig, levs, rows, cols, fill, hasFill)
+	go2 := GradientMagnitude(recon, levs, rows, cols, fill, hasFill)
+	// Gradient fields mark edge-of-mask points as fill; compare with the
+	// union of both masks by copying orig's fill marks into recon's field.
+	if hasFill {
+		for i := range go1 {
+			if go1[i] == gFill && go2[i] != gFill {
+				go2[i] = gFill
+			}
+			if go2[i] == gFill && go1[i] != gFill {
+				go1[i] = gFill
+			}
+		}
+	}
+	return Compare(go1, go2, gFill, hasFill)
+}

@@ -1,0 +1,194 @@
+// Package metrics implements the paper's §4.2 measures for comparing
+// original and reconstructed datasets — maximum pointwise error, normalized
+// maximum pointwise error (eq. 2), RMSE (eq. 3), NRMSE (eq. 4), PSNR, and
+// the Pearson correlation coefficient (eq. 5) — plus the SSIM image-quality
+// index the paper lists as future work (§6). All measures skip special
+// (fill) values, as the paper prescribes.
+package metrics
+
+import (
+	"math"
+)
+
+// Errors summarizes the §4.2 comparison of a reconstructed dataset with
+// its original.
+type Errors struct {
+	EMax    float64 // max_i |x_i - x̃_i|
+	ENMax   float64 // EMax / range(X)            (eq. 2)
+	RMSE    float64 //                             (eq. 3)
+	NRMSE   float64 // RMSE / range(X)             (eq. 4)
+	PSNR    float64 // 20·log10(range/RMSE), dB
+	Pearson float64 // correlation coefficient ρ   (eq. 5)
+	Range   float64 // range(X) over valid points
+	N       int     // valid (non-fill) points compared
+}
+
+// Compare computes all §4.2 measures between orig and recon. Points whose
+// original value equals fill are excluded when hasFill is set. A fill
+// point that is not reconstructed as fill counts as an infinite error.
+func Compare(orig, recon []float32, fill float32, hasFill bool) Errors {
+	var e Errors
+	if len(orig) != len(recon) || len(orig) == 0 {
+		nan := math.NaN()
+		return Errors{EMax: nan, ENMax: nan, RMSE: nan, NRMSE: nan, PSNR: nan, Pearson: nan, Range: nan}
+	}
+	var (
+		minX, maxX   = math.Inf(1), math.Inf(-1)
+		sumX, sumY   float64
+		sumXX, sumYY float64
+		sumXY        float64
+		sumSq        float64
+		identical    = true
+	)
+	for i := range orig {
+		if hasFill && orig[i] == fill {
+			if recon[i] != fill {
+				e.EMax = math.Inf(1)
+			}
+			continue
+		}
+		x := float64(orig[i])
+		y := float64(recon[i])
+		d := x - y
+		if ad := math.Abs(d); ad > e.EMax {
+			e.EMax = ad
+		}
+		sumSq += d * d
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumYY += y * y
+		sumXY += x * y
+		if x != y {
+			identical = false
+		}
+		e.N++
+	}
+	if e.N == 0 {
+		nan := math.NaN()
+		return Errors{EMax: nan, ENMax: nan, RMSE: nan, NRMSE: nan, PSNR: nan, Pearson: nan, Range: nan}
+	}
+	n := float64(e.N)
+	e.Range = maxX - minX
+	e.RMSE = math.Sqrt(sumSq / n)
+	if e.Range > 0 {
+		e.ENMax = e.EMax / e.Range
+		e.NRMSE = e.RMSE / e.Range
+		if e.RMSE > 0 {
+			e.PSNR = 20 * math.Log10(e.Range/e.RMSE)
+		} else {
+			e.PSNR = math.Inf(1)
+		}
+	} else {
+		// Constant field: normalized measures are 0 when exact, +Inf when
+		// any error exists.
+		if e.EMax == 0 {
+			e.ENMax, e.NRMSE = 0, 0
+			e.PSNR = math.Inf(1)
+		} else {
+			e.ENMax, e.NRMSE = math.Inf(1), math.Inf(1)
+			e.PSNR = 0
+		}
+	}
+	// Pearson ρ (eq. 5) from the accumulated moments.
+	vx := sumXX - sumX*sumX/n
+	vy := sumYY - sumY*sumY/n
+	cov := sumXY - sumX*sumY/n
+	switch {
+	case identical:
+		e.Pearson = 1
+	case vx <= 0 || vy <= 0:
+		e.Pearson = math.NaN()
+	default:
+		e.Pearson = cov / math.Sqrt(vx*vy)
+	}
+	return e
+}
+
+// CorrelationThreshold is the acceptance threshold for ρ used throughout
+// the paper (recommended by the APAX profiler).
+const CorrelationThreshold = 0.99999
+
+// PassesCorrelation reports whether ρ meets the paper's acceptance
+// threshold.
+func (e Errors) PassesCorrelation() bool {
+	return !math.IsNaN(e.Pearson) && e.Pearson >= CorrelationThreshold
+}
+
+// SSIM computes the mean structural similarity index over non-overlapping
+// win×win windows of a rows×cols slab (Wang et al. 2004), the §6 extension
+// for assessing visualization quality. The dynamic range L is taken from
+// the original slab; windows containing fill values are skipped. Returns
+// NaN if no window is valid.
+func SSIM(orig, recon []float32, rows, cols, win int, fill float32, hasFill bool) float64 {
+	if len(orig) != len(recon) || len(orig) != rows*cols || win < 2 {
+		return math.NaN()
+	}
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range orig {
+		if hasFill && v == fill {
+			continue
+		}
+		x := float64(v)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	l := hi - lo
+	if l <= 0 || math.IsInf(l, 0) {
+		return math.NaN()
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+
+	var total float64
+	var count int
+	for r0 := 0; r0+win <= rows; r0 += win {
+		for c0 := 0; c0+win <= cols; c0 += win {
+			var sx, sy, sxx, syy, sxy float64
+			n := 0
+			skip := false
+			for r := r0; r < r0+win && !skip; r++ {
+				for c := c0; c < c0+win; c++ {
+					i := r*cols + c
+					if hasFill && (orig[i] == fill || recon[i] == fill) {
+						skip = true
+						break
+					}
+					x, y := float64(orig[i]), float64(recon[i])
+					sx += x
+					sy += y
+					sxx += x * x
+					syy += y * y
+					sxy += x * y
+					n++
+				}
+			}
+			if skip || n < 4 {
+				continue
+			}
+			fn := float64(n)
+			mx, my := sx/fn, sy/fn
+			vx := sxx/fn - mx*mx
+			vy := syy/fn - my*my
+			cov := sxy/fn - mx*my
+			s := ((2*mx*my + c1) * (2*cov + c2)) /
+				((mx*mx + my*my + c1) * (vx + vy + c2))
+			total += s
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdenticalData(t *testing.T) {
+	orig := []float32{1, 2, 3, 4, 5}
+	e := Compare(orig, orig, 0, false)
+	if e.EMax != 0 || e.RMSE != 0 || e.ENMax != 0 || e.NRMSE != 0 {
+		t.Fatalf("identical data should have zero errors: %+v", e)
+	}
+	if e.Pearson != 1 {
+		t.Fatalf("identical data ρ = %v, want 1", e.Pearson)
+	}
+	if !math.IsInf(e.PSNR, 1) {
+		t.Fatalf("identical data PSNR = %v, want +Inf", e.PSNR)
+	}
+	if !e.PassesCorrelation() {
+		t.Fatal("identical data must pass correlation test")
+	}
+	if e.Range != 4 || e.N != 5 {
+		t.Fatalf("range/N wrong: %+v", e)
+	}
+}
+
+func TestKnownErrors(t *testing.T) {
+	orig := []float32{0, 10}
+	recon := []float32{1, 10}
+	e := Compare(orig, recon, 0, false)
+	if e.EMax != 1 {
+		t.Fatalf("EMax = %v", e.EMax)
+	}
+	if math.Abs(e.ENMax-0.1) > 1e-12 {
+		t.Fatalf("ENMax = %v, want 0.1", e.ENMax)
+	}
+	wantRMSE := math.Sqrt(0.5)
+	if math.Abs(e.RMSE-wantRMSE) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", e.RMSE, wantRMSE)
+	}
+	if math.Abs(e.NRMSE-wantRMSE/10) > 1e-12 {
+		t.Fatalf("NRMSE = %v", e.NRMSE)
+	}
+	wantPSNR := 20 * math.Log10(10/wantRMSE)
+	if math.Abs(e.PSNR-wantPSNR) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", e.PSNR, wantPSNR)
+	}
+}
+
+func TestFillSkipped(t *testing.T) {
+	const fill = float32(1e35)
+	orig := []float32{1, fill, 3}
+	recon := []float32{1, fill, 4}
+	e := Compare(orig, recon, fill, true)
+	if e.N != 2 {
+		t.Fatalf("N = %d, want 2", e.N)
+	}
+	if e.EMax != 1 || e.Range != 2 {
+		t.Fatalf("fill leaked into metrics: %+v", e)
+	}
+}
+
+func TestLostFillIsInfiniteError(t *testing.T) {
+	const fill = float32(1e35)
+	orig := []float32{1, fill, 3}
+	recon := []float32{1, 2, 3}
+	e := Compare(orig, recon, fill, true)
+	if !math.IsInf(e.EMax, 1) {
+		t.Fatalf("losing a fill value must be an infinite error, got %v", e.EMax)
+	}
+}
+
+func TestMismatchedLengths(t *testing.T) {
+	e := Compare([]float32{1}, []float32{1, 2}, 0, false)
+	if !math.IsNaN(e.RMSE) {
+		t.Fatal("mismatched lengths should yield NaN metrics")
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	orig := []float32{5, 5, 5}
+	exact := Compare(orig, orig, 0, false)
+	if exact.ENMax != 0 || exact.NRMSE != 0 {
+		t.Fatalf("exact constant field: %+v", exact)
+	}
+	recon := []float32{5, 5.5, 5}
+	e := Compare(orig, recon, 0, false)
+	if !math.IsInf(e.ENMax, 1) {
+		t.Fatalf("error on zero-range field should normalize to +Inf, got %v", e.ENMax)
+	}
+}
+
+func TestPearsonDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	orig := make([]float32, n)
+	tiny := make([]float32, n)
+	big := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i) / 100))
+		tiny[i] = orig[i] + float32(rng.NormFloat64()*1e-7)
+		big[i] = orig[i] + float32(rng.NormFloat64()*0.2)
+	}
+	et := Compare(orig, tiny, 0, false)
+	eb := Compare(orig, big, 0, false)
+	if !et.PassesCorrelation() {
+		t.Fatalf("tiny noise ρ = %v should pass .99999", et.Pearson)
+	}
+	if eb.PassesCorrelation() {
+		t.Fatalf("large noise ρ = %v should fail .99999", eb.Pearson)
+	}
+	if eb.Pearson >= et.Pearson {
+		t.Fatal("more noise should lower ρ")
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rows, cols := 32, 32
+	orig := make([]float32, rows*cols)
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i) / 10))
+	}
+	if s := SSIM(orig, orig, rows, cols, 8, 0, false); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM of identical images = %v, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithDistortion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows, cols := 32, 32
+	orig := make([]float32, rows*cols)
+	mild := make([]float32, rows*cols)
+	severe := make([]float32, rows*cols)
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i%cols)/5) * math.Cos(float64(i/cols)/5))
+		mild[i] = orig[i] + float32(rng.NormFloat64()*0.01)
+		severe[i] = orig[i] + float32(rng.NormFloat64()*0.5)
+	}
+	sm := SSIM(orig, mild, rows, cols, 8, 0, false)
+	ss := SSIM(orig, severe, rows, cols, 8, 0, false)
+	if !(sm > ss) {
+		t.Fatalf("SSIM ordering wrong: mild %v, severe %v", sm, ss)
+	}
+	if sm < 0.9 {
+		t.Fatalf("mild distortion SSIM %v unexpectedly low", sm)
+	}
+	if ss > 0.9 {
+		t.Fatalf("severe distortion SSIM %v unexpectedly high", ss)
+	}
+}
+
+func TestSSIMSkipsFillWindows(t *testing.T) {
+	const fill = float32(1e35)
+	rows, cols := 16, 16
+	orig := make([]float32, rows*cols)
+	recon := make([]float32, rows*cols)
+	for i := range orig {
+		orig[i] = float32(i % 7)
+		recon[i] = orig[i]
+	}
+	// Poison one window with fill.
+	orig[0] = fill
+	recon[0] = fill
+	s := SSIM(orig, recon, rows, cols, 8, fill, true)
+	if math.IsNaN(s) || math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM with one skipped window = %v", s)
+	}
+}
+
+func TestSSIMDegenerate(t *testing.T) {
+	if !math.IsNaN(SSIM([]float32{1}, []float32{1}, 1, 1, 8, 0, false)) {
+		t.Fatal("tiny image should give NaN")
+	}
+	flat := []float32{5, 5, 5, 5}
+	if !math.IsNaN(SSIM(flat, flat, 2, 2, 2, 0, false)) {
+		t.Fatal("zero-range image should give NaN")
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	n := 100000
+	orig := make([]float32, n)
+	recon := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(i % 1000)
+		recon[i] = orig[i] + 0.01
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compare(orig, recon, 0, false)
+	}
+}

@@ -1,0 +1,421 @@
+// Package model synthesizes CAM-like climate fields. It is the stand-in for
+// running CESM: each variable in the catalog is generated as
+//
+//	value = Base + vert(lev) + levW(lev)·clim(lat,lon)
+//	      + ModeAmp·levM(lev)·Σ_k w_k·M_k(lat,lon,lev)
+//	      + NoiseAmp·η(member, variable, point)
+//
+// where clim is a smooth seeded climatology, M_k are separable anomaly-mode
+// patterns, w_k are the member's standardized Lorenz-96 slow variables (so
+// ensemble members share statistics but differ chaotically), and η is a
+// deterministic counter-based pseudo-normal noise keyed on the member's
+// chaotic state — every bit of every field derives from the O(1e-14)
+// initial-condition perturbation, as in the CESM-PVT. Log-kind variables
+// compose the same expression in ln space and exponentiate, producing the
+// multi-decade dynamic ranges of moisture and chemistry fields.
+package model
+
+import (
+	"math"
+	"sync"
+
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/varcatalog"
+)
+
+// NumModes is the number of chaotic anomaly modes drawn from the Lorenz-96
+// slow variables.
+const NumModes = 20
+
+// Generator produces any (variable, member) field deterministically.
+// It is safe for concurrent use.
+type Generator struct {
+	Grid    *grid.Grid
+	Catalog []varcatalog.Spec
+	Ens     *l96.Ensemble
+
+	mu       sync.Mutex
+	patterns map[int]*varPatterns
+	weights  [][][]float64 // [member][timeSlice][mode]
+	landMask []bool
+}
+
+// varPatterns holds the precomputed, member-independent spatial structure
+// of one variable on one grid.
+type varPatterns struct {
+	clim2d []float64 // LatAmp·P + WaveAmp·W, len NLat*NLon
+	vert   []float64 // VertAmp·V(lev), len NLev (zeros for 2-D)
+	levW   []float64 // climatology level weighting, in [0.55, 1]
+	levM   []float64 // mode level weighting, in [0.5, 1]
+	// separable mode patterns, each normalized so the product has O(1) range
+	latv [NumModes][]float64
+	lonv [NumModes][]float64
+	levv [NumModes][]float64
+}
+
+// NewGenerator builds a generator for the given grid, catalog and ensemble.
+func NewGenerator(g *grid.Grid, catalog []varcatalog.Spec, ens *l96.Ensemble) *Generator {
+	gen := &Generator{
+		Grid:     g,
+		Catalog:  catalog,
+		Ens:      ens,
+		patterns: make(map[int]*varPatterns),
+		weights:  make([][][]float64, len(ens.Members)),
+	}
+	gen.landMask = buildLandMask(g)
+	for m := range ens.Members {
+		slices := len(ens.Members[m].Series)
+		gen.weights[m] = make([][]float64, slices)
+		for t := 0; t < slices; t++ {
+			w := ens.WeightsAt(m, t)
+			if len(w) > NumModes {
+				w = w[:NumModes]
+			}
+			gen.weights[m][t] = w
+		}
+	}
+	return gen
+}
+
+// Members returns the ensemble size.
+func (gen *Generator) Members() int { return len(gen.Ens.Members) }
+
+// splitmix64 is a counter-based PRNG step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stream is a tiny deterministic random stream for pattern construction.
+type stream struct{ s uint64 }
+
+func (r *stream) next() uint64 {
+	r.s = splitmix64(r.s)
+	return r.s
+}
+
+// unit returns a uniform value in [0, 1).
+func (r *stream) unit() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// angle returns a uniform phase in [0, 2π).
+func (r *stream) angle() float64 { return 2 * math.Pi * r.unit() }
+
+// pseudoNormal converts 64 random bits into an approximately standard
+// normal value (Irwin–Hall with n=4, rescaled to unit variance).
+func pseudoNormal(bits uint64) float64 {
+	s := float64(bits&0xffff) + float64((bits>>16)&0xffff) +
+		float64((bits>>32)&0xffff) + float64((bits>>48)&0xffff)
+	// mean 2·65535, variance 4·65536²/12
+	return (s/65536 - 2.0) * 1.7320508075688772
+}
+
+// noise returns the deterministic pseudo-normal noise for (memberKey,
+// varSeed, point index).
+func noise(memberKey, varSeed uint64, idx int) float64 {
+	return pseudoNormal(splitmix64(memberKey ^ varSeed*0x9e3779b97f4a7c15 ^ uint64(idx)*0xbf58476d1ce4e5b9))
+}
+
+// buildLandMask derives a fixed, grid-resolution "continents" mask used by
+// fill-bearing variables (the analogue of POP2's undefined land points).
+func buildLandMask(g *grid.Grid) []bool {
+	mask := make([]bool, g.Horizontal())
+	for lat := 0; lat < g.NLat; lat++ {
+		phi := g.Lats[lat] * math.Pi / 180
+		for lon := 0; lon < g.NLon; lon++ {
+			lam := g.Lons[lon] * math.Pi / 180
+			v := math.Sin(2*phi)*math.Cos(3*lam) +
+				0.5*math.Sin(5*lam+1)*math.Cos(phi) +
+				0.4*math.Sin(3*phi+0.7)
+			mask[lat*g.NLon+lon] = v > 0.55
+		}
+	}
+	return mask
+}
+
+// levFrac returns the normalized vertical coordinate of level k in (0, 1).
+func levFrac(k, nlev int) float64 { return (float64(k) + 0.5) / float64(nlev) }
+
+// vertProfile evaluates the climatology vertical shape in [0, 1]. A
+// positive exp overrides the seeded profile exponent (used to calibrate the
+// featured variables); the seeded draws still advance the stream so other
+// patterns are unaffected by the override.
+func vertProfile(kind varcatalog.VertKind, exp float64, r *stream) func(float64) float64 {
+	switch kind {
+	case varcatalog.VertIncreasing:
+		p := 1.1 + 0.6*r.unit()
+		if exp > 0 {
+			p = exp
+		}
+		return func(f float64) float64 { return math.Pow(f, p) }
+	case varcatalog.VertDecreasing:
+		p := 1.3 + 0.6*r.unit()
+		if exp > 0 {
+			p = exp
+		}
+		return func(f float64) float64 { return math.Pow(1-f, p) }
+	case varcatalog.VertBump:
+		c := 0.35 + 0.3*r.unit()
+		w := 0.15 + 0.1*r.unit()
+		return func(f float64) float64 {
+			d := (f - c) / w
+			return math.Exp(-d * d)
+		}
+	default:
+		return func(float64) float64 { return 0 }
+	}
+}
+
+// computePatterns builds the member-independent structure of one variable.
+func (gen *Generator) computePatterns(varIdx int) *varPatterns {
+	spec := gen.Catalog[varIdx]
+	g := gen.Grid
+	nlev := 1
+	if spec.ThreeD {
+		nlev = g.NLev
+	}
+	p := &varPatterns{
+		clim2d: make([]float64, g.Horizontal()),
+		vert:   make([]float64, nlev),
+		levW:   make([]float64, nlev),
+		levM:   make([]float64, nlev),
+	}
+	r := &stream{s: spec.Seed}
+
+	// Meridional pattern P(φ): three seeded harmonics, normalized to
+	// maximum absolute value 1 over the latitudes.
+	type harm struct{ amp, n, ph float64 }
+	var laths [3]harm
+	for i := range laths {
+		laths[i] = harm{amp: 1 / float64(i+1), n: float64(i + 1), ph: r.angle()}
+	}
+	latP := make([]float64, g.NLat)
+	maxAbs := 0.0
+	for i, lat := range g.Lats {
+		phi := lat * math.Pi / 180
+		var v float64
+		for _, h := range laths {
+			v += h.amp * math.Sin(h.n*phi+h.ph)
+		}
+		latP[i] = v
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		for i := range latP {
+			latP[i] /= maxAbs
+		}
+	}
+
+	// Zonal wave pattern W(φ, λ): two waves tapered by cos(φ),
+	// normalized to max |W| = 1.
+	w1n := float64(spec.WaveNum)
+	w2n := float64(spec.WaveNum + 2)
+	ph1, ph2 := r.angle(), r.angle()
+	tilt1, tilt2 := 1+2*r.unit(), 1+2*r.unit()
+	wave := make([]float64, g.Horizontal())
+	maxAbs = 0
+	for lat := 0; lat < g.NLat; lat++ {
+		phi := g.Lats[lat] * math.Pi / 180
+		cphi := math.Cos(phi)
+		for lon := 0; lon < g.NLon; lon++ {
+			lam := g.Lons[lon] * math.Pi / 180
+			v := cphi*math.Cos(w1n*lam+ph1+tilt1*phi) +
+				0.5*cphi*cphi*math.Cos(w2n*lam+ph2+tilt2*phi)
+			wave[lat*g.NLon+lon] = v
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs > 0 {
+		for i := range wave {
+			wave[i] /= maxAbs
+		}
+	}
+	for lat := 0; lat < g.NLat; lat++ {
+		for lon := 0; lon < g.NLon; lon++ {
+			h := lat*g.NLon + lon
+			p.clim2d[h] = spec.LatAmp*latP[lat] + spec.WaveAmp*wave[h]
+		}
+	}
+
+	// Vertical structure.
+	vp := vertProfile(spec.VertKind, spec.VertExp, r)
+	cw := 0.35 + 0.3*r.unit()
+	cm := 0.35 + 0.3*r.unit()
+	for k := 0; k < nlev; k++ {
+		f := levFrac(k, nlev)
+		if spec.ThreeD {
+			p.vert[k] = spec.VertAmp * vp(f)
+			p.levW[k] = 0.55 + 0.45*math.Exp(-sq((f-cw)/0.5))
+			p.levM[k] = 0.5 + 0.5*math.Exp(-sq((f-cm)/0.45))
+		} else {
+			p.levW[k] = 1
+			p.levM[k] = 1
+		}
+	}
+
+	// Anomaly modes: separable seeded patterns. The 1/sqrt(NumModes)
+	// normalization keeps the summed anomaly variance O(ModeAmp²).
+	norm := 1 / math.Sqrt(NumModes)
+	for k := 0; k < NumModes; k++ {
+		nlat := 1 + k%4
+		nlon := 1 + (k*3+spec.WaveNum)%(spec.WaveNum+4)
+		phLat, phLon, phLev := r.angle(), r.angle(), r.angle()
+		lv := make([]float64, g.NLat)
+		for i, lat := range g.Lats {
+			phi := lat * math.Pi / 180
+			lv[i] = math.Sin(float64(nlat)*phi+phLat) * norm
+		}
+		ov := make([]float64, g.NLon)
+		for i, lon := range g.Lons {
+			lam := lon * math.Pi / 180
+			ov[i] = math.Cos(float64(nlon)*lam + phLon)
+		}
+		ev := make([]float64, nlev)
+		for j := 0; j < nlev; j++ {
+			f := levFrac(j, nlev)
+			ev[j] = math.Cos(math.Pi*float64(1+k%3)*f + phLev)
+		}
+		p.latv[k] = lv
+		p.lonv[k] = ov
+		p.levv[k] = ev
+	}
+	return p
+}
+
+func sq(x float64) float64 { return x * x }
+
+// getPatterns returns (building if needed) the cached patterns for varIdx.
+func (gen *Generator) getPatterns(varIdx int) *varPatterns {
+	gen.mu.Lock()
+	p, ok := gen.patterns[varIdx]
+	gen.mu.Unlock()
+	if ok {
+		return p
+	}
+	p = gen.computePatterns(varIdx) // idempotent; may race benignly
+	gen.mu.Lock()
+	if prev, ok := gen.patterns[varIdx]; ok {
+		p = prev
+	} else {
+		gen.patterns[varIdx] = p
+	}
+	gen.mu.Unlock()
+	return p
+}
+
+// Field synthesizes the field of catalog variable varIdx for ensemble
+// member m, truncated to single precision exactly as CESM truncates when
+// writing history files.
+func (gen *Generator) Field(varIdx, m int) *field.Field {
+	return gen.FieldAt(varIdx, m, 0)
+}
+
+// FieldAt synthesizes the field at time slice t of member m's trajectory;
+// successive slices are temporally correlated through the chaotic core,
+// like consecutive history-file time slices.
+func (gen *Generator) FieldAt(varIdx, m, t int) *field.Field {
+	spec := gen.Catalog[varIdx]
+	f := field.New(spec.Name, spec.Units, gen.Grid, spec.ThreeD)
+	gen.generate(varIdx, m, t, func(idx int, v float64) {
+		f.Data[idx] = float32(v)
+	})
+	if spec.HasFill {
+		f.HasFill = true
+		gen.applyFill(f.NLev, func(i int) { f.Data[i] = f.Fill })
+	}
+	return f
+}
+
+// Field64 synthesizes the same field in full double precision — the form
+// CESM keeps in restart files (the paper defers their lossless compression
+// to future work; see internal/experiments.RestartReport).
+func (gen *Generator) Field64(varIdx, m int) (name string, data []float64, threeD bool) {
+	spec := gen.Catalog[varIdx]
+	n := gen.Grid.Horizontal()
+	nlev := 1
+	if spec.ThreeD {
+		nlev = gen.Grid.NLev
+	}
+	data = make([]float64, nlev*n)
+	gen.generate(varIdx, m, 0, func(idx int, v float64) {
+		data[idx] = v
+	})
+	if spec.HasFill {
+		gen.applyFill(nlev, func(i int) { data[i] = float64(field.DefaultFill) })
+	}
+	return spec.Name, data, spec.ThreeD
+}
+
+// applyFill marks land-mask points at every level via the store callback.
+func (gen *Generator) applyFill(nlev int, store func(i int)) {
+	hor := gen.Grid.Horizontal()
+	for lev := 0; lev < nlev; lev++ {
+		off := lev * hor
+		for h, land := range gen.landMask {
+			if land {
+				store(off + h)
+			}
+		}
+	}
+}
+
+// generate runs the synthesis loop, handing each (index, value) pair to
+// store before any precision truncation.
+func (gen *Generator) generate(varIdx, m, t int, store func(idx int, v float64)) {
+	spec := gen.Catalog[varIdx]
+	g := gen.Grid
+	pat := gen.getPatterns(varIdx)
+	w := gen.weights[m][t]
+	key := gen.Ens.Members[m].SeriesKeys[t]
+
+	nlev := 1
+	if spec.ThreeD {
+		nlev = g.NLev
+	}
+	nlat, nlon := g.NLat, g.NLon
+
+	// Per-(lev,lat) mode coefficients: c_k = w_k · latv_k[lat] · levv_k[lev].
+	var ck [NumModes]float64
+	logKind := spec.Kind == varcatalog.Log
+	hasMin := !math.IsNaN(spec.ClampMin)
+	hasMax := !math.IsNaN(spec.ClampMax)
+
+	for lev := 0; lev < nlev; lev++ {
+		base := spec.Base + pat.vert[lev]
+		lw := pat.levW[lev]
+		lm := spec.ModeAmp * pat.levM[lev]
+		for lat := 0; lat < nlat; lat++ {
+			for k := 0; k < NumModes && k < len(w); k++ {
+				ck[k] = w[k] * pat.latv[k][lat] * pat.levv[k][lev]
+			}
+			row := (lev*nlat + lat) * nlon
+			for lon := 0; lon < nlon; lon++ {
+				idx := row + lon
+				gval := base + lw*pat.clim2d[lat*nlon+lon]
+				var modes float64
+				for k := 0; k < NumModes && k < len(w); k++ {
+					modes += ck[k] * pat.lonv[k][lon]
+				}
+				gval += lm * modes
+				gval += spec.NoiseAmp * noise(key, spec.Seed, idx)
+				if logKind {
+					gval = math.Exp(gval)
+				}
+				if hasMin && gval < spec.ClampMin {
+					gval = spec.ClampMin
+				}
+				if hasMax && gval > spec.ClampMax {
+					gval = spec.ClampMax
+				}
+				store(idx, gval)
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/stats"
+	"climcompress/internal/varcatalog"
+)
+
+var (
+	ensOnce sync.Once
+	ensVal  *l96.Ensemble
+)
+
+// testEnsemble integrates a small shared ensemble once per test binary.
+func testEnsemble(t testing.TB) *l96.Ensemble {
+	t.Helper()
+	ensOnce.Do(func() {
+		ensVal = l96.NewEnsemble(l96.DefaultParams(), l96.EnsembleConfig{
+			Members: 6, Dt: 0.002, SpinupSteps: 1500,
+			DivergeSteps: 8000, CalibSteps: 4000, Eps: 1e-14,
+		})
+	})
+	return ensVal
+}
+
+func testGen(t testing.TB) *Generator {
+	return NewGenerator(grid.Test(), varcatalog.Default(), testEnsemble(t))
+}
+
+func TestFieldDeterministic(t *testing.T) {
+	gen := testGen(t)
+	a := gen.Field(0, 0)
+	b := gen.Field(0, 0)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("field generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMembersDiffer(t *testing.T) {
+	gen := testGen(t)
+	a := gen.Field(0, 0)
+	b := gen.Field(0, 1)
+	same := 0
+	for i := range a.Data {
+		if a.Data[i] == b.Data[i] {
+			same++
+		}
+	}
+	if same > len(a.Data)/10 {
+		t.Fatalf("members 0 and 1 share %d/%d values", same, len(a.Data))
+	}
+}
+
+func TestMembersShareStatistics(t *testing.T) {
+	gen := testGen(t)
+	cat := gen.Catalog
+	_, idx, _ := varcatalog.ByName(cat, "T")
+	var means, stds []float64
+	for m := 0; m < gen.Members(); m++ {
+		s := gen.Field(idx, m).Summarize()
+		means = append(means, s.Mean)
+		stds = append(stds, s.Std)
+	}
+	// Ensemble members must be statistically indistinguishable: the member-
+	// to-member spread of the mean should be far below the field's std.
+	if spread := stats.StdDev(means); spread > stats.Mean(stds)/5 {
+		t.Fatalf("member means vary too much: spread %v vs field std %v", spread, stats.Mean(stds))
+	}
+}
+
+func TestAllVariablesFinite(t *testing.T) {
+	gen := testGen(t)
+	for idx, spec := range gen.Catalog {
+		f := gen.Field(idx, 0)
+		wantLen := gen.Grid.Horizontal()
+		if spec.ThreeD {
+			wantLen = gen.Grid.Size3D()
+		}
+		if f.Len() != wantLen {
+			t.Fatalf("%s: length %d, want %d", spec.Name, f.Len(), wantLen)
+		}
+		for i, v := range f.Data {
+			if f.IsFill(i) {
+				continue
+			}
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite value at %d: %v", spec.Name, i, v)
+			}
+			if spec.Kind == varcatalog.Log && v < 0 {
+				t.Fatalf("%s: negative value in log-kind variable: %v", spec.Name, v)
+			}
+		}
+	}
+}
+
+func TestClampsRespected(t *testing.T) {
+	gen := testGen(t)
+	for idx, spec := range gen.Catalog {
+		if math.IsNaN(spec.ClampMin) && math.IsNaN(spec.ClampMax) {
+			continue
+		}
+		f := gen.Field(idx, 0)
+		for i, v := range f.Data {
+			if f.IsFill(i) {
+				continue
+			}
+			if !math.IsNaN(spec.ClampMin) && float64(v) < spec.ClampMin {
+				t.Fatalf("%s: value %v below clamp %v", spec.Name, v, spec.ClampMin)
+			}
+			if !math.IsNaN(spec.ClampMax) && float64(v) > spec.ClampMax {
+				t.Fatalf("%s: value %v above clamp %v", spec.Name, v, spec.ClampMax)
+			}
+		}
+	}
+}
+
+func TestFillMaskConsistent(t *testing.T) {
+	gen := testGen(t)
+	var checked bool
+	for idx, spec := range gen.Catalog {
+		if !spec.HasFill {
+			continue
+		}
+		checked = true
+		a := gen.Field(idx, 0)
+		b := gen.Field(idx, 1)
+		if !a.HasFill || a.Fill != field.DefaultFill {
+			t.Fatalf("%s: fill metadata missing", spec.Name)
+		}
+		var fills int
+		for i := range a.Data {
+			if a.IsFill(i) != b.IsFill(i) {
+				t.Fatalf("%s: fill mask differs between members at %d", spec.Name, i)
+			}
+			if a.IsFill(i) {
+				fills++
+			}
+		}
+		if fills == 0 || fills == a.Len() {
+			t.Fatalf("%s: degenerate fill mask (%d of %d)", spec.Name, fills, a.Len())
+		}
+	}
+	if !checked {
+		t.Fatal("no fill-bearing variables in catalog")
+	}
+}
+
+func TestFeaturedCharacteristicsApproximateTable2(t *testing.T) {
+	// Loose order-of-magnitude bands around the paper's Table 2; the
+	// synthetic substrate is calibrated, not identical.
+	gen := NewGenerator(grid.Bench(), varcatalog.Default(), testEnsemble(t))
+	type band struct{ minLo, minHi, maxLo, maxHi, meanLo, meanHi float64 }
+	bands := map[string]band{
+		"U":     {-40, -10, 30, 70, 0, 15},
+		"FSDSC": {100, 180, 280, 370, 200, 280},
+		"Z3":    {0, 200, 3e4, 4.5e4, 0.8e4, 1.6e4},
+		"CCN3":  {1e-5, 1e-3, 5e2, 5e3, 5, 100},
+	}
+	for name, b := range bands {
+		_, idx, ok := varcatalog.ByName(gen.Catalog, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		s := gen.Field(idx, 0).Summarize()
+		if s.Min < b.minLo || s.Min > b.minHi {
+			t.Errorf("%s: min %v outside [%v, %v]", name, s.Min, b.minLo, b.minHi)
+		}
+		if s.Max < b.maxLo || s.Max > b.maxHi {
+			t.Errorf("%s: max %v outside [%v, %v]", name, s.Max, b.maxLo, b.maxHi)
+		}
+		if s.Mean < b.meanLo || s.Mean > b.meanHi {
+			t.Errorf("%s: mean %v outside [%v, %v]", name, s.Mean, b.meanLo, b.meanHi)
+		}
+	}
+}
+
+func TestTimeSlicesCorrelated(t *testing.T) {
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.EnsembleConfig{
+		Members: 2, Dt: 0.002, SpinupSteps: 1500, DivergeSteps: 8000,
+		CalibSteps: 4000, Eps: 1e-14,
+		TimeSlices: 5, SliceSteps: 150,
+	})
+	if ens.TimeSlices() != 5 {
+		t.Fatalf("TimeSlices = %d", ens.TimeSlices())
+	}
+	gen := NewGenerator(grid.Test(), varcatalog.Default(), ens)
+	_, idx, _ := varcatalog.ByName(gen.Catalog, "T")
+
+	slices := make([][]float64, 5)
+	for ts := 0; ts < 5; ts++ {
+		f := gen.FieldAt(idx, 0, ts)
+		slices[ts] = make([]float64, f.Len())
+		for i, v := range f.Data {
+			slices[ts][i] = float64(v)
+		}
+	}
+	// Slices must differ.
+	same := 0
+	for i := range slices[0] {
+		if slices[0][i] == slices[1][i] {
+			same++
+		}
+	}
+	if same > len(slices[0])/10 {
+		t.Fatalf("adjacent time slices share %d values", same)
+	}
+	// Adjacent slices (0.3 time units apart) must correlate more strongly
+	// than the ensemble-member baseline correlation of the shared
+	// climatology. Compare against a different member at the same slice.
+	other := gen.FieldAt(idx, 1, 0)
+	otherVals := make([]float64, other.Len())
+	for i, v := range other.Data {
+		otherVals[i] = float64(v)
+	}
+	adj := stats.Pearson(slices[0], slices[1])
+	cross := stats.Pearson(slices[0], otherVals)
+	if !(adj > cross) {
+		t.Fatalf("temporal correlation %v not above cross-member baseline %v", adj, cross)
+	}
+}
+
+func TestField64ConsistentWithField(t *testing.T) {
+	// History files are the truncation of the restart-precision state:
+	// float32(Field64) must equal Field exactly, including fill points.
+	gen := testGen(t)
+	for _, name := range []string{"U", "SST", "CCN3"} {
+		_, idx, _ := varcatalog.ByName(gen.Catalog, name)
+		f32 := gen.Field(idx, 1)
+		n64, data64, threeD := gen.Field64(idx, 1)
+		if n64 != name || threeD != gen.Catalog[idx].ThreeD {
+			t.Fatalf("%s: metadata mismatch", name)
+		}
+		if len(data64) != f32.Len() {
+			t.Fatalf("%s: length mismatch", name)
+		}
+		for i := range data64 {
+			if float32(data64[i]) != f32.Data[i] {
+				t.Fatalf("%s: truncation mismatch at %d: %v vs %v", name, i, data64[i], f32.Data[i])
+			}
+		}
+	}
+}
+
+func TestField64HasExtraPrecision(t *testing.T) {
+	gen := testGen(t)
+	_, idx, _ := varcatalog.ByName(gen.Catalog, "T")
+	_, data64, _ := gen.Field64(idx, 0)
+	diff := 0
+	for _, v := range data64 {
+		if float64(float32(v)) != v {
+			diff++
+		}
+	}
+	if diff < len(data64)/2 {
+		t.Fatalf("only %d/%d values carry sub-float32 precision", diff, len(data64))
+	}
+}
+
+func TestPseudoNormalMoments(t *testing.T) {
+	var w stats.Welford
+	x := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		x = splitmix64(x)
+		w.Add(pseudoNormal(x))
+	}
+	if math.Abs(w.Mean()) > 0.02 {
+		t.Fatalf("pseudo-normal mean %v", w.Mean())
+	}
+	if math.Abs(w.StdDev()-1) > 0.02 {
+		t.Fatalf("pseudo-normal std %v", w.StdDev())
+	}
+}
+
+func TestConcurrentGeneration(t *testing.T) {
+	gen := testGen(t)
+	ref := gen.Field(5, 0)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := gen.Field(5, 0)
+			for i := range f.Data {
+				if f.Data[i] != ref.Data[i] {
+					errs <- "concurrent generation mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}
+
+func BenchmarkField3D(b *testing.B) {
+	gen := NewGenerator(grid.Small(), varcatalog.Default(), testEnsemble(b))
+	_, idx, _ := varcatalog.ByName(gen.Catalog, "U")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Field(idx, i%gen.Members())
+	}
+}

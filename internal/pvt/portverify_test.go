@@ -1,0 +1,105 @@
+package pvt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/ensemble"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+// portEnsemble builds a trusted ensemble plus generator for new runs.
+func portEnsemble(t *testing.T, nm int, seed int64) (*ensemble.VarStats, func(shift float64) []float32) {
+	t.Helper()
+	g := grid.Test()
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(shift float64) []float32 {
+		data := make([]float32, g.Horizontal())
+		for i := range data {
+			mu := 50 + 10*math.Sin(float64(i)/9) + shift
+			data[i] = float32(mu + rng.NormFloat64())
+		}
+		return data
+	}
+	fields := make([]*field.Field, nm)
+	for m := range fields {
+		f := field.New("X", "1", g, false)
+		copy(f.Data, gen(0))
+		fields[m] = f
+	}
+	vs, err := ensemble.Build(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs, gen
+}
+
+func TestPortVerifySameClimatePasses(t *testing.T) {
+	// A range check over a finite ensemble rejects a same-climate draw with
+	// probability ≈ 2k/(members+1), so use a healthy ensemble size (the
+	// deterministic seed keeps the test stable).
+	vs, gen := portEnsemble(t, 101, 1)
+	// Three "new machine" runs drawn from the same climate.
+	newRuns := [][]float32{gen(0), gen(0), gen(0)}
+	res, err := PortVerify(vs, newRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || !res.PassMajority {
+		t.Fatalf("same-climate runs failed port verification: %+v", res.Runs)
+	}
+	for _, run := range res.Runs {
+		if run.RMSZ < 0.7 || run.RMSZ > 1.4 {
+			t.Fatalf("RMSZ %v outside the expected O(1) band", run.RMSZ)
+		}
+	}
+}
+
+func TestPortVerifyChangedClimateFails(t *testing.T) {
+	vs, gen := portEnsemble(t, 31, 2)
+	// A systematic 2-sigma warm shift: climate-changing.
+	newRuns := [][]float32{gen(2)}
+	res, err := PortVerify(vs, newRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.PassMajority {
+		t.Fatal("2-sigma shifted climate passed port verification")
+	}
+	if res.Runs[0].RMSZOK {
+		t.Fatal("RMSZ check should catch a 2-sigma shift")
+	}
+	if res.Runs[0].MeanOK {
+		t.Fatal("global-mean range check should catch a 2-sigma shift")
+	}
+}
+
+func TestPortVerifyInflatedVarianceFails(t *testing.T) {
+	vs, gen := portEnsemble(t, 31, 3)
+	// Same mean but doubled noise: RMSZ ≈ 2, outside the distribution,
+	// while the global mean stays fine (catches what a mean check misses).
+	base := gen(0)
+	run := make([]float32, len(base))
+	for i := range run {
+		run[i] = base[i] + (base[i]-50)*0 + float32(2*math.Sin(float64(i*7)))
+	}
+	res, err := PortVerify(vs, [][]float32{run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0].RMSZOK {
+		t.Fatalf("inflated variance not caught: RMSZ %v box %+v", res.Runs[0].RMSZ, res.RMSZBox)
+	}
+}
+
+func TestPortVerifyErrors(t *testing.T) {
+	vs, _ := portEnsemble(t, 11, 4)
+	if _, err := PortVerify(vs, nil); err == nil {
+		t.Fatal("no runs should error")
+	}
+	if _, err := PortVerify(vs, [][]float32{make([]float32, 3)}); err == nil {
+		t.Fatal("wrong-size run should error")
+	}
+}

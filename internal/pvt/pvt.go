@@ -1,0 +1,334 @@
+// Package pvt implements the paper's verification methodology (§4.3): the
+// CESM-PVT applied to compressed data. A codec passes for a variable when
+//
+//  1. the Pearson correlation between original and reconstructed data is at
+//     least 0.99999 for each test member;
+//  2. the RMSZ test holds: each test member's reconstructed RMSZ falls
+//     within the 101-member RMSZ distribution AND differs from the original
+//     member's RMSZ by at most 0.1 (eq. 8);
+//  3. the E_nmax test holds: the normalized maximum pointwise error between
+//     original and reconstruction is at most one tenth of the spread of the
+//     ensemble's E_nmax distribution (eq. 11);
+//  4. the bias test holds: regressing the fully reconstructed ensemble's
+//     RMSZ scores on the original ensemble's, the distance from the ideal
+//     slope 1 to the worst corner of the 95% confidence interval is at most
+//     0.05 (eq. 9).
+//
+// A range-shift screen on global means (the CESM-PVT's first step) is also
+// provided.
+package pvt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/metrics"
+	"climcompress/internal/stats"
+)
+
+// Thresholds are the acceptance limits of the four tests.
+type Thresholds struct {
+	Correlation   float64 // minimum ρ (paper: 0.99999)
+	RMSZDiff      float64 // maximum |RMSZ − RMSZ̃| (paper: 1/10)
+	EnmaxRatio    float64 // maximum e_nmax / R_Enmax (paper: 1/10)
+	SlopeDistance float64 // maximum |s_I − s_WC| (paper: 0.05)
+}
+
+// Default returns the paper's thresholds.
+func Default() Thresholds {
+	return Thresholds{
+		Correlation:   metrics.CorrelationThreshold,
+		RMSZDiff:      0.1,
+		EnmaxRatio:    0.1,
+		SlopeDistance: 0.05,
+	}
+}
+
+// MemberCheck is the per-test-member evidence.
+type MemberCheck struct {
+	Member    int
+	Errors    metrics.Errors // §4.2 measures on this member
+	RMSZOrig  float64
+	RMSZRecon float64
+	CR        float64
+}
+
+// Result is the verdict of one codec on one variable.
+type Result struct {
+	Variable string
+	Codec    string
+
+	Checks []MemberCheck // one per test member
+
+	RhoPass     bool
+	RMSZPass    bool
+	EnmaxPass   bool
+	BiasPass    bool
+	RangeOK     bool // global-mean range-shift screen
+	AllPass     bool // the four paper tests (range screen not included)
+	Bias        stats.Regression
+	ReconRMSZ   []float64 // RMSZ of every reconstructed member (bias data)
+	MeanCR      float64   // mean compression ratio over all members
+	EnmaxSpread float64   // R_Enmax denominator of eq. 11
+	RMSZBox     stats.Boxplot
+	SkippedBias bool // bias test not run (WithBias=false)
+}
+
+// Verifier runs the tests for one variable.
+type Verifier struct {
+	Stats *ensemble.VarStats
+	Shape compress.Shape
+	Thr   Thresholds
+	// TestMembers are the indices verified individually (the paper picks
+	// three at random); SelectTestMembers provides a deterministic choice.
+	TestMembers []int
+	// WithBias controls whether the (expensive, all-members) bias test
+	// runs; when false the bias test is marked passed-by-skip.
+	WithBias bool
+	// Workers bounds compression parallelism (GOMAXPROCS when 0).
+	Workers int
+}
+
+// SelectTestMembers deterministically picks k distinct member indices from
+// an ensemble of n, spread across the range (the paper uses three random
+// members; a deterministic spread keeps experiments reproducible).
+func SelectTestMembers(n, k int, seed uint64) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	x := seed | 1
+	for len(out) < k {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m := int(x % uint64(n))
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Verify compresses and reconstructs the ensemble with the codec and runs
+// the four tests.
+func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
+	vs := v.Stats
+	nm := vs.Members()
+	if nm == 0 {
+		return Result{}, fmt.Errorf("pvt: empty ensemble")
+	}
+	testMembers := v.TestMembers
+	if len(testMembers) == 0 {
+		testMembers = SelectTestMembers(nm, 3, 12345)
+	}
+
+	res := Result{
+		Variable:    vs.Name,
+		Codec:       codec.Name(),
+		RMSZBox:     vs.RMSZBox(),
+		EnmaxSpread: vs.EnmaxRange(),
+	}
+
+	// Which members must be reconstructed? All of them for the bias test,
+	// otherwise only the test members.
+	needed := testMembers
+	if v.WithBias {
+		needed = make([]int, nm)
+		for i := range needed {
+			needed[i] = i
+		}
+	}
+
+	recon := make([][]float32, nm)
+	crs := make([]float64, nm)
+	errs := make([]error, nm)
+	workers := v.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range jobs {
+				data := vs.Original(m)
+				buf, err := codec.Compress(data, v.Shape)
+				if err != nil {
+					errs[m] = err
+					continue
+				}
+				crs[m] = compress.Ratio(len(buf), len(data))
+				out, err := codec.Decompress(buf)
+				if err != nil {
+					errs[m] = err
+					continue
+				}
+				recon[m] = out
+			}
+		}()
+	}
+	for _, m := range needed {
+		jobs <- m
+	}
+	close(jobs)
+	wg.Wait()
+	for _, m := range needed {
+		if errs[m] != nil {
+			return Result{}, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, errs[m])
+		}
+	}
+
+	// Per-test-member checks.
+	res.RhoPass, res.RMSZPass, res.EnmaxPass = true, true, true
+	for _, m := range testMembers {
+		e := metrics.Compare(vs.Original(m), recon[m], vs.Fill, vs.HasFill)
+		rz := vs.RMSZOf(m, recon[m])
+		chk := MemberCheck{
+			Member:    m,
+			Errors:    e,
+			RMSZOrig:  vs.RMSZ[m],
+			RMSZRecon: rz,
+			CR:        crs[m],
+		}
+		res.Checks = append(res.Checks, chk)
+		if !e.PassesCorrelation() {
+			res.RhoPass = false
+		}
+		// Within-distribution check with a 1% slack of the distribution
+		// range: when a test member happens to hold the extreme RMSZ, any
+		// infinitesimal positive shift would otherwise land "outside" even
+		// though the distribution is statistically unchanged. Eq. 8 remains
+		// the binding criterion.
+		slack := 0.01 * res.RMSZBox.Range()
+		within := rz >= res.RMSZBox.Min-slack && rz <= res.RMSZBox.Max+slack
+		if math.IsNaN(rz) || !within ||
+			math.Abs(rz-vs.RMSZ[m]) > v.Thr.RMSZDiff {
+			res.RMSZPass = false
+		}
+		if res.EnmaxSpread <= 0 || math.IsNaN(e.ENMax) ||
+			e.ENMax/res.EnmaxSpread > v.Thr.EnmaxRatio {
+			res.EnmaxPass = false
+		}
+	}
+
+	// Bias test over the full reconstructed ensemble Ẽ.
+	if v.WithBias {
+		res.ReconRMSZ = ensemble.RMSZScores(recon, vs.FillMask)
+		res.Bias = stats.LinearFit(vs.RMSZ, res.ReconRMSZ)
+		res.BiasPass = !math.IsNaN(res.Bias.Slope) &&
+			res.Bias.SlopeWorstCaseDistance() <= v.Thr.SlopeDistance
+		var sum float64
+		for _, cr := range crs {
+			sum += cr
+		}
+		res.MeanCR = sum / float64(nm)
+	} else {
+		res.SkippedBias = true
+		res.BiasPass = true
+		var sum float64
+		for _, m := range testMembers {
+			sum += crs[m]
+		}
+		res.MeanCR = sum / float64(len(testMembers))
+	}
+
+	// Range-shift screen: reconstructed test members' global (unweighted,
+	// valid-point) means must fall within the ensemble's distribution.
+	gm := make([]float64, nm)
+	for m := 0; m < nm; m++ {
+		gm[m] = maskedMean(vs.Original(m), vs.FillMask)
+	}
+	gmBox := stats.NewBoxplot(gm)
+	res.RangeOK = true
+	for _, m := range testMembers {
+		if rm := maskedMean(recon[m], vs.FillMask); !gmBox.Contains(rm) {
+			// Tolerate float rounding at the box edges.
+			slack := 1e-9 * (math.Abs(gmBox.Max) + 1)
+			if rm < gmBox.Min-slack || rm > gmBox.Max+slack {
+				res.RangeOK = false
+			}
+		}
+	}
+
+	res.AllPass = res.RhoPass && res.RMSZPass && res.EnmaxPass && res.BiasPass
+	return res, nil
+}
+
+// VerifyData runs the four tests against externally produced
+// reconstructions of every ensemble member — e.g. data decompressed by
+// another tool and read back from files — rather than compressing with a
+// Codec. recon must hold one reconstruction per member; CRs are unknown to
+// this path and reported as zero.
+func (v *Verifier) VerifyData(name string, recon [][]float32) (Result, error) {
+	vs := v.Stats
+	nm := vs.Members()
+	if len(recon) != nm {
+		return Result{}, fmt.Errorf("pvt: %d reconstructions for %d members", len(recon), nm)
+	}
+	testMembers := v.TestMembers
+	if len(testMembers) == 0 {
+		testMembers = SelectTestMembers(nm, 3, 12345)
+	}
+	res := Result{
+		Variable:    vs.Name,
+		Codec:       name,
+		RMSZBox:     vs.RMSZBox(),
+		EnmaxSpread: vs.EnmaxRange(),
+	}
+	res.RhoPass, res.RMSZPass, res.EnmaxPass = true, true, true
+	for _, m := range testMembers {
+		if len(recon[m]) != vs.NPoints {
+			return Result{}, fmt.Errorf("pvt: reconstruction %d has %d points, want %d", m, len(recon[m]), vs.NPoints)
+		}
+		e := metrics.Compare(vs.Original(m), recon[m], vs.Fill, vs.HasFill)
+		rz := vs.RMSZOf(m, recon[m])
+		res.Checks = append(res.Checks, MemberCheck{
+			Member: m, Errors: e, RMSZOrig: vs.RMSZ[m], RMSZRecon: rz,
+		})
+		if !e.PassesCorrelation() {
+			res.RhoPass = false
+		}
+		slack := 0.01 * res.RMSZBox.Range()
+		within := rz >= res.RMSZBox.Min-slack && rz <= res.RMSZBox.Max+slack
+		if math.IsNaN(rz) || !within || math.Abs(rz-vs.RMSZ[m]) > v.Thr.RMSZDiff {
+			res.RMSZPass = false
+		}
+		if res.EnmaxSpread <= 0 || math.IsNaN(e.ENMax) ||
+			e.ENMax/res.EnmaxSpread > v.Thr.EnmaxRatio {
+			res.EnmaxPass = false
+		}
+	}
+	res.ReconRMSZ = ensemble.RMSZScores(recon, vs.FillMask)
+	res.Bias = stats.LinearFit(vs.RMSZ, res.ReconRMSZ)
+	res.BiasPass = !math.IsNaN(res.Bias.Slope) &&
+		res.Bias.SlopeWorstCaseDistance() <= v.Thr.SlopeDistance
+	res.RangeOK = true
+	res.AllPass = res.RhoPass && res.RMSZPass && res.EnmaxPass && res.BiasPass
+	return res, nil
+}
+
+// maskedMean averages data over non-masked points.
+func maskedMean(data []float32, mask []bool) float64 {
+	var sum float64
+	var n int
+	for i, v := range data {
+		if mask != nil && mask[i] {
+			continue
+		}
+		sum += float64(v)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,380 @@
+// Package report renders experiment results as text: aligned tables for
+// the paper's Tables 1–8 and ASCII box plots / histograms / scatter
+// summaries for Figures 1–4.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"climcompress/internal/stats"
+)
+
+// Table is a titled, aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with column alignment and a rule under the
+// header.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if w := len([]rune(c)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// Sci formats a value in the paper's compact scientific style ("3.6e-4").
+func Sci(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == 0:
+		return "0"
+	}
+	return fmt.Sprintf("%.1e", v)
+}
+
+// Fix formats a fixed-precision value, trimming NaN/Inf gracefully.
+func Fix(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	if math.IsInf(v, 0) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// BoxplotChart renders vertical box plots side by side, one per label.
+// With logScale, values are plotted on a log10 axis (non-positive values
+// are clamped to the smallest positive datum).
+func BoxplotChart(title string, labels []string, boxes []stats.Boxplot, logScale bool, height int) string {
+	if len(labels) != len(boxes) || len(boxes) == 0 {
+		return title + " (no data)\n"
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Global plotting range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	minPos := math.Inf(1)
+	for _, b := range boxes {
+		for _, v := range []float64{b.Min, b.Max} {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 0) || lo == hi {
+		return title + " (degenerate data)\n"
+	}
+	xform := func(v float64) float64 { return v }
+	if logScale {
+		if math.IsInf(minPos, 0) {
+			return title + " (no positive data for log scale)\n"
+		}
+		xform = func(v float64) float64 {
+			if v < minPos {
+				v = minPos
+			}
+			return math.Log10(v)
+		}
+		lo, hi = xform(lo), xform(hi)
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	span := hi - lo
+	row := func(v float64) int {
+		r := int(math.Round((xform(v) - lo) / span * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 at top
+	}
+
+	colWidth := 9
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colWidth*len(boxes)))
+	}
+	for ci, b := range boxes {
+		if math.IsNaN(b.Min) {
+			continue
+		}
+		x := ci*colWidth + colWidth/2
+		rMin, rMax := row(b.Min), row(b.Max)
+		rQ1, rQ3, rMed := row(b.Q1), row(b.Q3), row(b.Median)
+		for r := rMax; r <= rMin; r++ { // rMax is the top row
+			grid[r][x] = '|'
+		}
+		for r := rQ3; r <= rQ1; r++ {
+			grid[r][x-1] = '['
+			grid[r][x+1] = ']'
+			if grid[r][x] == '|' {
+				grid[r][x] = ' '
+			}
+		}
+		grid[rMed][x-1] = '='
+		grid[rMed][x] = '='
+		grid[rMed][x+1] = '='
+		grid[rMax][x] = '-'
+		grid[rMin][x] = '-'
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	axisLabel := func(r int) string {
+		v := lo + (float64(height-1-r)/float64(height-1))*span
+		if logScale {
+			return fmt.Sprintf("%8s", Sci(math.Pow(10, v)))
+		}
+		return fmt.Sprintf("%8s", Sci(v))
+	}
+	for r := 0; r < height; r++ {
+		if r == 0 || r == height-1 || r == height/2 {
+			b.WriteString(axisLabel(r))
+		} else {
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 8) + " +")
+	b.WriteString(strings.Repeat("-", colWidth*len(boxes)))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, l := range labels {
+		if len(l) > colWidth-1 {
+			l = l[:colWidth-1]
+		}
+		b.WriteString(pad(l, colWidth))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Rect is an axis-aligned confidence rectangle for ScatterRects.
+type Rect struct {
+	Label          string
+	X0, X1, Y0, Y1 float64
+}
+
+// ScatterRects renders labeled rectangles in (x, y) space — the paper's
+// Figure 4 layout, with slope on x, intercept on y and the ideal point
+// (1, 0) marked '+'. Rectangles smaller than one cell render as their
+// label's first rune.
+func ScatterRects(title string, rects []Rect, idealX, idealY float64, width, height int) string {
+	if len(rects) == 0 {
+		return title + " (no data)\n"
+	}
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 16
+	}
+	lox, hix := idealX, idealX
+	loy, hiy := idealY, idealY
+	for _, r := range rects {
+		lox = math.Min(lox, r.X0)
+		hix = math.Max(hix, r.X1)
+		loy = math.Min(loy, r.Y0)
+		hiy = math.Max(hiy, r.Y1)
+	}
+	if hix == lox {
+		hix = lox + 1
+	}
+	if hiy == loy {
+		hiy = loy + 1
+	}
+	// Pad 5% so edge rectangles stay visible.
+	px, py := 0.05*(hix-lox), 0.05*(hiy-loy)
+	lox, hix, loy, hiy = lox-px, hix+px, loy-py, hiy+py
+
+	col := func(x float64) int {
+		c := int((x - lox) / (hix - lox) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((hiy - y) / (hiy - loy) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, r := range rects {
+		c0, c1 := col(r.X0), col(r.X1)
+		r0, r1 := row(r.Y1), row(r.Y0) // Y1 is the top
+		for c := c0; c <= c1; c++ {
+			grid[r0][c] = '-'
+			grid[r1][c] = '-'
+		}
+		for rr := r0; rr <= r1; rr++ {
+			grid[rr][c0] = '|'
+			grid[rr][c1] = '|'
+		}
+		mark := '?'
+		if r.Label != "" {
+			mark = []rune(r.Label)[0]
+		}
+		grid[(r0+r1)/2][(c0+c1)/2] = mark
+	}
+	grid[row(idealY)][col(idealX)] = '+'
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 10)
+		if r == 0 || r == height-1 || r == height/2 {
+			y := hiy - float64(r)/float64(height-1)*(hiy-loy)
+			label = fmt.Sprintf("%10s", Sci(y))
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10) + " +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%12s%-*s%s\n", Sci(lox)+" ", width-8, "", Sci(hix))
+	return b.String()
+}
+
+// HistogramChart renders a horizontal-bar histogram with named markers
+// placed on their bins (the Figure 2 layout: the RMSZ distribution with
+// each codec's reconstructed score marked).
+func HistogramChart(title string, h stats.Histogram, markers map[string]string, markerVals map[string]float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Group marker names by bin.
+	byBin := make(map[int][]string)
+	for name, v := range markerVals {
+		sym := markers[name]
+		if sym == "" {
+			sym = "*"
+		}
+		byBin[h.Bin(v)] = append(byBin[h.Bin(v)], sym)
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	n := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(n)
+	for i := 0; i < n; i++ {
+		binLo := h.Lo + float64(i)*w
+		bar := int(math.Round(float64(h.Counts[i]) / float64(maxCount) * float64(width)))
+		fmt.Fprintf(&b, "%10.4f | %s", binLo, strings.Repeat("#", bar))
+		if syms := byBin[i]; len(syms) > 0 {
+			b.WriteString("  <- " + strings.Join(syms, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"climcompress/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "Table X",
+		Headers: []string{"Method", "CR"},
+	}
+	tb.AddRow("grib2", "0.10")
+	tb.AddRow("apax-2", "0.50")
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "CR" must start at the same offset in every row.
+	idx := strings.Index(lines[1], "CR")
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatal("rule without headers")
+	}
+}
+
+func TestSci(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.6e-4:  "3.6e-04",
+		-1.2e10: "-1.2e+10",
+	}
+	for v, want := range cases {
+		if got := Sci(v); got != want {
+			t.Errorf("Sci(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if Sci(math.NaN()) != "nan" || Sci(math.Inf(1)) != "inf" {
+		t.Error("special values mishandled")
+	}
+}
+
+func TestFix(t *testing.T) {
+	if got := Fix(0.123456, 2); got != "0.12" {
+		t.Fatalf("Fix = %q", got)
+	}
+	if Fix(math.NaN(), 2) != "nan" || Fix(math.Inf(-1), 2) != "inf" {
+		t.Fatal("special values mishandled")
+	}
+}
+
+func TestBoxplotChart(t *testing.T) {
+	boxes := []stats.Boxplot{
+		stats.NewBoxplot([]float64{1, 2, 3, 4, 5}),
+		stats.NewBoxplot([]float64{2, 3, 4, 5, 6}),
+	}
+	out := BoxplotChart("Fig", []string{"a", "b"}, boxes, false, 10)
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "=") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestBoxplotChartLogScale(t *testing.T) {
+	boxes := []stats.Boxplot{
+		stats.NewBoxplot([]float64{1e-6, 1e-5, 1e-4}),
+		stats.NewBoxplot([]float64{1e-3, 1e-2, 1e-1}),
+	}
+	out := BoxplotChart("log fig", []string{"lo", "hi"}, boxes, true, 12)
+	if !strings.Contains(out, "e-") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestBoxplotChartDegenerate(t *testing.T) {
+	out := BoxplotChart("t", []string{"x"}, []stats.Boxplot{stats.NewBoxplot([]float64{5, 5})}, false, 8)
+	if !strings.Contains(out, "degenerate") {
+		t.Fatalf("expected degenerate notice, got:\n%s", out)
+	}
+	out = BoxplotChart("t", nil, nil, false, 8)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("expected no-data notice")
+	}
+}
+
+func TestScatterRects(t *testing.T) {
+	rects := []Rect{
+		{Label: "A", X0: 1.04, X1: 1.08, Y0: -0.06, Y1: -0.03},
+		{Label: "B", X0: 0.90, X1: 0.95, Y0: 0.05, Y1: 0.10},
+	}
+	out := ScatterRects("fig", rects, 1, 0, 60, 14)
+	if !strings.Contains(out, "fig") {
+		t.Fatal("title missing")
+	}
+	for _, want := range []string{"A", "B", "+", "|", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(ScatterRects("t", nil, 1, 0, 10, 5), "no data") {
+		t.Fatal("empty input should say no data")
+	}
+}
+
+func TestScatterRectsDegenerate(t *testing.T) {
+	// A zero-area rectangle exactly at the ideal point must not divide by
+	// zero or panic.
+	out := ScatterRects("t", []Rect{{Label: "X", X0: 1, X1: 1, Y0: 0, Y1: 0}}, 1, 0, 40, 10)
+	if !strings.Contains(out, "X") && !strings.Contains(out, "+") {
+		t.Fatalf("degenerate rect rendered badly:\n%s", out)
+	}
+}
+
+func TestHistogramChart(t *testing.T) {
+	h := stats.NewHistogram([]float64{1, 1.1, 1.2, 2, 2.1, 3}, 4)
+	out := HistogramChart("hist", h,
+		map[string]string{"apax": "A"}, map[string]float64{"apax": 2.05}, 30)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	if !strings.Contains(out, "A") {
+		t.Fatalf("marker missing:\n%s", out)
+	}
+}

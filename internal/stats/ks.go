@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D      float64 // maximum distance between the empirical CDFs
+	P      float64 // asymptotic p-value (probability of D this large under H0)
+	N1, N2 int
+}
+
+// KolmogorovSmirnov performs the two-sample KS test. The ensemble
+// consistency tooling that grew out of the paper (NCAR's CECT line of
+// work) uses distribution tests of this kind alongside the RMSZ scores;
+// it is provided here as an extension metric (see core.KSCompare).
+func KolmogorovSmirnov(a, b []float64) KSResult {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{D: math.NaN(), P: math.NaN(), N1: n1, N2: n2}
+	}
+	x := append([]float64(nil), a...)
+	y := append([]float64(nil), b...)
+	sort.Float64s(x)
+	sort.Float64s(y)
+	var d float64
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		// Advance past all samples equal to the smaller current value so
+		// ties move both CDFs together (otherwise identical samples would
+		// report spurious distance).
+		v := math.Min(x[i], y[j])
+		for i < n1 && x[i] == v {
+			i++
+		}
+		for j < n2 && y[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n1) - float64(j)/float64(n2))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: ksProbability(lambda), N1: n1, N2: n2}
+}
+
+// ksProbability evaluates the asymptotic Kolmogorov distribution
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}.
+func ksProbability(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res := KolmogorovSmirnov(a, a)
+	if res.D != 0 {
+		t.Fatalf("identical samples D = %v, want 0", res.D)
+	}
+	if res.P < 0.999 {
+		t.Fatalf("identical samples p = %v, want ≈ 1", res.P)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.P < 0.01 {
+		t.Fatalf("same-distribution samples rejected: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.P > 1e-6 {
+		t.Fatalf("shifted distribution not detected: D=%v p=%v", res.D, res.P)
+	}
+	if res.D < 0.1 {
+		t.Fatalf("D = %v too small for a 0.5σ shift", res.D)
+	}
+}
+
+func TestKSScaledDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() * 2 // same mean, different spread
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.P > 1e-6 {
+		t.Fatalf("scale change not detected: p=%v", res.P)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1})
+	if !math.IsNaN(res.D) || !math.IsNaN(res.P) {
+		t.Fatal("empty sample should yield NaN")
+	}
+}
+
+func TestKSUnequalSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 100)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.N1 != 100 || res.N2 != 5000 {
+		t.Fatal("sizes not recorded")
+	}
+	if res.P < 0.001 {
+		t.Fatalf("same distribution, unequal sizes rejected: p=%v", res.P)
+	}
+}
+
+func TestKSProbabilityMonotone(t *testing.T) {
+	prev := 1.0
+	for _, l := range []float64{0.1, 0.5, 0.8, 1.0, 1.5, 2.0} {
+		p := ksProbability(l)
+		if p > prev+1e-12 {
+			t.Fatalf("Q(λ) not monotone at λ=%v: %v > %v", l, p, prev)
+		}
+		prev = p
+	}
+	// Known value: Q(1.0) ≈ 0.2700.
+	if p := ksProbability(1.0); math.Abs(p-0.27) > 0.005 {
+		t.Fatalf("Q(1.0) = %v, want ≈ 0.27", p)
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// Regression holds an ordinary least-squares fit y = Intercept + Slope·x
+// with the standard errors needed for the paper's bias test (§4.3, eq. 9 and
+// Figure 4): 95 % confidence rectangles in (slope, intercept) space.
+type Regression struct {
+	Slope, Intercept         float64
+	SlopeSE, InterceptSE     float64 // standard errors
+	R2                       float64 // coefficient of determination
+	ResidualStd              float64 // σ̂ of the residuals
+	N                        int
+	SlopeCI95, InterceptCI95 [2]float64 // two-sided 95 % confidence intervals
+}
+
+// LinearFit performs an OLS regression of ys on xs. It returns a zero-value
+// Regression with NaN fields when fewer than three points are supplied or
+// the xs are constant.
+func LinearFit(xs, ys []float64) Regression {
+	nan := math.NaN()
+	bad := Regression{
+		Slope: nan, Intercept: nan, SlopeSE: nan, InterceptSE: nan,
+		R2: nan, ResidualStd: nan,
+		SlopeCI95: [2]float64{nan, nan}, InterceptCI95: [2]float64{nan, nan},
+	}
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		bad.N = n
+		return bad
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		bad.N = n
+		return bad
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	var rss, tss float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		rss += r * r
+		dy := ys[i] - my
+		tss += dy * dy
+	}
+	df := float64(n - 2)
+	sigma2 := rss / df
+	slopeSE := math.Sqrt(sigma2 / sxx)
+	var sumx2 float64
+	for _, x := range xs {
+		sumx2 += x * x
+	}
+	interceptSE := math.Sqrt(sigma2 * sumx2 / (float64(n) * sxx))
+
+	r2 := 1.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	}
+	tcrit := TQuantile(0.975, n-2)
+	return Regression{
+		Slope: slope, Intercept: intercept,
+		SlopeSE: slopeSE, InterceptSE: interceptSE,
+		R2: r2, ResidualStd: math.Sqrt(sigma2), N: n,
+		SlopeCI95:     [2]float64{slope - tcrit*slopeSE, slope + tcrit*slopeSE},
+		InterceptCI95: [2]float64{intercept - tcrit*interceptSE, intercept + tcrit*interceptSE},
+	}
+}
+
+// SlopeWorstCaseDistance implements the paper's eq. 9 quantity
+// |s_I − s_WC|: the distance between the ideal slope (1) and the corner of
+// the 95 % confidence interval farthest from it. An unbiased, certain fit
+// yields a small value; either bias or large uncertainty inflates it.
+func (r Regression) SlopeWorstCaseDistance() float64 {
+	dLo := math.Abs(1 - r.SlopeCI95[0])
+	dHi := math.Abs(1 - r.SlopeCI95[1])
+	return math.Max(dLo, dHi)
+}
+
+// ContainsIdeal reports whether the joint 95 % confidence rectangle contains
+// the ideal point (slope 1, intercept 0), i.e. the reconstruction shows no
+// detectable bias at this confidence level.
+func (r Regression) ContainsIdeal() bool {
+	return r.SlopeCI95[0] <= 1 && 1 <= r.SlopeCI95[1] &&
+		r.InterceptCI95[0] <= 0 && 0 <= r.InterceptCI95[1]
+}

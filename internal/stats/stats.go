@@ -1,0 +1,224 @@
+// Package stats provides the statistical machinery behind the verification
+// methodology: descriptive statistics, streaming (Welford) accumulators,
+// quantiles and box-plot summaries, Pearson correlation, and ordinary
+// least-squares regression with Student-t confidence intervals.
+//
+// All routines operate on float64. The compression pipeline's float32 data
+// is widened at the call sites so accumulations do not lose precision.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or NaN
+// for fewer than two values.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extreme values of xs, ignoring NaNs. For empty or
+// all-NaN input both results are NaN.
+func MinMax(xs []float64) (min, max float64) {
+	min, max = math.NaN(), math.NaN()
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if math.IsNaN(min) || x < min {
+			min = x
+		}
+		if math.IsNaN(max) || x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Covariance returns the unbiased sample covariance of two equal-length
+// series, or NaN if they differ in length or have fewer than two points.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Pearson returns the Pearson correlation coefficient ρ (eq. 5 of the paper)
+// between two equal-length series. If either series is constant the result
+// is NaN unless the series are identical, in which case 1 is returned (the
+// reconstruction is exact, the natural verdict for a lossless codec).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		identical := true
+		for i := range xs {
+			if xs[i] != ys[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			return 1
+		}
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics (type-7, the R default). xs need
+// not be sorted. Returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Boxplot is the five-number summary used to render the paper's box plots
+// (Figures 1 and 3): full-range whiskers, quartile box, median line.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// NewBoxplot computes the summary of xs. Empty input yields all-NaN fields.
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Boxplot{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Boxplot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// Contains reports whether v lies within the full range of the distribution
+// the summary was built from.
+func (b Boxplot) Contains(v float64) bool { return v >= b.Min && v <= b.Max }
+
+// Range returns Max - Min.
+func (b Boxplot) Range() float64 { return b.Max - b.Min }
+
+// Histogram bins values into nbins equal-width bins spanning [lo, hi].
+// Values outside the span are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins spanning the data
+// range (or [0,1] if the data are constant/empty).
+func NewHistogram(xs []float64, nbins int) Histogram {
+	if nbins < 1 {
+		nbins = 1
+	}
+	lo, hi := MinMax(xs)
+	if math.IsNaN(lo) || lo == hi {
+		if math.IsNaN(lo) {
+			lo, hi = 0, 1
+		} else {
+			hi = lo + 1
+		}
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Bin returns the bin index v falls into (clamped).
+func (h Histogram) Bin(v float64) int {
+	n := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(n)
+	i := int((v - h.Lo) / w)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,354 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample variance with n-1: ss = 32, 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of one value should be NaN")
+	}
+}
+
+func TestMinMaxIgnoresNaN(t *testing.T) {
+	lo, hi := MinMax([]float64{3, math.NaN(), -2, 8})
+	if lo != -2 || hi != 8 {
+		t.Fatalf("MinMax = (%v,%v), want (-2,8)", lo, hi)
+	}
+	lo, hi = MinMax([]float64{math.NaN()})
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("all-NaN input should yield NaN extremes")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-14) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-14) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstantIdentical(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	if got := Pearson(xs, xs); got != 1 {
+		t.Fatalf("identical constant series: Pearson = %v, want 1", got)
+	}
+	ys := []float64{5, 5, 6}
+	if got := Pearson(xs, ys); !math.IsNaN(got) {
+		t.Fatalf("constant-vs-varying: Pearson = %v, want NaN", got)
+	}
+}
+
+func TestCovarianceMatchesPearson(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.5*xs[i] + rng.NormFloat64()
+	}
+	rho := Covariance(xs, ys) / (StdDev(xs) * StdDev(ys))
+	if got := Pearson(xs, ys); !almostEq(got, rho, 1e-12) {
+		t.Fatalf("Pearson %v != cov/σσ %v", got, rho)
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b := NewBoxplot([]float64{5, 1, 3, 2, 4})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Fatalf("unexpected boxplot: %+v", b)
+	}
+	if !b.Contains(2.5) || b.Contains(5.5) || b.Contains(0.5) {
+		t.Fatal("Contains misbehaves")
+	}
+	if b.Range() != 4 {
+		t.Fatalf("Range = %v, want 4", b.Range())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if len(h.Counts) != 2 {
+		t.Fatal("wrong bin count")
+	}
+	if h.Counts[0]+h.Counts[1] != 5 {
+		t.Fatalf("histogram lost values: %v", h.Counts)
+	}
+	if h.Bin(h.Lo) != 0 || h.Bin(h.Hi) != 1 {
+		t.Fatal("Bin clamping wrong")
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-10) {
+		t.Fatalf("mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	lo, hi := MinMax(xs)
+	if w.Min() != lo || w.Max() != hi {
+		t.Fatal("min/max mismatch")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 2
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 100
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return almostEq(a.Mean(), all.Mean(), 1e-9) &&
+			almostEq(a.Variance(), all.Variance(), 1e-7) &&
+			a.Min() == all.Min() && a.Max() == all.Max() && a.N() == all.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge with empty changed state")
+	}
+	var c Welford
+	c.Merge(a)
+	if c.N() != 2 || c.Mean() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	xs := []float64{3, 7, 7, 19, 24, 4, 8}
+	var l LeaveOneOut
+	for _, x := range xs {
+		l.Add(x)
+	}
+	for i, excl := range xs {
+		var rest []float64
+		for j, x := range xs {
+			if j != i {
+				rest = append(rest, x)
+			}
+		}
+		m, s := l.Excluding(excl)
+		if !almostEq(m, Mean(rest), 1e-10) {
+			t.Fatalf("excluding %v: mean %v, want %v", excl, m, Mean(rest))
+		}
+		if !almostEq(s, StdDev(rest), 1e-10) {
+			t.Fatalf("excluding %v: std %v, want %v", excl, s, StdDev(rest))
+		}
+	}
+}
+
+func TestLeaveOneOutDegenerate(t *testing.T) {
+	var l LeaveOneOut
+	l.Add(5)
+	m, s := l.Excluding(5)
+	if !math.IsNaN(m) || !math.IsNaN(s) {
+		t.Fatal("excluding the only member should yield NaNs")
+	}
+}
+
+func TestNormQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.0001, -3.719016485455709},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); !almostEq(got, c.want, 1e-8) {
+			t.Errorf("NormQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Error("extreme quantiles should be infinite")
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+		if got := NormCDF(NormQuantile(p)); !almostEq(got, p, 1e-10) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestTQuantileKnown(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 1, 12.7062047364, 1e-6},
+		{0.975, 2, 4.30265272991, 1e-8},
+		{0.975, 10, 2.22813885196, 1e-4},
+		{0.975, 99, 1.98421695155, 1e-5},
+		{0.95, 30, 1.69726089436, 1e-5},
+		{0.5, 42, 0, 1e-12},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.p, c.df); !almostEq(got, c.want, c.tol) {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 30, 99} {
+		for _, p := range []float64{0.6, 0.9, 0.975, 0.999} {
+			a, b := TQuantile(p, df), TQuantile(1-p, df)
+			if !almostEq(a, -b, 1e-9*math.Max(1, math.Abs(a))) {
+				t.Errorf("asymmetry df=%d p=%v: %v vs %v", df, p, a, b)
+			}
+		}
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x
+	}
+	r := LinearFit(xs, ys)
+	if !almostEq(r.Slope, 2, 1e-12) || !almostEq(r.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", r)
+	}
+	if !almostEq(r.R2, 1, 1e-12) || !almostEq(r.ResidualStd, 0, 1e-9) {
+		t.Fatalf("perfect fit should have R2=1: %+v", r)
+	}
+	if !r.ContainsIdeal() == (r.SlopeCI95[0] <= 1 && 1 <= r.SlopeCI95[1] && r.InterceptCI95[0] <= 0 && 0 <= r.InterceptCI95[1]) {
+		t.Fatal("ContainsIdeal inconsistent")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 101
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = 0.5 + 1.5*xs[i] + rng.NormFloat64()*0.2
+	}
+	r := LinearFit(xs, ys)
+	if math.Abs(r.Slope-1.5) > 0.05 || math.Abs(r.Intercept-0.5) > 0.3 {
+		t.Fatalf("fit off: %+v", r)
+	}
+	if r.SlopeCI95[0] >= r.Slope || r.SlopeCI95[1] <= r.Slope {
+		t.Fatal("CI does not bracket the estimate")
+	}
+	// True slope should (almost surely at this noise level) be inside CI.
+	if r.SlopeCI95[0] > 1.5 || r.SlopeCI95[1] < 1.5 {
+		t.Fatalf("true slope outside CI: %+v", r.SlopeCI95)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	r := LinearFit([]float64{1, 2}, []float64{1, 2})
+	if !math.IsNaN(r.Slope) {
+		t.Fatal("n<3 should give NaN slope")
+	}
+	r = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(r.Slope) {
+		t.Fatal("constant x should give NaN slope")
+	}
+}
+
+func TestSlopeWorstCaseDistance(t *testing.T) {
+	r := Regression{SlopeCI95: [2]float64{0.98, 1.01}}
+	if got := r.SlopeWorstCaseDistance(); !almostEq(got, 0.02, 1e-12) {
+		t.Fatalf("distance = %v, want 0.02", got)
+	}
+	r = Regression{SlopeCI95: [2]float64{1.0, 1.2}}
+	if got := r.SlopeWorstCaseDistance(); !almostEq(got, 0.2, 1e-12) {
+		t.Fatalf("distance = %v, want 0.2", got)
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 10000)
+	ys := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = xs[i] + 0.01*rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Pearson(xs, ys)
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import "math"
+
+// Welford is a numerically stable streaming accumulator of count, mean and
+// variance, after Welford (1962). The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into w (Chan et al. parallel update),
+// enabling per-worker accumulation followed by a reduction.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// N returns the number of accumulated values.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN for n < 2.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population variance (n denominator).
+func (w *Welford) PopVariance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest accumulated value, or NaN if empty.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest accumulated value, or NaN if empty.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Range returns Max - Min, or NaN if empty.
+func (w *Welford) Range() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max - w.min
+}
+
+// LeaveOneOut holds per-point sums over an ensemble that allow O(1)
+// computation of the mean and standard deviation of the sub-ensemble that
+// excludes any single member (the {E \ m} statistics of eqs. 6–7).
+type LeaveOneOut struct {
+	N     int     // number of members accumulated
+	Sum   float64 // Σ x_m
+	SumSq float64 // Σ x_m²
+}
+
+// Add folds one member's value at this point.
+func (l *LeaveOneOut) Add(x float64) {
+	l.N++
+	l.Sum += x
+	l.SumSq += x * x
+}
+
+// Excluding returns the mean and unbiased sample standard deviation of the
+// accumulated values with x (one previously added member value) removed.
+func (l *LeaveOneOut) Excluding(x float64) (mean, std float64) {
+	n := l.N - 1
+	if n < 1 {
+		return math.NaN(), math.NaN()
+	}
+	s := l.Sum - x
+	ss := l.SumSq - x*x
+	mean = s / float64(n)
+	if n < 2 {
+		return mean, math.NaN()
+	}
+	v := (ss - s*s/float64(n)) / float64(n-1)
+	if v < 0 { // numeric cancellation guard
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}

@@ -1,0 +1,139 @@
+package varcatalog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogCounts(t *testing.T) {
+	specs := Default()
+	if len(specs) != 170 {
+		t.Fatalf("catalog has %d variables, want 170", len(specs))
+	}
+	two, three := Counts(specs)
+	if two != 83 {
+		t.Errorf("2-D count = %d, want 83", two)
+	}
+	if three != 87 {
+		t.Errorf("3-D count = %d, want 87", three)
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	specs := Default()
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" {
+			t.Fatal("empty variable name")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate variable name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestFeaturedPresent(t *testing.T) {
+	specs := Default()
+	for _, name := range Featured() {
+		s, idx, ok := ByName(specs, name)
+		if !ok {
+			t.Fatalf("featured variable %q missing", name)
+		}
+		if specs[idx].Name != name || s.Name != name {
+			t.Fatalf("ByName returned wrong spec for %q", name)
+		}
+	}
+	// Paper: FSDSC is 2-D, the other three are 3-D.
+	fs, _, _ := ByName(specs, "FSDSC")
+	if fs.ThreeD {
+		t.Error("FSDSC must be 2-D")
+	}
+	for _, name := range []string{"U", "Z3", "CCN3"} {
+		s, _, _ := ByName(specs, name)
+		if !s.ThreeD {
+			t.Errorf("%s must be 3-D", name)
+		}
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, _, ok := ByName(Default(), "NOPE"); ok {
+		t.Fatal("ByName found a nonexistent variable")
+	}
+}
+
+func TestSpecsSane(t *testing.T) {
+	for _, s := range Default() {
+		if s.NoiseAmp <= 0 {
+			t.Errorf("%s: NoiseAmp must be positive (ensemble σ would vanish)", s.Name)
+		}
+		if s.ModeAmp <= 0 {
+			t.Errorf("%s: ModeAmp must be positive", s.Name)
+		}
+		if s.WaveNum < 1 || s.WaveNum > 8 {
+			t.Errorf("%s: WaveNum %d out of range", s.Name, s.WaveNum)
+		}
+		if s.Seed == 0 {
+			t.Errorf("%s: zero seed", s.Name)
+		}
+		if !s.ThreeD && s.Kind == Linear && s.VertAmp != 0 && s.VertKind != VertFlat {
+			// 2-D variables may carry a template VertAmp; it is ignored by
+			// the generator, so this is informational only.
+			continue
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	h := hashName("T")
+	if jitter(h, 1) != jitter(h, 1) {
+		t.Fatal("jitter not deterministic")
+	}
+	for salt := uint64(0); salt < 50; salt++ {
+		j := jitter(h, salt)
+		if j < 0.7 || j > 1.3 {
+			t.Fatalf("jitter %v out of [0.7, 1.3]", j)
+		}
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := Default()
+	b := Default()
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i].ClampMin) || math.IsNaN(a[i].ClampMax)) {
+			t.Fatalf("catalog not deterministic at %s", a[i].Name)
+		}
+	}
+}
+
+func TestMagnitudeDiversity(t *testing.T) {
+	// The catalog must span many orders of magnitude, from chemistry at
+	// O(1e-9) to pressure at O(1e5); this drives the paper's key finding
+	// that variables need individual treatment.
+	specs := Default()
+	var logCount, linCount int
+	for _, s := range specs {
+		if s.Kind == Log {
+			logCount++
+		} else {
+			linCount++
+		}
+	}
+	if logCount < 30 || linCount < 30 {
+		t.Fatalf("catalog lacks scale diversity: %d log, %d linear", logCount, linCount)
+	}
+}
+
+func TestSomeVariablesHaveFill(t *testing.T) {
+	var n int
+	for _, s := range Default() {
+		if s.HasFill {
+			n++
+		}
+	}
+	if n < 2 {
+		t.Fatalf("expected at least 2 fill-bearing variables, got %d", n)
+	}
+}

@@ -1,0 +1,177 @@
+// Package visualize renders climate fields as ASCII maps — the terminal
+// stand-in for the map plots climate scientists draw from history files.
+// The paper's §6 notes that "climate scientists visualize subsets of their
+// simulation data as part of the post-processing analysis workflow" and
+// that reconstructed data must produce quality images; RenderDiff shows
+// where a reconstruction deviates.
+package visualize
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"climcompress/internal/field"
+)
+
+// shades orders glyphs from low to high values.
+var shades = []rune(" .:-=+*#%@")
+
+// Options controls map rendering.
+type Options struct {
+	// Width is the output width in characters (default min(lon, 72)).
+	Width int
+	// Height is the output height in rows (default keeps a ~2:1 aspect).
+	Height int
+	// Level selects the vertical level for 3-D fields, 1-based; 0 (the
+	// zero value) selects the surface, i.e. the last level.
+	Level int
+}
+
+func (o Options) resolve(f *field.Field) (w, h, lev int) {
+	w = o.Width
+	if w <= 0 {
+		w = f.Grid.NLon
+		if w > 72 {
+			w = 72
+		}
+	}
+	h = o.Height
+	if h <= 0 {
+		h = w / 2 * f.Grid.NLat / f.Grid.NLon * 2
+		if h < 8 {
+			h = 8
+		}
+		if h > f.Grid.NLat {
+			h = f.Grid.NLat
+		}
+	}
+	if o.Level >= 1 && o.Level <= f.NLev {
+		lev = o.Level - 1
+	} else {
+		lev = f.NLev - 1
+	}
+	return
+}
+
+// RenderMap draws one level of a field as a shaded latitude–longitude map
+// (north at the top). Fill values render as '~' (the "ocean mask" look).
+func RenderMap(f *field.Field, opts Options) string {
+	w, h, lev := opts.resolve(f)
+	g := f.Grid
+
+	// Value range over the level, excluding fills.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	base := lev * g.NLat * g.NLon
+	for i := base; i < base+g.NLat*g.NLon; i++ {
+		if f.IsFill(i) {
+			continue
+		}
+		v := float64(f.Data[i])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(all fill)\n"
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] level %d/%d  min %.4g  max %.4g\n",
+		f.Name, f.Units, lev+1, f.NLev, lo, hi)
+	for row := 0; row < h; row++ {
+		// Row 0 is the northernmost latitude.
+		lat := g.NLat - 1 - row*g.NLat/h
+		for col := 0; col < w; col++ {
+			lon := col * g.NLon / w
+			i := base + lat*g.NLon + lon
+			if f.IsFill(i) {
+				b.WriteRune('~')
+				continue
+			}
+			frac := (float64(f.Data[i]) - lo) / span
+			idx := int(frac * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderDiff draws the pointwise |orig − recon| of one level on a scale
+// normalized by the original's range, so '@' marks errors near the worst
+// case and ' ' marks exact agreement.
+func RenderDiff(orig, recon *field.Field, opts Options) (string, error) {
+	if err := orig.CheckCompatible(recon.Data); err != nil {
+		return "", err
+	}
+	w, h, lev := opts.resolve(orig)
+	g := orig.Grid
+	base := lev * g.NLat * g.NLon
+
+	// Normalize by the level's value range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxDiff := 0.0
+	for i := base; i < base+g.NLat*g.NLon; i++ {
+		if orig.IsFill(i) {
+			continue
+		}
+		v := float64(orig.Data[i])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if d := math.Abs(float64(orig.Data[i] - recon.Data[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(all fill)\n", nil
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "|%s - reconstruction| level %d/%d  max err %.3g (%.3g of range)\n",
+		orig.Name, lev+1, orig.NLev, maxDiff, maxDiff/span)
+	if maxDiff == 0 {
+		b.WriteString("(bit-for-bit identical)\n")
+		return b.String(), nil
+	}
+	for row := 0; row < h; row++ {
+		lat := g.NLat - 1 - row*g.NLat/h
+		for col := 0; col < w; col++ {
+			lon := col * g.NLon / w
+			i := base + lat*g.NLon + lon
+			if orig.IsFill(i) {
+				b.WriteRune('~')
+				continue
+			}
+			frac := math.Abs(float64(orig.Data[i]-recon.Data[i])) / maxDiff
+			idx := int(frac * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,138 @@
+package visualize
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+func gradientField(t *testing.T) *field.Field {
+	t.Helper()
+	g := grid.Small()
+	f := field.New("TS", "K", g, false)
+	for lat := 0; lat < g.NLat; lat++ {
+		for lon := 0; lon < g.NLon; lon++ {
+			f.Set(0, lat, lon, float32(200+5*lat)+float32(math.Sin(float64(lon)/5)))
+		}
+	}
+	return f
+}
+
+func TestRenderMapBasics(t *testing.T) {
+	f := gradientField(t)
+	out := RenderMap(f, Options{Width: 48, Height: 12})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // header + 12 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "TS") || !strings.Contains(lines[0], "K") {
+		t.Fatalf("header missing metadata: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != 48 {
+			t.Fatalf("row width %d, want 48", len([]rune(l)))
+		}
+	}
+	// North (top row) is the warmest here: darkest shades at the top.
+	top, bottom := lines[1], lines[12]
+	if strings.Count(top, "@")+strings.Count(top, "%") == 0 {
+		t.Fatalf("top row should hold the maximum shades: %q", top)
+	}
+	if strings.Count(bottom, " ")+strings.Count(bottom, ".") == 0 {
+		t.Fatalf("bottom row should hold the minimum shades: %q", bottom)
+	}
+}
+
+func TestRenderMapFill(t *testing.T) {
+	f := gradientField(t)
+	f.HasFill = true
+	for lon := 0; lon < f.Grid.NLon; lon++ {
+		f.Set(0, f.Grid.NLat/2, lon, f.Fill)
+	}
+	out := RenderMap(f, Options{Width: f.Grid.NLon, Height: f.Grid.NLat})
+	if !strings.Contains(out, "~") {
+		t.Fatal("fill values should render as '~'")
+	}
+}
+
+func TestRenderMapConstant(t *testing.T) {
+	g := grid.Test()
+	f := field.New("X", "1", g, false)
+	for i := range f.Data {
+		f.Data[i] = 5
+	}
+	out := RenderMap(f, Options{})
+	if out == "" || strings.Contains(out, "@") {
+		t.Fatalf("constant field should render flat:\n%s", out)
+	}
+}
+
+func TestRenderMapAllFill(t *testing.T) {
+	g := grid.Test()
+	f := field.New("X", "1", g, false)
+	f.HasFill = true
+	for i := range f.Data {
+		f.Data[i] = f.Fill
+	}
+	if out := RenderMap(f, Options{}); !strings.Contains(out, "all fill") {
+		t.Fatalf("all-fill notice missing:\n%s", out)
+	}
+}
+
+func TestRenderDiffIdentical(t *testing.T) {
+	f := gradientField(t)
+	out, err := RenderDiff(f, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bit-for-bit identical") {
+		t.Fatalf("identical fields should short-circuit:\n%s", out)
+	}
+}
+
+func TestRenderDiffLocalizedError(t *testing.T) {
+	f := gradientField(t)
+	r := f.Clone()
+	// One corrupted region.
+	r.Set(0, 3, 5, r.At(0, 3, 5)+10)
+	out, err := RenderDiff(f, r, Options{Width: f.Grid.NLon, Height: f.Grid.NLat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "@") != 1 {
+		t.Fatalf("expected exactly one worst-error cell:\n%s", out)
+	}
+	if !strings.Contains(out, "max err") {
+		t.Fatal("header missing error summary")
+	}
+}
+
+func TestRenderDiffMismatched(t *testing.T) {
+	f := gradientField(t)
+	g := field.New("X", "1", grid.Test(), false)
+	if _, err := RenderDiff(f, g, Options{}); err == nil {
+		t.Fatal("mismatched fields should error")
+	}
+}
+
+func TestLevelSelection(t *testing.T) {
+	g := grid.Test()
+	f := field.New("T", "K", g, true)
+	for lev := 0; lev < g.NLev; lev++ {
+		for i := 0; i < g.Horizontal(); i++ {
+			f.Data[lev*g.Horizontal()+i] = float32(lev * 100)
+		}
+	}
+	out := RenderMap(f, Options{Level: 2})
+	if !strings.Contains(out, "level 2/") {
+		t.Fatalf("level selection ignored:\n%s", out)
+	}
+	// Default picks the surface (last) level.
+	out = RenderMap(f, Options{})
+	if !strings.Contains(out, "level 4/4") {
+		t.Fatalf("default level should be the surface:\n%s", out)
+	}
+}

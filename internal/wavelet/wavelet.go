@@ -1,0 +1,171 @@
+// Package wavelet implements the reversible integer CDF(2,2) ("5/3",
+// LeGall) lifting wavelet transform used by JPEG2000's lossless path — the
+// transform underneath the study's GRIB2+JPEG2000 codec. The lifting
+// formulation guarantees perfect integer reconstruction, so all loss in the
+// GRIB2 pipeline comes from the decimal-scale quantization step, exactly as
+// in the real format.
+package wavelet
+
+// Forward1D applies one level of the 5/3 lifting transform in place and
+// returns the approximation length: x[:sn] holds the low-pass (approx)
+// coefficients and x[sn:] the high-pass (detail) coefficients afterwards.
+// Works for any length >= 1 (length 1 is a no-op).
+func Forward1D(x []int64, scratch []int64) int {
+	n := len(x)
+	sn := (n + 1) / 2
+	if n < 2 {
+		return sn
+	}
+	dn := n - sn
+	s := scratch[:sn]
+	d := scratch[sn : sn+dn]
+
+	// Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2),
+	// with symmetric extension at the right edge.
+	for i := 0; i < dn; i++ {
+		left := x[2*i]
+		var right int64
+		if 2*i+2 < n {
+			right = x[2*i+2]
+		} else {
+			right = x[2*i] // mirror
+		}
+		d[i] = x[2*i+1] - floorDiv(left+right, 2)
+	}
+	// Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4),
+	// with symmetric extension at both edges.
+	for i := 0; i < sn; i++ {
+		var dl, dr int64
+		if i > 0 {
+			dl = d[i-1]
+		} else if dn > 0 {
+			dl = d[0]
+		}
+		if i < dn {
+			dr = d[i]
+		} else if dn > 0 {
+			dr = d[dn-1]
+		}
+		s[i] = x[2*i] + floorDiv(dl+dr+2, 4)
+	}
+	copy(x[:sn], s)
+	copy(x[sn:], d)
+	return sn
+}
+
+// Inverse1D undoes Forward1D for a signal of the given original length.
+func Inverse1D(x []int64, scratch []int64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	sn := (n + 1) / 2
+	dn := n - sn
+	s := x[:sn]
+	d := x[sn:]
+	out := scratch[:n]
+
+	// Undo update.
+	for i := 0; i < sn; i++ {
+		var dl, dr int64
+		if i > 0 {
+			dl = d[i-1]
+		} else if dn > 0 {
+			dl = d[0]
+		}
+		if i < dn {
+			dr = d[i]
+		} else if dn > 0 {
+			dr = d[dn-1]
+		}
+		out[2*i] = s[i] - floorDiv(dl+dr+2, 4)
+	}
+	// Undo predict.
+	for i := 0; i < dn; i++ {
+		left := out[2*i]
+		var right int64
+		if 2*i+2 < n {
+			right = out[2*i+2]
+		} else {
+			right = out[2*i]
+		}
+		out[2*i+1] = d[i] + floorDiv(left+right, 2)
+	}
+	copy(x, out)
+}
+
+// floorDiv divides rounding toward negative infinity (Go's / truncates).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Transform2D applies `levels` of the 2-D 5/3 transform in place on a
+// rows×cols image stored row-major. Each level transforms all current rows
+// then all current columns of the low-pass quadrant from the previous level
+// (the standard dyadic decomposition). It returns the per-level
+// (rows, cols) of the approximation quadrants for Inverse2D.
+func Transform2D(img []int64, rows, cols, levels int) [][2]int {
+	if len(img) != rows*cols {
+		panic("wavelet: image size mismatch")
+	}
+	scratch := make([]int64, max(rows, cols))
+	colBuf := make([]int64, rows)
+	dims := make([][2]int, 0, levels)
+	r, c := rows, cols
+	for lev := 0; lev < levels && r >= 2 && c >= 2; lev++ {
+		dims = append(dims, [2]int{r, c})
+		// Rows.
+		for i := 0; i < r; i++ {
+			Forward1D(img[i*cols:i*cols+c], scratch)
+		}
+		// Columns.
+		for j := 0; j < c; j++ {
+			for i := 0; i < r; i++ {
+				colBuf[i] = img[i*cols+j]
+			}
+			Forward1D(colBuf[:r], scratch)
+			for i := 0; i < r; i++ {
+				img[i*cols+j] = colBuf[i]
+			}
+		}
+		r = (r + 1) / 2
+		c = (c + 1) / 2
+	}
+	return dims
+}
+
+// Inverse2D undoes Transform2D given the dims it returned.
+func Inverse2D(img []int64, rows, cols int, dims [][2]int) {
+	if len(img) != rows*cols {
+		panic("wavelet: image size mismatch")
+	}
+	scratch := make([]int64, max(rows, cols))
+	colBuf := make([]int64, rows)
+	for lev := len(dims) - 1; lev >= 0; lev-- {
+		r, c := dims[lev][0], dims[lev][1]
+		// Columns first (reverse of forward order).
+		for j := 0; j < c; j++ {
+			for i := 0; i < r; i++ {
+				colBuf[i] = img[i*cols+j]
+			}
+			Inverse1D(colBuf[:r], scratch)
+			for i := 0; i < r; i++ {
+				img[i*cols+j] = colBuf[i]
+			}
+		}
+		for i := 0; i < r; i++ {
+			Inverse1D(img[i*cols:i*cols+c], scratch)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardInverse1D(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 17, 100, 101} {
+		x := make([]int64, n)
+		for i := range x {
+			x[i] = int64(i*i%23 - 11)
+		}
+		orig := append([]int64(nil), x...)
+		scratch := make([]int64, n)
+		Forward1D(x, scratch)
+		Inverse1D(x, scratch)
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatalf("n=%d: mismatch at %d: %d vs %d", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestQuick1DRoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := make([]int64, len(vals))
+		for i, v := range vals {
+			x[i] = int64(v)
+		}
+		orig := append([]int64(nil), x...)
+		scratch := make([]int64, len(x))
+		Forward1D(x, scratch)
+		Inverse1D(x, scratch)
+		for i := range x {
+			if x[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothSignalSmallDetails(t *testing.T) {
+	// The detail band of a smooth ramp must be tiny relative to the signal.
+	n := 256
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = int64(1000 + 10*i)
+	}
+	scratch := make([]int64, n)
+	sn := Forward1D(x, scratch)
+	// Interior detail coefficients vanish on a linear ramp; the final one
+	// reflects the boundary's symmetric extension and is excluded.
+	for i := sn; i < n-1; i++ {
+		if abs := x[i]; abs > 1 || abs < -1 {
+			t.Fatalf("detail coefficient %d = %d on linear ramp", i, x[i])
+		}
+	}
+}
+
+func TestTransform2DRoundTrip(t *testing.T) {
+	cases := [][2]int{{4, 4}, {8, 8}, {7, 9}, {16, 24}, {31, 17}, {2, 2}, {5, 2}}
+	rng := rand.New(rand.NewSource(1))
+	for _, rc := range cases {
+		rows, cols := rc[0], rc[1]
+		img := make([]int64, rows*cols)
+		for i := range img {
+			img[i] = int64(rng.Intn(100000) - 50000)
+		}
+		orig := append([]int64(nil), img...)
+		dims := Transform2D(img, rows, cols, 3)
+		Inverse2D(img, rows, cols, dims)
+		for i := range img {
+			if img[i] != orig[i] {
+				t.Fatalf("%dx%d: mismatch at %d", rows, cols, i)
+			}
+		}
+	}
+}
+
+func TestTransform2DEnergyCompaction(t *testing.T) {
+	// A smooth 2-D field must concentrate magnitude in the approx quadrant.
+	rows, cols := 32, 32
+	img := make([]int64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			img[i*cols+j] = int64(1000 * math.Sin(float64(i)/8) * math.Cos(float64(j)/8))
+		}
+	}
+	dims := Transform2D(img, rows, cols, 2)
+	if len(dims) != 2 {
+		t.Fatalf("expected 2 levels, got %d", len(dims))
+	}
+	// Approx quadrant after 2 levels is 8x8.
+	var approxSum, detailSum float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := math.Abs(float64(img[i*cols+j]))
+			if i < 8 && j < 8 {
+				approxSum += v
+			} else {
+				detailSum += v
+			}
+		}
+	}
+	if approxSum < 2*detailSum {
+		t.Fatalf("poor energy compaction: approx %v vs detail %v", approxSum, detailSum)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 2, 3}, {-6, 2, -3},
+		{1, 4, 0}, {-1, 4, -1}, {-5, 4, -2},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDegenerateShapes(t *testing.T) {
+	// 1xN and Nx1 images should survive (no levels applied when a side < 2).
+	img := []int64{1, 2, 3, 4, 5}
+	orig := append([]int64(nil), img...)
+	dims := Transform2D(img, 1, 5, 3)
+	Inverse2D(img, 1, 5, dims)
+	for i := range img {
+		if img[i] != orig[i] {
+			t.Fatal("1xN image corrupted")
+		}
+	}
+}
+
+func BenchmarkTransform2D(b *testing.B) {
+	rows, cols := 72, 144
+	img := make([]int64, rows*cols)
+	rng := rand.New(rand.NewSource(2))
+	for i := range img {
+		img[i] = int64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dims := Transform2D(img, rows, cols, 4)
+		Inverse2D(img, rows, cols, dims)
+	}
+}
