@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt experiments clean
+.PHONY: all build test race bench bench-json fuzz vet fmt verify experiments clean
 
 all: build test
 
@@ -12,11 +12,23 @@ build:
 test:
 	$(GO) test ./...
 
+# The tier-1 gate plus static analysis: what CI runs on every change.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable performance snapshot: per-experiment wall-clock (cold and
+# warm chaotic-core cache) plus ns/op microbenchmarks for the RMSZ engine
+# and every codec, written to BENCH_PR1.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR1.json
 
 # Short fuzzing pass over the decoder and container parsers.
 fuzz:

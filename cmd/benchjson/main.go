@@ -1,0 +1,231 @@
+// Command benchjson produces the machine-readable performance snapshot
+// behind `make bench-json`. It times the paper-scale table 1 + figure 1
+// pipeline twice — once against a cold chaotic-core cache (full Lorenz-96
+// integration) and once warm (cache loaded from disk) — and runs ns/op
+// microbenchmarks for the leave-one-out RMSZ engine, the Lorenz-96 stepper
+// and every study codec. The result is one JSON document (BENCH_PR1.json)
+// that later PRs can diff mechanically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+
+	"climcompress/internal/benchjson"
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	_ "climcompress/internal/compress/fpzip"
+	"climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/experiments"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/model"
+	"climcompress/internal/par"
+	"climcompress/internal/varcatalog"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	members := flag.Int("members", 101, "ensemble size for the experiment timings")
+	workers := flag.Int("workers", 0, "parallel worker pool width (0 = GOMAXPROCS)")
+	skipExperiments := flag.Bool("micro-only", false, "skip the table1+fig1 wall-clock runs")
+	skipMicro := flag.Bool("experiments-only", false, "skip the ns/op microbenchmarks")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs")
+	flag.Parse()
+	par.SetWidth(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := benchjson.NewReport()
+	if !*skipExperiments {
+		if err := timeExperiments(rep, *members); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !*skipMicro {
+		microbenchmarks(rep)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+}
+
+// timeExperiments runs table1 + fig1 at paper scale on the bench grid,
+// first against an empty chaotic-core cache directory (cold: pays the full
+// Lorenz-96 integration) and then again with a fresh runner against the
+// now-populated cache (warm).
+func timeExperiments(rep *benchjson.Report, members int) error {
+	cacheDir, err := os.MkdirTemp("", "l96cache")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	for _, pass := range []string{"cold cache", "warm cache"} {
+		cfg := experiments.DefaultConfig(grid.Bench())
+		cfg.Members = members
+		var once sync.Once
+		var shared *l96.Ensemble
+		cfg.L96Source = func() *l96.Ensemble {
+			once.Do(func() {
+				lc := l96.DefaultEnsembleConfig(members)
+				shared, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, cacheDir)
+			})
+			return shared
+		}
+		r := experiments.NewRunner(cfg, nil)
+		total := 0.0
+		t0 := time.Now()
+		if experiments.Table1() == "" {
+			return fmt.Errorf("empty table 1")
+		}
+		sec := time.Since(t0).Seconds()
+		rep.AddSeconds("experiments/table1", sec, pass)
+		total += sec
+		t0 = time.Now()
+		if _, err := r.Fig1(); err != nil {
+			return err
+		}
+		sec = time.Since(t0).Seconds()
+		rep.AddSeconds("experiments/fig1", sec, pass)
+		total += sec
+		rep.AddSeconds("experiments/table1+fig1", total, pass)
+	}
+	return nil
+}
+
+// synthEnsemble builds a deterministic synthetic ensemble on the test grid
+// for the RMSZ engine benchmarks (mirrors the top-level ablation harness).
+func synthEnsemble(nm int) []*field.Field {
+	g := grid.Test()
+	fields := make([]*field.Field, nm)
+	x := uint64(99)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%10000)/5000 - 1
+	}
+	for m := range fields {
+		f := field.New("X", "1", g, false)
+		for i := range f.Data {
+			f.Data[i] = float32(10 + float64(i%7) + next())
+		}
+		fields[m] = f
+	}
+	return fields
+}
+
+// benchField synthesizes one realistic 3-D variable for codec throughput.
+func benchField() ([]float32, compress.Shape) {
+	g := grid.Small()
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.EnsembleConfig{
+		Members: 3, Dt: 0.002, SpinupSteps: 1000,
+		DivergeSteps: 4000, CalibSteps: 2000, Eps: 1e-14,
+	})
+	catalog := varcatalog.Default()
+	gen := model.NewGenerator(g, catalog, ens)
+	_, idx, _ := varcatalog.ByName(catalog, "U")
+	f := gen.Field(idx, 0)
+	return f.Data, compress.Shape{NLev: f.NLev, NLat: g.NLat, NLon: g.NLon}
+}
+
+func microbenchmarks(rep *benchjson.Report) {
+	fields := synthEnsemble(31)
+	rep.AddBenchmark("rmsz/build-31x"+fmt.Sprint(fields[0].Len()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ensemble.Build(fields); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vs, err := ensemble.Build(fields)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data := vs.Original(0)
+	rep.AddBenchmark("rmsz/rmsz-of-member", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if z := vs.RMSZOf(0, data); math.IsNaN(z) {
+				b.Fatal("NaN RMSZ")
+			}
+		}
+	})
+	members := make([][]float32, vs.Members())
+	for m := range members {
+		members[m] = vs.Original(m)
+	}
+	rep.AddBenchmark("rmsz/scores-full-ensemble", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s := ensemble.RMSZScores(members, vs.FillMask); len(s) != len(members) {
+				b.Fatal("short score vector")
+			}
+		}
+	})
+
+	m := l96.New(l96.DefaultParams())
+	s := m.InitialState(0)
+	rep.AddBenchmark("l96/step", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Step(s, 0.002)
+		}
+	})
+
+	fdata, shape := benchField()
+	variants := append(experiments.Variants(), "nc")
+	for _, name := range variants {
+		var codec compress.Codec
+		if name == "grib2" {
+			codec = grib2.New(2)
+		} else {
+			c, err := compress.New(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			codec = c
+		}
+		buf, err := codec.Compress(fdata, shape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.AddBenchmark("codec/"+name+"/compress", func(b *testing.B) {
+			b.SetBytes(int64(4 * len(fdata)))
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Compress(fdata, shape); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.AddBenchmark("codec/"+name+"/decompress", func(b *testing.B) {
+			b.SetBytes(int64(4 * len(fdata)))
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decompress(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"climcompress/internal/experiments"
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
+	"climcompress/internal/par"
 )
 
 var (
@@ -34,6 +37,8 @@ var (
 	seed     = flag.Uint64("seed", 2014, "seed for test-member selection")
 	vars     = flag.String("vars", "", "comma-separated variable subset (default: all 170)")
 	quiet    = flag.Bool("q", false, "suppress progress timing lines")
+	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	l96cache = flag.String("l96cache", ".l96cache", "directory caching the deterministic chaotic-core integration (empty disables)")
 )
 
 // experimentSpec maps a name to its runner method and default grid.
@@ -69,6 +74,16 @@ func specs() []experimentSpec {
 
 func main() {
 	flag.Parse()
+	par.SetWidth(*workers)
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: climatebench [flags] <experiment>...")
@@ -102,8 +117,19 @@ func main() {
 	}
 
 	// One runner per grid, sharing the grid-independent chaotic ensemble.
-	runners := make(map[string]*experiments.Runner)
+	// The shared closure integrates (or loads from the on-disk cache) on the
+	// first experiment that actually needs members, so member-free
+	// experiments skip the integration entirely.
+	var l96Once sync.Once
 	var sharedL96 *l96.Ensemble
+	l96Source := func() *l96.Ensemble {
+		l96Once.Do(func() {
+			lc := l96.DefaultEnsembleConfig(*members)
+			sharedL96, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, *l96cache)
+		})
+		return sharedL96
+	}
+	runners := make(map[string]*experiments.Runner)
 	runnerFor := func(gname string) *experiments.Runner {
 		if *gridName != "" {
 			gname = *gridName
@@ -121,10 +147,8 @@ func main() {
 		cfg.Workers = *workers
 		cfg.Seed = *seed
 		cfg.Variables = varList
-		r := experiments.NewRunner(cfg, sharedL96)
-		if sharedL96 == nil {
-			sharedL96 = r.L96()
-		}
+		cfg.L96Source = l96Source
+		r := experiments.NewRunner(cfg, nil)
 		runners[gname] = r
 		return r
 	}
@@ -142,6 +166,9 @@ func main() {
 		if !*quiet {
 			fmt.Printf("[%s completed in %.1fs]\n\n", s.name, time.Since(start).Seconds())
 		}
+	}
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
 	}
 	os.Exit(exitCode)
 }

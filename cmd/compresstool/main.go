@@ -30,33 +30,39 @@ import (
 	"climcompress/internal/l96"
 	"climcompress/internal/metrics"
 	"climcompress/internal/model"
+	"climcompress/internal/par"
 	"climcompress/internal/report"
 	"climcompress/internal/varcatalog"
 	"climcompress/internal/visualize"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	workers := flag.Int("workers", 0, "parallel worker pool width (0 = GOMAXPROCS)")
+	flag.Usage = usage
+	flag.Parse()
+	par.SetWidth(*workers)
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "gen":
-		err = runGen(os.Args[2:])
+		err = runGen(args[1:])
 	case "compress":
-		err = runCompress(os.Args[2:])
+		err = runCompress(args[1:])
 	case "inspect":
-		err = runInspect(os.Args[2:])
+		err = runInspect(args[1:])
 	case "verify":
-		err = runVerify(os.Args[2:])
+		err = runVerify(args[1:])
 	case "convert":
-		err = runConvert(os.Args[2:])
+		err = runConvert(args[1:])
 	case "map":
-		err = runMap(os.Args[2:])
+		err = runMap(args[1:])
 	case "export":
-		err = runExport(os.Args[2:])
+		err = runExport(args[1:])
 	case "import":
-		err = runImport(os.Args[2:])
+		err = runImport(args[1:])
 	default:
 		usage()
 	}

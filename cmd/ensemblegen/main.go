@@ -28,6 +28,7 @@ import (
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
 	"climcompress/internal/model"
+	"climcompress/internal/par"
 	"climcompress/internal/pvt"
 	"climcompress/internal/report"
 	"climcompress/internal/stats"
@@ -35,17 +36,22 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	workers := flag.Int("workers", 0, "parallel worker pool width (0 = GOMAXPROCS)")
+	flag.Usage = usage
+	flag.Parse()
+	par.SetWidth(*workers)
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "write":
-		err = runWrite(os.Args[2:])
+		err = runWrite(args[1:])
 	case "stats":
-		err = runStats(os.Args[2:])
+		err = runStats(args[1:])
 	case "check":
-		err = runCheck(os.Args[2:])
+		err = runCheck(args[1:])
 	default:
 		usage()
 	}

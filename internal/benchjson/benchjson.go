@@ -1,0 +1,66 @@
+// Package benchjson defines the machine-readable performance report written
+// by `make bench-json`: per-experiment wall-clock timings and ns/op
+// microbenchmarks in one JSON document, so performance changes across PRs
+// can be diffed mechanically instead of eyeballed from benchmark logs.
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Entry is one measured quantity.
+type Entry struct {
+	// Name identifies the measurement (e.g. "table1", "rmsz/build",
+	// "codec/fpzip-24/compress").
+	Name string `json:"name"`
+	// Seconds is a wall-clock duration, for experiment-level entries.
+	Seconds float64 `json:"seconds,omitempty"`
+	// NsPerOp and MBPerSec come from testing.Benchmark microbenchmarks.
+	NsPerOp  int64   `json:"ns_per_op,omitempty"`
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// Note carries qualifiers like "cold cache" / "warm cache".
+	Note string `json:"note,omitempty"`
+}
+
+// Report is the top-level document.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
+}
+
+// NewReport returns a report stamped with the runtime environment.
+func NewReport() *Report {
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// AddSeconds records a wall-clock measurement.
+func (r *Report) AddSeconds(name string, seconds float64, note string) {
+	r.Entries = append(r.Entries, Entry{Name: name, Seconds: seconds, Note: note})
+}
+
+// AddBenchmark runs fn under testing.Benchmark and records its ns/op (and
+// MB/s when fn calls b.SetBytes).
+func (r *Report) AddBenchmark(name string, fn func(b *testing.B)) {
+	res := testing.Benchmark(fn)
+	e := Entry{Name: name, NsPerOp: res.NsPerOp()}
+	if res.Bytes > 0 && res.T > 0 {
+		e.MBPerSec = float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6
+	}
+	r.Entries = append(r.Entries, e)
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

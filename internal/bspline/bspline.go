@@ -7,6 +7,7 @@ package bspline
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // ErrBadFit is returned when a fit is requested with too few points or
@@ -63,10 +64,91 @@ func EvalAll(coefs []float64, n int, out []float64) []float64 {
 		out[0] = Eval(coefs, 0)
 		return out
 	}
+	ncoef := len(coefs)
+	if pl, err := planFor(n, ncoef); err == nil {
+		for i := 0; i < n; i++ {
+			s := int(pl.seg[i])
+			w := pl.w[4*i:]
+			out[i] = w[0]*coefs[s] + w[1]*coefs[s+1] + w[2]*coefs[s+2] + w[3]*coefs[s+3]
+		}
+		return out
+	}
 	for i := 0; i < n; i++ {
 		out[i] = Eval(coefs, float64(i)/float64(n-1))
 	}
 	return out
+}
+
+// plan caches everything about fitting/evaluating n points with ncoef
+// control points that does not depend on the data: the per-point segment
+// index and blending weights, and the Cholesky factor of the (ridged)
+// normal matrix AᵀA. ISABELA fits the same (window, ncoef) geometry for
+// every window of every field, so the O(n·ncoef²) matrix build and O(ncoef³)
+// factorization run once per shape instead of once per window.
+type plan struct {
+	seg []int32   // len n: first control point of each point's segment
+	w   []float64 // len 4n: blending weights, [4i..4i+3] for point i
+	fac []float64 // len ncoef²: lower-triangular Cholesky factor
+}
+
+type planKey struct{ n, ncoef int }
+
+type planEntry struct {
+	once sync.Once
+	pl   *plan
+	err  error
+}
+
+var plans sync.Map // planKey → *planEntry
+
+// planFor returns the cached plan for (n, ncoef), building it on first use.
+func planFor(n, ncoef int) (*plan, error) {
+	if ncoef < 4 || n < ncoef || n < 2 {
+		return nil, ErrBadFit
+	}
+	key := planKey{n, ncoef}
+	v, _ := plans.LoadOrStore(key, &planEntry{})
+	e := v.(*planEntry)
+	e.once.Do(func() { e.pl, e.err = buildPlan(n, ncoef) })
+	return e.pl, e.err
+}
+
+// buildPlan computes the geometry tables and factors the normal matrix with
+// the exact arithmetic of the previous per-call Fit path, so cached fits are
+// bit-identical to uncached ones.
+func buildPlan(n, ncoef int) (*plan, error) {
+	pl := &plan{
+		seg: make([]int32, n),
+		w:   make([]float64, 4*n),
+		fac: make([]float64, ncoef*ncoef),
+	}
+	N := pl.fac
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		s, t := segment(x, ncoef)
+		b0, b1, b2, b3 := basis(t)
+		pl.seg[i] = int32(s)
+		w := pl.w[4*i:]
+		w[0], w[1], w[2], w[3] = b0, b1, b2, b3
+		for a := 0; a < 4; a++ {
+			ia := s + a
+			for c := 0; c < 4; c++ {
+				N[ia*ncoef+s+c] += w[a] * w[c]
+			}
+		}
+	}
+	var trace float64
+	for i := 0; i < ncoef; i++ {
+		trace += N[i*ncoef+i]
+	}
+	ridge := 1e-10 * (trace/float64(ncoef) + 1)
+	for i := 0; i < ncoef; i++ {
+		N[i*ncoef+i] += ridge
+	}
+	if err := choleskyFactor(N, ncoef); err != nil {
+		return nil, err
+	}
+	return pl, nil
 }
 
 // Fit computes the least-squares control points of a uniform cubic B-spline
@@ -78,44 +160,29 @@ func Fit(y []float64, ncoef int) ([]float64, error) {
 	if ncoef < 4 || n < ncoef {
 		return nil, ErrBadFit
 	}
-	// Normal equations N c = b with N = AᵀA, b = Aᵀy; A has 4 nonzeros/row.
-	N := make([]float64, ncoef*ncoef)
-	b := make([]float64, ncoef)
-	var w [4]float64
-	for i := 0; i < n; i++ {
-		x := 0.0
-		if n > 1 {
-			x = float64(i) / float64(n-1)
-		}
-		s, t := segment(x, ncoef)
-		w[0], w[1], w[2], w[3] = basis(t)
-		for a := 0; a < 4; a++ {
-			ia := s + a
-			b[ia] += w[a] * y[i]
-			for c := 0; c < 4; c++ {
-				N[ia*ncoef+s+c] += w[a] * w[c]
-			}
-		}
-	}
-	// Ridge regularization keeps the factorization positive definite even
-	// when some control point is unconstrained (short windows).
-	var trace float64
-	for i := 0; i < ncoef; i++ {
-		trace += N[i*ncoef+i]
-	}
-	ridge := 1e-10 * (trace/float64(ncoef) + 1)
-	for i := 0; i < ncoef; i++ {
-		N[i*ncoef+i] += ridge
-	}
-	if err := choleskySolve(N, b, ncoef); err != nil {
+	pl, err := planFor(n, ncoef)
+	if err != nil {
 		return nil, err
 	}
+	// Right-hand side b = Aᵀy, accumulated in the same point order as the
+	// former fused matrix/vector build.
+	b := make([]float64, ncoef)
+	for i := 0; i < n; i++ {
+		s := int(pl.seg[i])
+		w := pl.w[4*i:]
+		yi := y[i]
+		b[s] += w[0] * yi
+		b[s+1] += w[1] * yi
+		b[s+2] += w[2] * yi
+		b[s+3] += w[3] * yi
+	}
+	solveFactored(pl.fac, b, ncoef)
 	return b, nil
 }
 
-// choleskySolve solves the SPD system in place: on return b holds x.
-func choleskySolve(a []float64, b []float64, n int) error {
-	// Factor a = L·Lᵀ (lower triangle stored in a).
+// choleskyFactor factors the SPD matrix a = L·Lᵀ in place (lower triangle
+// stored in a).
+func choleskyFactor(a []float64, n int) error {
 	for j := 0; j < n; j++ {
 		d := a[j*n+j]
 		for k := 0; k < j; k++ {
@@ -134,6 +201,13 @@ func choleskySolve(a []float64, b []float64, n int) error {
 			a[i*n+j] = s / d
 		}
 	}
+	return nil
+}
+
+// solveFactored solves L·Lᵀ x = b given the factor from choleskyFactor,
+// reading a and leaving x in b — safe for concurrent use over a shared
+// factor.
+func solveFactored(a []float64, b []float64, n int) {
 	// Forward substitution L z = b.
 	for i := 0; i < n; i++ {
 		s := b[i]
@@ -150,5 +224,4 @@ func choleskySolve(a []float64, b []float64, n int) error {
 		}
 		b[i] = s / a[i*n+i]
 	}
-	return nil
 }

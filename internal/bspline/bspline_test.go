@@ -3,6 +3,7 @@ package bspline
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -146,6 +147,80 @@ func BenchmarkFit1024x30(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Fit(y, 30); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// fitReference is the pre-cache implementation: fused normal-matrix build
+// and per-call Cholesky solve. The plan-cached Fit must match it bit for
+// bit.
+func fitReference(y []float64, ncoef int) ([]float64, error) {
+	n := len(y)
+	if ncoef < 4 || n < ncoef {
+		return nil, ErrBadFit
+	}
+	N := make([]float64, ncoef*ncoef)
+	b := make([]float64, ncoef)
+	var w [4]float64
+	for i := 0; i < n; i++ {
+		x := 0.0
+		if n > 1 {
+			x = float64(i) / float64(n-1)
+		}
+		s, t := segment(x, ncoef)
+		w[0], w[1], w[2], w[3] = basis(t)
+		for a := 0; a < 4; a++ {
+			ia := s + a
+			b[ia] += w[a] * y[i]
+			for c := 0; c < 4; c++ {
+				N[ia*ncoef+s+c] += w[a] * w[c]
+			}
+		}
+	}
+	var trace float64
+	for i := 0; i < ncoef; i++ {
+		trace += N[i*ncoef+i]
+	}
+	ridge := 1e-10 * (trace/float64(ncoef) + 1)
+	for i := 0; i < ncoef; i++ {
+		N[i*ncoef+i] += ridge
+	}
+	if err := choleskyFactor(N, ncoef); err != nil {
+		return nil, err
+	}
+	solveFactored(N, b, ncoef)
+	return b, nil
+}
+
+func TestFitMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, tc := range []struct{ n, ncoef int }{
+		{1024, 30}, {1000, 30}, {100, 30}, {9, 4}, {512, 17},
+	} {
+		y := make([]float64, tc.n)
+		for i := range y {
+			y[i] = float64(i) + 3*rng.NormFloat64()
+		}
+		sort.Float64s(y) // ISABELA fits sorted curves
+		got, err := Fit(y, tc.ncoef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fitReference(y, tc.ncoef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d ncoef=%d: coef[%d] = %x, reference %x", tc.n, tc.ncoef, i, got[i], want[i])
+			}
+		}
+		// EvalAll through the cached tables must match per-point Eval.
+		rec := EvalAll(got, tc.n, nil)
+		for i := range rec {
+			if x := Eval(got, float64(i)/float64(tc.n-1)); rec[i] != x {
+				t.Fatalf("n=%d ncoef=%d: EvalAll[%d] = %x, Eval %x", tc.n, tc.ncoef, i, rec[i], x)
+			}
 		}
 	}
 }

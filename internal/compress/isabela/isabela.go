@@ -100,6 +100,8 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 
 	w := bitstream.NewWriter(len(data) * 2)
 	perm := make([]int, 0, wsize)
+	keys := make([]uint64, 0, wsize)
+	scratch := make([]uint64, 0, wsize)
 	sorted := make([]float64, 0, wsize)
 	rec := make([]float64, 0, wsize)
 
@@ -124,11 +126,7 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 		}
 		w.WriteBit(0)
 
-		perm = perm[:n]
-		for i := range perm {
-			perm[i] = i
-		}
-		sort.SliceStable(perm, func(a, b int) bool { return block[perm[a]] < block[perm[b]] })
+		perm = sortPermutation(block, perm[:n], keys[:n], scratch[:n])
 		sorted = sorted[:n]
 		for i, p := range perm {
 			sorted[i] = float64(block[p])
@@ -185,6 +183,85 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 	putU16(4, uint16(basisPoints)) // tolerance in basis points
 	out = append(out, meta[:]...)
 	return append(out, w.Bytes()...), nil
+}
+
+// sortPermutation fills perm with the stable sort-by-value permutation of
+// block. The sort index is ISABELA's dominant cost, so instead of a
+// comparator-driven stable sort the window is sorted as packed integer keys:
+// the float32 bits mapped through the usual monotone flip (sign bit set →
+// bits inverted, else sign bit ORed in) in the high word and the original
+// index in the low word. The index tie-break reproduces stability exactly;
+// −0 is canonicalized to +0 first since the two compare equal as floats but
+// differ in bits. NaNs have no consistent comparator order, so any NaN in
+// the window falls back to the comparator sort that produced the seed
+// streams.
+func sortPermutation(block []float32, perm []int, keys, scratch []uint64) []int {
+	nan := false
+	for i, v := range block {
+		if v != v {
+			nan = true
+			break
+		}
+		b := math.Float32bits(v)
+		if b == 0x80000000 { // -0 sorts identically to +0
+			b = 0
+		}
+		if b&0x80000000 != 0 {
+			b = ^b
+		} else {
+			b |= 0x80000000
+		}
+		keys[i] = uint64(b)<<32 | uint64(uint32(i))
+	}
+	if nan {
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return block[perm[a]] < block[perm[b]] })
+		return perm
+	}
+	radixSort(keys, scratch)
+	for i, k := range keys {
+		perm[i] = int(uint32(k))
+	}
+	return perm
+}
+
+// radixSort sorts keys ascending with a byte-wise LSD counting sort,
+// skipping passes whose digit column is constant. Ascending uint64 order is
+// unique, so the result is identical to a comparison sort; it just avoids
+// pdqsort's branchy comparisons in the per-window hot loop.
+func radixSort(keys, scratch []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	var counts [8][256]int
+	for _, k := range keys {
+		for d := 0; d < 8; d++ {
+			counts[d][byte(k>>(8*d))]++
+		}
+	}
+	src, dst := keys, scratch[:n]
+	for d := 0; d < 8; d++ {
+		c := &counts[d]
+		if c[byte(src[0]>>(8*d))] == n {
+			continue // all keys share this digit
+		}
+		sum := 0
+		for v := 0; v < 256; v++ {
+			c[v], sum = sum, sum+c[v]
+		}
+		for _, k := range src {
+			digit := byte(k >> (8 * d))
+			dst[c[digit]] = k
+			c[digit]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
 }
 
 // withinRel reports whether approx is within the relative tolerance of

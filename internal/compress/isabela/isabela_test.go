@@ -3,6 +3,8 @@ package isabela
 import (
 	"math"
 	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 
 	"climcompress/internal/compress"
@@ -223,6 +225,63 @@ func BenchmarkDecompressISA05(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Decompress(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestRadixSortMatchesSlicesSort checks the counting sort against the
+// standard library across sizes and key distributions (constant columns
+// exercise the pass-skipping, narrow ranges the copy-back parity).
+func TestRadixSortMatchesSlicesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 3, 17, 255, 1000, 1024} {
+		for _, gen := range []func() uint64{
+			func() uint64 { return rng.Uint64() },
+			func() uint64 { return uint64(rng.Intn(16)) },
+			func() uint64 { return uint64(rng.Intn(3)) << 56 },
+			func() uint64 { return 42 },
+		} {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = gen()
+			}
+			want := slices.Clone(keys)
+			slices.Sort(want)
+			radixSort(keys, make([]uint64, n))
+			if !slices.Equal(keys, want) {
+				t.Fatalf("n=%d: radixSort diverged from slices.Sort", n)
+			}
+		}
+	}
+}
+
+// TestSortPermutationMatchesStableSort pins the key-sort rewrite to the
+// comparator-driven stable sort it replaced, on data with duplicates,
+// negatives, signed zeros and NaNs.
+func TestSortPermutationMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := [][]float32{
+		{3, 1, 2, 1, 3, 1, 0, -1, -1, 0},
+		{float32(math.Copysign(0, -1)), 0, float32(math.Copysign(0, -1)), 0},
+		{float32(math.NaN()), 1, -1, float32(math.NaN()), 0},
+	}
+	big := make([]float32, 1024)
+	for i := range big {
+		// Coarse quantization forces many duplicate values.
+		big[i] = float32(math.Round(rng.NormFloat64()*4)) / 2
+	}
+	cases = append(cases, big)
+	for ci, block := range cases {
+		want := make([]int, len(block))
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return block[want[a]] < block[want[b]] })
+		got := sortPermutation(block, make([]int, len(block)), make([]uint64, len(block)), make([]uint64, len(block)))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: perm[%d] = %d, want %d", ci, i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"climcompress/internal/compress"
+	"climcompress/internal/par"
 )
 
 // Codec compresses chunks of a field concurrently with an inner codec.
@@ -126,25 +127,14 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 	payloads := make([][]byte, len(chunks))
 	errs := make([]error, len(chunks))
 
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < c.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			inner := c.Factory()
-			for i := range jobs {
-				ch := chunks[i]
-				slab := data[ch.offset : ch.offset+ch.shape.Len()]
-				payloads[i], errs[i] = inner.Compress(slab, ch.shape)
-			}
-		}()
-	}
-	for i := range chunks {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	// Fan out over the shared pool; a fresh inner codec per chunk because
+	// adaptive codecs carry per-stream state.
+	par.EachLimit(len(chunks), c.workers(), func(i int) error {
+		ch := chunks[i]
+		slab := data[ch.offset : ch.offset+ch.shape.Len()]
+		payloads[i], errs[i] = c.Factory().Compress(slab, ch.shape)
+		return nil
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)
@@ -208,32 +198,19 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 
 	out := make([]float32, h.Shape.Len())
 	errs := make([]error, nchunks)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < c.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			inner := c.Factory()
-			for i := range jobs {
-				vals, err := inner.Decompress(payloads[i])
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				if len(vals) != chunks[i].shape.Len() {
-					errs[i] = fmt.Errorf("%w: chunk %d wrong length", compress.ErrCorrupt, i)
-					continue
-				}
-				copy(out[chunks[i].offset:], vals)
-			}
-		}()
-	}
-	for i := 0; i < nchunks; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	par.EachLimit(nchunks, c.workers(), func(i int) error {
+		vals, err := c.Factory().Decompress(payloads[i])
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		if len(vals) != chunks[i].shape.Len() {
+			errs[i] = fmt.Errorf("%w: chunk %d wrong length", compress.ErrCorrupt, i)
+			return nil
+		}
+		copy(out[chunks[i].offset:], vals)
+		return nil
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)

@@ -2,9 +2,15 @@
 // verification ensemble (§4.3): leave-one-out per-point mean/std for the
 // Z-scores of eq. 6, the per-member RMSZ distribution of eq. 7, the
 // normalized maximum pointwise error distribution of eq. 10, per-member
-// ranges and global means. The aggregates are arranged so that excluding
-// any single member is O(1) per point, making the whole 101-member analysis
-// a two-pass streaming computation.
+// ranges and global means.
+//
+// The engine is one-pass and parallel: a single sweep over all members
+// accumulates per-point streaming moments (Σx, Σx²) from which every
+// leave-one-out mean/std follows algebraically in O(1) — O(M·N) for the
+// whole M-member analysis — and the three stages (per-member summaries,
+// per-point aggregation, per-member scoring) each fan out over the shared
+// worker pool (internal/par). Point-range workers accumulate members in
+// index order, so results are bit-identical to the serial formulation.
 package ensemble
 
 import (
@@ -13,11 +19,13 @@ import (
 	"sort"
 
 	"climcompress/internal/field"
+	"climcompress/internal/par"
 	"climcompress/internal/stats"
 )
 
 // Source supplies ensemble member fields for the catalog variables.
-// model.Generator implements it.
+// model.Generator implements it. Implementations must be safe for
+// concurrent Field calls (CollectFields fans out over the worker pool).
 type Source interface {
 	Members() int
 	Field(varIdx, member int) *field.Field
@@ -34,8 +42,8 @@ type VarStats struct {
 	Fill     float32
 	FillMask []bool // true where every member holds the fill sentinel
 
-	// Per-point aggregates over members (fill points are zero-valued).
-	Loo []stats.LeaveOneOut
+	// Per-point streaming moments over members (fill points stay empty).
+	Mom *stats.Moments
 
 	// Two smallest / largest member values per point, with the member that
 	// holds the extreme, enabling exact max-over-others (eq. 10).
@@ -52,14 +60,31 @@ type VarStats struct {
 	GlobalMean     []float64 // area-weighted global mean per member
 }
 
-// CollectFields materializes all member fields of one variable.
+// CollectFields materializes all member fields of one variable, generating
+// members in parallel on the shared worker pool.
 func CollectFields(src Source, varIdx int) []*field.Field {
 	out := make([]*field.Field, src.Members())
-	for m := range out {
+	par.Each(len(out), func(m int) error {
 		out[m] = src.Field(varIdx, m)
-	}
+		return nil
+	})
 	return out
 }
+
+// ReleaseFields returns the fields' data buffers to the shared scratch
+// pool. Call only when the fields — and any VarStats built from them — are
+// no longer referenced.
+func ReleaseFields(fields []*field.Field) {
+	for _, f := range fields {
+		if f != nil {
+			f.Release()
+		}
+	}
+}
+
+// pointGrain is the minimum per-worker slice of points for parallel
+// per-point stages; small enough to balance, large enough to amortize.
+const pointGrain = 4096
 
 // Build computes the ensemble statistics for one variable from its member
 // fields (as produced by CollectFields). The fields' data slices are
@@ -70,18 +95,25 @@ func Build(fields []*field.Field) (*VarStats, error) {
 	}
 	f0 := fields[0]
 	n := f0.Len()
+	nm := len(fields)
 	vs := &VarStats{
 		Name:    f0.Name,
 		NPoints: n,
 		HasFill: f0.HasFill,
 		Fill:    f0.Fill,
-		Loo:     make([]stats.LeaveOneOut, n),
+		Mom:     stats.NewMoments(n),
 		min1:    make([]float32, n),
 		min2:    make([]float32, n),
 		max1:    make([]float32, n),
 		max2:    make([]float32, n),
 		min1m:   make([]int32, n),
 		max1m:   make([]int32, n),
+
+		orig:           make([][]float32, nm),
+		RangePerMember: make([]float64, nm),
+		GlobalMean:     make([]float64, nm),
+		RMSZ:           make([]float64, nm),
+		Enmax:          make([]float64, nm),
 	}
 	vs.FillMask = make([]bool, n)
 	if vs.HasFill {
@@ -89,52 +121,75 @@ func Build(fields []*field.Field) (*VarStats, error) {
 			vs.FillMask[i] = f0.Data[i] == f0.Fill
 		}
 	}
-	for i := range vs.min1 {
-		vs.min1[i] = float32(math.Inf(1))
-		vs.min2[i] = float32(math.Inf(1))
-		vs.max1[i] = float32(math.Inf(-1))
-		vs.max2[i] = float32(math.Inf(-1))
-	}
-
-	// Pass 1: per-point aggregates, per-member summaries.
 	for m, f := range fields {
 		if f.Len() != n {
 			return nil, fmt.Errorf("ensemble: member %d has %d points, want %d", m, f.Len(), n)
 		}
-		vs.orig = append(vs.orig, f.Data)
-		for i, v := range f.Data {
-			if vs.FillMask[i] {
-				continue
-			}
-			vs.Loo[i].Add(float64(v))
-			if v < vs.min1[i] {
-				vs.min2[i] = vs.min1[i]
-				vs.min1[i] = v
-				vs.min1m[i] = int32(m)
-			} else if v < vs.min2[i] {
-				vs.min2[i] = v
-			}
-			if v > vs.max1[i] {
-				vs.max2[i] = vs.max1[i]
-				vs.max1[i] = v
-				vs.max1m[i] = int32(m)
-			} else if v > vs.max2[i] {
-				vs.max2[i] = v
-			}
-		}
-		s := f.Summarize()
-		vs.RangePerMember = append(vs.RangePerMember, s.Range)
-		vs.GlobalMean = append(vs.GlobalMean, f.GlobalMean())
+		vs.orig[m] = f.Data
 	}
 
-	// Pass 2: RMSZ (eq. 7) and E_nmax (eq. 10) per member.
-	vs.RMSZ = make([]float64, len(fields))
-	vs.Enmax = make([]float64, len(fields))
-	for m, f := range fields {
-		vs.RMSZ[m] = vs.RMSZOf(m, f.Data)
+	// Stage 1: per-member summaries, independent across members.
+	par.Each(nm, func(m int) error {
+		s := fields[m].Summarize()
+		vs.RangePerMember[m] = s.Range
+		vs.GlobalMean[m] = fields[m].GlobalMean()
+		return nil
+	})
+
+	// Stage 2: per-point aggregates (moments and running two-extremes) over
+	// disjoint point ranges. Each worker folds members in index order, so
+	// the accumulated sums match the serial loop bit for bit.
+	par.Ranges(n, pointGrain, vs.accumulateRange)
+
+	// Stage 3: RMSZ (eq. 7) and E_nmax (eq. 10), independent across members.
+	par.Each(nm, func(m int) error {
+		vs.RMSZ[m] = vs.RMSZOf(m, vs.orig[m])
 		vs.Enmax[m] = vs.enmaxOf(m)
-	}
+		return nil
+	})
 	return vs, nil
+}
+
+// accumulateRange folds every member's values in [lo, hi) into the
+// per-point aggregates.
+func (vs *VarStats) accumulateRange(lo, hi int) {
+	cnt, sum, sumsq := vs.Mom.N, vs.Mom.Sum, vs.Mom.SumSq
+	min1, min2, max1, max2 := vs.min1, vs.min2, vs.max1, vs.max2
+	min1m, max1m := vs.min1m, vs.max1m
+	for i := lo; i < hi; i++ {
+		min1[i] = float32(math.Inf(1))
+		min2[i] = float32(math.Inf(1))
+		max1[i] = float32(math.Inf(-1))
+		max2[i] = float32(math.Inf(-1))
+	}
+	mask := vs.FillMask
+	for m, data := range vs.orig {
+		mi := int32(m)
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				continue
+			}
+			v := data[i]
+			x := float64(v)
+			cnt[i]++
+			sum[i] += x
+			sumsq[i] += x * x
+			if v < min1[i] {
+				min2[i] = min1[i]
+				min1[i] = v
+				min1m[i] = mi
+			} else if v < min2[i] {
+				min2[i] = v
+			}
+			if v > max1[i] {
+				max2[i] = max1[i]
+				max1[i] = v
+				max1m[i] = mi
+			} else if v > max2[i] {
+				max2[i] = v
+			}
+		}
+	}
 }
 
 // Members returns the ensemble size.
@@ -152,17 +207,39 @@ func (vs *VarStats) RMSZOf(m int, data []float32) float64 {
 	if len(data) != vs.NPoints {
 		return math.NaN()
 	}
-	om := vs.orig[m]
+	return scoreRMSZ(vs.Mom, vs.orig[m], data, vs.FillMask)
+}
+
+// scoreRMSZ is the shared eq. 6–7 scoring loop: Z-scores of data against
+// the leave-one-out statistics of mo with exclude's values removed.
+// Masked fill points and points with zero ensemble spread (σ = 0, which
+// includes constant sub-ensembles) contribute nothing — they are excluded
+// from the mean, exactly as a NaN-free implementation of eq. 7 requires —
+// and a variable with no valid points at all scores NaN.
+func scoreRMSZ(mo *stats.Moments, exclude, data []float32, mask []bool) float64 {
+	cnts, sums, sumsqs := mo.N, mo.Sum, mo.SumSq
 	var sum float64
 	var cnt int
 	for i, v := range data {
-		if vs.FillMask[i] {
+		if mask != nil && mask[i] {
 			continue
 		}
-		mean, std := vs.Loo[i].Excluding(float64(om[i]))
-		if std == 0 || math.IsNaN(std) {
+		// Leave-one-out moments, inlined from stats.Moments.Excluding with
+		// identical operation order. n < 2 is the σ = NaN case; vr == 0 is
+		// the zero-spread case; both skip the point.
+		n := int(cnts[i]) - 1
+		if n < 2 {
 			continue
 		}
+		x := float64(exclude[i])
+		s := sums[i] - x
+		ss := sumsqs[i] - x*x
+		mean := s / float64(n)
+		vr := (ss - s*s/float64(n)) / float64(n-1)
+		if !(vr > 0) { // zero spread, negative cancellation, or NaN input
+			continue
+		}
+		std := math.Sqrt(vr)
 		z := (float64(v) - mean) / std
 		sum += z * z
 		cnt++
@@ -229,14 +306,15 @@ func (vs *VarStats) GlobalMeanBox() stats.Boxplot { return stats.NewBoxplot(vs.G
 // pick GRIB2's decimal scale factor per variable.
 func (vs *VarStats) SigmaMedian() float64 {
 	sigmas := make([]float64, 0, vs.NPoints)
-	for i := range vs.Loo {
-		if vs.FillMask[i] || vs.Loo[i].N < 2 {
+	mo := vs.Mom
+	for i := 0; i < mo.Len(); i++ {
+		if vs.FillMask[i] || mo.N[i] < 2 {
 			continue
 		}
 		// Full-ensemble std from the aggregates.
-		n := float64(vs.Loo[i].N)
-		mean := vs.Loo[i].Sum / n
-		v := (vs.Loo[i].SumSq - vs.Loo[i].Sum*mean) / (n - 1)
+		n := float64(mo.N[i])
+		mean := mo.Sum[i] / n
+		v := (mo.SumSq[i] - mo.Sum[i]*mean) / (n - 1)
 		if v < 0 {
 			v = 0
 		}
@@ -258,36 +336,16 @@ func RMSZScores(members [][]float32, fillMask []bool) []float64 {
 		return nil
 	}
 	n := len(members[0])
-	loo := make([]stats.LeaveOneOut, n)
-	for _, data := range members {
-		for i, v := range data {
-			if fillMask != nil && fillMask[i] {
-				continue
-			}
-			loo[i].Add(float64(v))
+	mo := stats.NewMoments(n)
+	par.Ranges(n, pointGrain, func(lo, hi int) {
+		for _, data := range members {
+			mo.AddMember(data, fillMask, lo, hi)
 		}
-	}
+	})
 	out := make([]float64, len(members))
-	for m, data := range members {
-		var sum float64
-		var cnt int
-		for i, v := range data {
-			if fillMask != nil && fillMask[i] {
-				continue
-			}
-			mean, std := loo[i].Excluding(float64(v))
-			if std == 0 || math.IsNaN(std) {
-				continue
-			}
-			z := (float64(v) - mean) / std
-			sum += z * z
-			cnt++
-		}
-		if cnt == 0 {
-			out[m] = math.NaN()
-		} else {
-			out[m] = math.Sqrt(sum / float64(cnt))
-		}
-	}
+	par.Each(len(members), func(m int) error {
+		out[m] = scoreRMSZ(mo, members[m], members[m], fillMask)
+		return nil
+	})
 	return out
 }

@@ -134,7 +134,7 @@ func TestFillMaskSkipsPoints(t *testing.T) {
 	if !vs.FillMask[0] || !vs.FillMask[10] || vs.FillMask[1] {
 		t.Fatal("fill mask wrong")
 	}
-	if vs.Loo[0].N != 0 {
+	if vs.Mom.N[0] != 0 {
 		t.Fatal("fill point accumulated values")
 	}
 	if math.IsNaN(vs.RMSZ[0]) {

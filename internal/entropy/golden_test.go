@@ -1,0 +1,161 @@
+package entropy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refTreeEncode is TreeModel.Encode before the register-hoisting unroll: one
+// EncodeBit call per bit. The unrolled version must emit the exact same
+// bytes, since compressed sizes feed the published compression ratios.
+func refTreeEncode(m *TreeModel, e *Encoder, sym uint32) {
+	node := uint32(1)
+	for i := int(m.width) - 1; i >= 0; i-- {
+		bit := int(sym>>uint(i)) & 1
+		e.EncodeBit(&m.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+// refTreeDecode is the matching per-bit reference decoder.
+func refTreeDecode(m *TreeModel, d *Decoder) uint32 {
+	node := uint32(1)
+	for i := 0; i < int(m.width); i++ {
+		bit := d.DecodeBit(&m.probs[node])
+		node = node<<1 | uint32(bit)
+	}
+	return node - 1<<m.width
+}
+
+// refEncodeDirect is EncodeDirect before hoisting.
+func refEncodeDirect(e *Encoder, v uint32, n uint) {
+	for n > 0 {
+		n--
+		e.rng >>= 1
+		if (v>>n)&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// refDecodeDirect is DecodeDirect before hoisting.
+func refDecodeDirect(d *Decoder, n uint) uint32 {
+	var v uint32
+	for n > 0 {
+		n--
+		d.rng >>= 1
+		var bit uint32
+		if d.code >= d.rng {
+			d.code -= d.rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.nextByte())
+		}
+	}
+	return v
+}
+
+// TestCoderMatchesReferenceBitwise drives the optimized tree/direct coders
+// and the per-bit reference implementations through the same long mixed
+// symbol stream and requires byte-for-byte identical output, identical
+// model state, and identical decoder reads.
+func TestCoderMatchesReferenceBitwise(t *testing.T) {
+	for _, width := range []uint{1, 4, 7, 8, 12, 16} {
+		rng := rand.New(rand.NewSource(int64(width) * 1009))
+		type ev struct {
+			kind int // 0 = tree symbol, 1 = direct bits
+			v    uint32
+			w    uint
+		}
+		evs := make([]ev, 30000)
+		for i := range evs {
+			if rng.Intn(3) == 0 {
+				w := uint(rng.Intn(32) + 1)
+				evs[i] = ev{kind: 1, v: rng.Uint32() & masku32(w), w: w}
+			} else {
+				// Skewed so the adaptive probabilities drift far from 1/2.
+				v := uint32(rng.ExpFloat64() * 3)
+				evs[i] = ev{kind: 0, v: v & masku32(width)}
+			}
+		}
+
+		opt, ref := NewTreeModel(width), NewTreeModel(width)
+		eOpt, eRef := NewEncoder(0), NewEncoder(0)
+		for _, x := range evs {
+			if x.kind == 0 {
+				opt.Encode(eOpt, x.v)
+				refTreeEncode(ref, eRef, x.v)
+			} else {
+				eOpt.EncodeDirect(x.v, x.w)
+				refEncodeDirect(eRef, x.v, x.w)
+			}
+		}
+		outOpt, outRef := eOpt.Flush(), eRef.Flush()
+		if !bytes.Equal(outOpt, outRef) {
+			t.Fatalf("width %d: optimized encoder diverged from reference (%d vs %d bytes)",
+				width, len(outOpt), len(outRef))
+		}
+		for i := range opt.probs {
+			if opt.probs[i] != ref.probs[i] {
+				t.Fatalf("width %d: encoder model state diverged at slot %d", width, i)
+			}
+		}
+
+		dOpt, dRef := NewDecoder(outOpt), NewDecoder(outRef)
+		mOpt, mRef := NewTreeModel(width), NewTreeModel(width)
+		for i, x := range evs {
+			var got, want uint32
+			if x.kind == 0 {
+				got = mOpt.Decode(dOpt)
+				want = refTreeDecode(mRef, dRef)
+				if got != x.v {
+					t.Fatalf("width %d: sym %d decoded %d want %d", width, i, got, x.v)
+				}
+			} else {
+				got = dOpt.DecodeDirect(x.w)
+				want = refDecodeDirect(dRef, x.w)
+				if got != x.v {
+					t.Fatalf("width %d: direct %d decoded %#x want %#x", width, i, got, x.v)
+				}
+			}
+			if got != want {
+				t.Fatalf("width %d: event %d optimized/reference decode mismatch", width, i)
+			}
+		}
+		if dOpt.pos != dRef.pos || dOpt.rng != dRef.rng || dOpt.code != dRef.code || dOpt.over != dRef.over {
+			t.Fatalf("width %d: decoder state diverged", width)
+		}
+	}
+}
+
+// TestDecodeOverrunMatchesReference checks the hoisted decoder sets the
+// overrun flag and keeps advancing pos exactly like nextByte does when the
+// stream is truncated.
+func TestDecodeOverrunMatchesReference(t *testing.T) {
+	in := []byte{0, 1, 2}
+	dOpt, dRef := NewDecoder(in), NewDecoder(in)
+	m, mRef := NewTreeModel(8), NewTreeModel(8)
+	for i := 0; i < 8; i++ {
+		if got, want := m.Decode(dOpt), refTreeDecode(mRef, dRef); got != want {
+			t.Fatalf("read %d: got %d want %d", i, got, want)
+		}
+		if got, want := dOpt.DecodeDirect(13), refDecodeDirect(dRef, 13); got != want {
+			t.Fatalf("direct read %d: got %d want %d", i, got, want)
+		}
+	}
+	if dOpt.pos != dRef.pos || dOpt.over != dRef.over {
+		t.Fatalf("truncated-stream state diverged: pos %d/%d over %v/%v",
+			dOpt.pos, dRef.pos, dOpt.over, dRef.over)
+	}
+	if !dOpt.Overrun() {
+		t.Fatal("expected overrun on truncated stream")
+	}
+}

@@ -17,23 +17,67 @@ func NewTreeModel(width uint) *TreeModel {
 	return &TreeModel{width: width, probs: NewProbs(1 << width)}
 }
 
-// Encode writes the low `width` bits of sym.
+// Encode writes the low `width` bits of sym. The loop is EncodeBit unrolled
+// with the coder registers held in locals for the whole symbol; the emitted
+// byte stream is identical.
 func (m *TreeModel) Encode(e *Encoder, sym uint32) {
+	low, rng := e.low, e.rng
+	probs := m.probs
 	node := uint32(1)
 	for i := int(m.width) - 1; i >= 0; i-- {
-		bit := int(sym>>uint(i)) & 1
-		e.EncodeBit(&m.probs[node], bit)
-		node = node<<1 | uint32(bit)
+		bit := (sym >> uint(i)) & 1
+		p := probs[node]
+		bound := (rng >> probBits) * uint32(p)
+		if bit == 0 {
+			rng = bound
+			probs[node] = p + (1<<probBits-p)>>moveBits
+		} else {
+			low += uint64(bound)
+			rng -= bound
+			probs[node] = p - p>>moveBits
+		}
+		node = node<<1 | bit
+		for rng < topValue {
+			rng <<= 8
+			low = e.shiftLowVal(low)
+		}
 	}
+	e.low, e.rng = low, rng
 }
 
-// Decode reads one symbol.
+// Decode reads one symbol (DecodeBit unrolled, same transformation as Encode).
 func (m *TreeModel) Decode(d *Decoder) uint32 {
+	rng, code := d.rng, d.code
+	in, pos := d.in, d.pos
+	probs := m.probs
 	node := uint32(1)
 	for i := 0; i < int(m.width); i++ {
-		bit := d.DecodeBit(&m.probs[node])
-		node = node<<1 | uint32(bit)
+		p := probs[node]
+		bound := (rng >> probBits) * uint32(p)
+		var bit uint32
+		if code < bound {
+			rng = bound
+			probs[node] = p + (1<<probBits-p)>>moveBits
+		} else {
+			code -= bound
+			rng -= bound
+			probs[node] = p - p>>moveBits
+			bit = 1
+		}
+		node = node<<1 | bit
+		for rng < topValue {
+			rng <<= 8
+			var b byte
+			if pos < len(in) {
+				b = in[pos]
+			} else {
+				d.over = true
+			}
+			pos++
+			code = code<<8 | uint32(b)
+		}
 	}
+	d.rng, d.code, d.pos = rng, code, pos
 	return node - 1<<m.width
 }
 

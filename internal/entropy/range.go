@@ -46,20 +46,27 @@ func NewEncoder(capHint int) *Encoder {
 }
 
 func (e *Encoder) shiftLow() {
-	if uint32(e.low) < 0xff000000 || e.low>>32 == 1 {
+	e.low = e.shiftLowVal(e.low)
+}
+
+// shiftLowVal is shiftLow with the low register passed in and returned, so
+// hot loops can keep it in a local across many bits without re-reading the
+// struct field. The byte stream it emits is identical to shiftLow's.
+func (e *Encoder) shiftLowVal(low uint64) uint64 {
+	if uint32(low) < 0xff000000 || low>>32 == 1 {
 		temp := e.cache
 		for {
-			e.out = append(e.out, temp+byte(e.low>>32))
+			e.out = append(e.out, temp+byte(low>>32))
 			temp = 0xff
 			e.cacheSize--
 			if e.cacheSize == 0 {
 				break
 			}
 		}
-		e.cache = byte(e.low >> 24)
+		e.cache = byte(low >> 24)
 	}
 	e.cacheSize++
-	e.low = (e.low << 8) & 0xffffffff
+	return (low << 8) & 0xffffffff
 }
 
 // EncodeBit encodes one bit under the adaptive model *p and updates the model.
@@ -82,17 +89,19 @@ func (e *Encoder) EncodeBit(p *Prob, bit int) {
 // EncodeDirect encodes the low n bits of v (MSB first) at fixed probability
 // one half, bypassing any model.
 func (e *Encoder) EncodeDirect(v uint32, n uint) {
+	low, rng := e.low, e.rng
 	for n > 0 {
 		n--
-		e.rng >>= 1
+		rng >>= 1
 		if (v>>n)&1 != 0 {
-			e.low += uint64(e.rng)
+			low += uint64(rng)
 		}
-		for e.rng < topValue {
-			e.rng <<= 8
-			e.shiftLow()
+		for rng < topValue {
+			rng <<= 8
+			low = e.shiftLowVal(low)
 		}
 	}
+	e.low, e.rng = low, rng
 }
 
 // Flush terminates the stream and returns the encoded bytes. The Encoder
@@ -165,20 +174,30 @@ func (d *Decoder) DecodeBit(p *Prob) int {
 
 // DecodeDirect decodes n model-free bits, MSB first.
 func (d *Decoder) DecodeDirect(n uint) uint32 {
+	rng, code := d.rng, d.code
+	in, pos := d.in, d.pos
 	var v uint32
 	for n > 0 {
 		n--
-		d.rng >>= 1
+		rng >>= 1
 		var bit uint32
-		if d.code >= d.rng {
-			d.code -= d.rng
+		if code >= rng {
+			code -= rng
 			bit = 1
 		}
 		v = v<<1 | bit
-		for d.rng < topValue {
-			d.rng <<= 8
-			d.code = d.code<<8 | uint32(d.nextByte())
+		for rng < topValue {
+			rng <<= 8
+			var b byte
+			if pos < len(in) {
+				b = in[pos]
+			} else {
+				d.over = true
+			}
+			pos++
+			code = code<<8 | uint32(b)
 		}
 	}
+	d.rng, d.code, d.pos = rng, code, pos
 	return v
 }

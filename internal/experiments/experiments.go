@@ -23,6 +23,7 @@ import (
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
 	"climcompress/internal/model"
+	"climcompress/internal/par"
 	"climcompress/internal/pvt"
 	"climcompress/internal/varcatalog"
 )
@@ -39,6 +40,11 @@ type Config struct {
 	Thr       pvt.Thresholds
 	// L96 scales the chaotic-core integration; zero values use defaults.
 	L96 l96.EnsembleConfig
+	// L96Source, when set, supplies the chaotic-core ensemble instead of
+	// integrating one (e.g. a closure shared across runners that loads the
+	// on-disk cache). It is consulted lazily, on the first experiment that
+	// needs members.
+	L96Source func() *l96.Ensemble
 }
 
 // DefaultConfig returns the paper-scale configuration on the given grid.
@@ -102,8 +108,17 @@ type Runner struct {
 	gen     *model.Generator
 
 	mu       sync.Mutex
-	varStats map[string]*ensemble.VarStats
+	varStats map[string]*varStatsEntry
 	table6   *Table6Result
+}
+
+// varStatsEntry is the per-variable compute-once slot of the VarStatsFor
+// cache: concurrent callers for the same variable share one Build instead of
+// racing to do the work twice.
+type varStatsEntry struct {
+	once sync.Once
+	vs   *ensemble.VarStats
+	err  error
 }
 
 // NewRunner builds a Runner. sharedL96 may carry a pre-integrated chaotic
@@ -122,7 +137,7 @@ func NewRunner(cfg Config, sharedL96 *l96.Ensemble) *Runner {
 	r := &Runner{
 		Cfg:      cfg,
 		Catalog:  selectCatalog(cfg.Variables),
-		varStats: make(map[string]*ensemble.VarStats),
+		varStats: make(map[string]*varStatsEntry),
 	}
 	if sharedL96 != nil {
 		r.l96Ens = sharedL96
@@ -153,6 +168,10 @@ func selectCatalog(names []string) []varcatalog.Spec {
 // L96 returns the (lazily integrated) chaotic-core ensemble.
 func (r *Runner) L96() *l96.Ensemble {
 	r.l96Once.Do(func() {
+		if r.Cfg.L96Source != nil {
+			r.l96Ens = r.Cfg.L96Source()
+			return
+		}
 		cfg := r.Cfg.L96
 		if cfg.Members == 0 {
 			cfg = l96.DefaultEnsembleConfig(r.Cfg.Members)
@@ -199,30 +218,26 @@ func (r *Runner) varIndex(name string) (int, error) {
 }
 
 // VarStatsFor builds (and caches) the ensemble statistics of one variable.
+// Concurrent callers for the same variable block on a single Build rather
+// than duplicating the member generation.
 func (r *Runner) VarStatsFor(name string) (*ensemble.VarStats, error) {
 	r.mu.Lock()
-	vs, ok := r.varStats[name]
-	r.mu.Unlock()
-	if ok {
-		return vs, nil
-	}
-	idx, err := r.varIndex(name)
-	if err != nil {
-		return nil, err
-	}
-	fields := ensemble.CollectFields(r.Generator(), idx)
-	vs, err = ensemble.Build(fields)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	if prev, ok := r.varStats[name]; ok {
-		vs = prev
-	} else {
-		r.varStats[name] = vs
+	e, ok := r.varStats[name]
+	if !ok {
+		e = &varStatsEntry{}
+		r.varStats[name] = e
 	}
 	r.mu.Unlock()
-	return vs, nil
+	e.once.Do(func() {
+		idx, err := r.varIndex(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		fields := ensemble.CollectFields(r.Generator(), idx)
+		e.vs, e.err = ensemble.Build(fields)
+	})
+	return e.vs, e.err
 }
 
 // grib2AbsTarget derives the absolute-error target for GRIB2's decimal
@@ -263,33 +278,15 @@ func (r *Runner) CodecFor(variant string, spec varcatalog.Spec, vs *ensemble.Var
 	return c, nil
 }
 
-// forEachVar runs fn over catalog indices in parallel, preserving order of
-// results via the out callback invoked under a lock.
+// forEachVar runs fn over catalog indices, fanning out on the shared worker
+// pool (bounded by the configured worker count). Every index is attempted;
+// the first error in index order is returned.
 func (r *Runner) forEachVar(indices []int, fn func(idx int) error) error {
-	workers := r.workers()
-	if workers > len(indices) {
-		workers = len(indices)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
 	errs := make([]error, len(indices))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range jobs {
-				errs[k] = fn(indices[k])
-			}
-		}()
-	}
-	for k := range indices {
-		jobs <- k
-	}
-	close(jobs)
-	wg.Wait()
+	par.EachLimit(len(indices), r.workers(), func(k int) error {
+		errs[k] = fn(indices[k])
+		return nil
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"climcompress/internal/grid"
+	"climcompress/internal/par"
 )
 
 // DefaultFill matches the CESM convention for special values.
@@ -27,7 +28,10 @@ type Field struct {
 	Fill    float32
 }
 
-// New allocates a zeroed field. threeD selects Grid.NLev levels.
+// New allocates a zeroed field. threeD selects Grid.NLev levels. The data
+// buffer is drawn from the shared scratch pool (internal/par); callers on
+// bulk transient paths may hand it back with Release, everyone else can let
+// the garbage collector take it as before.
 func New(name, units string, g *grid.Grid, threeD bool) *Field {
 	nlev := 1
 	if threeD {
@@ -38,8 +42,17 @@ func New(name, units string, g *grid.Grid, threeD bool) *Field {
 		Units: units,
 		Grid:  g,
 		NLev:  nlev,
-		Data:  make([]float32, nlev*g.Horizontal()),
+		Data:  par.GetFloats(nlev * g.Horizontal()),
 		Fill:  DefaultFill,
+	}
+}
+
+// Release returns the field's data buffer to the shared scratch pool and
+// clears the reference. The caller must guarantee nothing aliases Data.
+func (f *Field) Release() {
+	if f.Data != nil {
+		par.PutFloats(f.Data)
+		f.Data = nil
 	}
 }
 

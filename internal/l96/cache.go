@@ -1,0 +1,178 @@
+package l96
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The chaotic-core integration is fully deterministic in (Params,
+// EnsembleConfig), yet dominates the wall-clock of every experiment run —
+// the same 101 trajectories are re-integrated every time climatebench
+// starts. This cache persists the decorrelated end states (which is all the
+// substrate keeps: slow variables and state keys per slice, plus the two
+// calibration constants) in an exact float64-bits binary format, keyed by a
+// hash of every parameter that influences the trajectories. Workers is
+// deliberately excluded from the key: the integration is bit-identical at
+// any worker count, which TestEnsembleDeterministicAcrossWorkerCounts pins.
+
+const (
+	cacheMagic   = 0x4c393643 // "L96C"
+	cacheVersion = 1
+)
+
+// CacheKey returns the deterministic content key of an ensemble: a 64-bit
+// FNV-1a fold of the model parameters and every trajectory-affecting config
+// field, using exact float bit patterns.
+func CacheKey(p Params, cfg EnsembleConfig) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(cacheVersion))
+	mix(uint64(p.K))
+	mix(uint64(p.J))
+	mix(math.Float64bits(p.F))
+	mix(math.Float64bits(p.H))
+	mix(math.Float64bits(p.C))
+	mix(math.Float64bits(p.B))
+	mix(uint64(cfg.Members))
+	mix(math.Float64bits(cfg.Dt))
+	mix(uint64(cfg.SpinupSteps))
+	mix(uint64(cfg.DivergeSteps))
+	mix(uint64(cfg.CalibSteps))
+	mix(math.Float64bits(cfg.Eps))
+	mix(uint64(cfg.TimeSlices))
+	mix(uint64(cfg.SliceSteps))
+	return h
+}
+
+// cachePath is the file holding the ensemble for one key.
+func cachePath(dir string, key uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("l96-%016x.bin", key))
+}
+
+// LoadOrCompute returns the ensemble for (p, cfg), reading it from a cache
+// file under dir when one exists and integrating (then writing the file)
+// otherwise. The second return reports a cache hit. Cache I/O failures are
+// never fatal: a corrupt or unwritable cache degrades to plain computation.
+func LoadOrCompute(p Params, cfg EnsembleConfig, dir string) (*Ensemble, bool) {
+	if dir == "" {
+		return NewEnsemble(p, cfg), false
+	}
+	key := CacheKey(p, cfg)
+	path := cachePath(dir, key)
+	if e, err := readCache(path, p, cfg); err == nil {
+		return e, true
+	}
+	e := NewEnsemble(p, cfg)
+	writeCache(path, dir, e, p, cfg)
+	return e, false
+}
+
+// writeCache persists the ensemble atomically (temp file + rename) so a
+// crashed run never leaves a truncated cache behind. Errors are ignored.
+func writeCache(path, dir string, e *Ensemble, p Params, cfg EnsembleConfig) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "l96-*.tmp")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	u64 := func(v uint64) { binary.Write(w, binary.LittleEndian, v) }
+	u64(cacheMagic)
+	u64(CacheKey(p, cfg))
+	u64(math.Float64bits(e.MeanX))
+	u64(math.Float64bits(e.StdX))
+	u64(uint64(len(e.Members)))
+	slices := 0
+	if len(e.Members) > 0 {
+		slices = len(e.Members[0].Series)
+	}
+	u64(uint64(slices))
+	u64(uint64(p.K))
+	for _, m := range e.Members {
+		for t := 0; t < slices; t++ {
+			u64(m.SeriesKeys[t])
+			for _, x := range m.Series[t] {
+				u64(math.Float64bits(x))
+			}
+		}
+	}
+	if w.Flush() != nil || tmp.Close() != nil {
+		return
+	}
+	os.Rename(tmp.Name(), path)
+}
+
+// readCache loads and validates one cache file.
+func readCache(path string, p Params, cfg EnsembleConfig) (*Ensemble, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [7]uint64
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	members := int(hdr[4])
+	slices := int(hdr[5])
+	k := int(hdr[6])
+	wantSlices := cfg.TimeSlices
+	if wantSlices < 1 {
+		wantSlices = 1
+	}
+	if hdr[0] != cacheMagic || hdr[1] != CacheKey(p, cfg) ||
+		members != cfg.Members || slices != wantSlices || k != p.K {
+		return nil, fmt.Errorf("l96: cache %s does not match configuration", path)
+	}
+	e := &Ensemble{
+		Members: make([]Member, members),
+		MeanX:   math.Float64frombits(hdr[2]),
+		StdX:    math.Float64frombits(hdr[3]),
+	}
+	buf := make([]byte, 8*(1+k))
+	for m := range e.Members {
+		mem := Member{
+			Series:     make([][]float64, slices),
+			SeriesKeys: make([]uint64, slices),
+		}
+		for t := 0; t < slices; t++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			mem.SeriesKeys[t] = binary.LittleEndian.Uint64(buf)
+			x := make([]float64, k)
+			for i := range x {
+				x[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*(1+i):]))
+			}
+			mem.Series[t] = x
+		}
+		mem.X = mem.Series[0]
+		mem.Key = mem.SeriesKeys[0]
+		e.Members[m] = mem
+	}
+	// Trailing data means a format mismatch; reject rather than trust it.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("l96: cache %s has trailing data", path)
+	}
+	return e, nil
+}

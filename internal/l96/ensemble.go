@@ -2,8 +2,8 @@ package l96
 
 import (
 	"math"
-	"runtime"
-	"sync"
+
+	"climcompress/internal/par"
 )
 
 // EnsembleConfig controls the generation of a perturbation ensemble.
@@ -93,13 +93,6 @@ func NewEnsemble(p Params, cfg EnsembleConfig) *Ensemble {
 	e := &Ensemble{Members: make([]Member, cfg.Members), MeanX: meanX}
 	e.StdX = math.Sqrt(varX)
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Members {
-		workers = cfg.Members
-	}
 	slices := cfg.TimeSlices
 	if slices < 1 {
 		slices = 1
@@ -109,41 +102,30 @@ func NewEnsemble(p Params, cfg EnsembleConfig) *Ensemble {
 		sliceSteps = 250
 	}
 
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := New(p)
-			for idx := range next {
-				s := s0.Clone()
-				s.X[0] += cfg.Eps * float64(idx)
-				m.Run(s, cfg.Dt, cfg.DivergeSteps)
-				mem := Member{
-					Series:     make([][]float64, slices),
-					SeriesKeys: make([]uint64, slices),
-				}
-				for t := 0; t < slices; t++ {
-					if t > 0 {
-						m.Run(s, cfg.Dt, sliceSteps)
-					}
-					x := make([]float64, len(s.X))
-					copy(x, s.X)
-					mem.Series[t] = x
-					mem.SeriesKeys[t] = s.Key()
-				}
-				mem.X = mem.Series[0]
-				mem.Key = mem.SeriesKeys[0]
-				e.Members[idx] = mem
+	// Per-member divergence runs are independent; fan out on the shared pool.
+	par.EachLimit(cfg.Members, cfg.Workers, func(idx int) error {
+		m := New(p)
+		s := s0.Clone()
+		s.X[0] += cfg.Eps * float64(idx)
+		m.Run(s, cfg.Dt, cfg.DivergeSteps)
+		mem := Member{
+			Series:     make([][]float64, slices),
+			SeriesKeys: make([]uint64, slices),
+		}
+		for t := 0; t < slices; t++ {
+			if t > 0 {
+				m.Run(s, cfg.Dt, sliceSteps)
 			}
-		}()
-	}
-	for i := 0; i < cfg.Members; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+			x := make([]float64, len(s.X))
+			copy(x, s.X)
+			mem.Series[t] = x
+			mem.SeriesKeys[t] = s.Key()
+		}
+		mem.X = mem.Series[0]
+		mem.Key = mem.SeriesKeys[0]
+		e.Members[idx] = mem
+		return nil
+	})
 	return e
 }
 

@@ -70,38 +70,107 @@ func (m *Model) InitialState(eps float64) State {
 	return s
 }
 
-// deriv writes the time derivative of s into out.
+// deriv writes the time derivative of s into out. The cyclic neighbor
+// indices are carried as running counters instead of per-element modulo
+// operations — this is the innermost loop of the whole substrate (four
+// deriv calls per RK4 step, tens of thousands of steps per member), and
+// integer division dominated its profile. Every per-element floating-point
+// expression is unchanged, so trajectories are bit-identical.
 func (m *Model) deriv(s, out State) {
 	p := m.P
 	K, J := p.K, p.J
 	hcb := p.H * p.C / p.B
+	X, outX := s.X, out.X
+	km1, km2 := K-1, K-2
+	base := 0
 	for k := 0; k < K; k++ {
-		km1 := (k - 1 + K) % K
-		km2 := (k - 2 + K) % K
-		kp1 := (k + 1) % K
-		var ysum float64
-		for j := 0; j < J; j++ {
-			ysum += s.Y[k*J+j]
+		kp1 := k + 1
+		if kp1 == K {
+			kp1 = 0
 		}
-		out.X[k] = -s.X[km1]*(s.X[km2]-s.X[kp1]) - s.X[k] + p.F - hcb*ysum
+		var ysum float64
+		for _, y := range s.Y[base : base+J] {
+			ysum += y
+		}
+		base += J
+		outX[k] = -X[km1]*(X[km2]-X[kp1]) - X[k] + p.F - hcb*ysum
+		km2 = km1
+		km1 = k
 	}
 	n := K * J
 	cb := p.C * p.B
+	pC := p.C
+	Y, outY := s.Y[:n], out.Y[:n]
+	if J < 2 || n < 4 {
+		m.derivYSmall(s, out, n, cb, hcb)
+		return
+	}
+	// The neighborhood Y[i-1], Y[i], Y[i+1], Y[i+2] is carried in rotating
+	// registers so each element is loaded once and the in-loop indices stay
+	// provably in bounds; the two wrap-around elements are peeled off the
+	// end. For J >= 2 no coupling-term boundary falls between them, so hx is
+	// hcb*X[K-1] for both. The arithmetic per element is unchanged.
+	hx := hcb * X[0]
+	k, inJ := 0, 0
+	yim1, yi, yip1 := Y[n-1], Y[0], Y[1]
+	for i := 0; i < n-2; i++ {
+		yip2 := Y[i+2]
+		outY[i] = -cb*yip1*(yip2-yim1) - pC*yi + hx
+		yim1, yi, yip1 = yi, yip1, yip2
+		inJ++
+		if inJ == J {
+			inJ = 0
+			k++
+			hx = hcb * X[k]
+		}
+	}
+	// i = n-2: ip1 = n-1, ip2 = 0.
+	outY[n-2] = -cb*yip1*(Y[0]-yim1) - pC*yi + hx
+	// i = n-1: ip1 = 0, ip2 = 1.
+	outY[n-1] = -cb*Y[0]*(Y[1]-yi) - pC*yip1 + hx
+}
+
+// derivYSmall is the fast-variable loop for degenerate configurations
+// (J == 1, or fewer than four fast variables) where the peeled fast path's
+// boundary assumptions do not hold.
+func (m *Model) derivYSmall(s, out State, n int, cb, hcb float64) {
+	p := m.P
+	J, K := p.J, p.K
+	X := s.X
+	Y, outY := s.Y, out.Y
+	im1 := n - 1
+	hx := hcb * X[0]
+	k, inJ := 0, 0
 	for i := 0; i < n; i++ {
-		ip1 := (i + 1) % n
-		ip2 := (i + 2) % n
-		im1 := (i - 1 + n) % n
-		k := i / J
-		out.Y[i] = -cb*s.Y[ip1]*(s.Y[ip2]-s.Y[im1]) - p.C*s.Y[i] + hcb*s.X[k]
+		ip1 := i + 1
+		if ip1 == n {
+			ip1 = 0
+		}
+		ip2 := ip1 + 1
+		if ip2 == n {
+			ip2 = 0
+		}
+		outY[i] = -cb*Y[ip1]*(Y[ip2]-Y[im1]) - p.C*Y[i] + hx
+		im1 = i
+		inJ++
+		if inJ == J {
+			inJ = 0
+			k++
+			if k < K {
+				hx = hcb * X[k]
+			}
+		}
 	}
 }
 
 func axpy(dst, s, d State, h float64) {
+	sx, dx := s.X[:len(dst.X)], d.X[:len(dst.X)]
 	for i := range dst.X {
-		dst.X[i] = s.X[i] + h*d.X[i]
+		dst.X[i] = sx[i] + h*dx[i]
 	}
+	sy, dy := s.Y[:len(dst.Y)], d.Y[:len(dst.Y)]
 	for i := range dst.Y {
-		dst.Y[i] = s.Y[i] + h*d.Y[i]
+		dst.Y[i] = sy[i] + h*dy[i]
 	}
 }
 
@@ -114,11 +183,13 @@ func (m *Model) Step(s State, dt float64) {
 	m.deriv(m.tmp, m.k3)
 	axpy(m.tmp, s, m.k3, dt)
 	m.deriv(m.tmp, m.k4)
+	k1x, k2x, k3x, k4x := m.k1.X[:len(s.X)], m.k2.X[:len(s.X)], m.k3.X[:len(s.X)], m.k4.X[:len(s.X)]
 	for i := range s.X {
-		s.X[i] += dt / 6 * (m.k1.X[i] + 2*m.k2.X[i] + 2*m.k3.X[i] + m.k4.X[i])
+		s.X[i] += dt / 6 * (k1x[i] + 2*k2x[i] + 2*k3x[i] + k4x[i])
 	}
+	k1y, k2y, k3y, k4y := m.k1.Y[:len(s.Y)], m.k2.Y[:len(s.Y)], m.k3.Y[:len(s.Y)], m.k4.Y[:len(s.Y)]
 	for i := range s.Y {
-		s.Y[i] += dt / 6 * (m.k1.Y[i] + 2*m.k2.Y[i] + 2*m.k3.Y[i] + m.k4.Y[i])
+		s.Y[i] += dt / 6 * (k1y[i] + 2*k2y[i] + 2*k3y[i] + k4y[i])
 	}
 }
 

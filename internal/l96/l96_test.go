@@ -2,6 +2,7 @@ package l96
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"climcompress/internal/stats"
@@ -148,6 +149,61 @@ func TestEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// derivReference is the textbook modulo-indexed formulation; deriv's
+// running-index rewrite must match it bit for bit.
+func derivReference(p Params, s, out State) {
+	K, J := p.K, p.J
+	hcb := p.H * p.C / p.B
+	for k := 0; k < K; k++ {
+		km1 := (k - 1 + K) % K
+		km2 := (k - 2 + K) % K
+		kp1 := (k + 1) % K
+		var ysum float64
+		for j := 0; j < J; j++ {
+			ysum += s.Y[k*J+j]
+		}
+		out.X[k] = -s.X[km1]*(s.X[km2]-s.X[kp1]) - s.X[k] + p.F - hcb*ysum
+	}
+	n := K * J
+	cb := p.C * p.B
+	for i := 0; i < n; i++ {
+		ip1 := (i + 1) % n
+		ip2 := (i + 2) % n
+		im1 := (i - 1 + n) % n
+		k := i / J
+		out.Y[i] = -cb*s.Y[ip1]*(s.Y[ip2]-s.Y[im1]) - p.C*s.Y[i] + hcb*s.X[k]
+	}
+}
+
+func TestDerivMatchesReference(t *testing.T) {
+	for _, p := range []Params{
+		DefaultParams(),
+		{K: 7, J: 3, F: 8, H: 1, C: 10, B: 10},
+		{K: 6, J: 2, F: 8, H: 1, C: 10, B: 10},
+		{K: 9, J: 1, F: 8, H: 1, C: 10, B: 10}, // degenerate fallback path
+		{K: 3, J: 1, F: 8, H: 1, C: 10, B: 10},
+	} {
+		m := New(p)
+		s := m.InitialState(0)
+		// March the state into the attractor a little so inputs are generic.
+		m.Run(s, 0.002, 100)
+		got := State{X: make([]float64, p.K), Y: make([]float64, p.K*p.J)}
+		want := State{X: make([]float64, p.K), Y: make([]float64, p.K*p.J)}
+		m.deriv(s, got)
+		derivReference(p, s, want)
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("K=%d: X'[%d] = %x, reference %x", p.K, i, got.X[i], want.X[i])
+			}
+		}
+		for i := range want.Y {
+			if got.Y[i] != want.Y[i] {
+				t.Fatalf("K=%d: Y'[%d] = %x, reference %x", p.K, i, got.Y[i], want.Y[i])
+			}
+		}
+	}
+}
+
 func BenchmarkStep(b *testing.B) {
 	m := New(DefaultParams())
 	s := m.InitialState(0)
@@ -155,5 +211,56 @@ func BenchmarkStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(s, 0.002)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := DefaultParams()
+	cfg := testConfig(4)
+	e1, hit := LoadOrCompute(p, cfg, dir)
+	if hit {
+		t.Fatal("first load reported a cache hit")
+	}
+	e2, hit := LoadOrCompute(p, cfg, dir)
+	if !hit {
+		t.Fatal("second load missed the cache")
+	}
+	if e2.MeanX != e1.MeanX || e2.StdX != e1.StdX {
+		t.Fatalf("calibration constants differ: %v/%v vs %v/%v", e2.MeanX, e2.StdX, e1.MeanX, e1.StdX)
+	}
+	for m := range e1.Members {
+		if e2.Members[m].Key != e1.Members[m].Key {
+			t.Fatalf("member %d key differs", m)
+		}
+		for i, x := range e1.Members[m].X {
+			if e2.Members[m].X[i] != x {
+				t.Fatalf("member %d X[%d] differs", m, i)
+			}
+		}
+	}
+	// A different configuration must not hit the same entry.
+	other := cfg
+	other.DivergeSteps++
+	if _, hit := LoadOrCompute(p, other, dir); hit {
+		t.Fatal("different config hit the cache")
+	}
+	// Workers is excluded from the key: the trajectories are identical.
+	w4 := cfg
+	w4.Workers = 4
+	if _, hit := LoadOrCompute(p, w4, dir); !hit {
+		t.Fatal("worker count should not affect the cache key")
+	}
+	// A corrupt file degrades to recomputation.
+	path := cachePath(dir, CacheKey(p, cfg))
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3, hit := LoadOrCompute(p, cfg, dir)
+	if hit {
+		t.Fatal("corrupt cache reported a hit")
+	}
+	if e3.Members[1].Key != e1.Members[1].Key {
+		t.Fatal("recomputed ensemble differs")
 	}
 }

@@ -37,9 +37,18 @@ type Generator struct {
 	Ens     *l96.Ensemble
 
 	mu       sync.Mutex
-	patterns map[int]*varPatterns
+	patterns map[int]*patternsEntry
 	weights  [][][]float64 // [member][timeSlice][mode]
 	landMask []bool
+}
+
+// patternsEntry is the compute-once slot of the pattern cache: when all
+// members of a variable are generated in parallel, the first arrival builds
+// the patterns and the rest block on the same sync.Once instead of each
+// redoing the work.
+type patternsEntry struct {
+	once sync.Once
+	p    *varPatterns
 }
 
 // varPatterns holds the precomputed, member-independent spatial structure
@@ -61,7 +70,7 @@ func NewGenerator(g *grid.Grid, catalog []varcatalog.Spec, ens *l96.Ensemble) *G
 		Grid:     g,
 		Catalog:  catalog,
 		Ens:      ens,
-		patterns: make(map[int]*varPatterns),
+		patterns: make(map[int]*patternsEntry),
 		weights:  make([][][]float64, len(ens.Members)),
 	}
 	gen.landMask = buildLandMask(g)
@@ -291,23 +300,18 @@ func (gen *Generator) computePatterns(varIdx int) *varPatterns {
 
 func sq(x float64) float64 { return x * x }
 
-// getPatterns returns (building if needed) the cached patterns for varIdx.
+// getPatterns returns (building exactly once if needed) the cached patterns
+// for varIdx.
 func (gen *Generator) getPatterns(varIdx int) *varPatterns {
 	gen.mu.Lock()
-	p, ok := gen.patterns[varIdx]
-	gen.mu.Unlock()
-	if ok {
-		return p
-	}
-	p = gen.computePatterns(varIdx) // idempotent; may race benignly
-	gen.mu.Lock()
-	if prev, ok := gen.patterns[varIdx]; ok {
-		p = prev
-	} else {
-		gen.patterns[varIdx] = p
+	e, ok := gen.patterns[varIdx]
+	if !ok {
+		e = &patternsEntry{}
+		gen.patterns[varIdx] = e
 	}
 	gen.mu.Unlock()
-	return p
+	e.once.Do(func() { e.p = gen.computePatterns(varIdx) })
+	return e.p
 }
 
 // Field synthesizes the field of catalog variable varIdx for ensemble

@@ -1,0 +1,224 @@
+// Package par provides the process-wide bounded worker pool shared by every
+// parallel stage of the pipeline: ensemble member-field generation, the
+// per-variable experiment fan-out, per-member verification compression, and
+// chunked codec compression all draw extra workers from one pool, so total
+// concurrency stays bounded by the configured width (GOMAXPROCS by default)
+// no matter how the stages nest.
+//
+// The pool is a token bucket: a parallel loop always runs in the calling
+// goroutine and additionally spawns a helper for each token it can acquire
+// without blocking. Nested loops therefore never deadlock — a loop that
+// finds the pool drained simply runs serially in its caller — and the
+// process never holds more than `width` busy loop-workers in aggregate.
+//
+// It also hosts the float32 scratch-buffer pool used to recycle field-sized
+// allocations (member fields, reconstruction outputs) across experiment
+// stages.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu     sync.Mutex
+	width  int           // configured pool width (0 = GOMAXPROCS)
+	tokens chan struct{} // helper-goroutine tokens, len == Width()-1
+)
+
+func init() {
+	resize(0)
+}
+
+// resize rebuilds the token bucket for a new width. Outstanding tokens from
+// the old bucket are simply abandoned; running helpers drain and exit.
+func resize(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	width = n
+	// The caller of Each counts as one worker, so n-1 helper tokens.
+	tokens = make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		tokens <- struct{}{}
+	}
+	mu.Unlock()
+}
+
+// SetWidth sets the pool width (the maximum aggregate parallelism of all
+// loops drawing on the pool). n <= 0 resets to GOMAXPROCS. Command-line
+// `-workers` flags funnel here.
+func SetWidth(n int) { resize(n) }
+
+// Width returns the configured pool width.
+func Width() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return width
+}
+
+// acquire obtains up to max helper tokens without blocking.
+func acquire(max int) int {
+	mu.Lock()
+	t := tokens
+	mu.Unlock()
+	got := 0
+	for got < max {
+		select {
+		case <-t:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns n helper tokens.
+func release(n int) {
+	mu.Lock()
+	t := tokens
+	mu.Unlock()
+	for i := 0; i < n; i++ {
+		select {
+		case t <- struct{}{}:
+		default: // bucket was resized smaller; drop the token
+			return
+		}
+	}
+}
+
+// Each runs fn(i) for every i in [0, n), fanning out over the shared pool.
+// The calling goroutine always participates, so Each makes progress even
+// when the pool is fully busy (nested calls degrade to serial loops). The
+// first non-nil error is returned after all indices finish; fn must be safe
+// for concurrent invocation.
+func Each(n int, fn func(i int) error) error {
+	return EachLimit(n, 0, fn)
+}
+
+// EachLimit is Each with an additional per-call cap on parallel workers
+// (0 = no extra cap beyond the pool). limit=1 forces a serial loop.
+func EachLimit(n, limit int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	max := n - 1
+	if limit > 0 && limit-1 < max {
+		max = limit - 1
+	}
+	helpers := 0
+	if max > 0 {
+		helpers = acquire(max)
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	defer release(helpers)
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				firstErr.CompareAndSwap(nil, errBox{err})
+				// Keep draining: callers expect every index attempted, and
+				// partially-filled result slices guarded by the error.
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < helpers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	if e, ok := firstErr.Load().(errBox); ok {
+		return e.err
+	}
+	return nil
+}
+
+// errBox wraps an error for atomic.Value (which needs a consistent concrete
+// type).
+type errBox struct{ err error }
+
+// Ranges splits [0, n) into contiguous chunks of at least grain elements
+// and runs fn(lo, hi) for each, in parallel over the shared pool. Chunks
+// are contiguous and ordered within themselves, so order-sensitive
+// accumulations that are independent *across* elements stay deterministic.
+func Ranges(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if w := Width(); chunks > 4*w {
+		chunks = 4 * w
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	size := (n + chunks - 1) / chunks
+	Each(chunks, func(c int) error {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(lo, hi)
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Recycled float32 buffers
+// ---------------------------------------------------------------------------
+
+var floatPool = sync.Pool{}
+
+// GetFloats returns a zeroed float32 slice of length n, recycled from the
+// pool when a large-enough buffer is available.
+func GetFloats(n int) []float32 {
+	if v := floatPool.Get(); v != nil {
+		buf := v.(*[]float32)
+		if cap(*buf) >= n {
+			s := (*buf)[:n]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	return make([]float32, n)
+}
+
+// PutFloats returns a buffer to the pool. The caller must not use the slice
+// (or any alias of it) afterwards.
+func PutFloats(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	b := buf[:0]
+	floatPool.Put(&b)
+}

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		err := Each(n, func(i int) error {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d visited twice", i)
+			}
+			hits.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(hits.Load()) != n {
+			t.Fatalf("n=%d: %d indices visited", n, hits.Load())
+		}
+	}
+}
+
+func TestEachReturnsError(t *testing.T) {
+	want := errors.New("boom")
+	err := Each(100, func(i int) error {
+		if i == 37 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestEachNested(t *testing.T) {
+	// Deeply nested Each calls must not deadlock even when the pool is
+	// narrower than the nesting.
+	old := Width()
+	SetWidth(2)
+	defer SetWidth(old)
+	var total atomic.Int64
+	err := Each(8, func(int) error {
+		return Each(8, func(int) error {
+			return Each(8, func(int) error {
+				total.Add(1)
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 8*8*8 {
+		t.Fatalf("total = %d, want %d", total.Load(), 8*8*8)
+	}
+}
+
+func TestEachLimitSerial(t *testing.T) {
+	// limit=1 must run in the calling goroutine, strictly in order.
+	var order []int
+	err := EachLimit(10, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRangesPartition(t *testing.T) {
+	n := 1237
+	covered := make([]atomic.Int32, n)
+	Ranges(n, 100, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestGetFloatsZeroed(t *testing.T) {
+	b := GetFloats(64)
+	for i := range b {
+		b[i] = float32(i) + 1
+	}
+	PutFloats(b)
+	c := GetFloats(32)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if len(c) != 32 {
+		t.Fatalf("len = %d", len(c))
+	}
+}
+
+func TestSetWidth(t *testing.T) {
+	old := Width()
+	defer SetWidth(old)
+	SetWidth(5)
+	if Width() != 5 {
+		t.Fatalf("Width = %d, want 5", Width())
+	}
+	SetWidth(0)
+	if Width() < 1 {
+		t.Fatalf("Width = %d, want >= 1", Width())
+	}
+}

@@ -87,7 +87,7 @@ func PortVerify(vs *ensemble.VarStats, newRuns [][]float32) (PortResult, error) 
 			if vs.FillMask[p] {
 				continue
 			}
-			loo := vs.Loo[p]
+			loo := vs.Mom.At(p)
 			if loo.N < 2 {
 				continue
 			}

@@ -21,12 +21,11 @@ package pvt
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"climcompress/internal/compress"
 	"climcompress/internal/ensemble"
 	"climcompress/internal/metrics"
+	"climcompress/internal/par"
 	"climcompress/internal/stats"
 )
 
@@ -149,38 +148,33 @@ func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
 	recon := make([][]float32, nm)
 	crs := make([]float64, nm)
 	errs := make([]error, nm)
-	workers := v.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for m := range jobs {
-				data := vs.Original(m)
-				buf, err := codec.Compress(data, v.Shape)
-				if err != nil {
-					errs[m] = err
-					continue
-				}
-				crs[m] = compress.Ratio(len(buf), len(data))
-				out, err := codec.Decompress(buf)
-				if err != nil {
-					errs[m] = err
-					continue
-				}
-				recon[m] = out
+	// Reconstruction buffers are only needed within this call (the Result
+	// keeps derived scores, never the raw data), so hand them back to the
+	// shared scratch pool on every exit path.
+	defer func() {
+		for _, out := range recon {
+			if out != nil {
+				par.PutFloats(out)
 			}
-		}()
-	}
-	for _, m := range needed {
-		jobs <- m
-	}
-	close(jobs)
-	wg.Wait()
+		}
+	}()
+	par.EachLimit(len(needed), v.Workers, func(j int) error {
+		m := needed[j]
+		data := vs.Original(m)
+		buf, err := codec.Compress(data, v.Shape)
+		if err != nil {
+			errs[m] = err
+			return nil
+		}
+		crs[m] = compress.Ratio(len(buf), len(data))
+		out, err := codec.Decompress(buf)
+		if err != nil {
+			errs[m] = err
+			return nil
+		}
+		recon[m] = out
+		return nil
+	})
 	for _, m := range needed {
 		if errs[m] != nil {
 			return Result{}, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, errs[m])

@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// Moments is the structure-of-arrays streaming moment accumulator behind
+// the one-pass leave-one-out ensemble statistics (eqs. 6–8): one pass over
+// all members accumulates per-point Σx and Σx², and the mean/std of the
+// sub-ensemble excluding any single member follow algebraically in O(1)
+// per point. It computes exactly the same quantities as LeaveOneOut but
+// stores the sums in flat parallel slices, which halves the memory stride
+// of the scoring hot loop and lets point ranges be accumulated by
+// independent workers.
+type Moments struct {
+	N     []int32   // members accumulated per point
+	Sum   []float64 // Σ x_m per point
+	SumSq []float64 // Σ x_m² per point
+}
+
+// NewMoments returns an accumulator for n points.
+func NewMoments(n int) *Moments {
+	return &Moments{
+		N:     make([]int32, n),
+		Sum:   make([]float64, n),
+		SumSq: make([]float64, n),
+	}
+}
+
+// Len returns the number of points.
+func (mo *Moments) Len() int { return len(mo.Sum) }
+
+// AddMember folds one member's values into every non-masked point of
+// [lo, hi). mask may be nil. Accumulation order per point is the call
+// order, so adding members 0..M-1 yields sums bit-identical to a serial
+// per-point loop regardless of how [lo, hi) ranges partition the points.
+func (mo *Moments) AddMember(data []float32, mask []bool, lo, hi int) {
+	sum, sumsq, cnt := mo.Sum, mo.SumSq, mo.N
+	if mask == nil {
+		for i := lo; i < hi; i++ {
+			x := float64(data[i])
+			cnt[i]++
+			sum[i] += x
+			sumsq[i] += x * x
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if mask[i] {
+			continue
+		}
+		x := float64(data[i])
+		cnt[i]++
+		sum[i] += x
+		sumsq[i] += x * x
+	}
+}
+
+// Excluding returns the mean and unbiased sample standard deviation at
+// point i of the accumulated values with x (one previously added member
+// value) removed — the {E \ m} statistics of eq. 6. The arithmetic matches
+// LeaveOneOut.Excluding operation for operation.
+func (mo *Moments) Excluding(i int, x float64) (mean, std float64) {
+	n := int(mo.N[i]) - 1
+	if n < 1 {
+		return math.NaN(), math.NaN()
+	}
+	s := mo.Sum[i] - x
+	ss := mo.SumSq[i] - x*x
+	mean = s / float64(n)
+	if n < 2 {
+		return mean, math.NaN()
+	}
+	v := (ss - s*s/float64(n)) / float64(n-1)
+	if v < 0 { // numeric cancellation guard
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// FullStd returns the full-ensemble (nothing excluded) unbiased standard
+// deviation at point i, or NaN for fewer than 2 values.
+func (mo *Moments) FullStd(i int) float64 {
+	n := float64(mo.N[i])
+	if n < 2 {
+		return math.NaN()
+	}
+	mean := mo.Sum[i] / n
+	v := (mo.SumSq[i] - mo.Sum[i]*mean) / (n - 1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// At returns the point's accumulated sums as a LeaveOneOut value,
+// preserving the older element-wise API for callers that hold one point.
+func (mo *Moments) At(i int) LeaveOneOut {
+	return LeaveOneOut{N: int(mo.N[i]), Sum: mo.Sum[i], SumSq: mo.SumSq[i]}
+}
