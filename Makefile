@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz vet fmt verify experiments clean
+.PHONY: all build test race bench bench-json bench-diff fuzz vet fmt verify experiments clean
 
 all: build test
 
@@ -15,6 +15,7 @@ test:
 # The tier-1 gate plus static analysis: what CI runs on every change.
 verify:
 	$(GO) build ./...
+	$(GO) build ./cmd/benchdiff
 	$(GO) vet ./...
 	$(GO) test ./...
 
@@ -25,10 +26,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable performance snapshot: per-experiment wall-clock (cold and
-# warm chaotic-core cache) plus ns/op microbenchmarks for the RMSZ engine
-# and every codec, written to BENCH_PR1.json.
+# warm chaotic-core cache) plus ns/op + allocs/op microbenchmarks for the
+# RMSZ engine and every codec, written to BENCH_PR2.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR1.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+
+# Performance gate: compare two bench-json snapshots and fail on >15% codec
+# throughput regression or any allocs/op increase.
+BASE ?= BENCH_PR1.json
+HEAD ?= BENCH_PR2.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD)
 
 # Short fuzzing pass over the decoder and container parsers.
 fuzz:

@@ -1,0 +1,140 @@
+// Command benchdiff compares two benchjson reports (e.g. BENCH_PR1.json vs
+// BENCH_PR2.json) and enforces the performance gate: it exits nonzero when
+// any codec entry loses more than the threshold fraction of throughput, or
+// when any entry's steady-state allocations per op increase at all. It is
+// wired into `make bench-diff` so codec regressions fail mechanically
+// instead of depending on someone eyeballing benchmark logs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"climcompress/internal/benchjson"
+)
+
+func main() {
+	base := flag.String("base", "BENCH_PR1.json", "baseline report")
+	head := flag.String("head", "BENCH_PR2.json", "candidate report")
+	threshold := flag.Float64("threshold", 0.15, "max allowed fractional throughput loss on codec entries")
+	flag.Parse()
+
+	baseRep, err := readReport(*base)
+	if err != nil {
+		fatal(err)
+	}
+	headRep, err := readReport(*head)
+	if err != nil {
+		fatal(err)
+	}
+	baseBy := byName(baseRep)
+	headBy := byName(headRep)
+
+	names := make([]string, 0, len(headBy))
+	for name := range headBy {
+		if _, ok := baseBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no common entries between %s and %s", *base, *head))
+	}
+
+	fmt.Printf("%-32s %12s %12s %8s  %s\n", "entry", "base MB/s", "head MB/s", "Δ%", "allocs/op")
+	failures := 0
+	for _, name := range names {
+		b, h := baseBy[name], headBy[name]
+		bt, ht := throughput(b), throughput(h)
+		line := fmt.Sprintf("%-32s %12s %12s", name, mbs(b), mbs(h))
+		if bt > 0 && ht > 0 {
+			delta := (ht - bt) / bt
+			line += fmt.Sprintf(" %+7.1f%%", 100*delta)
+			if strings.HasPrefix(name, "codec/") && delta < -*threshold {
+				line += fmt.Sprintf("  FAIL: throughput down more than %.0f%%", 100**threshold)
+				failures++
+			}
+		} else {
+			line += fmt.Sprintf(" %8s", "-")
+		}
+		switch {
+		case b.AllocsPerOp != nil && h.AllocsPerOp != nil:
+			line += fmt.Sprintf("  %d -> %d", *b.AllocsPerOp, *h.AllocsPerOp)
+			if *h.AllocsPerOp > *b.AllocsPerOp {
+				line += "  FAIL: allocs/op increased"
+				failures++
+			}
+		case h.AllocsPerOp != nil:
+			line += fmt.Sprintf("  (new) %d", *h.AllocsPerOp)
+		}
+		fmt.Println(line)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s\n", failures, *base)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d common entries, no regressions vs %s\n", len(names), *base)
+}
+
+func readReport(path string) (*benchjson.Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchjson.Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// byName indexes entries, keeping the first occurrence of each name+note so
+// cold/warm passes of the same experiment compare like with like.
+func byName(rep *benchjson.Report) map[string]benchjson.Entry {
+	out := make(map[string]benchjson.Entry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		key := e.Name
+		if e.Note != "" {
+			key += " [" + e.Note + "]"
+		}
+		if _, ok := out[key]; !ok {
+			out[key] = e
+		}
+	}
+	return out
+}
+
+// throughput reduces an entry to a comparable ops-oriented rate: MB/s when
+// recorded, else inverse ns/op, else inverse seconds.
+func throughput(e benchjson.Entry) float64 {
+	switch {
+	case e.MBPerSec > 0:
+		return e.MBPerSec
+	case e.NsPerOp > 0:
+		return 1 / float64(e.NsPerOp)
+	case e.Seconds > 0:
+		return 1 / e.Seconds
+	}
+	return 0
+}
+
+func mbs(e benchjson.Entry) string {
+	switch {
+	case e.MBPerSec > 0:
+		return fmt.Sprintf("%.1f", e.MBPerSec)
+	case e.NsPerOp > 0:
+		return fmt.Sprintf("%dns", e.NsPerOp)
+	case e.Seconds > 0:
+		return fmt.Sprintf("%.2fs", e.Seconds)
+	}
+	return "-"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

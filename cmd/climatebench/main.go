@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
@@ -38,6 +39,7 @@ var (
 	vars     = flag.String("vars", "", "comma-separated variable subset (default: all 170)")
 	quiet    = flag.Bool("q", false, "suppress progress timing lines")
 	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	l96cache = flag.String("l96cache", ".l96cache", "directory caching the deterministic chaotic-core integration (empty disables)")
 )
 
@@ -170,5 +172,23 @@ func main() {
 	if *cpuprof != "" {
 		pprof.StopCPUProfile()
 	}
+	// Written explicitly (not deferred): os.Exit below skips defers.
+	if *memprof != "" {
+		writeHeapProfile(*memprof)
+	}
 	os.Exit(exitCode)
+}
+
+// writeHeapProfile snapshots the heap into path.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+	}
 }

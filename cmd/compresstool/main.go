@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"climcompress/internal/cdf"
@@ -38,12 +40,22 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "parallel worker pool width (0 = GOMAXPROCS)")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	par.SetWidth(*workers)
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
+	}
+	if *cpuprof != "" {
+		f, perr := os.Create(*cpuprof)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "compresstool: %v\n", perr)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
 	}
 	var err error
 	switch args[0] {
@@ -66,9 +78,30 @@ func main() {
 	default:
 		usage()
 	}
+	// Flushed explicitly (not deferred): os.Exit below skips defers.
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		writeHeapProfile(*memprof)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// writeHeapProfile snapshots the heap into path.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
 	}
 }
 

@@ -21,6 +21,15 @@ type Entry struct {
 	// NsPerOp and MBPerSec come from testing.Benchmark microbenchmarks.
 	NsPerOp  int64   `json:"ns_per_op,omitempty"`
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// AllocsPerOp and BytesPerOp are steady-state heap costs per operation.
+	// Pointers, not values: zero allocations is a measurement worth keeping
+	// (it is this repo's target for codec hot paths), so it must survive
+	// omitempty, while entries that never measured allocations stay absent.
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	// Workers records the concurrency this entry ran with, so single-core
+	// and multi-worker measurements of the same name are distinguishable.
+	Workers int `json:"workers,omitempty"`
 	// Note carries qualifiers like "cold cache" / "warm cache".
 	Note string `json:"note,omitempty"`
 }
@@ -40,20 +49,73 @@ func NewReport() *Report {
 	}
 }
 
-// AddSeconds records a wall-clock measurement.
+// AddSeconds records a wall-clock measurement taken with the process-wide
+// worker pool.
 func (r *Report) AddSeconds(name string, seconds float64, note string) {
-	r.Entries = append(r.Entries, Entry{Name: name, Seconds: seconds, Note: note})
+	r.Entries = append(r.Entries, Entry{
+		Name: name, Seconds: seconds, Note: note, Workers: runtime.GOMAXPROCS(0),
+	})
 }
 
-// AddBenchmark runs fn under testing.Benchmark and records its ns/op (and
-// MB/s when fn calls b.SetBytes).
+// AddBenchmark runs fn under testing.Benchmark and records its ns/op, MB/s
+// (when fn calls b.SetBytes) and steady-state allocations per op. The entry
+// is stamped with GOMAXPROCS as its worker count.
 func (r *Report) AddBenchmark(name string, fn func(b *testing.B)) {
-	res := testing.Benchmark(fn)
-	e := Entry{Name: name, NsPerOp: res.NsPerOp()}
+	r.AddBenchmarkWorkers(name, runtime.GOMAXPROCS(0), fn)
+}
+
+// AddBenchmarkWorkers is AddBenchmark with an explicit worker count for
+// entries whose concurrency differs from GOMAXPROCS (e.g. serial codec
+// loops).
+func (r *Report) AddBenchmarkWorkers(name string, workers int, fn func(b *testing.B)) {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	allocs, bytesOp := res.AllocsPerOp(), res.AllocedBytesPerOp()
+	e := Entry{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: &allocs,
+		BytesPerOp:  &bytesOp,
+		Workers:     workers,
+	}
 	if res.Bytes > 0 && res.T > 0 {
 		e.MBPerSec = float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6
 	}
 	r.Entries = append(r.Entries, e)
+}
+
+// MergeBest folds other's entries into r, matching on name+note. A
+// measurement present on both sides keeps the faster observation (lower
+// ns/op for benchmarks, lower seconds for wall-clock entries); entries
+// unique to other are appended. Callers run the same sweep several times,
+// minutes apart, and merge: on shared hosts a background burst can only
+// slow a run down, never speed it up, so the per-entry minimum over
+// interleaved sweeps is the closest observation of the code's actual cost
+// — and interleaving means one burst cannot poison every sample of one
+// entry the way back-to-back retries can.
+func (r *Report) MergeBest(other *Report) {
+	index := make(map[string]int, len(r.Entries))
+	key := func(e Entry) string { return e.Name + "\x00" + e.Note }
+	for i, e := range r.Entries {
+		index[key(e)] = i
+	}
+	for _, e := range other.Entries {
+		i, ok := index[key(e)]
+		if !ok {
+			index[key(e)] = len(r.Entries)
+			r.Entries = append(r.Entries, e)
+			continue
+		}
+		have := &r.Entries[i]
+		switch {
+		case e.NsPerOp > 0 && (have.NsPerOp == 0 || e.NsPerOp < have.NsPerOp):
+			*have = e
+		case e.Seconds > 0 && e.NsPerOp == 0 && e.Seconds < have.Seconds:
+			*have = e
+		}
+	}
 }
 
 // WriteFile writes the report as indented JSON.

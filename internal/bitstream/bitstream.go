@@ -120,18 +120,24 @@ func (w *Writer) Len() int { return int((w.bits + 7) / 8) }
 // packed stream. The Writer remains usable: further writes continue from the
 // unpadded bit position, and a later Bytes call re-derives the padding.
 func (w *Writer) Bytes() []byte {
-	out := make([]byte, 0, len(w.buf)+8)
-	out = append(out, w.buf...)
+	return w.AppendTo(make([]byte, 0, len(w.buf)+8))
+}
+
+// AppendTo appends the packed stream (with any partial byte zero-padded) to
+// dst and returns the extended slice. Like Bytes, it leaves the Writer
+// usable; unlike Bytes, it allocates nothing when dst has capacity.
+func (w *Writer) AppendTo(dst []byte) []byte {
+	dst = append(dst, w.buf...)
 	n := w.n
 	cur := w.cur
 	for n >= 8 {
-		out = append(out, byte(cur>>(n-8)))
+		dst = append(dst, byte(cur>>(n-8)))
 		n -= 8
 	}
 	if n > 0 {
-		out = append(out, byte(cur<<(8-n)))
+		dst = append(dst, byte(cur<<(8-n)))
 	}
-	return out
+	return dst
 }
 
 // Reset discards all written bits, retaining the buffer capacity.
@@ -155,6 +161,17 @@ type Reader struct {
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
+}
+
+// Reset points the Reader at a new buffer, clearing all position and error
+// state; a zero-value Reader plus Reset is equivalent to NewReader.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.cur = 0
+	r.n = 0
+	r.read = 0
+	r.err = nil
 }
 
 // fill tops up the accumulator so that at least `need` bits are available,

@@ -156,6 +156,13 @@ func buildPlan(n, ncoef int) (*plan, error) {
 // with a dense Cholesky factorization (ncoef is small) plus a tiny ridge
 // term for numerical safety on degenerate inputs.
 func Fit(y []float64, ncoef int) ([]float64, error) {
+	return FitInto(nil, y, ncoef)
+}
+
+// FitInto is Fit with the coefficient vector written into dst's backing
+// array when its capacity suffices (allocating only otherwise). The
+// arithmetic — and therefore the coefficients — are identical to Fit's.
+func FitInto(dst []float64, y []float64, ncoef int) ([]float64, error) {
 	n := len(y)
 	if ncoef < 4 || n < ncoef {
 		return nil, ErrBadFit
@@ -166,7 +173,15 @@ func Fit(y []float64, ncoef int) ([]float64, error) {
 	}
 	// Right-hand side b = Aᵀy, accumulated in the same point order as the
 	// former fused matrix/vector build.
-	b := make([]float64, ncoef)
+	var b []float64
+	if cap(dst) >= ncoef {
+		b = dst[:ncoef]
+		for i := range b {
+			b[i] = 0
+		}
+	} else {
+		b = make([]float64, ncoef)
+	}
 	for i := 0; i < n; i++ {
 		s := int(pl.seg[i])
 		w := pl.w[4*i:]

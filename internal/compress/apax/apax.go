@@ -13,6 +13,7 @@ package apax
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"climcompress/internal/bitstream"
 	"climcompress/internal/compress"
@@ -79,15 +80,26 @@ func rawExp(v float32) int {
 	return int(math.Float32bits(v)>>23) & 0xff
 }
 
+// writerPool holds the reusable bit writers; APAX needs no other scratch.
+var writerPool = sync.Pool{New: func() any { return bitstream.NewWriter(0) }}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec with a pooled bit writer; the
+// appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("apax: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("apax: shape %v does not match %d values", shape, len(data))
 	}
 	bs := c.blockSize()
 	targetBits := 32 / c.Rate
 
-	w := bitstream.NewWriter(int(float64(len(data))*targetBits/8) + 64)
+	w := writerPool.Get().(*bitstream.Writer)
+	defer writerPool.Put(w)
+	w.Reset()
 	budget := 0.0
 	for start := 0; start < len(data); start += bs {
 		end := start + bs
@@ -145,37 +157,44 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 		}
 	}
 
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDAPAX, Shape: shape})
-	out = append(out, byte(math.Round(c.Rate*10)), byte(bs), 32) // trailing 32 marks the single-precision variant
-	return append(out, w.Bytes()...), nil
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDAPAX, Shape: shape})
+	dst = append(dst, byte(math.Round(c.Rate*10)), byte(bs), 32) // trailing 32 marks the single-precision variant
+	return w.AppendTo(dst), nil
 }
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into dst's
+// backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDAPAX {
-		return nil, fmt.Errorf("%w: not an apax stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not an apax stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 3 {
-		return nil, fmt.Errorf("%w: missing apax parameters", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing apax parameters", compress.ErrCorrupt)
 	}
 	if rest[2] != 32 {
-		return nil, fmt.Errorf("%w: not a single-precision apax stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not a single-precision apax stream", compress.ErrCorrupt)
 	}
 	bs := int(rest[1])
 	if bs <= 0 {
-		return nil, fmt.Errorf("%w: bad block size", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: bad block size", compress.ErrCorrupt)
 	}
 	n := h.Shape.Len()
 	// Even zero-mantissa blocks store 45 bits of side information each.
 	if err := compress.CheckPlausible(n, len(rest)-3); err != nil {
-		return nil, err
+		return dst, err
 	}
-	r := bitstream.NewReader(rest[3:])
-	out := make([]float32, n)
+	var r bitstream.Reader
+	r.Reset(rest[3:])
+	out := compress.GrowFloats(dst, n)
 	for start := 0; start < n; start += bs {
 		end := start + bs
 		if end > n {
@@ -197,7 +216,7 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 			out[i] = mean + float32(float64(q)*inv)
 		}
 		if r.Err() != nil { // fail fast on truncated streams
-			return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+			return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
 		}
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // fillMasked wraps a codec with special-value support: a bitmap records
@@ -26,18 +27,49 @@ func WithFill(inner Codec, fill float32) Codec {
 func (f *fillMasked) Name() string   { return f.inner.Name() + "+fill" }
 func (f *fillMasked) Lossless() bool { return f.inner.Lossless() }
 
+// fillScratch is the reusable working set of one fill-masked Compress call.
+type fillScratch struct {
+	bitmap []byte
+	work   []float32
+}
+
+var fillPool = sync.Pool{New: func() any { return new(fillScratch) }}
+
+func (s *fillScratch) grow(n int) (bitmap []byte, work []float32) {
+	nb := (n + 7) / 8
+	if cap(s.bitmap) < nb {
+		s.bitmap = make([]byte, nb)
+	}
+	s.bitmap = s.bitmap[:nb]
+	for i := range s.bitmap {
+		s.bitmap[i] = 0
+	}
+	if cap(s.work) < n {
+		s.work = make([]float32, n)
+	}
+	s.work = s.work[:n]
+	return s.bitmap, s.work
+}
+
 // Stream layout after the common header:
 //
 //	fill   float32 (LE bits)
 //	bitmap (len(data)+7)/8 bytes, bit i set => point i is fill
 //	inner  the wrapped codec's self-describing stream
 func (f *fillMasked) Compress(data []float32, shape Shape) ([]byte, error) {
+	return f.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements AppendCodec with pooled mask buffers; the appended
+// stream is bit-identical to Compress's.
+func (f *fillMasked) CompressInto(dst []byte, data []float32, shape Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("compress: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("compress: shape %v does not match %d values", shape, len(data))
 	}
 	n := len(data)
-	bitmap := make([]byte, (n+7)/8)
-	work := make([]float32, n)
+	s := fillPool.Get().(*fillScratch)
+	defer fillPool.Put(s)
+	bitmap, work := s.grow(n)
 	// Continuation value: the most recent valid value in scan order (or the
 	// first valid value for a leading run of fills). Keeps the field smooth
 	// for spatial predictors without influencing reconstruction.
@@ -58,40 +90,41 @@ func (f *fillMasked) Compress(data []float32, shape Shape) ([]byte, error) {
 			last = v
 		}
 	}
-	payload, err := f.inner.Compress(work, shape)
-	if err != nil {
-		return nil, err
-	}
-	out := PutHeader(nil, Header{CodecID: IDFillMask, Shape: shape})
+	dst = PutHeader(dst, Header{CodecID: IDFillMask, Shape: shape})
 	var fb [4]byte
 	binary.LittleEndian.PutUint32(fb[:], math.Float32bits(f.fill))
-	out = append(out, fb[:]...)
-	out = append(out, bitmap...)
-	out = append(out, payload...)
-	return out, nil
+	dst = append(dst, fb[:]...)
+	dst = append(dst, bitmap...)
+	return CompressInto(f.inner, dst, work, shape)
 }
 
 func (f *fillMasked) Decompress(buf []byte) ([]float32, error) {
+	return f.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements AppendCodec, restoring the sentinel in place over
+// the inner codec's reconstruction.
+func (f *fillMasked) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != IDFillMask {
-		return nil, fmt.Errorf("%w: not a fill-masked stream", ErrCorrupt)
+		return dst, fmt.Errorf("%w: not a fill-masked stream", ErrCorrupt)
 	}
 	n := h.Shape.Len()
 	need := 4 + (n+7)/8
 	if len(rest) < need {
-		return nil, fmt.Errorf("%w: truncated fill mask", ErrCorrupt)
+		return dst, fmt.Errorf("%w: truncated fill mask", ErrCorrupt)
 	}
 	fill := math.Float32frombits(binary.LittleEndian.Uint32(rest))
 	bitmap := rest[4:need]
-	vals, err := f.inner.Decompress(rest[need:])
+	vals, err := DecompressInto(f.inner, dst, rest[need:])
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if len(vals) != n {
-		return nil, fmt.Errorf("%w: inner stream has %d values, want %d", ErrCorrupt, len(vals), n)
+		return dst, fmt.Errorf("%w: inner stream has %d values, want %d", ErrCorrupt, len(vals), n)
 	}
 	for i := range vals {
 		if bitmap[i/8]&(1<<(i%8)) != 0 {

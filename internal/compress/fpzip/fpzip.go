@@ -11,6 +11,7 @@ package fpzip
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"climcompress/internal/compress"
 	"climcompress/internal/entropy"
@@ -97,19 +98,52 @@ func inverseMap(code uint32, drop uint) float32 {
 	return math.Float32frombits(u)
 }
 
+// fpzipScratch is the reusable working set of one Compress or Decompress
+// call: the monotonic integer codes, the range coder and its model.
+type fpzipScratch struct {
+	codes []uint32
+	enc   *entropy.Encoder
+	dec   *entropy.Decoder
+	model *entropy.SignedModel
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &fpzipScratch{
+		enc:   entropy.NewEncoder(0),
+		dec:   entropy.NewDecoder(nil),
+		model: entropy.NewSignedModel(),
+	}
+}}
+
+func (s *fpzipScratch) growCodes(n int) []uint32 {
+	if cap(s.codes) < n {
+		s.codes = make([]uint32, n)
+	}
+	return s.codes[:n]
+}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec with pooled scratch; the
+// appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("fpzip: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("fpzip: shape %v does not match %d values", shape, len(data))
 	}
 	drop := uint(32 - c.Bits)
 	maxCode := int64(^uint32(0) >> drop)
 
-	enc := entropy.NewEncoder(len(data))
-	model := entropy.NewSignedModel()
+	s := scratchPool.Get().(*fpzipScratch)
+	defer scratchPool.Put(s)
+	enc, model := s.enc, s.model
+	enc.Reset()
+	model.Reset()
 
 	nlat, nlon := shape.NLat, shape.NLon
-	codes := make([]uint32, len(data))
+	codes := s.growCodes(len(data))
 	for i, v := range data {
 		codes[i] = forwardMap(v, drop)
 	}
@@ -125,9 +159,9 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 			}
 		}
 	}
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDFPZip, Shape: shape})
-	out = append(out, byte(c.Bits), byte(c.Predictor))
-	return append(out, enc.Flush()...), nil
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDFPZip, Shape: shape})
+	dst = append(dst, byte(c.Bits), byte(c.Predictor))
+	return append(dst, enc.Flush()...), nil
 }
 
 // predict returns the Lorenzo or previous-value prediction for index i,
@@ -164,31 +198,43 @@ func (c *Codec) predict(codes []uint32, i, lat, lon, nlon, levStride int, maxCod
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into dst's
+// backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDFPZip {
-		return nil, fmt.Errorf("%w: not an fpzip stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not an fpzip stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 2 {
-		return nil, fmt.Errorf("%w: missing fpzip parameters", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing fpzip parameters", compress.ErrCorrupt)
 	}
 	bits := int(rest[0])
 	if bits != 8 && bits != 16 && bits != 24 && bits != 32 {
-		return nil, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
+		return dst, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
 	}
-	dc := &Codec{Bits: bits, Predictor: Predictor(rest[1])}
+	dc := Codec{Bits: bits, Predictor: Predictor(rest[1])}
 	drop := uint(32 - bits)
 	maxCode := int64(^uint32(0) >> drop)
 	if err := compress.CheckPlausible(h.Shape.Len(), len(rest)-2); err != nil {
-		return nil, err
+		return dst, err
 	}
 
-	dec := entropy.NewDecoder(rest[2:])
-	model := entropy.NewSignedModel()
+	s := scratchPool.Get().(*fpzipScratch)
+	defer scratchPool.Put(s)
+	dec, model := s.dec, s.model
+	dec.Reset(rest[2:])
+	model.Reset()
 	n := h.Shape.Len()
-	codes := make([]uint32, n)
+	codes := s.growCodes(n)
+	for i := range codes {
+		codes[i] = 0
+	}
 	nlat, nlon := h.Shape.NLat, h.Shape.NLon
 	levStride := nlat * nlon
 	for lev := 0; lev < h.Shape.NLev; lev++ {
@@ -200,16 +246,16 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 				pred := dc.predict(codes, i, lat, lon, nlon, levStride, maxCode)
 				v := pred + model.Decode(dec)
 				if v < 0 || v > maxCode {
-					return nil, fmt.Errorf("%w: residual out of range", compress.ErrCorrupt)
+					return dst, fmt.Errorf("%w: residual out of range", compress.ErrCorrupt)
 				}
 				codes[i] = uint32(v)
 			}
 			if dec.Overrun() {
-				return nil, fmt.Errorf("%w: truncated fpzip stream", compress.ErrCorrupt)
+				return dst, fmt.Errorf("%w: truncated fpzip stream", compress.ErrCorrupt)
 			}
 		}
 	}
-	out := make([]float32, n)
+	out := compress.GrowFloats(dst, n)
 	for i, code := range codes {
 		out[i] = inverseMap(code, drop)
 	}

@@ -13,6 +13,7 @@ package grib2
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"climcompress/internal/bitstream"
 	"climcompress/internal/compress"
@@ -79,54 +80,106 @@ func (c *Codec) levels() int {
 // integer range.
 const maxQuant = int64(1) << 52
 
+// gribScratch is the reusable working set of one Compress or Decompress
+// call: the quantized field, the fill bitmap, the range coder and its
+// model, the wavelet buffers and the simple-packing bit writer.
+type gribScratch struct {
+	q      []int64
+	bitmap []byte
+	enc    *entropy.Encoder
+	dec    *entropy.Decoder
+	model  *entropy.SignedModel
+	wav    wavelet.Scratch
+	bw     *bitstream.Writer
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &gribScratch{
+		enc:   entropy.NewEncoder(0),
+		dec:   entropy.NewDecoder(nil),
+		model: entropy.NewSignedModel(),
+		bw:    bitstream.NewWriter(0),
+	}
+}}
+
+func (s *gribScratch) grow(n int) {
+	if cap(s.q) < n {
+		s.q = make([]int64, n)
+	}
+	s.q = s.q[:n]
+	nb := (n + 7) / 8
+	if cap(s.bitmap) < nb {
+		s.bitmap = make([]byte, nb)
+	}
+	s.bitmap = s.bitmap[:nb]
+	for i := range s.bitmap {
+		s.bitmap[i] = 0
+	}
+}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec with pooled scratch; the
+// appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("grib2: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("grib2: shape %v does not match %d values", shape, len(data))
 	}
 	scale := math.Pow(10, float64(c.D))
 	n := len(data)
 
+	s := scratchPool.Get().(*gribScratch)
+	defer scratchPool.Put(s)
+	s.grow(n)
+	q, bitmap := s.q, s.bitmap
+
 	// Quantize; fill points carry the previous valid quantum so the wavelet
 	// sees a smooth surface (their exact value is restored via the bitmap).
-	q := make([]int64, n)
-	bitmap := make([]byte, (n+7)/8)
 	anyFill := false
 	var last int64
-	for i, v := range data {
-		if c.HasFill && v == c.Fill {
-			bitmap[i/8] |= 1 << (i % 8)
-			q[i] = last
-			anyFill = true
-			continue
+	if c.HasFill {
+		for i, v := range data {
+			if v == c.Fill {
+				bitmap[i/8] |= 1 << (i % 8)
+				q[i] = last
+				anyFill = true
+				continue
+			}
+			x := math.Round(float64(v) * scale)
+			if x > float64(maxQuant) || x < -float64(maxQuant) {
+				return dst, fmt.Errorf("grib2: value %v overflows quantizer at D=%d", v, c.D)
+			}
+			q[i] = int64(x)
+			last = q[i]
 		}
-		x := math.Round(float64(v) * scale)
-		if x > float64(maxQuant) || x < -float64(maxQuant) {
-			return nil, fmt.Errorf("grib2: value %v overflows quantizer at D=%d", v, c.D)
+	} else {
+		for i, v := range data {
+			x := math.Round(float64(v) * scale)
+			if x > float64(maxQuant) || x < -float64(maxQuant) {
+				return dst, fmt.Errorf("grib2: value %v overflows quantizer at D=%d", v, c.D)
+			}
+			q[i] = int64(x)
 		}
-		q[i] = int64(x)
-		last = q[i]
 	}
 
-	var payload []byte
-	if c.Packing == Simple {
-		payload = packSimple(q)
-	} else {
+	if c.Packing != Simple {
 		// Per-level 2-D wavelet transform, then range coding.
 		rows, cols := shape.NLat, shape.NLon
 		for lev := 0; lev < shape.NLev; lev++ {
 			slab := q[lev*rows*cols : (lev+1)*rows*cols]
-			wavelet.Transform2D(slab, rows, cols, c.levels())
+			s.wav.Transform2D(slab, rows, cols, c.levels())
 		}
-		enc := entropy.NewEncoder(n)
-		model := entropy.NewSignedModel()
+		s.enc.Reset()
+		s.model.Reset()
 		for _, v := range q {
-			model.Encode(enc, v)
+			s.model.Encode(s.enc, v)
 		}
-		payload = enc.Flush()
 	}
 
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDGRIB2, Shape: shape})
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDGRIB2, Shape: shape})
 	flags := byte(0)
 	if anyFill {
 		flags |= 1
@@ -134,22 +187,24 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 	if c.Packing == Simple {
 		flags |= 2
 	}
-	out = append(out, flags, byte(int8(c.D)), byte(c.levels()))
-	var fb [4]byte
-	putU32 := func(v uint32) {
-		fb[0], fb[1], fb[2], fb[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		out = append(out, fb[:]...)
-	}
-	putU32(math.Float32bits(c.Fill))
+	f := math.Float32bits(c.Fill)
+	dst = append(dst, flags, byte(int8(c.D)), byte(c.levels()),
+		byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
 	if anyFill {
-		out = append(out, bitmap...)
+		dst = append(dst, bitmap...)
 	}
-	return append(out, payload...), nil
+	if c.Packing == Simple {
+		dst = packSimple(dst, q, s.bw)
+	} else {
+		dst = append(dst, s.enc.Flush()...)
+	}
+	return dst, nil
 }
 
 // packSimple implements GRIB2 template 5.0: offsets from the field minimum
-// at a fixed bit width. Layout: ref int64 LE, width byte, packed bits.
-func packSimple(q []int64) []byte {
+// at a fixed bit width, appended to dst via the (reused) bit writer.
+// Layout: ref int64 LE, width byte, packed bits.
+func packSimple(dst []byte, q []int64, w *bitstream.Writer) []byte {
 	ref := q[0]
 	hi := q[0]
 	for _, v := range q {
@@ -165,44 +220,50 @@ func packSimple(q []int64) []byte {
 	for 1<<width <= span && width < 63 {
 		width++
 	}
-	w := bitstream.NewWriter(len(q)*int(width)/8 + 16)
+	w.Reset()
 	w.WriteBits(uint64(ref), 64)
 	w.WriteBits(uint64(width), 8)
 	for _, v := range q {
 		w.WriteBits(uint64(v-ref), width)
 	}
-	return w.Bytes()
+	return w.AppendTo(dst)
 }
 
-// unpackSimple inverts packSimple.
-func unpackSimple(buf []byte, n int) ([]int64, error) {
-	r := bitstream.NewReader(buf)
+// unpackSimple inverts packSimple into the caller's buffer.
+func unpackSimple(buf []byte, out []int64) error {
+	var r bitstream.Reader
+	r.Reset(buf)
 	ref := int64(r.ReadBits(64))
 	width := uint(r.ReadBits(8))
 	if width > 63 {
-		return nil, fmt.Errorf("%w: bad packing width %d", compress.ErrCorrupt, width)
+		return fmt.Errorf("%w: bad packing width %d", compress.ErrCorrupt, width)
 	}
-	out := make([]int64, n)
 	for i := range out {
 		out[i] = ref + int64(r.ReadBits(width))
 	}
 	if r.Err() != nil {
-		return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+		return fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
 	}
-	return out, nil
+	return nil
 }
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into dst's
+// backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDGRIB2 {
-		return nil, fmt.Errorf("%w: not a grib2 stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not a grib2 stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 7 {
-		return nil, fmt.Errorf("%w: missing grib2 parameters", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing grib2 parameters", compress.ErrCorrupt)
 	}
 	flags := rest[0]
 	d := int(int8(rest[1]))
@@ -215,49 +276,47 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 	if flags&1 != 0 {
 		need := (n + 7) / 8
 		if len(rest) < need {
-			return nil, fmt.Errorf("%w: truncated bitmap", compress.ErrCorrupt)
+			return dst, fmt.Errorf("%w: truncated bitmap", compress.ErrCorrupt)
 		}
 		bitmap = rest[:need]
 		rest = rest[need:]
 	}
 
 	if err := compress.CheckPlausible(n, len(rest)); err != nil {
-		return nil, err
+		return dst, err
 	}
-	var q []int64
+	s := scratchPool.Get().(*gribScratch)
+	defer scratchPool.Put(s)
+	if cap(s.q) < n {
+		s.q = make([]int64, n)
+	}
+	q := s.q[:n]
 	if flags&2 != 0 { // simple packing
-		var err error
-		q, err = unpackSimple(rest, n)
-		if err != nil {
-			return nil, err
+		if err := unpackSimple(rest, q); err != nil {
+			return dst, err
 		}
 	} else {
-		dec := entropy.NewDecoder(rest)
-		model := entropy.NewSignedModel()
-		q = make([]int64, n)
+		dec := s.dec
+		dec.Reset(rest)
+		s.model.Reset()
 		for i := range q {
-			q[i] = model.Decode(dec)
+			q[i] = s.model.Decode(dec)
 			if i&0xfff == 0xfff && dec.Overrun() {
-				return nil, fmt.Errorf("%w: truncated grib2 stream", compress.ErrCorrupt)
+				return dst, fmt.Errorf("%w: truncated grib2 stream", compress.ErrCorrupt)
 			}
 		}
 		rows, cols := h.Shape.NLat, h.Shape.NLon
+		// Reconstruct the dims sequence Transform2D would have produced
+		// (identical for every slab of the field).
+		dims := s.wav.PlanDims(rows, cols, levels)
 		for lev := 0; lev < h.Shape.NLev; lev++ {
 			slab := q[lev*rows*cols : (lev+1)*rows*cols]
-			// Reconstruct the dims sequence Transform2D would have produced.
-			dims := make([][2]int, 0, levels)
-			r, cc := rows, cols
-			for l := 0; l < levels && r >= 2 && cc >= 2; l++ {
-				dims = append(dims, [2]int{r, cc})
-				r = (r + 1) / 2
-				cc = (cc + 1) / 2
-			}
-			wavelet.Inverse2D(slab, rows, cols, dims)
+			s.wav.Inverse2D(slab, rows, cols, dims)
 		}
 	}
 
 	inv := math.Pow(10, -float64(d))
-	out := make([]float32, n)
+	out := compress.GrowFloats(dst, n)
 	for i, v := range q {
 		if bitmap != nil && bitmap[i/8]&(1<<(i%8)) != 0 {
 			out[i] = fill

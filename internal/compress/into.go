@@ -1,0 +1,62 @@
+package compress
+
+// AppendCodec is implemented by codecs that support the zero-allocation
+// append-style API. CompressInto appends the self-describing stream to dst
+// (growing it as needed) and returns the extended slice, exactly like
+// append; the bytes appended are bit-identical to what Compress returns.
+// DecompressInto reconstructs the values into dst's backing array when its
+// capacity suffices (allocating only otherwise) and returns the decoded
+// slice, whose previous contents are overwritten.
+//
+// Both methods are safe for concurrent use on one codec value: reusable
+// state lives in per-codec sync.Pool scratch arenas, not on the codec.
+// All registered study codecs implement AppendCodec; Compress/Decompress
+// remain as thin wrappers over the Into paths.
+type AppendCodec interface {
+	Codec
+	CompressInto(dst []byte, data []float32, shape Shape) ([]byte, error)
+	DecompressInto(dst []float32, buf []byte) ([]float32, error)
+}
+
+// CompressInto appends c's compressed stream for data to dst, using the
+// codec's zero-allocation path when available and falling back to
+// Compress-plus-append otherwise. The appended bytes are identical either
+// way.
+func CompressInto(c Codec, dst []byte, data []float32, shape Shape) ([]byte, error) {
+	if ac, ok := c.(AppendCodec); ok {
+		return ac.CompressInto(dst, data, shape)
+	}
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, buf...), nil
+}
+
+// DecompressInto reconstructs buf into dst (reusing its capacity when
+// possible), falling back to Decompress for codecs without the fast path.
+func DecompressInto(c Codec, dst []float32, buf []byte) ([]float32, error) {
+	if ac, ok := c.(AppendCodec); ok {
+		return ac.DecompressInto(dst, buf)
+	}
+	vals, err := c.Decompress(buf)
+	if err != nil {
+		return dst, err
+	}
+	if cap(dst) >= len(vals) {
+		dst = dst[:len(vals)]
+		copy(dst, vals)
+		return dst, nil
+	}
+	return vals, nil
+}
+
+// GrowFloats returns a slice of length n for decoded output, reusing dst's
+// backing array when its capacity suffices. The contents are unspecified;
+// callers overwrite every element.
+func GrowFloats(dst []float32, n int) []float32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float32, n)
+}

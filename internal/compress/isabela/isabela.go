@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"climcompress/internal/bitstream"
 	"climcompress/internal/bspline"
@@ -85,10 +86,53 @@ func indexBits(n int) uint {
 	return b
 }
 
+// isaScratch is the reusable working set of one Compress or Decompress
+// call: the bit writer, the per-window sort and spline buffers, and the
+// decoder-side permutation/correction buffers.
+type isaScratch struct {
+	w         *bitstream.Writer
+	perm      []int
+	keys      []uint64
+	sortBuf   []uint64
+	sorted    []float64
+	rec       []float64
+	coefs     []float64
+	corrected []bool
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &isaScratch{w: bitstream.NewWriter(0)}
+}}
+
+// grow sizes the per-window buffers for windows of up to wsize points.
+func (s *isaScratch) grow(wsize int) {
+	if cap(s.perm) < wsize {
+		s.perm = make([]int, wsize)
+	}
+	if cap(s.keys) < wsize {
+		s.keys = make([]uint64, wsize)
+	}
+	if cap(s.sortBuf) < wsize {
+		s.sortBuf = make([]uint64, wsize)
+	}
+	if cap(s.sorted) < wsize {
+		s.sorted = make([]float64, wsize)
+	}
+	if cap(s.corrected) < wsize {
+		s.corrected = make([]bool, wsize)
+	}
+}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec with pooled scratch; the
+// appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("isabela: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("isabela: shape %v does not match %d values", shape, len(data))
 	}
 	wsize := c.window()
 	ncoef := c.ncoef()
@@ -98,12 +142,16 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 	basisPoints := math.Round(c.RelErr * 100)
 	tol := basisPoints / 100 / 100
 
-	w := bitstream.NewWriter(len(data) * 2)
-	perm := make([]int, 0, wsize)
-	keys := make([]uint64, 0, wsize)
-	scratch := make([]uint64, 0, wsize)
-	sorted := make([]float64, 0, wsize)
-	rec := make([]float64, 0, wsize)
+	s := scratchPool.Get().(*isaScratch)
+	defer scratchPool.Put(s)
+	s.grow(wsize)
+	w := s.w
+	w.Reset()
+	perm := s.perm[:0]
+	keys := s.keys[:0]
+	scratch := s.sortBuf[:0]
+	sorted := s.sorted[:0]
+	rec := s.rec[:0]
 
 	for start := 0; start < len(data); start += wsize {
 		end := start + wsize
@@ -132,11 +180,13 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 			sorted[i] = float64(block[p])
 		}
 
-		coefs, err := bspline.Fit(sorted, nc)
+		coefs, err := bspline.FitInto(s.coefs[:0], sorted, nc)
 		if err != nil {
-			return nil, fmt.Errorf("isabela: %w", err)
+			return dst, fmt.Errorf("isabela: %w", err)
 		}
+		s.coefs = coefs[:0]
 		rec = bspline.EvalAll(coefs, n, rec[:0])
+		s.rec = rec[:0]
 
 		// Emit: coefficient count, coefficients, permutation, correction
 		// bitmap, then exact values for out-of-tolerance points.
@@ -175,14 +225,14 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 		}
 	}
 
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDISABELA, Shape: shape})
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDISABELA, Shape: shape})
 	var meta [6]byte
 	putU16 := func(off int, v uint16) { meta[off] = byte(v); meta[off+1] = byte(v >> 8) }
 	putU16(0, uint16(wsize))
 	putU16(2, uint16(ncoef))
 	putU16(4, uint16(basisPoints)) // tolerance in basis points
-	out = append(out, meta[:]...)
-	return append(out, w.Bytes()...), nil
+	dst = append(dst, meta[:]...)
+	return w.AppendTo(dst), nil
 }
 
 // sortPermutation fills perm with the stable sort-by-value permutation of
@@ -311,33 +361,43 @@ func quantizeCorrection(exact float64, approx float32, tol float64) (int64, bool
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into dst's
+// backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDISABELA {
-		return nil, fmt.Errorf("%w: not an isabela stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not an isabela stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 6 {
-		return nil, fmt.Errorf("%w: missing isabela parameters", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing isabela parameters", compress.ErrCorrupt)
 	}
 	wsize := int(rest[0]) | int(rest[1])<<8
 	if wsize <= 0 {
-		return nil, fmt.Errorf("%w: bad window", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: bad window", compress.ErrCorrupt)
 	}
 	// Tolerance is stored in basis points (RelErr·100) and must round-trip
 	// exactly so encoder and decoder quantize corrections identically.
 	tol := float64(int(rest[4])|int(rest[5])<<8) / 100 / 100
 
-	r := bitstream.NewReader(rest[6:])
+	var r bitstream.Reader
+	r.Reset(rest[6:])
 	n := h.Shape.Len()
 	// ISABELA stores at least the sort index (≈10 bits/point); far smaller
 	// payloads are corrupt.
 	if err := compress.CheckPlausible(n, len(rest)-6); err != nil {
-		return nil, err
+		return dst, err
 	}
-	out := make([]float32, n)
-	rec := make([]float64, 0, wsize)
+	s := scratchPool.Get().(*isaScratch)
+	defer scratchPool.Put(s)
+	s.grow(wsize)
+	out := compress.GrowFloats(dst, n)
+	rec := s.rec[:0]
 
 	for start := 0; start < n; start += wsize {
 		end := start + wsize
@@ -353,23 +413,27 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 		}
 		nc := int(r.ReadBits(16))
 		if nc < 4 || nc > bn {
-			return nil, fmt.Errorf("%w: bad coefficient count %d", compress.ErrCorrupt, nc)
+			return dst, fmt.Errorf("%w: bad coefficient count %d", compress.ErrCorrupt, nc)
 		}
-		coefs := make([]float64, nc)
+		if cap(s.coefs) < nc {
+			s.coefs = make([]float64, nc)
+		}
+		coefs := s.coefs[:nc]
 		for i := range coefs {
 			coefs[i] = float64(math.Float32frombits(uint32(r.ReadBits(32))))
 		}
 		ib := indexBits(bn)
-		perm := make([]int, bn)
+		perm := s.perm[:bn]
 		for i := range perm {
 			p := int(r.ReadBits(ib))
 			if p >= bn {
-				return nil, fmt.Errorf("%w: permutation index out of range", compress.ErrCorrupt)
+				return dst, fmt.Errorf("%w: permutation index out of range", compress.ErrCorrupt)
 			}
 			perm[i] = p
 		}
 		rec = bspline.EvalAll(coefs, bn, rec[:0])
-		corrected := make([]bool, bn)
+		s.rec = rec[:0]
+		corrected := s.corrected[:bn]
 		for i := 0; i < bn; i++ {
 			corrected[i] = r.ReadBit() == 1
 		}
@@ -386,7 +450,7 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 			out[start+perm[i]] = v
 		}
 		if r.Err() != nil { // fail fast on truncated streams
-			return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+			return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
 		}
 	}
 	return out, nil

@@ -11,9 +11,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"climcompress/internal/compress"
 )
+
+// LevelStore requests stored (uncompressed) deflate blocks. zlib encodes
+// that mode as level 0 (zlib.NoCompression), which collides with the
+// Codec's zero value, so an explicit sentinel carries the request instead.
+const LevelStore = -3
 
 // Codec is the shuffle+zlib lossless codec.
 type Codec struct {
@@ -22,7 +28,11 @@ type Codec struct {
 	// bytes together, typically improving the deflate ratio markedly; the
 	// ablation benchmark BenchmarkAblationShuffle quantifies this.
 	Shuffle bool
-	// Level is the zlib compression level (zlib.DefaultCompression if 0).
+	// Level is the zlib compression level. The zero value means "unset"
+	// and selects zlib.DefaultCompression, so zero Codec values work;
+	// because zlib.NoCompression is also numerically 0, a store-level
+	// request must use the LevelStore sentinel. Every other zlib level
+	// (zlib.HuffmanOnly .. zlib.BestCompression) passes through unchanged.
 	Level int
 }
 
@@ -46,108 +56,195 @@ func (c *Codec) Name() string {
 // Lossless implements compress.Codec.
 func (c *Codec) Lossless() bool { return true }
 
-// shuffle transposes an array of 4-byte elements into 4 byte planes.
-func shuffle(src []byte, n int) []byte {
-	dst := make([]byte, len(src))
-	for b := 0; b < 4; b++ {
-		plane := dst[b*n : (b+1)*n]
-		for i := 0; i < n; i++ {
-			plane[i] = src[i*4+b]
-		}
+// zlibLevel resolves the Level field to the zlib level actually used.
+func (c *Codec) zlibLevel() int {
+	switch c.Level {
+	case 0:
+		return zlib.DefaultCompression
+	case LevelStore:
+		return zlib.NoCompression
+	default:
+		return c.Level
 	}
-	return dst
 }
 
-// unshuffle inverts shuffle.
-func unshuffle(src []byte, n int) []byte {
-	dst := make([]byte, len(src))
-	for b := 0; b < 4; b++ {
-		plane := src[b*n : (b+1)*n]
-		for i := 0; i < n; i++ {
-			dst[i*4+b] = plane[i]
-		}
-	}
-	return dst
-}
-
-// floatsToBytes serializes float32 values little-endian.
-func floatsToBytes(data []float32) []byte {
-	out := make([]byte, 4*len(data))
+// shuffleFloats serializes data into raw as 4 byte planes (the HDF5 shuffle
+// of the little-endian encoding), fusing the former floatsToBytes+shuffle
+// passes into one.
+func shuffleFloats(raw []byte, data []float32) {
+	n := len(data)
+	p0, p1, p2, p3 := raw[0:n], raw[n:2*n], raw[2*n:3*n], raw[3*n:4*n]
 	for i, v := range data {
 		u := math.Float32bits(v)
-		out[4*i] = byte(u)
-		out[4*i+1] = byte(u >> 8)
-		out[4*i+2] = byte(u >> 16)
-		out[4*i+3] = byte(u >> 24)
+		p0[i] = byte(u)
+		p1[i] = byte(u >> 8)
+		p2[i] = byte(u >> 16)
+		p3[i] = byte(u >> 24)
 	}
-	return out
 }
 
-func bytesToFloats(b []byte) []float32 {
-	out := make([]float32, len(b)/4)
-	for i := range out {
-		u := uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
-		out[i] = math.Float32frombits(u)
+// flatFloats serializes data little-endian without the shuffle.
+func flatFloats(raw []byte, data []float32) {
+	for i, v := range data {
+		u := math.Float32bits(v)
+		raw[4*i] = byte(u)
+		raw[4*i+1] = byte(u >> 8)
+		raw[4*i+2] = byte(u >> 16)
+		raw[4*i+3] = byte(u >> 24)
 	}
-	return out
 }
+
+// sliceWriter is an io.Writer appending into an owned slice; pooled inside
+// ncScratch so handing it to zlib allocates nothing.
+type sliceWriter struct{ buf []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// ncScratch is the per-worker reusable state of one Compress or Decompress
+// call.
+type ncScratch struct {
+	raw []byte
+	sw  sliceWriter
+	br  bytes.Reader
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(ncScratch) }}
+
+func (s *ncScratch) growRaw(n int) []byte {
+	if cap(s.raw) < n {
+		s.raw = make([]byte, n)
+	}
+	return s.raw[:n]
+}
+
+// zlib writers are reusable via Reset but fixed to their construction
+// level, so they pool per level (index level+2 over zlib's -2..9 range).
+var zwPools [12]sync.Pool
+
+func getZlibWriter(level int, w io.Writer) (*zlib.Writer, error) {
+	idx := level + 2
+	if idx < 0 || idx >= len(zwPools) {
+		return zlib.NewWriterLevel(w, level) // will error on truly bad levels
+	}
+	if v := zwPools[idx].Get(); v != nil {
+		zw := v.(*zlib.Writer)
+		zw.Reset(w)
+		return zw, nil
+	}
+	return zlib.NewWriterLevel(w, level)
+}
+
+func putZlibWriter(level int, zw *zlib.Writer) {
+	idx := level + 2
+	if idx >= 0 && idx < len(zwPools) {
+		zwPools[idx].Put(zw)
+	}
+}
+
+// zlib readers are reusable via zlib.Resetter.
+var zrPool sync.Pool
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec: it appends the stream to
+// dst using pooled scratch, allocating nothing in steady state.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("nclossless: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("nclossless: shape %v does not match %d values", shape, len(data))
 	}
-	raw := floatsToBytes(data)
+	s := scratchPool.Get().(*ncScratch)
+	defer scratchPool.Put(s)
+	raw := s.growRaw(4 * len(data))
 	flags := byte(0)
 	if c.Shuffle {
-		raw = shuffle(raw, len(data))
+		shuffleFloats(raw, data)
 		flags = 1
+	} else {
+		flatFloats(raw, data)
 	}
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDNCLossless, Shape: shape})
-	out = append(out, flags)
-	var buf bytes.Buffer
-	level := c.Level
-	if level == 0 {
-		level = zlib.DefaultCompression
-	}
-	zw, err := zlib.NewWriterLevel(&buf, level)
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDNCLossless, Shape: shape})
+	dst = append(dst, flags)
+
+	level := c.zlibLevel()
+	s.sw.buf = dst
+	zw, err := getZlibWriter(level, &s.sw)
 	if err != nil {
-		return nil, err
+		s.sw.buf = nil
+		return dst, err
 	}
 	if _, err := zw.Write(raw); err != nil {
-		return nil, err
+		s.sw.buf = nil
+		return dst, err
 	}
 	if err := zw.Close(); err != nil {
-		return nil, err
+		s.sw.buf = nil
+		return dst, err
 	}
-	return append(out, buf.Bytes()...), nil
+	putZlibWriter(level, zw)
+	dst = s.sw.buf
+	s.sw.buf = nil // do not retain the caller's buffer in the pool
+	return dst, nil
 }
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into dst's
+// backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDNCLossless {
-		return nil, fmt.Errorf("%w: not an nc-lossless stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not an nc-lossless stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 1 {
-		return nil, fmt.Errorf("%w: missing flags", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing flags", compress.ErrCorrupt)
 	}
 	shuffled := rest[0]&1 != 0
-	zr, err := zlib.NewReader(bytes.NewReader(rest[1:]))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+
+	s := scratchPool.Get().(*ncScratch)
+	defer scratchPool.Put(s)
+	s.br.Reset(rest[1:])
+	var zr io.ReadCloser
+	if v := zrPool.Get(); v != nil {
+		zr = v.(io.ReadCloser)
+		if err := zr.(zlib.Resetter).Reset(&s.br, nil); err != nil {
+			return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+		}
+	} else {
+		zr, err = zlib.NewReader(&s.br)
+		if err != nil {
+			return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+		}
 	}
-	defer zr.Close()
+	defer zrPool.Put(zr)
 	n := h.Shape.Len()
-	raw := make([]byte, 4*n)
+	raw := s.growRaw(4 * n)
 	if _, err := io.ReadFull(zr, raw); err != nil {
-		return nil, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+		return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
 	}
+	out := compress.GrowFloats(dst, n)
 	if shuffled {
-		raw = unshuffle(raw, n)
+		p0, p1, p2, p3 := raw[0:n], raw[n:2*n], raw[2*n:3*n], raw[3*n:4*n]
+		for i := range out {
+			u := uint32(p0[i]) | uint32(p1[i])<<8 | uint32(p2[i])<<16 | uint32(p3[i])<<24
+			out[i] = math.Float32frombits(u)
+		}
+	} else {
+		for i := range out {
+			u := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			out[i] = math.Float32frombits(u)
+		}
 	}
-	return bytesToFloats(raw), nil
+	return out, nil
 }

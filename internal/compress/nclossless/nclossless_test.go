@@ -1,0 +1,84 @@
+package nclossless
+
+import (
+	"bytes"
+	"compress/zlib"
+	"math"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+func testField(n int) []float32 {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(15 + 10*math.Sin(float64(i)/9) + 0.01*float64(i%7))
+	}
+	return data
+}
+
+// TestLevelSentinel pins the Level semantics: the zero value means "unset"
+// and matches zlib.DefaultCompression, while a stored-block request — which
+// zlib itself encodes as level 0 — is reachable through the LevelStore
+// sentinel rather than colliding with the zero value.
+func TestLevelSentinel(t *testing.T) {
+	shape := compress.Shape{NLev: 1, NLat: 32, NLon: 64}
+	data := testField(shape.Len())
+
+	unset, err := (&Codec{Shuffle: true}).Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := (&Codec{Shuffle: true, Level: zlib.DefaultCompression}).Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unset, def) {
+		t.Errorf("zero Level (%d bytes) differs from explicit DefaultCompression (%d bytes)",
+			len(unset), len(def))
+	}
+
+	stored, err := (&Codec{Shuffle: true, Level: LevelStore}).Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored deflate blocks carry the raw bytes plus framing, so the stream
+	// must exceed the raw payload and any genuinely compressed stream.
+	if len(stored) <= 4*len(data) {
+		t.Errorf("LevelStore stream is %d bytes for %d raw bytes; blocks look compressed",
+			len(stored), 4*len(data))
+	}
+	if len(stored) <= len(def) {
+		t.Errorf("LevelStore stream (%d bytes) not larger than default-level stream (%d bytes)",
+			len(stored), len(def))
+	}
+
+	for _, level := range []int{LevelStore, zlib.HuffmanOnly, zlib.BestSpeed, 5, zlib.BestCompression} {
+		c := &Codec{Shuffle: true, Level: level}
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		out, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("level %d: got %d values, want %d", level, len(out), len(data))
+		}
+		for i := range data {
+			if math.Float32bits(out[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("level %d: value %d not lossless", level, i)
+			}
+		}
+	}
+}
+
+// TestBadLevel verifies that an out-of-range level surfaces as an error
+// rather than a panic or silent remap.
+func TestBadLevel(t *testing.T) {
+	shape := compress.Shape{NLev: 1, NLat: 4, NLon: 4}
+	if _, err := (&Codec{Level: 42}).Compress(testField(shape.Len()), shape); err == nil {
+		t.Fatal("level 42 should error")
+	}
+}

@@ -120,11 +120,25 @@ func (c *Codec) plan(shape compress.Shape) []chunkSpec {
 //	lengths    nchunks × uint32
 //	payloads   concatenated inner streams
 func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec: per-chunk payloads come from
+// the shared byte pool and the inner codec's Into path is used when it has
+// one. The appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
 	if shape.Len() != len(data) {
-		return nil, fmt.Errorf("parallel: shape %v does not match %d values", shape, len(data))
+		return dst, fmt.Errorf("parallel: shape %v does not match %d values", shape, len(data))
 	}
 	chunks := c.plan(shape)
 	payloads := make([][]byte, len(chunks))
+	defer func() {
+		for _, p := range payloads {
+			if p != nil {
+				compress.PutBytes(p)
+			}
+		}
+	}()
 	errs := make([]error, len(chunks))
 
 	// Fan out over the shared pool; a fresh inner codec per chunk because
@@ -132,47 +146,56 @@ func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
 	par.EachLimit(len(chunks), c.workers(), func(i int) error {
 		ch := chunks[i]
 		slab := data[ch.offset : ch.offset+ch.shape.Len()]
-		payloads[i], errs[i] = c.Factory().Compress(slab, ch.shape)
+		buf := compress.GetBytes(ch.shape.Len())
+		payloads[i], errs[i] = compress.CompressInto(c.Factory(), buf, slab, ch.shape)
 		return nil
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)
+			return dst, fmt.Errorf("parallel: chunk %d: %w", i, err)
 		}
 	}
 
-	out := compress.PutHeader(nil, compress.Header{CodecID: compress.IDParallel, Shape: shape})
-	out = append(out, byte(c.chunk()))
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDParallel, Shape: shape})
+	dst = append(dst, byte(c.chunk()))
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunks)))
-	out = append(out, u32[:]...)
+	dst = append(dst, u32[:]...)
 	for _, p := range payloads {
 		binary.LittleEndian.PutUint32(u32[:], uint32(len(p)))
-		out = append(out, u32[:]...)
+		dst = append(dst, u32[:]...)
 	}
 	for _, p := range payloads {
-		out = append(out, p...)
+		dst = append(dst, p...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Decompress implements compress.Codec, reconstructing chunks concurrently.
 func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec: each chunk reconstructs
+// directly into its slab of the output buffer (capacity-clipped so a corrupt
+// chunk claiming a larger shape cannot scribble over its neighbours), with a
+// copy only when the inner codec lacks the Into path.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	h, rest, err := compress.ParseHeader(buf)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if h.CodecID != compress.IDParallel {
-		return nil, fmt.Errorf("%w: not a parallel stream", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: not a parallel stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 5 {
-		return nil, fmt.Errorf("%w: missing chunk table", compress.ErrCorrupt)
+		return dst, fmt.Errorf("%w: missing chunk table", compress.ErrCorrupt)
 	}
 	chunkParam := int(rest[0])
 	nchunks := int(binary.LittleEndian.Uint32(rest[1:]))
 	rest = rest[5:]
 	if nchunks <= 0 || len(rest) < 4*nchunks {
-		return nil, fmt.Errorf("%w: bad chunk count %d", compress.ErrCorrupt, nchunks)
+		return dst, fmt.Errorf("%w: bad chunk count %d", compress.ErrCorrupt, nchunks)
 	}
 	lengths := make([]int, nchunks)
 	for i := range lengths {
@@ -184,36 +207,41 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 	planner := &Codec{Factory: c.Factory, ChunkLevels: chunkParam}
 	chunks := planner.plan(h.Shape)
 	if len(chunks) != nchunks {
-		return nil, fmt.Errorf("%w: chunk plan mismatch (%d vs %d)", compress.ErrCorrupt, len(chunks), nchunks)
+		return dst, fmt.Errorf("%w: chunk plan mismatch (%d vs %d)", compress.ErrCorrupt, len(chunks), nchunks)
 	}
 	payloads := make([][]byte, nchunks)
 	off := 0
 	for i, n := range lengths {
 		if off+n > len(rest) {
-			return nil, fmt.Errorf("%w: truncated chunk %d", compress.ErrCorrupt, i)
+			return dst, fmt.Errorf("%w: truncated chunk %d", compress.ErrCorrupt, i)
 		}
 		payloads[i] = rest[off : off+n]
 		off += n
 	}
 
-	out := make([]float32, h.Shape.Len())
+	out := compress.GrowFloats(dst, h.Shape.Len())
 	errs := make([]error, nchunks)
 	par.EachLimit(nchunks, c.workers(), func(i int) error {
-		vals, err := c.Factory().Decompress(payloads[i])
+		want := chunks[i].shape.Len()
+		lo, hi := chunks[i].offset, chunks[i].offset+want
+		sub := out[lo:hi:hi]
+		vals, err := compress.DecompressInto(c.Factory(), sub, payloads[i])
 		if err != nil {
 			errs[i] = err
 			return nil
 		}
-		if len(vals) != chunks[i].shape.Len() {
+		if len(vals) != want {
 			errs[i] = fmt.Errorf("%w: chunk %d wrong length", compress.ErrCorrupt, i)
 			return nil
 		}
-		copy(out[chunks[i].offset:], vals)
+		if want > 0 && &vals[0] != &sub[0] {
+			copy(sub, vals)
+		}
 		return nil
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("parallel: chunk %d: %w", i, err)
+			return dst, fmt.Errorf("parallel: chunk %d: %w", i, err)
 		}
 	}
 	return out, nil

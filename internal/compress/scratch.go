@@ -1,0 +1,63 @@
+package compress
+
+import "sync"
+
+// Scratch pools shared by the codec pipeline. The PVT runs compress and
+// reconstruct inside a members × variables × chunks loop; these pools let
+// every worker reuse one set of field-sized buffers per iteration instead
+// of allocating fresh ones. sync.Pool keeps caches per P, so concurrent
+// workers get private scratch without contention.
+
+var (
+	bytePool  sync.Pool // *[]byte
+	int64Pool sync.Pool // *[]int64
+)
+
+// GetBytes returns a zero-length byte slice with at least capHint capacity,
+// recycled when possible. Pair with PutBytes.
+func GetBytes(capHint int) []byte {
+	if v := bytePool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+		// Too small for this caller; let some other request reuse it.
+		bytePool.Put(v)
+	}
+	if capHint < 64 {
+		capHint = 64
+	}
+	return make([]byte, 0, capHint)
+}
+
+// PutBytes hands a buffer back to the pool. The caller must not use the
+// slice (or any alias of it) afterwards.
+func PutBytes(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bytePool.Put(&b)
+}
+
+// GetInt64s returns an int64 slice of length n with unspecified contents,
+// recycled when possible. Pair with PutInt64s.
+func GetInt64s(n int) []int64 {
+	if v := int64Pool.Get(); v != nil {
+		s := *(v.(*[]int64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+		int64Pool.Put(v)
+	}
+	return make([]int64, n)
+}
+
+// PutInt64s hands a buffer back to the pool.
+func PutInt64s(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	int64Pool.Put(&s)
+}

@@ -17,6 +17,13 @@ func NewTreeModel(width uint) *TreeModel {
 	return &TreeModel{width: width, probs: NewProbs(1 << width)}
 }
 
+// Reset restores every probability to one half, equivalent to a fresh model.
+func (m *TreeModel) Reset() {
+	for i := range m.probs {
+		m.probs[i] = probInit
+	}
+}
+
 // Encode writes the low `width` bits of sym. The loop is EncodeBit unrolled
 // with the coder registers held in locals for the whole symbol; the emitted
 // byte stream is identical.
@@ -93,6 +100,9 @@ func NewUintModel() *UintModel {
 	return &UintModel{lenModel: NewTreeModel(7)} // lengths 0..64 fit in 7 bits
 }
 
+// Reset restores the model to its initial adaptive state.
+func (m *UintModel) Reset() { m.lenModel.Reset() }
+
 // Encode writes v.
 func (m *UintModel) Encode(e *Encoder, v uint64) {
 	n := uint(bits.Len64(v)) // 0 for v==0
@@ -139,6 +149,9 @@ type SignedModel struct {
 func NewSignedModel() *SignedModel {
 	return &SignedModel{mag: NewUintModel()}
 }
+
+// Reset restores the model to its initial adaptive state.
+func (m *SignedModel) Reset() { m.mag.Reset() }
 
 // ZigZag maps a signed integer to an unsigned one with small magnitudes first.
 func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }

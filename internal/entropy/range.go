@@ -45,6 +45,17 @@ func NewEncoder(capHint int) *Encoder {
 	}
 }
 
+// Reset returns the Encoder to its initial state, retaining the output
+// buffer's capacity, so one Encoder can code many independent streams
+// without reallocating.
+func (e *Encoder) Reset() {
+	e.out = e.out[:0]
+	e.low = 0
+	e.rng = 0xffffffff
+	e.cache = 0
+	e.cacheSize = 1
+}
+
 func (e *Encoder) shiftLow() {
 	e.low = e.shiftLowVal(e.low)
 }
@@ -127,12 +138,22 @@ type Decoder struct {
 
 // NewDecoder returns a Decoder over the bytes produced by Encoder.Flush.
 func NewDecoder(in []byte) *Decoder {
-	d := &Decoder{in: in, rng: 0xffffffff}
+	d := &Decoder{}
+	d.Reset(in)
+	return d
+}
+
+// Reset re-primes the Decoder over a new stream, equivalent to a fresh
+// NewDecoder without the allocation.
+func (d *Decoder) Reset(in []byte) {
+	d.in = in
+	d.rng = 0xffffffff
+	d.code = 0
+	d.over = false
 	d.pos = 1 // the first output byte of the encoder is always zero
 	for i := 0; i < 4; i++ {
 		d.code = d.code<<8 | uint32(d.nextByte())
 	}
-	return d
 }
 
 func (d *Decoder) nextByte() byte {

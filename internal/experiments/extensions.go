@@ -186,16 +186,18 @@ func (r *Runner) AnalysisReport() (string, error) {
 		spec := r.Catalog[idx]
 		f := r.Generator().Field(idx, 0)
 		shape := r.shapeFor(spec)
+		var buf []byte
+		var reconData []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, f.Summarize().Range)
 			if err != nil {
 				return "", err
 			}
-			buf, err := codec.Compress(f.Data, shape)
+			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 			if err != nil {
 				return "", err
 			}
-			reconData, err := codec.Decompress(buf)
+			reconData, err = compress.DecompressInto(codec, reconData, buf)
 			if err != nil {
 				return "", err
 			}
@@ -310,10 +312,12 @@ func (r *Runner) CharacterizeReport() (string, error) {
 		if err != nil {
 			return err
 		}
-		buf, err := codec.Compress(f.Data, r.shapeFor(spec))
+		buf, err := compress.CompressInto(codec, compress.GetBytes(f.Len()), f.Data, r.shapeFor(spec))
 		if err != nil {
+			compress.PutBytes(buf)
 			return err
 		}
+		defer compress.PutBytes(buf)
 		dims := "2D"
 		if spec.ThreeD {
 			dims = "3D"
@@ -358,16 +362,18 @@ func (r *Runner) GradientReport() (string, error) {
 		spec := r.Catalog[idx]
 		f := r.Generator().Field(idx, 0)
 		shape := r.shapeFor(spec)
+		var buf []byte
+		var recon []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, f.Summarize().Range)
 			if err != nil {
 				return "", err
 			}
-			buf, err := codec.Compress(f.Data, shape)
+			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 			if err != nil {
 				return "", err
 			}
-			recon, err := codec.Decompress(buf)
+			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
 				return "", err
 			}

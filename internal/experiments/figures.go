@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"climcompress/internal/compress"
 	"climcompress/internal/ensemble"
 	"climcompress/internal/metrics"
 	"climcompress/internal/pvt"
@@ -96,13 +97,15 @@ func (r *Runner) featuredRecon(name string) (*featuredRecon, error) {
 			return err
 		}
 		var rz, en []float64
+		var buf []byte
+		var recon []float32
 		for _, m := range testM {
 			data := vs.Original(m)
-			buf, err := codec.Compress(data, shape)
+			buf, err = compress.CompressInto(codec, buf[:0], data, shape)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, variant, err)
 			}
-			recon, err := codec.Decompress(buf)
+			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, variant, err)
 			}
@@ -292,16 +295,18 @@ func (r *Runner) SSIMReport() (string, error) {
 		shape := r.shapeFor(spec)
 		// Surface (last) level slab.
 		slab := f.Data[(shape.NLev-1)*g.NLat*g.NLon:]
+		var buf []byte
+		var recon []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, f.Summarize().Range)
 			if err != nil {
 				return "", err
 			}
-			buf, err := codec.Compress(f.Data, shape)
+			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 			if err != nil {
 				return "", err
 			}
-			recon, err := codec.Decompress(buf)
+			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
 				return "", err
 			}

@@ -72,11 +72,13 @@ func (r *Runner) Table2() (string, error) {
 		if spec.HasFill {
 			codec = compress.WithFill(nc, f.Fill)
 		}
-		buf, err := codec.Compress(f.Data, r.shapeFor(spec))
+		buf, err := compress.CompressInto(codec, compress.GetBytes(f.Len()), f.Data, r.shapeFor(spec))
 		if err != nil {
+			compress.PutBytes(buf)
 			return "", err
 		}
 		cr := compress.Ratio(len(buf), f.Len())
+		compress.PutBytes(buf)
 		t.AddRow(name, spec.Units, report.Sci(s.Min), report.Sci(s.Max),
 			report.Sci(s.Mean), report.Sci(s.Std), report.Fix(cr, 2))
 	}
@@ -109,16 +111,20 @@ func (r *Runner) ErrorMatrix(varNames []string) (map[string]map[string]ErrorEntr
 		f := r.Generator().Field(idx, 0)
 		summary := f.Summarize()
 		shape := r.shapeFor(spec)
+		// One stream buffer and one reconstruction buffer serve the whole
+		// variant sweep for this variable.
+		var buf []byte
+		var recon []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, summary.Range)
 			if err != nil {
 				return err
 			}
-			buf, err := codec.Compress(f.Data, shape)
+			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
 			}
-			recon, err := codec.Decompress(buf)
+			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
 			}
@@ -197,19 +203,21 @@ func (r *Runner) Table5() (string, error) {
 			WithBias:    false, Workers: r.workers(),
 		}
 		results[name] = make(map[string]colResult)
+		var buf []byte
+		var recon []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, vs, 0)
 			if err != nil {
 				return "", err
 			}
-			var buf []byte
 			comp := medianTiming(3, func() error {
 				var err error
-				buf, err = codec.Compress(f.Data, shape)
+				buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 				return err
 			})
 			reconst := medianTiming(3, func() error {
-				_, err := codec.Decompress(buf)
+				var err error
+				recon, err = compress.DecompressInto(codec, recon, buf)
 				return err
 			})
 			res, err := verifier.Verify(codec)
@@ -426,11 +434,13 @@ func (r *Runner) RunTable6() (*Table6Result, error) {
 				return err
 			}
 			data := vs.Original(testMembers[0])
-			buf, err := codec.Compress(data, shape)
+			buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, shape)
 			if err != nil {
+				compress.PutBytes(buf)
 				return err
 			}
 			fallbacks[lname] = compress.Ratio(len(buf), len(data))
+			compress.PutBytes(buf)
 		}
 		mu.Lock()
 		t6.Outcomes[spec.Name] = outcomes

@@ -161,14 +161,20 @@ func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
 	par.EachLimit(len(needed), v.Workers, func(j int) error {
 		m := needed[j]
 		data := vs.Original(m)
-		buf, err := codec.Compress(data, v.Shape)
+		// The compressed stream is a per-iteration intermediate; the Into
+		// paths let each worker recycle one stream buffer and write the
+		// reconstruction straight into a pooled field buffer.
+		buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, v.Shape)
 		if err != nil {
+			compress.PutBytes(buf)
 			errs[m] = err
 			return nil
 		}
 		crs[m] = compress.Ratio(len(buf), len(data))
-		out, err := codec.Decompress(buf)
+		out, err := compress.DecompressInto(codec, par.GetFloats(len(data)), buf)
+		compress.PutBytes(buf)
 		if err != nil {
+			par.PutFloats(out)
 			errs[m] = err
 			return nil
 		}

@@ -20,33 +20,39 @@ func Forward1D(x []int64, scratch []int64) int {
 	s := scratch[:sn]
 	d := scratch[sn : sn+dn]
 
+	// The lifting divisors are 2 and 4, so the floor divisions are
+	// arithmetic right shifts — identical results (shifts floor toward
+	// negative infinity), no divide, no per-element sign branch. The
+	// symmetric-extension edge cases are peeled out of the loops.
+
 	// Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2),
-	// with symmetric extension at the right edge.
-	for i := 0; i < dn; i++ {
-		left := x[2*i]
-		var right int64
-		if 2*i+2 < n {
-			right = x[2*i+2]
-		} else {
-			right = x[2*i] // mirror
-		}
-		d[i] = x[2*i+1] - floorDiv(left+right, 2)
+	// with symmetric extension at the right edge. Only the last element of
+	// an even-length signal mirrors (2i+2 == n), where the predictor
+	// degenerates to x[2i].
+	interior := dn
+	if 2*(dn-1)+2 >= n {
+		interior = dn - 1
+	}
+	for i := 0; i < interior; i++ {
+		d[i] = x[2*i+1] - ((x[2*i] + x[2*i+2]) >> 1)
+	}
+	for i := interior; i < dn; i++ {
+		d[i] = x[2*i+1] - x[2*i]
 	}
 	// Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4),
-	// with symmetric extension at both edges.
-	for i := 0; i < sn; i++ {
-		var dl, dr int64
-		if i > 0 {
-			dl = d[i-1]
-		} else if dn > 0 {
-			dl = d[0]
-		}
-		if i < dn {
-			dr = d[i]
-		} else if dn > 0 {
-			dr = d[dn-1]
-		}
-		s[i] = x[2*i] + floorDiv(dl+dr+2, 4)
+	// with symmetric extension at both edges: i == 0 mirrors d[0] on the
+	// left, and for odd-length signals i == sn-1 mirrors d[dn-1] on the
+	// right.
+	s[0] = x[0] + ((2*d[0] + 2) >> 2)
+	top := sn
+	if sn > dn {
+		top = sn - 1
+	}
+	for i := 1; i < top; i++ {
+		s[i] = x[2*i] + ((d[i-1] + d[i] + 2) >> 2)
+	}
+	if sn > dn && sn > 1 {
+		s[sn-1] = x[2*(sn-1)] + ((2*d[dn-1] + 2) >> 2)
 	}
 	copy(x[:sn], s)
 	copy(x[sn:], d)
@@ -65,42 +71,183 @@ func Inverse1D(x []int64, scratch []int64) {
 	d := x[sn:]
 	out := scratch[:n]
 
-	// Undo update.
-	for i := 0; i < sn; i++ {
-		var dl, dr int64
-		if i > 0 {
-			dl = d[i-1]
-		} else if dn > 0 {
-			dl = d[0]
-		}
-		if i < dn {
-			dr = d[i]
-		} else if dn > 0 {
-			dr = d[dn-1]
-		}
-		out[2*i] = s[i] - floorDiv(dl+dr+2, 4)
+	// Undo update (same shift-for-floorDiv and edge peeling as Forward1D).
+	out[0] = s[0] - ((2*d[0] + 2) >> 2)
+	top := sn
+	if sn > dn {
+		top = sn - 1
+	}
+	for i := 1; i < top; i++ {
+		out[2*i] = s[i] - ((d[i-1] + d[i] + 2) >> 2)
+	}
+	if sn > dn && sn > 1 {
+		out[2*(sn-1)] = s[sn-1] - ((2*d[dn-1] + 2) >> 2)
 	}
 	// Undo predict.
-	for i := 0; i < dn; i++ {
-		left := out[2*i]
-		var right int64
-		if 2*i+2 < n {
-			right = out[2*i+2]
-		} else {
-			right = out[2*i]
-		}
-		out[2*i+1] = d[i] + floorDiv(left+right, 2)
+	interior := dn
+	if 2*(dn-1)+2 >= n {
+		interior = dn - 1
+	}
+	for i := 0; i < interior; i++ {
+		out[2*i+1] = d[i] + ((out[2*i] + out[2*i+2]) >> 1)
+	}
+	for i := interior; i < dn; i++ {
+		out[2*i+1] = d[i] + out[2*i]
 	}
 	copy(x, out)
 }
 
-// floorDiv divides rounding toward negative infinity (Go's / truncates).
-func floorDiv(a, b int64) int64 {
-	q := a / b
-	if (a%b != 0) && ((a < 0) != (b < 0)) {
-		q--
+// Scratch holds the reusable working buffers of the 2-D transforms, so a
+// caller sweeping many slabs (every level of every chunk of a field) pays
+// for them once. The zero value is ready to use.
+type Scratch struct {
+	lift []int64  // Forward1D/Inverse1D working space (row passes)
+	tile []int64  // whole-quadrant working space (column passes)
+	dims [][2]int // per-level approximation quadrant sizes
+}
+
+// grow sizes the buffers for a rows×cols image at the given depth.
+func (s *Scratch) grow(rows, cols, levels int) {
+	if n := max(rows, cols); cap(s.lift) < n {
+		s.lift = make([]int64, n)
 	}
-	return q
+	if cap(s.tile) < rows*cols {
+		s.tile = make([]int64, rows*cols)
+	}
+	if cap(s.dims) < levels {
+		s.dims = make([][2]int, 0, levels)
+	}
+	s.dims = s.dims[:0]
+}
+
+// forwardCols applies Forward1D down every column of the r×c quadrant of a
+// row-major image with the given stride, all columns at once: each lifting
+// step runs across a whole row at unit stride instead of gathering one
+// strided column at a time. Per column the arithmetic is exactly Forward1D's,
+// so the output is bit-identical. buf must hold r*c elements.
+func forwardCols(img []int64, r, c, stride int, buf []int64) {
+	if r < 2 {
+		return
+	}
+	sn := (r + 1) / 2
+	dn := r - sn
+	sBuf := buf[:sn*c]
+	dBuf := buf[sn*c : (sn+dn)*c]
+	row := func(i int) []int64 { return img[i*stride : i*stride+c] }
+
+	// Predict (cf. Forward1D, with n -> r).
+	interior := dn
+	if 2*(dn-1)+2 >= r {
+		interior = dn - 1
+	}
+	for i := 0; i < interior; i++ {
+		x0, x1, x2 := row(2*i), row(2*i+1), row(2*i+2)
+		dr := dBuf[i*c : (i+1)*c]
+		for j := range dr {
+			dr[j] = x1[j] - ((x0[j] + x2[j]) >> 1)
+		}
+	}
+	for i := interior; i < dn; i++ {
+		x0, x1 := row(2*i), row(2*i+1)
+		dr := dBuf[i*c : (i+1)*c]
+		for j := range dr {
+			dr[j] = x1[j] - x0[j]
+		}
+	}
+	// Update.
+	{
+		s0, x0, d0 := sBuf[:c], row(0), dBuf[:c]
+		for j := range s0 {
+			s0[j] = x0[j] + ((2*d0[j] + 2) >> 2)
+		}
+	}
+	top := sn
+	if sn > dn {
+		top = sn - 1
+	}
+	for i := 1; i < top; i++ {
+		sr, xr := sBuf[i*c:(i+1)*c], row(2*i)
+		dp, dc := dBuf[(i-1)*c:i*c], dBuf[i*c:(i+1)*c]
+		for j := range sr {
+			sr[j] = xr[j] + ((dp[j] + dc[j] + 2) >> 2)
+		}
+	}
+	if sn > dn && sn > 1 {
+		sr, xr := sBuf[(sn-1)*c:sn*c], row(2*(sn-1))
+		dl := dBuf[(dn-1)*c : dn*c]
+		for j := range sr {
+			sr[j] = xr[j] + ((2*dl[j] + 2) >> 2)
+		}
+	}
+	for i := 0; i < sn; i++ {
+		copy(row(i), sBuf[i*c:(i+1)*c])
+	}
+	for i := 0; i < dn; i++ {
+		copy(row(sn+i), dBuf[i*c:(i+1)*c])
+	}
+}
+
+// inverseCols undoes forwardCols (column-wise Inverse1D across all columns
+// at once). buf must hold r*c elements.
+func inverseCols(img []int64, r, c, stride int, buf []int64) {
+	if r < 2 {
+		return
+	}
+	sn := (r + 1) / 2
+	dn := r - sn
+	out := buf[:r*c]
+	row := func(i int) []int64 { return img[i*stride : i*stride+c] }
+	srow := row                                        // s coefficients live in rows [0, sn)
+	drow := func(i int) []int64 { return row(sn + i) } // d coefficients in rows [sn, r)
+	orow := func(i int) []int64 { return out[i*c : (i+1)*c] }
+
+	// Undo update into the even output rows.
+	{
+		o0, s0, d0 := orow(0), srow(0), drow(0)
+		for j := range o0 {
+			o0[j] = s0[j] - ((2*d0[j] + 2) >> 2)
+		}
+	}
+	top := sn
+	if sn > dn {
+		top = sn - 1
+	}
+	for i := 1; i < top; i++ {
+		or, sr := orow(2*i), srow(i)
+		dp, dc := drow(i-1), drow(i)
+		for j := range or {
+			or[j] = sr[j] - ((dp[j] + dc[j] + 2) >> 2)
+		}
+	}
+	if sn > dn && sn > 1 {
+		or, sr := orow(2*(sn-1)), srow(sn-1)
+		dl := drow(dn - 1)
+		for j := range or {
+			or[j] = sr[j] - ((2*dl[j] + 2) >> 2)
+		}
+	}
+	// Undo predict into the odd output rows.
+	interior := dn
+	if 2*(dn-1)+2 >= r {
+		interior = dn - 1
+	}
+	for i := 0; i < interior; i++ {
+		or, dr := orow(2*i+1), drow(i)
+		e0, e2 := orow(2*i), orow(2*i+2)
+		for j := range or {
+			or[j] = dr[j] + ((e0[j] + e2[j]) >> 1)
+		}
+	}
+	for i := interior; i < dn; i++ {
+		or, dr := orow(2*i+1), drow(i)
+		e0 := orow(2 * i)
+		for j := range or {
+			or[j] = dr[j] + e0[j]
+		}
+	}
+	for i := 0; i < r; i++ {
+		copy(row(i), orow(i))
+	}
 }
 
 // Transform2D applies `levels` of the 2-D 5/3 transform in place on a
@@ -109,58 +256,76 @@ func floorDiv(a, b int64) int64 {
 // (the standard dyadic decomposition). It returns the per-level
 // (rows, cols) of the approximation quadrants for Inverse2D.
 func Transform2D(img []int64, rows, cols, levels int) [][2]int {
+	return new(Scratch).Transform2D(img, rows, cols, levels)
+}
+
+// Transform2D is the scratch-reusing form of the package-level Transform2D;
+// the transform applied to img is identical. The returned dims alias the
+// Scratch and are valid until its next use.
+func (s *Scratch) Transform2D(img []int64, rows, cols, levels int) [][2]int {
 	if len(img) != rows*cols {
 		panic("wavelet: image size mismatch")
 	}
-	scratch := make([]int64, max(rows, cols))
-	colBuf := make([]int64, rows)
-	dims := make([][2]int, 0, levels)
+	s.grow(rows, cols, levels)
+	scratch := s.lift[:max(rows, cols)]
 	r, c := rows, cols
 	for lev := 0; lev < levels && r >= 2 && c >= 2; lev++ {
-		dims = append(dims, [2]int{r, c})
+		s.dims = append(s.dims, [2]int{r, c})
 		// Rows.
 		for i := 0; i < r; i++ {
 			Forward1D(img[i*cols:i*cols+c], scratch)
 		}
-		// Columns.
-		for j := 0; j < c; j++ {
-			for i := 0; i < r; i++ {
-				colBuf[i] = img[i*cols+j]
-			}
-			Forward1D(colBuf[:r], scratch)
-			for i := 0; i < r; i++ {
-				img[i*cols+j] = colBuf[i]
-			}
-		}
+		// Columns, all at once (row-wise lifting at unit stride).
+		forwardCols(img, r, c, cols, s.tile)
 		r = (r + 1) / 2
 		c = (c + 1) / 2
 	}
-	return dims
+	return s.dims
 }
 
 // Inverse2D undoes Transform2D given the dims it returned.
 func Inverse2D(img []int64, rows, cols int, dims [][2]int) {
+	new(Scratch).Inverse2D(img, rows, cols, dims)
+}
+
+// Inverse2D is the scratch-reusing form of the package-level Inverse2D.
+// dims may alias s.dims (the usual round-trip case).
+func (s *Scratch) Inverse2D(img []int64, rows, cols int, dims [][2]int) {
 	if len(img) != rows*cols {
 		panic("wavelet: image size mismatch")
 	}
-	scratch := make([]int64, max(rows, cols))
-	colBuf := make([]int64, rows)
+	if n := max(rows, cols); cap(s.lift) < n {
+		s.lift = make([]int64, n)
+	}
+	if cap(s.tile) < rows*cols {
+		s.tile = make([]int64, rows*cols)
+	}
+	scratch := s.lift[:max(rows, cols)]
 	for lev := len(dims) - 1; lev >= 0; lev-- {
 		r, c := dims[lev][0], dims[lev][1]
-		// Columns first (reverse of forward order).
-		for j := 0; j < c; j++ {
-			for i := 0; i < r; i++ {
-				colBuf[i] = img[i*cols+j]
-			}
-			Inverse1D(colBuf[:r], scratch)
-			for i := 0; i < r; i++ {
-				img[i*cols+j] = colBuf[i]
-			}
-		}
+		// Columns first (reverse of forward order), all at once.
+		inverseCols(img, r, c, cols, s.tile)
 		for i := 0; i < r; i++ {
 			Inverse1D(img[i*cols:i*cols+c], scratch)
 		}
 	}
+}
+
+// PlanDims recomputes, into s.dims, the per-level approximation sizes that
+// Transform2D would record for a rows×cols image at the given depth —
+// what a decoder needs when the stream stores only the depth.
+func (s *Scratch) PlanDims(rows, cols, levels int) [][2]int {
+	if cap(s.dims) < levels {
+		s.dims = make([][2]int, 0, levels)
+	}
+	s.dims = s.dims[:0]
+	r, c := rows, cols
+	for l := 0; l < levels && r >= 2 && c >= 2; l++ {
+		s.dims = append(s.dims, [2]int{r, c})
+		r = (r + 1) / 2
+		c = (c + 1) / 2
+	}
+	return s.dims
 }
 
 func max(a, b int) int {

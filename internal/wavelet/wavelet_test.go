@@ -118,14 +118,17 @@ func TestTransform2DEnergyCompaction(t *testing.T) {
 	}
 }
 
-func TestFloorDiv(t *testing.T) {
-	cases := []struct{ a, b, want int64 }{
-		{7, 2, 3}, {-7, 2, -4}, {6, 2, 3}, {-6, 2, -3},
-		{1, 4, 0}, {-1, 4, -1}, {-5, 4, -2},
+// TestShiftIsFloorDiv pins the identity the lifting loops rely on: an
+// arithmetic right shift is floor division by a power of two, including for
+// negative operands (where Go's / would truncate toward zero instead).
+func TestShiftIsFloorDiv(t *testing.T) {
+	cases := []struct{ a, shift, want int64 }{
+		{7, 1, 3}, {-7, 1, -4}, {6, 1, 3}, {-6, 1, -3},
+		{1, 2, 0}, {-1, 2, -1}, {-5, 2, -2},
 	}
 	for _, c := range cases {
-		if got := floorDiv(c.a, c.b); got != c.want {
-			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		if got := c.a >> c.shift; got != c.want {
+			t.Errorf("%d >> %d = %d, want %d", c.a, c.shift, got, c.want)
 		}
 	}
 }
