@@ -12,12 +12,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The tier-1 gate plus static analysis: what CI runs on every change.
+# The tier-1 gate plus static analysis: what CI runs on every change. When
+# both benchmark snapshots are present the benchdiff performance gate runs
+# too; otherwise it is skipped (fresh checkouts have no snapshots).
 verify:
 	$(GO) build ./...
 	$(GO) build ./cmd/benchdiff
 	$(GO) vet ./...
 	$(GO) test ./...
+	@if [ -f $(BASE) ] && [ -f $(HEAD) ]; then \
+		$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD); \
+	else \
+		echo "benchdiff gate skipped: $(BASE) and/or $(HEAD) not present"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -25,23 +32,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable performance snapshot: per-experiment wall-clock (cold and
-# warm chaotic-core cache) plus ns/op + allocs/op microbenchmarks for the
-# RMSZ engine and every codec, written to BENCH_PR2.json.
+# Machine-readable performance snapshot: per-experiment wall-clock and heap
+# allocation for cold / warm / incremental artifact-cache passes, plus
+# ns/op + allocs/op microbenchmarks for the RMSZ engine and every codec.
+OUT ?= BENCH_PR3.json
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out $(OUT)
 
 # Performance gate: compare two bench-json snapshots and fail on >15% codec
-# throughput regression or any allocs/op increase.
-BASE ?= BENCH_PR1.json
-HEAD ?= BENCH_PR2.json
+# throughput regression, any allocs/op increase, or >25% growth in an
+# experiment's cumulative heap allocation.
+BASE ?= BENCH_PR2.json
+HEAD ?= BENCH_PR3.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD)
 
-# Short fuzzing pass over the decoder and container parsers.
+# Short fuzzing pass over the decoder, container, and artifact-cache parsers.
 fuzz:
 	$(GO) test -fuzz=FuzzDecoders -fuzztime=30s ./internal/compress
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/cdf
+	$(GO) test -fuzz=FuzzStoreGet -fuzztime=30s ./internal/artifact
+	$(GO) test -fuzz=FuzzDec -fuzztime=30s ./internal/artifact
 
 vet:
 	$(GO) vet ./...

@@ -18,9 +18,10 @@ import (
 )
 
 func main() {
-	base := flag.String("base", "BENCH_PR1.json", "baseline report")
-	head := flag.String("head", "BENCH_PR2.json", "candidate report")
+	base := flag.String("base", "BENCH_PR2.json", "baseline report")
+	head := flag.String("head", "BENCH_PR3.json", "candidate report")
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional throughput loss on codec entries")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "max allowed fractional increase in an experiment's cumulative heap allocation")
 	flag.Parse()
 
 	baseRep, err := readReport(*base)
@@ -71,6 +72,16 @@ func main() {
 		case h.AllocsPerOp != nil:
 			line += fmt.Sprintf("  (new) %d", *h.AllocsPerOp)
 		}
+		switch {
+		case b.TotalAllocBytes != nil && h.TotalAllocBytes != nil:
+			line += fmt.Sprintf("  heap %s -> %s", mib(*b.TotalAllocBytes), mib(*h.TotalAllocBytes))
+			if float64(*h.TotalAllocBytes) > float64(*b.TotalAllocBytes)*(1+*allocThreshold) {
+				line += fmt.Sprintf("  FAIL: cumulative heap allocation up more than %.0f%%", 100**allocThreshold)
+				failures++
+			}
+		case h.TotalAllocBytes != nil:
+			line += fmt.Sprintf("  heap (new) %s", mib(*h.TotalAllocBytes))
+		}
 		fmt.Println(line)
 	}
 	if failures > 0 {
@@ -120,6 +131,11 @@ func throughput(e benchjson.Entry) float64 {
 		return 1 / e.Seconds
 	}
 	return 0
+}
+
+// mib renders a byte count as mebibytes.
+func mib(b uint64) string {
+	return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
 }
 
 func mbs(e benchjson.Entry) string {

@@ -1,10 +1,14 @@
 // Command benchjson produces the machine-readable performance snapshot
 // behind `make bench-json`. It times the paper-scale table 1 + figure 1
-// pipeline twice — once against a cold chaotic-core cache (full Lorenz-96
-// integration) and once warm (cache loaded from disk) — and runs ns/op
-// microbenchmarks for the leave-one-out RMSZ engine, the Lorenz-96 stepper
-// and every study codec. The result is one JSON document (BENCH_PR<n>.json)
-// that later PRs can diff mechanically with cmd/benchdiff.
+// pipeline three times against one unified artifact cache — cold (empty
+// cache: full Lorenz-96 integration, field generation, compression), warm
+// (every record present: a pure reduction over cached artifacts), and
+// incremental (one codec variant invalidated: only its column recomputes) —
+// recording wall-clock and cumulative heap allocation for each pass, and
+// runs ns/op microbenchmarks for the leave-one-out RMSZ engine, the
+// Lorenz-96 stepper and every study codec. The result is one JSON document
+// (BENCH_PR<n>.json) that later PRs can diff mechanically with
+// cmd/benchdiff.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"climcompress/internal/artifact"
 	"climcompress/internal/benchjson"
 	"climcompress/internal/compress"
 	_ "climcompress/internal/compress/apax"
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	members := flag.Int("members", 101, "ensemble size for the experiment timings")
 	workers := flag.Int("workers", 0, "parallel worker pool width (0 = GOMAXPROCS)")
 	skipExperiments := flag.Bool("micro-only", false, "skip the table1+fig1 wall-clock runs")
@@ -89,45 +94,77 @@ func main() {
 	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
 }
 
-// timeExperiments runs table1 + fig1 at paper scale on the bench grid,
-// first against an empty chaotic-core cache directory (cold: pays the full
-// Lorenz-96 integration) and then again with a fresh runner against the
-// now-populated cache (warm).
+// timeExperiments runs table1 + fig1 at paper scale on the bench grid in
+// three passes over one unified artifact cache: cold (empty cache — full
+// Lorenz-96 integration, field generation, compression, plus cache
+// population), warm (every record present — a pure reduction over cached
+// artifacts), and incremental (one codec variant invalidated — exactly its
+// error-matrix column recomputes, from cached member fields). Each entry
+// records wall-clock seconds and the pass's cumulative heap allocation.
 func timeExperiments(rep *benchjson.Report, members int) error {
-	cacheDir, err := os.MkdirTemp("", "l96cache")
+	cacheDir, err := os.MkdirTemp("", "climcache")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(cacheDir)
-	for _, pass := range []string{"cold cache", "warm cache"} {
+	passes := []struct {
+		note       string
+		invalidate string
+	}{
+		{"cold cache", ""},
+		{"warm cache", ""},
+		{"incremental (apax-4 invalidated)", "apax-4"},
+	}
+	for _, pass := range passes {
+		store := artifact.Open(cacheDir)
 		cfg := experiments.DefaultConfig(grid.Bench())
 		cfg.Members = members
+		cfg.Cache = store
 		var once sync.Once
 		var shared *l96.Ensemble
 		cfg.L96Source = func() *l96.Ensemble {
 			once.Do(func() {
 				lc := l96.DefaultEnsembleConfig(members)
-				shared, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, cacheDir)
+				shared, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, store.L96Dir())
 			})
 			return shared
 		}
 		r := experiments.NewRunner(cfg, nil)
-		total := 0.0
-		t0 := time.Now()
-		if experiments.Table1() == "" {
-			return fmt.Errorf("empty table 1")
+		if pass.invalidate != "" {
+			r.InvalidateVariant(pass.invalidate)
 		}
-		sec := time.Since(t0).Seconds()
-		rep.AddSeconds("experiments/table1", sec, pass)
-		total += sec
-		t0 = time.Now()
-		if _, err := r.Fig1(); err != nil {
+		total := 0.0
+		var totalAlloc uint64
+		measure := func(name string, fn func() error) error {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return err
+			}
+			sec := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&m1)
+			alloc := m1.TotalAlloc - m0.TotalAlloc
+			rep.AddSecondsAlloc("experiments/"+name, sec, pass.note, alloc)
+			total += sec
+			totalAlloc += alloc
+			return nil
+		}
+		if err := measure("table1", func() error {
+			if experiments.Table1() == "" {
+				return fmt.Errorf("empty table 1")
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		sec = time.Since(t0).Seconds()
-		rep.AddSeconds("experiments/fig1", sec, pass)
-		total += sec
-		rep.AddSeconds("experiments/table1+fig1", total, pass)
+		if err := measure("fig1", func() error {
+			_, err := r.Fig1()
+			return err
+		}); err != nil {
+			return err
+		}
+		rep.AddSecondsAlloc("experiments/table1+fig1", total, pass.note, totalAlloc)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"climcompress/internal/artifact"
 	"climcompress/internal/experiments"
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
@@ -40,7 +41,10 @@ var (
 	quiet    = flag.Bool("q", false, "suppress progress timing lines")
 	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	l96cache = flag.String("l96cache", ".l96cache", "directory caching the deterministic chaotic-core integration (empty disables)")
+	cacheDir = flag.String("cachedir", ".climcache", "artifact cache directory: member fields, scoring vectors, error cells, verification verdicts, plus the chaotic-core integration under <dir>/l96 (empty disables)")
+	noCache  = flag.Bool("nocache", false, "disable the artifact cache for this run (equivalent to -cachedir '')")
+	invalid  = flag.String("invalidate", "", "comma-separated codec variants whose cached records are removed before running (the incremental-rerun primitive)")
+	cacheMax = flag.Int64("cachemax", 0, "evict least-recently-used artifacts down to this many bytes after the run (0 = unbounded)")
 )
 
 // experimentSpec maps a name to its runner method and default grid.
@@ -118,6 +122,13 @@ func main() {
 		varList = strings.Split(*vars, ",")
 	}
 
+	// The unified artifact store: experiment records under -cachedir, the
+	// chaotic-core integration cache colocated under <cachedir>/l96.
+	if *noCache {
+		*cacheDir = ""
+	}
+	store := artifact.Open(*cacheDir)
+
 	// One runner per grid, sharing the grid-independent chaotic ensemble.
 	// The shared closure integrates (or loads from the on-disk cache) on the
 	// first experiment that actually needs members, so member-free
@@ -127,7 +138,7 @@ func main() {
 	l96Source := func() *l96.Ensemble {
 		l96Once.Do(func() {
 			lc := l96.DefaultEnsembleConfig(*members)
-			sharedL96, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, *l96cache)
+			sharedL96, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, store.L96Dir())
 		})
 		return sharedL96
 	}
@@ -150,8 +161,14 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Variables = varList
 		cfg.L96Source = l96Source
+		cfg.Cache = store
 		r := experiments.NewRunner(cfg, nil)
 		runners[gname] = r
+		if *invalid != "" {
+			for _, v := range strings.Split(*invalid, ",") {
+				r.InvalidateVariant(strings.TrimSpace(v))
+			}
+		}
 		return r
 	}
 
@@ -168,6 +185,16 @@ func main() {
 		if !*quiet {
 			fmt.Printf("[%s completed in %.1fs]\n\n", s.name, time.Since(start).Seconds())
 		}
+	}
+	if *cacheMax > 0 {
+		if n := store.Trim(*cacheMax); n > 0 && !*quiet {
+			fmt.Printf("[cache trimmed: %d artifacts evicted]\n", n)
+		}
+	}
+	if !*quiet && store.Enabled() {
+		st := store.Stats()
+		fmt.Printf("[cache %s: %d hits, %d misses, %d writes]\n",
+			store.Dir(), st.Hits, st.Misses, st.Puts)
 	}
 	if *cpuprof != "" {
 		pprof.StopCPUProfile()

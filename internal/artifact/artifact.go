@@ -1,0 +1,344 @@
+// Package artifact is the persistent content-addressed store behind
+// incremental experiment re-runs: every expensive intermediate of the
+// pipeline — generated member fields, compressed streams, per-member
+// verification statistics and per-(variable, variant) verification outcomes
+// — can be written once under a SHA-256 key derived from the canonical
+// encoding of everything that influences its value, and any later run whose
+// inputs hash to the same key reads the artifact back instead of recomputing
+// it.
+//
+// The store is deliberately dumb: keys in, byte payloads out. Key
+// derivation (which config fields matter) and payload schemas live with the
+// callers; this package owns the on-disk format, integrity checking and
+// eviction. A corrupt, truncated or foreign file is always treated as a
+// cache miss — never an error, never a wrong result — so a damaged cache
+// degrades to plain recomputation, exactly like the Lorenz-96 cache it
+// generalizes.
+//
+// On-disk layout under the root directory:
+//
+//	objects/<k0><k1>/<key>.art   one artifact per file (see file format below)
+//	l96/                          the chaotic-core integration cache (managed
+//	                              by internal/l96; colocated so one -cachedir
+//	                              flag governs all persistent state)
+//
+// File format (all integers little-endian):
+//
+//	magic   u32   "CLMA"
+//	version u32   format version; mismatch = miss
+//	length  u64   payload byte count
+//	sum     [32]  SHA-256 of the payload
+//	payload [length]
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+const (
+	// Magic identifies an artifact file.
+	Magic uint32 = 0x434c4d41 // "CLMA"
+	// Version is the on-disk format version. Bumping it invalidates every
+	// existing artifact (they all decode as misses).
+	Version uint32 = 1
+
+	headerSize = 4 + 4 + 8 + 32
+)
+
+// ID is the hex form of an artifact's SHA-256 key.
+type ID string
+
+// Stats counts store traffic since Open. BadReads counts files that existed
+// but failed validation (corruption, truncation, version skew).
+type Stats struct {
+	Hits, Misses, Puts, BadReads int64
+}
+
+// Store is a content-addressed artifact store rooted at one directory. All
+// methods are safe on a nil *Store (every Get misses, every Put is dropped),
+// so callers thread a possibly-disabled cache without branching.
+type Store struct {
+	dir string
+
+	hits, misses, puts, badReads atomic.Int64
+}
+
+// Open returns a store rooted at dir, creating the directory lazily on the
+// first Put. An empty dir returns nil: the disabled store.
+func Open(dir string) *Store {
+	if dir == "" {
+		return nil
+	}
+	return &Store{dir: dir}
+}
+
+// Enabled reports whether the store can hold artifacts.
+func (s *Store) Enabled() bool { return s != nil && s.dir != "" }
+
+// Dir returns the store root ("" for the disabled store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// L96Dir returns the directory for the chaotic-core integration cache,
+// colocated under the store root ("" when disabled, which l96.LoadOrCompute
+// treats as cache-off).
+func (s *Store) L96Dir() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return filepath.Join(s.dir, "l96")
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Puts:     s.puts.Load(),
+		BadReads: s.badReads.Load(),
+	}
+}
+
+// path maps an ID to its object file, fanning out over 256 subdirectories
+// so huge caches do not degenerate into one enormous directory.
+func (s *Store) path(id ID) string {
+	k := string(id)
+	return filepath.Join(s.dir, "objects", k[:2], k+".art")
+}
+
+// valid reports whether id looks like a hex SHA-256 (defensive: IDs come
+// from Key, but path construction must never escape the store).
+func valid(id ID) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the payload stored under id. Any failure — absent file,
+// truncation, corruption, format skew — is a miss.
+func (s *Store) Get(id ID) ([]byte, bool) {
+	if !s.Enabled() || !valid(id) {
+		return nil, false
+	}
+	payload, err := readFile(s.path(id))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.badReads.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under id, atomically (temp file + rename) so a crashed
+// run never leaves a truncated artifact behind. I/O failures are silently
+// dropped: an unwritable cache degrades to plain recomputation.
+func (s *Store) Put(id ID, payload []byte) {
+	if !s.Enabled() || !valid(id) {
+		return
+	}
+	path := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[16:], sum[:])
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return
+	}
+	if tmp.Close() != nil {
+		return
+	}
+	if os.Rename(tmp.Name(), path) == nil {
+		s.puts.Add(1)
+	}
+}
+
+// Remove deletes the artifact stored under id, if present. This is the
+// invalidation primitive: "codec X changed" is expressed by removing every
+// artifact whose key involves X.
+func (s *Store) Remove(id ID) {
+	if !s.Enabled() || !valid(id) {
+		return
+	}
+	os.Remove(s.path(id))
+}
+
+// readFile loads and validates one artifact file.
+func readFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("artifact: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return nil, fmt.Errorf("artifact: bad magic")
+	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != Version {
+		return nil, fmt.Errorf("artifact: version skew")
+	}
+	length := binary.LittleEndian.Uint64(hdr[8:])
+	// The declared length must match the file size exactly: trailing bytes
+	// are as suspect as missing ones.
+	if length != uint64(st.Size())-headerSize {
+		return nil, fmt.Errorf("artifact: declared %d payload bytes in a %d-byte file", length, st.Size())
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("artifact: short payload: %w", err)
+	}
+	if sum := sha256.Sum256(payload); string(sum[:]) != string(hdr[16:16+32]) {
+		return nil, fmt.Errorf("artifact: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Trim evicts least-recently-modified artifacts until the objects tree fits
+// in maxBytes (payload + header sizes). maxBytes <= 0 is a no-op. Returns
+// the number of files removed.
+func (s *Store) Trim(maxBytes int64) int {
+	if !s.Enabled() || maxBytes <= 0 {
+		return 0
+	}
+	type obj struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var objs []obj
+	var total int64
+	root := filepath.Join(s.dir, "objects")
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".art" {
+			return nil
+		}
+		objs = append(objs, obj{path, info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+		return nil
+	})
+	if total <= maxBytes {
+		return 0
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].mtime < objs[j].mtime })
+	removed := 0
+	for _, o := range objs {
+		if total <= maxBytes {
+			break
+		}
+		if os.Remove(o.path) == nil {
+			total -= o.size
+			removed++
+		}
+	}
+	return removed
+}
+
+// ---------------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------------
+
+// Key accumulates the canonical encoding of an artifact's inputs into a
+// SHA-256. Every field is written with a type tag and (for variable-length
+// values) a length prefix, so distinct input sequences can never collide by
+// concatenation ambiguity. The zero Key is not usable; start with NewKey.
+type Key struct {
+	h hash.Hash
+}
+
+// NewKey starts a key of the given kind ("field", "stream", "ensstats",
+// "verify", ...). The kind partitions the key space so identical parameter
+// folds of different artifact classes never alias.
+func NewKey(kind string) *Key {
+	k := &Key{h: sha256.New()}
+	return k.Str(kind)
+}
+
+func (k *Key) tagged(tag byte, data []byte) *Key {
+	var pre [9]byte
+	pre[0] = tag
+	binary.LittleEndian.PutUint64(pre[1:], uint64(len(data)))
+	k.h.Write(pre[:])
+	k.h.Write(data)
+	return k
+}
+
+// Str folds a string field.
+func (k *Key) Str(s string) *Key { return k.tagged('s', []byte(s)) }
+
+// Uint folds an unsigned integer field.
+func (k *Key) Uint(v uint64) *Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return k.tagged('u', b[:])
+}
+
+// Int folds a signed integer field.
+func (k *Key) Int(v int) *Key { return k.Uint(uint64(int64(v))) }
+
+// Float folds a float64 field by exact bit pattern (NaNs and signed zeros
+// are distinct inputs and hash distinctly).
+func (k *Key) Float(v float64) *Key { return k.Uint(math.Float64bits(v)) }
+
+// Bool folds a boolean field.
+func (k *Key) Bool(v bool) *Key {
+	if v {
+		return k.tagged('b', []byte{1})
+	}
+	return k.tagged('b', []byte{0})
+}
+
+// Bytes folds a raw byte field (e.g. a content digest of input data).
+func (k *Key) Bytes(p []byte) *Key { return k.tagged('r', p) }
+
+// ID finalizes the key. The Key remains usable; further folds derive
+// longer keys with this one as prefix.
+func (k *Key) ID() ID {
+	return ID(hex.EncodeToString(k.h.Sum(nil)))
+}

@@ -27,6 +27,12 @@ type Entry struct {
 	// omitempty, while entries that never measured allocations stay absent.
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	// TotalAllocBytes is the runtime.MemStats.TotalAlloc delta across an
+	// experiment-level entry: the cumulative heap churn of the run, which
+	// wall-clock timings alone cannot distinguish from CPU cost. Pointer for
+	// the same reason as AllocsPerOp: a zero-allocation run must survive
+	// omitempty.
+	TotalAllocBytes *uint64 `json:"total_alloc_bytes,omitempty"`
 	// Workers records the concurrency this entry ran with, so single-core
 	// and multi-worker measurements of the same name are distinguishable.
 	Workers int `json:"workers,omitempty"`
@@ -54,6 +60,15 @@ func NewReport() *Report {
 func (r *Report) AddSeconds(name string, seconds float64, note string) {
 	r.Entries = append(r.Entries, Entry{
 		Name: name, Seconds: seconds, Note: note, Workers: runtime.GOMAXPROCS(0),
+	})
+}
+
+// AddSecondsAlloc is AddSeconds plus the run's cumulative heap allocation
+// (a runtime.MemStats.TotalAlloc delta measured by the caller).
+func (r *Report) AddSecondsAlloc(name string, seconds float64, note string, allocBytes uint64) {
+	r.Entries = append(r.Entries, Entry{
+		Name: name, Seconds: seconds, Note: note, Workers: runtime.GOMAXPROCS(0),
+		TotalAllocBytes: &allocBytes,
 	})
 }
 

@@ -52,12 +52,19 @@ type VarStats struct {
 	min1m      []int32
 	max1m      []int32
 
-	orig [][]float32 // member data, indexed [member][point]
+	orig [][]float32 // member data, indexed [member][point]; nil when streamed
+
+	// Streamed-build handle: member data is re-acquired from src on demand
+	// (AcquireOriginal) instead of being retained in orig.
+	src    Source
+	varIdx int
+	nm     int
 
 	RangePerMember []float64 // R_X^m over valid points
 	RMSZ           []float64 // eq. 7 for each original member
 	Enmax          []float64 // eq. 10 for each member
 	GlobalMean     []float64 // area-weighted global mean per member
+	ValidMean      []float64 // unweighted mean over valid points per member
 }
 
 // CollectFields materializes all member fields of one variable, generating
@@ -109,12 +116,10 @@ func Build(fields []*field.Field) (*VarStats, error) {
 		min1m:   make([]int32, n),
 		max1m:   make([]int32, n),
 
-		orig:           make([][]float32, nm),
-		RangePerMember: make([]float64, nm),
-		GlobalMean:     make([]float64, nm),
-		RMSZ:           make([]float64, nm),
-		Enmax:          make([]float64, nm),
+		orig: make([][]float32, nm),
+		nm:   nm,
 	}
+	vs.allocPerMember()
 	vs.FillMask = make([]bool, n)
 	if vs.HasFill {
 		for i := 0; i < n; i++ {
@@ -133,6 +138,7 @@ func Build(fields []*field.Field) (*VarStats, error) {
 		s := fields[m].Summarize()
 		vs.RangePerMember[m] = s.Range
 		vs.GlobalMean[m] = fields[m].GlobalMean()
+		vs.ValidMean[m] = MaskedMean(fields[m].Data, vs.FillMask)
 		return nil
 	})
 
@@ -144,27 +150,54 @@ func Build(fields []*field.Field) (*VarStats, error) {
 	// Stage 3: RMSZ (eq. 7) and E_nmax (eq. 10), independent across members.
 	par.Each(nm, func(m int) error {
 		vs.RMSZ[m] = vs.RMSZOf(m, vs.orig[m])
-		vs.Enmax[m] = vs.enmaxOf(m)
+		vs.Enmax[m] = vs.enmaxData(m, vs.orig[m])
 		return nil
 	})
 	return vs, nil
 }
 
+// allocPerMember carves the five per-member vectors out of one backing
+// array (they are fixed-size and never appended to).
+func (vs *VarStats) allocPerMember() {
+	nm := vs.nm
+	per := make([]float64, 5*nm)
+	vs.RangePerMember = per[0*nm : 1*nm : 1*nm]
+	vs.GlobalMean = per[1*nm : 2*nm : 2*nm]
+	vs.RMSZ = per[2*nm : 3*nm : 3*nm]
+	vs.Enmax = per[3*nm : 4*nm : 4*nm]
+	vs.ValidMean = per[4*nm : 5*nm : 5*nm]
+}
+
 // accumulateRange folds every member's values in [lo, hi) into the
 // per-point aggregates.
 func (vs *VarStats) accumulateRange(lo, hi int) {
-	cnt, sum, sumsq := vs.Mom.N, vs.Mom.Sum, vs.Mom.SumSq
+	vs.initExtremes(lo, hi)
+	vs.foldRange(vs.orig, 0, lo, hi)
+}
+
+// initExtremes resets the running two-extreme trackers over [lo, hi). Must
+// run exactly once per point before the first foldRange over it.
+func (vs *VarStats) initExtremes(lo, hi int) {
 	min1, min2, max1, max2 := vs.min1, vs.min2, vs.max1, vs.max2
-	min1m, max1m := vs.min1m, vs.max1m
 	for i := lo; i < hi; i++ {
 		min1[i] = float32(math.Inf(1))
 		min2[i] = float32(math.Inf(1))
 		max1[i] = float32(math.Inf(-1))
 		max2[i] = float32(math.Inf(-1))
 	}
+}
+
+// foldRange folds the given members (whose ensemble indices start at base)
+// into the per-point aggregates over [lo, hi), in slice order. Accumulation
+// order per point is the fold order, so feeding members 0..M-1 through any
+// chunking yields sums bit-identical to one pass over the whole ensemble.
+func (vs *VarStats) foldRange(members [][]float32, base, lo, hi int) {
+	cnt, sum, sumsq := vs.Mom.N, vs.Mom.Sum, vs.Mom.SumSq
+	min1, min2, max1, max2 := vs.min1, vs.min2, vs.max1, vs.max2
+	min1m, max1m := vs.min1m, vs.max1m
 	mask := vs.FillMask
-	for m, data := range vs.orig {
-		mi := int32(m)
+	for j, data := range members {
+		mi := int32(base + j)
 		for i := lo; i < hi; i++ {
 			if mask[i] {
 				continue
@@ -193,10 +226,40 @@ func (vs *VarStats) accumulateRange(lo, hi int) {
 }
 
 // Members returns the ensemble size.
-func (vs *VarStats) Members() int { return len(vs.orig) }
+func (vs *VarStats) Members() int { return vs.nm }
 
-// Original returns member m's original data (shared, do not modify).
+// Original returns member m's original data (shared, do not modify). Only
+// valid for materialized builds; streamed builds use AcquireOriginal.
 func (vs *VarStats) Original(m int) []float32 { return vs.orig[m] }
+
+// Streamed reports whether this VarStats was built without retaining member
+// data (BuildStream); callers must then use AcquireOriginal instead of
+// Original.
+func (vs *VarStats) Streamed() bool { return vs.orig == nil }
+
+// AcquireOriginal returns member m's original data plus a release func the
+// caller must invoke when done with the slice. Materialized builds hand out
+// the retained slice with a no-op release; streamed builds regenerate the
+// member from the source (deterministic, so bit-identical to the build
+// pass) and release it back to its pool.
+func (vs *VarStats) AcquireOriginal(m int) ([]float32, func()) {
+	if vs.orig != nil {
+		return vs.orig[m], func() {}
+	}
+	f := vs.src.Field(vs.varIdx, m)
+	return f.Data, func() { releaseField(vs.src, f) }
+}
+
+// ScoreRMSZ scores data (typically a reconstruction of member exclude's
+// values) against the leave-one-out statistics of {E \ exclude}. It is
+// RMSZOf for callers that already hold the excluded member's original data —
+// required in streamed mode, where orig is not retained.
+func (vs *VarStats) ScoreRMSZ(exclude, data []float32) float64 {
+	if len(data) != vs.NPoints {
+		return math.NaN()
+	}
+	return scoreRMSZ(vs.Mom, exclude, data, vs.FillMask)
+}
 
 // RMSZOf computes the RMSZ score (eqs. 6–7) of the given data against the
 // leave-one-out statistics of the sub-ensemble {E \ m}. data may be member
@@ -207,7 +270,9 @@ func (vs *VarStats) RMSZOf(m int, data []float32) float64 {
 	if len(data) != vs.NPoints {
 		return math.NaN()
 	}
-	return scoreRMSZ(vs.Mom, vs.orig[m], data, vs.FillMask)
+	orig, release := vs.AcquireOriginal(m)
+	defer release()
+	return scoreRMSZ(vs.Mom, orig, data, vs.FillMask)
 }
 
 // scoreRMSZ is the shared eq. 6–7 scoring loop: Z-scores of data against
@@ -250,12 +315,11 @@ func scoreRMSZ(mo *stats.Moments, exclude, data []float32, mask []bool) float64 
 	return math.Sqrt(sum / float64(cnt))
 }
 
-// enmaxOf computes eq. 10 for member m: the maximum over grid points of the
-// maximum pointwise distance to any other member, normalized by member m's
-// range. The per-point maximum over others is max(|x−min'|, |max'−x|) where
-// min'/max' exclude member m itself.
-func (vs *VarStats) enmaxOf(m int) float64 {
-	data := vs.orig[m]
+// enmaxData computes eq. 10 for member m (whose values are data): the
+// maximum over grid points of the maximum pointwise distance to any other
+// member, normalized by member m's range. The per-point maximum over others
+// is max(|x−min'|, |max'−x|) where min'/max' exclude member m itself.
+func (vs *VarStats) enmaxData(m int, data []float32) float64 {
 	var maxDiff float64
 	for i, v := range data {
 		if vs.FillMask[i] {
@@ -335,6 +399,10 @@ func RMSZScores(members [][]float32, fillMask []bool) []float64 {
 	if len(members) == 0 {
 		return nil
 	}
+	// The ensemble is already materialized, so fold it directly instead of
+	// going through RMSZScoresStream's chunked acquire/release machinery —
+	// same fold order per point, so the moments (and scores) are
+	// bit-identical, without the per-chunk bookkeeping allocations.
 	n := len(members[0])
 	mo := stats.NewMoments(n)
 	par.Ranges(n, pointGrain, func(lo, hi int) {
@@ -348,4 +416,23 @@ func RMSZScores(members [][]float32, fillMask []bool) []float64 {
 		return nil
 	})
 	return out
+}
+
+// MaskedMean averages data over non-masked points (mask may be nil). This is
+// the unweighted global mean of the CESM-PVT range-shift screen; VarStats
+// precomputes it per member as ValidMean.
+func MaskedMean(data []float32, mask []bool) float64 {
+	var sum float64
+	var n int
+	for i, v := range data {
+		if mask != nil && mask[i] {
+			continue
+		}
+		sum += float64(v)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }

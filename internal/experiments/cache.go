@@ -1,0 +1,301 @@
+// Artifact-cache integration: key derivation and record schemas binding the
+// experiment pipeline to the content-addressed store (internal/artifact).
+// Every key folds the complete set of value-influencing inputs — a content
+// digest of the chaotic-core ensemble, the grid, the variable's full
+// synthesis recipe, the ensemble size, and (for verification outcomes) the
+// thresholds, seed, and codec variant — so a hit is exactly as trustworthy
+// as a recompute, and changing any input silently becomes a miss.
+package experiments
+
+import (
+	"climcompress/internal/artifact"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/field"
+	"climcompress/internal/l96"
+	"climcompress/internal/metrics"
+	"climcompress/internal/varcatalog"
+)
+
+// cacheSchema versions every record payload; bumping it invalidates all
+// cached experiment artifacts without touching the store format.
+const cacheSchema = 1
+
+// store returns the configured artifact store (nil = disabled; every method
+// of a nil store degrades to recomputation).
+func (r *Runner) store() *artifact.Store { return r.Cfg.Cache }
+
+// fieldCacheMembers resolves how many leading member fields to persist per
+// variable. Member 0 alone (the default) feeds the §5.2 error tables and
+// figure 1; caching whole ensembles is opt-in because it costs
+// members × gridsize × 4 bytes of disk.
+func (r *Runner) fieldCacheMembers() int {
+	switch {
+	case r.Cfg.FieldCacheMembers > 0:
+		return r.Cfg.FieldCacheMembers
+	case r.Cfg.FieldCacheMembers < 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// substrate returns the content digest of the chaotic-core ensemble: the
+// standardization constants plus every member's slow-variable series and
+// state keys. Keying artifacts on the loaded ensemble's content (rather
+// than on its configuration) stays correct even when Cfg.L96Source supplies
+// an externally built ensemble.
+func (r *Runner) substrate() string {
+	r.subOnce.Do(func() {
+		r.subID = substrateDigest(r.L96())
+	})
+	return r.subID
+}
+
+// substrateDigest folds an l96 ensemble's full content into an ID.
+func substrateDigest(ens *l96.Ensemble) string {
+	k := artifact.NewKey("l96ens").
+		Float(ens.MeanX).Float(ens.StdX).Int(len(ens.Members))
+	for _, m := range ens.Members {
+		k.Int(len(m.Series))
+		for t, xs := range m.Series {
+			k.Uint(m.SeriesKeys[t])
+			for _, x := range xs {
+				k.Float(x)
+			}
+		}
+	}
+	return string(k.ID())
+}
+
+// specKey starts an artifact key covering everything that determines a
+// variable's member fields: schema, substrate content, grid geometry,
+// ensemble size, and the variable's complete synthesis recipe.
+func (r *Runner) specKey(kind string, spec varcatalog.Spec) *artifact.Key {
+	g := r.Cfg.Grid
+	k := artifact.NewKey(kind).
+		Int(cacheSchema).
+		Str(r.substrate()).
+		Str(g.Name).Int(g.NLat).Int(g.NLon).Int(g.NLev).
+		Int(r.Cfg.Members)
+	return foldSpec(k, spec)
+}
+
+// foldSpec folds every Spec field (any of them changes the synthesized
+// data).
+func foldSpec(k *artifact.Key, s varcatalog.Spec) *artifact.Key {
+	return k.Str(s.Name).Str(s.Units).
+		Bool(s.ThreeD).Int(int(s.Kind)).
+		Float(s.Base).Float(s.LatAmp).Float(s.WaveAmp).Float(s.VertAmp).
+		Int(int(s.VertKind)).Float(s.VertExp).Int(s.WaveNum).
+		Float(s.ModeAmp).Float(s.NoiseAmp).
+		Float(s.ClampMin).Float(s.ClampMax).
+		Bool(s.HasFill).Uint(s.Seed)
+}
+
+// verifyKey additionally folds what the verification verdict depends on:
+// the acceptance thresholds, the test-member selection seed, and the codec
+// variant.
+func (r *Runner) verifyKey(kind string, spec varcatalog.Spec, variant string) artifact.ID {
+	thr := r.Cfg.Thr
+	return r.specKey(kind, spec).
+		Uint(r.Cfg.Seed).
+		Float(thr.Correlation).Float(thr.RMSZDiff).
+		Float(thr.EnmaxRatio).Float(thr.SlopeDistance).
+		Str(variant).ID()
+}
+
+// Per-class key builders.
+func (r *Runner) fieldKey(spec varcatalog.Spec, member int) artifact.ID {
+	return r.specKey("field", spec).Int(member).ID()
+}
+func (r *Runner) ensStatsKey(spec varcatalog.Spec) artifact.ID {
+	return r.specKey("ensstats", spec).ID()
+}
+func (r *Runner) errmatKey(spec varcatalog.Spec, variant string) artifact.ID {
+	return r.specKey("errmat", spec).Str(variant).ID()
+}
+func (r *Runner) outcomeKey(spec varcatalog.Spec, variant string) artifact.ID {
+	return r.verifyKey("verify", spec, variant)
+}
+func (r *Runner) fallbackKey(spec varcatalog.Spec, lossless string) artifact.ID {
+	return r.verifyKey("fallbackcr", spec, lossless)
+}
+
+// InvalidateVariant removes every cached artifact whose value depends on the
+// given codec variant — the per-(variable, variant) error-matrix and
+// verification-outcome records — across the runner's catalog. This is the
+// incremental-rerun primitive: after "codec X changed", the next run
+// recomputes exactly X's column and reads everything else back.
+func (r *Runner) InvalidateVariant(variant string) {
+	s := r.store()
+	if !s.Enabled() {
+		return
+	}
+	for _, spec := range r.Catalog {
+		s.Remove(r.errmatKey(spec, variant))
+		s.Remove(r.outcomeKey(spec, variant))
+		s.Remove(r.fallbackKey(spec, variant))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Record payloads
+// ---------------------------------------------------------------------------
+
+// encodeErrorEntry serializes one §5.2 error-matrix cell.
+func encodeErrorEntry(e ErrorEntry) []byte {
+	var enc artifact.Enc
+	enc.Float(e.Errors.EMax).Float(e.Errors.ENMax).
+		Float(e.Errors.RMSE).Float(e.Errors.NRMSE).
+		Float(e.Errors.PSNR).Float(e.Errors.Pearson).
+		Float(e.Errors.Range).Int(e.Errors.N).
+		Float(e.CR)
+	return enc.Bytes()
+}
+
+func decodeErrorEntry(payload []byte) (ErrorEntry, bool) {
+	d := artifact.NewDec(payload)
+	var e ErrorEntry
+	e.Errors = metrics.Errors{
+		EMax: d.Float(), ENMax: d.Float(),
+		RMSE: d.Float(), NRMSE: d.Float(),
+		PSNR: d.Float(), Pearson: d.Float(),
+		Range: d.Float(), N: d.Int(),
+	}
+	e.CR = d.Float()
+	return e, d.Close() == nil
+}
+
+// encodeOutcome serializes one verification verdict.
+func encodeOutcome(o VariantOutcome) []byte {
+	var enc artifact.Enc
+	enc.Float(o.Rho).Float(o.NRMSE).Float(o.Enmax).Float(o.CR).
+		Bool(o.RhoPass).Bool(o.RMSZPass).Bool(o.EnmaxPass).
+		Bool(o.BiasPass).Bool(o.AllPass).
+		Float(o.RhoMin).Float(o.RMSZDiffMax).Bool(o.RMSZWithin).
+		Float(o.EnmaxRatio).Float(o.SlopeDist)
+	return enc.Bytes()
+}
+
+func decodeOutcome(payload []byte) (VariantOutcome, bool) {
+	d := artifact.NewDec(payload)
+	o := VariantOutcome{
+		Rho: d.Float(), NRMSE: d.Float(), Enmax: d.Float(), CR: d.Float(),
+		RhoPass: d.Bool(), RMSZPass: d.Bool(), EnmaxPass: d.Bool(),
+		BiasPass: d.Bool(), AllPass: d.Bool(),
+		RhoMin: d.Float(), RMSZDiffMax: d.Float(), RMSZWithin: d.Bool(),
+		EnmaxRatio: d.Float(), SlopeDist: d.Float(),
+	}
+	return o, d.Close() == nil
+}
+
+func encodeFloat(v float64) []byte {
+	var enc artifact.Enc
+	enc.Float(v)
+	return enc.Bytes()
+}
+
+func decodeFloat(payload []byte) (float64, bool) {
+	d := artifact.NewDec(payload)
+	v := d.Float()
+	return v, d.Close() == nil
+}
+
+// encodeScores serializes the pass-2 outputs of a streamed build.
+func encodeScores(rmsz, enmax []float64) []byte {
+	var enc artifact.Enc
+	enc.Floats(rmsz).Floats(enmax)
+	return enc.Bytes()
+}
+
+func decodeScores(payload []byte) (rmsz, enmax []float64, ok bool) {
+	d := artifact.NewDec(payload)
+	rmsz = d.Floats()
+	enmax = d.Floats()
+	return rmsz, enmax, d.Close() == nil
+}
+
+// ---------------------------------------------------------------------------
+// Cached member fields
+// ---------------------------------------------------------------------------
+
+// memberField returns one member field, reading the artifact cache when the
+// member is within the field-cache window and writing it back on a miss.
+// The returned field is pooled; the caller releases it (or hands it to a
+// consumer that does).
+func (r *Runner) memberField(idx, m int) *field.Field {
+	spec := r.Catalog[idx]
+	s := r.store()
+	cacheable := s.Enabled() && m < r.fieldCacheMembers()
+	var id artifact.ID
+	if cacheable {
+		id = r.fieldKey(spec, m)
+		if f := r.decodeField(spec, id); f != nil {
+			return f
+		}
+	}
+	f := r.Generator().Field(idx, m)
+	if cacheable {
+		var enc artifact.Enc
+		enc.Floats32(f.Data)
+		s.Put(id, enc.Bytes())
+	}
+	return f
+}
+
+// decodeField materializes a cached member field, reconstructing the same
+// metadata the generator would set. Any decode problem is a miss.
+func (r *Runner) decodeField(spec varcatalog.Spec, id artifact.ID) *field.Field {
+	payload, ok := r.store().Get(id)
+	if !ok {
+		return nil
+	}
+	f := field.New(spec.Name, spec.Units, r.Cfg.Grid, spec.ThreeD)
+	f.HasFill = spec.HasFill
+	d := artifact.NewDec(payload)
+	if d.Floats32Into(f.Data, f.Len()) == nil || d.Close() != nil {
+		f.Release()
+		return nil
+	}
+	return f
+}
+
+// cachedSource adapts the runner's generator (plus the field cache) to
+// ensemble.Source for streamed builds. Fields are pooled; Release hands
+// them back.
+type cachedSource struct {
+	r *Runner
+}
+
+func (s cachedSource) Members() int { return s.r.Cfg.Members }
+
+func (s cachedSource) Field(varIdx, m int) *field.Field {
+	return s.r.memberField(varIdx, m)
+}
+
+func (s cachedSource) Release(f *field.Field) { f.Release() }
+
+// streamStats builds one variable's ensemble statistics through the
+// streaming pipeline, short-circuiting the scoring pass with a cached
+// ensstats record when available and writing one back otherwise.
+func (r *Runner) streamStats(idx int) (*ensemble.VarStats, error) {
+	spec := r.Catalog[idx]
+	src := cachedSource{r}
+	s := r.store()
+	if !s.Enabled() {
+		return ensemble.BuildStream(src, idx)
+	}
+	id := r.ensStatsKey(spec)
+	if payload, ok := s.Get(id); ok {
+		if rmsz, enmax, ok := decodeScores(payload); ok &&
+			len(rmsz) == r.Cfg.Members && len(enmax) == r.Cfg.Members {
+			return ensemble.BuildStreamWithScores(src, idx, rmsz, enmax)
+		}
+	}
+	vs, err := ensemble.BuildStream(src, idx)
+	if err != nil {
+		return nil, err
+	}
+	s.Put(id, encodeScores(vs.RMSZ, vs.Enmax))
+	return vs, nil
+}

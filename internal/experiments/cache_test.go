@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"testing"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+)
+
+// cacheCfg returns a small paper-shaped config for cache tests. SST is
+// included for the fill-value path.
+func cacheCfg(store *artifact.Store) Config {
+	cfg := DefaultConfig(grid.Test())
+	cfg.Members = 9
+	cfg.L96 = l96.EnsembleConfig{
+		Members: 9, Dt: 0.002, SpinupSteps: 1000,
+		DivergeSteps: 6000, CalibSteps: 3000, Eps: 1e-14,
+	}
+	cfg.Variables = []string{"U", "FSDSC", "Z3", "CCN3", "SST"}
+	cfg.Cache = store
+	return cfg
+}
+
+// renderPure runs the experiments that a fully warm cache can serve as pure
+// reductions (no field generation at all).
+func renderPure(t *testing.T, r *Runner) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for name, fn := range map[string]func() (string, error){
+		"table3": r.Table3,
+		"table6": r.Table6,
+		"table7": r.Table7,
+		"sweep":  r.ThresholdSweep,
+	} {
+		s, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// TestCacheColdWarmIncrementalIdentical is the end-to-end contract of the
+// artifact cache: a cold cached run renders byte-identical output to an
+// uncached run; a warm run renders the same bytes from records alone
+// (zero generation, zero puts); and after invalidating one codec variant,
+// the next run recomputes exactly that variant's records and still renders
+// the same bytes.
+func TestCacheColdWarmIncrementalIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Baseline: no cache.
+	base := NewRunner(cacheCfg(nil), nil)
+	ens := base.L96()
+	want := renderPure(t, base)
+	wantFig2, err := base.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: empty cache, same substrate. Must match and must populate.
+	coldStore := artifact.Open(dir)
+	cold := NewRunner(cacheCfg(coldStore), ens)
+	for name, got := range renderPure(t, cold) {
+		if got != want[name] {
+			t.Errorf("cold %s differs from uncached baseline", name)
+		}
+	}
+	if gotFig2, err := cold.Fig2(); err != nil || gotFig2 != wantFig2 {
+		t.Errorf("cold fig2 differs from uncached baseline (err=%v)", err)
+	}
+	if st := coldStore.Stats(); st.Puts == 0 {
+		t.Fatalf("cold run wrote no artifacts: %+v", st)
+	}
+
+	// Warm: fresh store on the same dir. The pure set must be served
+	// entirely from records: no misses, no puts, and — the residency
+	// point — the field generator is never even constructed.
+	warmStore := artifact.Open(dir)
+	warm := NewRunner(cacheCfg(warmStore), ens)
+	for name, got := range renderPure(t, warm) {
+		if got != want[name] {
+			t.Errorf("warm %s differs from uncached baseline", name)
+		}
+	}
+	if warm.gen != nil {
+		t.Error("warm run built the field generator; expected pure record reduction")
+	}
+	if st := warmStore.Stats(); st.Puts != 0 || st.Misses != 0 || st.BadReads != 0 {
+		t.Errorf("warm run not pure: %+v", st)
+	}
+	// Figures need regenerated members (moments are never persisted), but
+	// the bytes must still match.
+	if gotFig2, err := warm.Fig2(); err != nil || gotFig2 != wantFig2 {
+		t.Errorf("warm fig2 differs from uncached baseline (err=%v)", err)
+	}
+
+	// Incremental: invalidate one variant; only its records are recomputed.
+	incStore := artifact.Open(dir)
+	inc := NewRunner(cacheCfg(incStore), ens)
+	inc.InvalidateVariant("fpzip-24")
+	if s, err := inc.Table6(); err != nil || s != want["table6"] {
+		t.Errorf("incremental table6 differs from uncached baseline (err=%v)", err)
+	}
+	if s, err := inc.Table3(); err != nil || s != want["table3"] {
+		t.Errorf("incremental table3 differs from uncached baseline (err=%v)", err)
+	}
+	nvars := len(inc.Catalog)
+	featured := 4
+	if st := incStore.Stats(); int(st.Puts) != nvars+featured {
+		t.Errorf("incremental run recomputed %d records, want %d (one outcome per variable + one errmat cell per featured variable)",
+			st.Puts, nvars+featured)
+	}
+}
+
+// TestInvalidateVariantScope checks invalidation removes exactly the
+// variant-dependent records and leaves the rest readable.
+func TestInvalidateVariantScope(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	r := NewRunner(cacheCfg(store), nil)
+	if _, err := r.Table6(); err != nil {
+		t.Fatal(err)
+	}
+	spec := r.Catalog[0]
+	if _, ok := store.Get(r.outcomeKey(spec, "apax-4")); !ok {
+		t.Fatal("outcome record missing after Table6")
+	}
+	r.InvalidateVariant("apax-4")
+	if _, ok := store.Get(r.outcomeKey(spec, "apax-4")); ok {
+		t.Error("invalidated outcome still present")
+	}
+	if _, ok := store.Get(r.outcomeKey(spec, "grib2")); !ok {
+		t.Error("unrelated variant's outcome was removed")
+	}
+	if _, ok := store.Get(r.ensStatsKey(spec)); !ok {
+		t.Error("ensemble-stats record was removed by variant invalidation")
+	}
+}
+
+// TestCacheKeySensitivity ensures a changed input silently becomes a miss
+// rather than serving stale records: bumping the seed or the member count
+// must change the affected record keys, and distinct kinds/variants must
+// never collide.
+func TestCacheKeySensitivity(t *testing.T) {
+	a := NewRunner(cacheCfg(nil), nil)
+	cfgB := cacheCfg(nil)
+	cfgB.Seed++
+	b := NewRunner(cfgB, a.L96())
+	cfgC := cacheCfg(nil)
+	cfgC.Members = 8
+	cfgC.L96.Members = 8
+	c := NewRunner(cfgC, nil)
+
+	spec := a.Catalog[0]
+	if a.outcomeKey(spec, "grib2") == b.outcomeKey(b.Catalog[0], "grib2") {
+		t.Error("outcome key ignores the test-member seed")
+	}
+	if a.fieldKey(spec, 0) == c.fieldKey(c.Catalog[0], 0) {
+		t.Error("field key ignores the member count / substrate")
+	}
+	if a.errmatKey(spec, "grib2") == a.errmatKey(spec, "apax-2") {
+		t.Error("errmat keys collide across variants")
+	}
+	if a.errmatKey(spec, "grib2") == a.outcomeKey(spec, "grib2") {
+		t.Error("record keys collide across kinds")
+	}
+	if a.fieldKey(spec, 0) == a.fieldKey(spec, 1) {
+		t.Error("field keys collide across members")
+	}
+	if a.fieldKey(spec, 0) == a.fieldKey(a.Catalog[1], 0) {
+		t.Error("field keys collide across variables")
+	}
+}

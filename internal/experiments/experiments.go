@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"climcompress/internal/artifact"
 	"climcompress/internal/compress"
 	_ "climcompress/internal/compress/apax"
 	_ "climcompress/internal/compress/fpzip"
@@ -45,6 +46,17 @@ type Config struct {
 	// on-disk cache). It is consulted lazily, on the first experiment that
 	// needs members.
 	L96Source func() *l96.Ensemble
+	// Cache, when non-nil, persists expensive artifacts — member fields,
+	// ensemble scoring vectors, error-matrix cells, verification outcomes —
+	// in a content-addressed store, making warm re-runs pure reductions over
+	// cached records and incremental re-runs (one codec changed) recompute
+	// only that codec's column. Nil disables all persistence.
+	Cache *artifact.Store
+	// FieldCacheMembers bounds how many leading member fields per variable
+	// are persisted (they dominate disk: members × gridsize × 4 bytes).
+	// 0 means the default of 1 (member 0, which feeds the error tables);
+	// negative disables field caching entirely.
+	FieldCacheMembers int
 }
 
 // DefaultConfig returns the paper-scale configuration on the given grid.
@@ -106,6 +118,9 @@ type Runner struct {
 
 	genOnce sync.Once
 	gen     *model.Generator
+
+	subOnce sync.Once
+	subID   string // substrate content digest (cache key component)
 
 	mu       sync.Mutex
 	varStats map[string]*varStatsEntry
@@ -217,9 +232,13 @@ func (r *Runner) varIndex(name string) (int, error) {
 	return idx, nil
 }
 
-// VarStatsFor builds (and caches) the ensemble statistics of one variable.
-// Concurrent callers for the same variable block on a single Build rather
-// than duplicating the member generation.
+// VarStatsFor builds (and caches in-process) the ensemble statistics of one
+// variable. Concurrent callers for the same variable block on a single
+// build rather than duplicating the member generation. Statistics are built
+// through the streaming pipeline: member fields flow through the worker
+// pool in chunks and are released immediately, so peak residency is
+// O(workers) fields rather than O(members), and results are bit-identical
+// to the materialized build.
 func (r *Runner) VarStatsFor(name string) (*ensemble.VarStats, error) {
 	r.mu.Lock()
 	e, ok := r.varStats[name]
@@ -234,8 +253,7 @@ func (r *Runner) VarStatsFor(name string) (*ensemble.VarStats, error) {
 			e.err = err
 			return
 		}
-		fields := ensemble.CollectFields(r.Generator(), idx)
-		e.vs, e.err = ensemble.Build(fields)
+		e.vs, e.err = r.streamStats(idx)
 	})
 	return e.vs, e.err
 }

@@ -100,17 +100,22 @@ func (r *Runner) featuredRecon(name string) (*featuredRecon, error) {
 		var buf []byte
 		var recon []float32
 		for _, m := range testM {
-			data := vs.Original(m)
+			data, release := vs.AcquireOriginal(m)
 			buf, err = compress.CompressInto(codec, buf[:0], data, shape)
 			if err != nil {
+				release()
 				return fmt.Errorf("%s/%s: %w", name, variant, err)
 			}
 			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
+				release()
 				return fmt.Errorf("%s/%s: %w", name, variant, err)
 			}
-			rz = append(rz, vs.RMSZOf(m, recon))
+			// ScoreRMSZ with the acquired original as the excluded member is
+			// RMSZOf without a second regeneration of member m.
+			rz = append(rz, vs.ScoreRMSZ(data, recon))
 			e := metrics.Compare(data, recon, vs.Fill, vs.HasFill)
+			release()
 			en = append(en, e.ENMax)
 		}
 		mu.Lock()
@@ -291,7 +296,7 @@ func (r *Runner) SSIMReport() (string, error) {
 			return "", err
 		}
 		spec := r.Catalog[idx]
-		f := r.Generator().Field(idx, 0)
+		f := r.memberField(idx, 0)
 		shape := r.shapeFor(spec)
 		// Surface (last) level slab.
 		slab := f.Data[(shape.NLev-1)*g.NLat*g.NLon:]
@@ -300,14 +305,17 @@ func (r *Runner) SSIMReport() (string, error) {
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, f.Summarize().Range)
 			if err != nil {
+				f.Release()
 				return "", err
 			}
 			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
 			if err != nil {
+				f.Release()
 				return "", err
 			}
 			recon, err = compress.DecompressInto(codec, recon, buf)
 			if err != nil {
+				f.Release()
 				return "", err
 			}
 			rslab := recon[(shape.NLev-1)*g.NLat*g.NLon:]
@@ -317,6 +325,7 @@ func (r *Runner) SSIMReport() (string, error) {
 			}
 			cells[variant][name] = report.Fix(s, 6)
 		}
+		f.Release()
 	}
 	for _, variant := range Variants() {
 		row := []string{Label(variant)}

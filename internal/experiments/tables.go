@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"climcompress/internal/compress"
-	"climcompress/internal/ensemble"
 	"climcompress/internal/hybrid"
 	"climcompress/internal/metrics"
 	"climcompress/internal/pvt"
@@ -66,7 +65,7 @@ func (r *Runner) Table2() (string, error) {
 			return "", err
 		}
 		spec := r.Catalog[idx]
-		f := r.Generator().Field(idx, 0)
+		f := r.memberField(idx, 0)
 		s := f.Summarize()
 		codec := nc
 		if spec.HasFill {
@@ -75,10 +74,12 @@ func (r *Runner) Table2() (string, error) {
 		buf, err := compress.CompressInto(codec, compress.GetBytes(f.Len()), f.Data, r.shapeFor(spec))
 		if err != nil {
 			compress.PutBytes(buf)
+			f.Release()
 			return "", err
 		}
 		cr := compress.Ratio(len(buf), f.Len())
 		compress.PutBytes(buf)
+		f.Release()
 		t.AddRow(name, spec.Units, report.Sci(s.Min), report.Sci(s.Max),
 			report.Sci(s.Mean), report.Sci(s.Std), report.Fix(cr, 2))
 	}
@@ -93,7 +94,10 @@ type ErrorEntry struct {
 
 // ErrorMatrix compresses member 0 of each listed variable with every study
 // variant and collects the §4.2 error measures — the data behind Tables 3–4
-// and Figure 1.
+// and Figure 1. Cells are cached as artifacts keyed on (substrate, grid,
+// spec, variant): a warm run decodes the whole matrix without generating a
+// single field, and invalidating one variant recomputes only its column
+// (from the cached member-0 field when present).
 func (r *Runner) ErrorMatrix(varNames []string) (map[string]map[string]ErrorEntry, error) {
 	out := make(map[string]map[string]ErrorEntry, len(varNames))
 	indices := make([]int, 0, len(varNames))
@@ -108,31 +112,58 @@ func (r *Runner) ErrorMatrix(varNames []string) (map[string]map[string]ErrorEntr
 	var mu sync.Mutex
 	err := r.forEachVar(indices, func(idx int) error {
 		spec := r.Catalog[idx]
-		f := r.Generator().Field(idx, 0)
-		summary := f.Summarize()
-		shape := r.shapeFor(spec)
-		// One stream buffer and one reconstruction buffer serve the whole
-		// variant sweep for this variable.
-		var buf []byte
-		var recon []float32
-		for _, variant := range Variants() {
-			codec, err := r.CodecFor(variant, spec, nil, summary.Range)
-			if err != nil {
-				return err
+		s := r.store()
+		entries := make(map[string]ErrorEntry, len(Variants()))
+		missing := Variants()
+		if s.Enabled() {
+			missing = missing[:0:0]
+			for _, variant := range Variants() {
+				if payload, ok := s.Get(r.errmatKey(spec, variant)); ok {
+					if e, ok := decodeErrorEntry(payload); ok {
+						entries[variant] = e
+						continue
+					}
+				}
+				missing = append(missing, variant)
 			}
-			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-			}
-			recon, err = compress.DecompressInto(codec, recon, buf)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-			}
-			e := metrics.Compare(f.Data, recon, f.Fill, f.HasFill)
-			mu.Lock()
-			out[spec.Name][variant] = ErrorEntry{Errors: e, CR: compress.Ratio(len(buf), f.Len())}
-			mu.Unlock()
 		}
+		if len(missing) > 0 {
+			f := r.memberField(idx, 0)
+			summary := f.Summarize()
+			shape := r.shapeFor(spec)
+			// One stream buffer and one reconstruction buffer serve the
+			// whole variant sweep for this variable.
+			var buf []byte
+			var recon []float32
+			for _, variant := range missing {
+				codec, err := r.CodecFor(variant, spec, nil, summary.Range)
+				if err != nil {
+					return err
+				}
+				buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+				}
+				recon, err = compress.DecompressInto(codec, recon, buf)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+				}
+				e := ErrorEntry{
+					Errors: metrics.Compare(f.Data, recon, f.Fill, f.HasFill),
+					CR:     compress.Ratio(len(buf), f.Len()),
+				}
+				entries[variant] = e
+				if s.Enabled() {
+					s.Put(r.errmatKey(spec, variant), encodeErrorEntry(e))
+				}
+			}
+			f.Release()
+		}
+		mu.Lock()
+		for variant, e := range entries {
+			out[spec.Name][variant] = e
+		}
+		mu.Unlock()
 		return nil
 	})
 	return out, err
@@ -191,10 +222,11 @@ func (r *Runner) Table5() (string, error) {
 			return "", err
 		}
 		spec := r.Catalog[idx]
-		f := r.Generator().Field(idx, 0)
+		f := r.memberField(idx, 0)
 		shape := r.shapeFor(spec)
 		vs, err := r.VarStatsFor(name)
 		if err != nil {
+			f.Release()
 			return "", err
 		}
 		verifier := &pvt.Verifier{
@@ -208,6 +240,7 @@ func (r *Runner) Table5() (string, error) {
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, vs, 0)
 			if err != nil {
+				f.Release()
 				return "", err
 			}
 			comp := medianTiming(3, func() error {
@@ -222,6 +255,7 @@ func (r *Runner) Table5() (string, error) {
 			})
 			res, err := verifier.Verify(codec)
 			if err != nil {
+				f.Release()
 				return "", err
 			}
 			results[name][variant] = colResult{
@@ -231,6 +265,7 @@ func (r *Runner) Table5() (string, error) {
 				starred: !(res.RhoPass && res.RMSZPass && res.EnmaxPass),
 			}
 		}
+		f.Release()
 	}
 	t := &report.Table{
 		Title: fmt.Sprintf("Table 5: compression/reconstruction timings (s) and CR for U (3-D) and FSDSC (2-D) (grid %s).\n"+
@@ -344,9 +379,17 @@ func (t6 *Table6Result) Passes() map[string]PassCounts {
 	return out
 }
 
+// losslessFallbacks are the codecs whose per-variable CRs Table 7/8 fall
+// back to when no lossy variant passes.
+var losslessFallbacks = []string{"nc", "fpzip-32"}
+
 // RunTable6 performs the full sweep (cached on the Runner): for every
-// catalog variable, build the ensemble statistics, verify all nine
-// variants with the bias test, and record lossless fallback CRs.
+// catalog variable, build the ensemble statistics through the streaming
+// pipeline, verify all nine variants with the bias test, and record
+// lossless fallback CRs. Verdicts are persisted per (variable, variant):
+// a fully warm run assembles the table from cached records without building
+// a single ensemble, and after InvalidateVariant only that variant's column
+// is re-verified.
 func (r *Runner) RunTable6() (*Table6Result, error) {
 	r.mu.Lock()
 	if r.table6 != nil {
@@ -367,80 +410,115 @@ func (r *Runner) RunTable6() (*Table6Result, error) {
 	var mu sync.Mutex
 	err := r.forEachVar(r.allIndices(), func(idx int) error {
 		spec := r.Catalog[idx]
-		fields := ensemble.CollectFields(r.Generator(), idx)
-		vs, err := ensemble.Build(fields)
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
-		}
-		shape := r.shapeFor(spec)
-		testMembers := pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed)
-		verifier := &pvt.Verifier{
-			Stats: vs, Shape: shape, Thr: r.Cfg.Thr,
-			TestMembers: testMembers, WithBias: true, Workers: 1,
-		}
+		s := r.store()
 		outcomes := make(map[string]VariantOutcome, len(t6.Variants))
-		for _, variant := range t6.Variants {
-			codec, err := r.CodecFor(variant, spec, vs, 0)
-			if err != nil {
-				return err
-			}
-			res, err := verifier.Verify(codec)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-			}
-			o := VariantOutcome{
-				CR:        res.MeanCR,
-				RhoPass:   res.RhoPass,
-				RMSZPass:  res.RMSZPass,
-				EnmaxPass: res.EnmaxPass,
-				BiasPass:  res.BiasPass,
-				AllPass:   res.AllPass,
-				SlopeDist: res.Bias.SlopeWorstCaseDistance(),
-			}
-			if len(res.Checks) > 0 {
-				o.Rho = res.Checks[0].Errors.Pearson
-				o.NRMSE = res.Checks[0].Errors.NRMSE
-				o.Enmax = res.Checks[0].Errors.ENMax
-			}
-			// Worst-case raw quantities over the test members.
-			o.RhoMin = math.Inf(1)
-			o.RMSZWithin = true
-			slack := 0.01 * res.RMSZBox.Range()
-			for _, chk := range res.Checks {
-				if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
-					o.RhoMin = chk.Errors.Pearson
-				}
-				if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
-					o.RMSZDiffMax = d
-				}
-				if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
-					o.RMSZWithin = false
-				}
-				if res.EnmaxSpread > 0 {
-					if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
-						o.EnmaxRatio = ratio
+		fallbacks := make(map[string]float64, len(losslessFallbacks))
+		missing := t6.Variants
+		missingFB := losslessFallbacks
+		if s.Enabled() {
+			missing = missing[:0:0]
+			for _, variant := range t6.Variants {
+				if payload, ok := s.Get(r.outcomeKey(spec, variant)); ok {
+					if o, ok := decodeOutcome(payload); ok {
+						outcomes[variant] = o
+						continue
 					}
-				} else {
-					o.EnmaxRatio = math.NaN()
+				}
+				missing = append(missing, variant)
+			}
+			missingFB = missingFB[:0:0]
+			for _, lname := range losslessFallbacks {
+				if payload, ok := s.Get(r.fallbackKey(spec, lname)); ok {
+					if cr, ok := decodeFloat(payload); ok {
+						fallbacks[lname] = cr
+						continue
+					}
+				}
+				missingFB = append(missingFB, lname)
+			}
+		}
+		if len(missing) > 0 || len(missingFB) > 0 {
+			vs, err := r.streamStats(idx)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			shape := r.shapeFor(spec)
+			testMembers := pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed)
+			verifier := &pvt.Verifier{
+				Stats: vs, Shape: shape, Thr: r.Cfg.Thr,
+				TestMembers: testMembers, WithBias: true, Workers: 1,
+			}
+			for _, variant := range missing {
+				codec, err := r.CodecFor(variant, spec, vs, 0)
+				if err != nil {
+					return err
+				}
+				res, err := verifier.Verify(codec)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+				}
+				o := VariantOutcome{
+					CR:        res.MeanCR,
+					RhoPass:   res.RhoPass,
+					RMSZPass:  res.RMSZPass,
+					EnmaxPass: res.EnmaxPass,
+					BiasPass:  res.BiasPass,
+					AllPass:   res.AllPass,
+					SlopeDist: res.Bias.SlopeWorstCaseDistance(),
+				}
+				if len(res.Checks) > 0 {
+					o.Rho = res.Checks[0].Errors.Pearson
+					o.NRMSE = res.Checks[0].Errors.NRMSE
+					o.Enmax = res.Checks[0].Errors.ENMax
+				}
+				// Worst-case raw quantities over the test members.
+				o.RhoMin = math.Inf(1)
+				o.RMSZWithin = true
+				slack := 0.01 * res.RMSZBox.Range()
+				for _, chk := range res.Checks {
+					if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
+						o.RhoMin = chk.Errors.Pearson
+					}
+					if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
+						o.RMSZDiffMax = d
+					}
+					if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
+						o.RMSZWithin = false
+					}
+					if res.EnmaxSpread > 0 {
+						if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
+							o.EnmaxRatio = ratio
+						}
+					} else {
+						o.EnmaxRatio = math.NaN()
+					}
+				}
+				outcomes[variant] = o
+				if s.Enabled() {
+					s.Put(r.outcomeKey(spec, variant), encodeOutcome(o))
 				}
 			}
-			outcomes[variant] = o
-		}
-		// Lossless fallback CRs on the first test member.
-		fallbacks := make(map[string]float64, 2)
-		for _, lname := range []string{"nc", "fpzip-32"} {
-			codec, err := r.CodecFor(lname, spec, vs, 0)
-			if err != nil {
-				return err
-			}
-			data := vs.Original(testMembers[0])
-			buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, shape)
-			if err != nil {
+			// Lossless fallback CRs on the first test member.
+			for _, lname := range missingFB {
+				codec, err := r.CodecFor(lname, spec, vs, 0)
+				if err != nil {
+					return err
+				}
+				data, release := vs.AcquireOriginal(testMembers[0])
+				buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, shape)
+				if err != nil {
+					compress.PutBytes(buf)
+					release()
+					return err
+				}
+				cr := compress.Ratio(len(buf), len(data))
 				compress.PutBytes(buf)
-				return err
+				release()
+				fallbacks[lname] = cr
+				if s.Enabled() {
+					s.Put(r.fallbackKey(spec, lname), encodeFloat(cr))
+				}
 			}
-			fallbacks[lname] = compress.Ratio(len(buf), len(data))
-			compress.PutBytes(buf)
 		}
 		mu.Lock()
 		t6.Outcomes[spec.Name] = outcomes

@@ -94,8 +94,10 @@ func release(n int) {
 // Each runs fn(i) for every i in [0, n), fanning out over the shared pool.
 // The calling goroutine always participates, so Each makes progress even
 // when the pool is fully busy (nested calls degrade to serial loops). The
-// first non-nil error is returned after all indices finish; fn must be safe
-// for concurrent invocation.
+// first error cancels scheduling of indices not yet started (in-flight
+// invocations finish) and is returned; fn must be safe for concurrent
+// invocation. Callers that need every index attempted must collect errors
+// per index and return nil from fn.
 func Each(n int, fn func(i int) error) error {
 	return EachLimit(n, 0, fn)
 }
@@ -127,15 +129,16 @@ func EachLimit(n, limit int, fn func(i int) error) error {
 	var next atomic.Int64
 	var firstErr atomic.Value
 	work := func() {
-		for {
+		// Stop claiming indices once any worker has failed — mirroring the
+		// serial path, which also abandons the loop on the first error.
+		for firstErr.Load() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			if err := fn(i); err != nil {
 				firstErr.CompareAndSwap(nil, errBox{err})
-				// Keep draining: callers expect every index attempted, and
-				// partially-filled result slices guarded by the error.
+				return
 			}
 		}
 	}

@@ -39,6 +39,38 @@ func TestEachReturnsError(t *testing.T) {
 	}
 }
 
+func TestEachShortCircuitsOnError(t *testing.T) {
+	// After a worker fails, indices not yet started must not be scheduled.
+	// The error surfaces on a gate index so every parallel worker has
+	// processed at least one item before the failure; everything scheduled
+	// strictly after the gate would only run by continuing past the error.
+	old := Width()
+	SetWidth(4)
+	defer SetWidth(old)
+	want := errors.New("boom")
+	const n = 10000
+	const gate = 64
+	var after atomic.Int64
+	err := Each(n, func(i int) error {
+		if i == gate {
+			return want
+		}
+		if i > gate+Width() {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	// In-flight workers may legitimately finish their current index, but a
+	// draining loop would visit nearly all n indices. Allow a generous
+	// scheduling window before calling it a failure.
+	if got := after.Load(); got > n/10 {
+		t.Fatalf("%d indices ran after the failing one; error did not cancel scheduling", got)
+	}
+}
+
 func TestEachNested(t *testing.T) {
 	// Deeply nested Each calls must not deadlock even when the pool is
 	// narrower than the nesting.

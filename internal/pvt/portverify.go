@@ -57,11 +57,9 @@ func PortVerify(vs *ensemble.VarStats, newRuns [][]float32) (PortResult, error) 
 		return res, fmt.Errorf("pvt: no new runs supplied")
 	}
 	// Trusted ensemble's global means, computed with the same statistic
-	// applied to the new runs (unweighted valid-point mean).
-	gm := make([]float64, vs.Members())
-	for m := range gm {
-		gm[m] = maskedMean(vs.Original(m), vs.FillMask)
-	}
+	// applied to the new runs (unweighted valid-point mean, precomputed by
+	// the build — works for both materialized and streamed statistics).
+	gm := vs.ValidMean
 	res.MeanBox = stats.NewBoxplot(gm)
 	// Slack mirrors the compression RMSZ test: a run statistically
 	// identical to the ensemble should not fail by an epsilon at the

@@ -21,6 +21,7 @@ package pvt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"climcompress/internal/compress"
 	"climcompress/internal/ensemble"
@@ -116,7 +117,11 @@ func SelectTestMembers(n, k int, seed uint64) []int {
 }
 
 // Verify compresses and reconstructs the ensemble with the codec and runs
-// the four tests.
+// the four tests. Statistics from a streamed build (ensemble.BuildStream)
+// take the bounded-memory path: member originals are re-acquired on demand
+// and only the compressed streams — a small fraction of the raw data — are
+// retained across stages, so peak residency stays O(workers) instead of
+// O(members). Both paths produce bit-identical Results.
 func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
 	vs := v.Stats
 	nm := vs.Members()
@@ -126,6 +131,9 @@ func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
 	testMembers := v.TestMembers
 	if len(testMembers) == 0 {
 		testMembers = SelectTestMembers(nm, 3, 12345)
+	}
+	if vs.Streamed() {
+		return v.verifyStream(codec, testMembers)
 	}
 
 	res := Result{
@@ -242,21 +250,159 @@ func (v *Verifier) Verify(codec compress.Codec) (Result, error) {
 	}
 
 	// Range-shift screen: reconstructed test members' global (unweighted,
-	// valid-point) means must fall within the ensemble's distribution.
-	gm := make([]float64, nm)
-	for m := 0; m < nm; m++ {
-		gm[m] = maskedMean(vs.Original(m), vs.FillMask)
-	}
-	gmBox := stats.NewBoxplot(gm)
+	// valid-point) means must fall within the ensemble's distribution
+	// (precomputed as ValidMean during the build).
+	gmBox := stats.NewBoxplot(vs.ValidMean)
 	res.RangeOK = true
 	for _, m := range testMembers {
-		if rm := maskedMean(recon[m], vs.FillMask); !gmBox.Contains(rm) {
-			// Tolerate float rounding at the box edges.
-			slack := 1e-9 * (math.Abs(gmBox.Max) + 1)
-			if rm < gmBox.Min-slack || rm > gmBox.Max+slack {
-				res.RangeOK = false
+		if !rangeShiftOK(gmBox, ensemble.MaskedMean(recon[m], vs.FillMask)) {
+			res.RangeOK = false
+		}
+	}
+
+	res.AllPass = res.RhoPass && res.RMSZPass && res.EnmaxPass && res.BiasPass
+	return res, nil
+}
+
+// rangeShiftOK reports whether a reconstructed member's global mean sits
+// inside the ensemble's distribution, tolerating float rounding at the box
+// edges.
+func rangeShiftOK(gmBox stats.Boxplot, rm float64) bool {
+	if gmBox.Contains(rm) {
+		return true
+	}
+	slack := 1e-9 * (math.Abs(gmBox.Max) + 1)
+	return rm >= gmBox.Min-slack && rm <= gmBox.Max+slack
+}
+
+// verifyStream is Verify for streamed ensemble statistics. Stage 1
+// compresses every needed member from a re-acquired original, retaining only
+// the compressed stream; stage 2 decompresses the test members one at a time
+// for the per-member checks; stage 3 streams the reconstructed ensemble
+// through the bias regression by decompressing each member on demand into a
+// pooled buffer. At no point are O(members) raw fields resident.
+func (v *Verifier) verifyStream(codec compress.Codec, testMembers []int) (Result, error) {
+	vs := v.Stats
+	nm := vs.Members()
+	res := Result{
+		Variable:    vs.Name,
+		Codec:       codec.Name(),
+		RMSZBox:     vs.RMSZBox(),
+		EnmaxSpread: vs.EnmaxRange(),
+	}
+
+	needed := testMembers
+	if v.WithBias {
+		needed = make([]int, nm)
+		for i := range needed {
+			needed[i] = i
+		}
+	}
+
+	// Stage 1: compress each needed member; keep streams, drop originals.
+	streams := make([][]byte, nm)
+	crs := make([]float64, nm)
+	errs := make([]error, nm)
+	defer func() {
+		for _, buf := range streams {
+			if buf != nil {
+				compress.PutBytes(buf)
 			}
 		}
+	}()
+	par.EachLimit(len(needed), v.Workers, func(j int) error {
+		m := needed[j]
+		data, release := vs.AcquireOriginal(m)
+		defer release()
+		buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, v.Shape)
+		if err != nil {
+			compress.PutBytes(buf)
+			errs[m] = err
+			return nil
+		}
+		crs[m] = compress.Ratio(len(buf), len(data))
+		streams[m] = buf
+		return nil
+	})
+	for _, m := range needed {
+		if errs[m] != nil {
+			return Result{}, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, errs[m])
+		}
+	}
+
+	// Stage 2: per-test-member checks, one reconstruction resident at a time.
+	gmBox := stats.NewBoxplot(vs.ValidMean)
+	res.RhoPass, res.RMSZPass, res.EnmaxPass, res.RangeOK = true, true, true, true
+	for _, m := range testMembers {
+		data, release := vs.AcquireOriginal(m)
+		out, err := compress.DecompressInto(codec, par.GetFloats(len(data)), streams[m])
+		if err != nil {
+			par.PutFloats(out)
+			release()
+			return Result{}, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, err)
+		}
+		e := metrics.Compare(data, out, vs.Fill, vs.HasFill)
+		rz := vs.ScoreRMSZ(data, out)
+		res.Checks = append(res.Checks, MemberCheck{
+			Member:    m,
+			Errors:    e,
+			RMSZOrig:  vs.RMSZ[m],
+			RMSZRecon: rz,
+			CR:        crs[m],
+		})
+		if !e.PassesCorrelation() {
+			res.RhoPass = false
+		}
+		slack := 0.01 * res.RMSZBox.Range()
+		within := rz >= res.RMSZBox.Min-slack && rz <= res.RMSZBox.Max+slack
+		if math.IsNaN(rz) || !within || math.Abs(rz-vs.RMSZ[m]) > v.Thr.RMSZDiff {
+			res.RMSZPass = false
+		}
+		if res.EnmaxSpread <= 0 || math.IsNaN(e.ENMax) ||
+			e.ENMax/res.EnmaxSpread > v.Thr.EnmaxRatio {
+			res.EnmaxPass = false
+		}
+		if !rangeShiftOK(gmBox, ensemble.MaskedMean(out, vs.FillMask)) {
+			res.RangeOK = false
+		}
+		par.PutFloats(out)
+		release()
+	}
+
+	// Stage 3: bias over the reconstructed ensemble Ẽ, member at a time.
+	if v.WithBias {
+		var decompErr atomic.Value
+		res.ReconRMSZ = ensemble.RMSZScoresStream(nm, vs.NPoints, vs.FillMask,
+			func(m int) ([]float32, func()) {
+				out, err := compress.DecompressInto(codec, par.GetFloats(vs.NPoints), streams[m])
+				if err != nil {
+					decompErr.CompareAndSwap(nil, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, err))
+					if len(out) != vs.NPoints {
+						par.PutFloats(out)
+						out = par.GetFloats(vs.NPoints)
+					}
+				}
+				return out, func() { par.PutFloats(out) }
+			})
+		if err, ok := decompErr.Load().(error); ok {
+			return Result{}, err
+		}
+		res.Bias = stats.LinearFit(vs.RMSZ, res.ReconRMSZ)
+		res.BiasPass = !math.IsNaN(res.Bias.Slope) &&
+			res.Bias.SlopeWorstCaseDistance() <= v.Thr.SlopeDistance
+		var sum float64
+		for _, cr := range crs {
+			sum += cr
+		}
+		res.MeanCR = sum / float64(nm)
+	} else {
+		res.SkippedBias = true
+		res.BiasPass = true
+		var sum float64
+		for _, m := range testMembers {
+			sum += crs[m]
+		}
+		res.MeanCR = sum / float64(len(testMembers))
 	}
 
 	res.AllPass = res.RhoPass && res.RMSZPass && res.EnmaxPass && res.BiasPass
@@ -314,21 +460,4 @@ func (v *Verifier) VerifyData(name string, recon [][]float32) (Result, error) {
 	res.RangeOK = true
 	res.AllPass = res.RhoPass && res.RMSZPass && res.EnmaxPass && res.BiasPass
 	return res, nil
-}
-
-// maskedMean averages data over non-masked points.
-func maskedMean(data []float32, mask []bool) float64 {
-	var sum float64
-	var n int
-	for i, v := range data {
-		if mask != nil && mask[i] {
-			continue
-		}
-		sum += float64(v)
-		n++
-	}
-	if n == 0 {
-		return math.NaN()
-	}
-	return sum / float64(n)
 }

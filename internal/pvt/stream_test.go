@@ -1,0 +1,85 @@
+package pvt
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"climcompress/internal/compress"
+	"climcompress/internal/ensemble"
+	"climcompress/internal/field"
+	"climcompress/internal/grid"
+)
+
+// hashSource is a deterministic ensemble.Source: regenerating a member
+// always yields identical bits, which is the contract the streamed verify
+// path relies on.
+type hashSource struct {
+	g  *grid.Grid
+	nm int
+}
+
+func (s *hashSource) Members() int { return s.nm }
+
+func (s *hashSource) Field(varIdx, m int) *field.Field {
+	f := field.New("X", "1", s.g, false)
+	for i := range f.Data {
+		f.Data[i] = hashValue(varIdx, m, i)
+	}
+	return f
+}
+
+func hashValue(varIdx, m, i int) float32 {
+	x := uint64(varIdx)*0x9e3779b97f4a7c15 + uint64(m)*0xbf58476d1ce4e5b9 + uint64(i)*0x94d049bb133111eb
+	x ^= x >> 31
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 27
+	mu := 50 + 10*math.Sin(float64(i)/9)
+	return float32(mu + float64(x%100000)/50000 - 1)
+}
+
+// TestVerifyStreamMatchesMaterialized checks the bounded-memory verify path
+// produces bit-identical Results to the materialized one, for lossless and
+// lossy codecs, with and without the bias test.
+func TestVerifyStreamMatchesMaterialized(t *testing.T) {
+	src := &hashSource{g: grid.Test(), nm: 15}
+	fields := make([]*field.Field, src.nm)
+	for m := range fields {
+		fields[m] = src.Field(0, m)
+	}
+	mvs, err := ensemble.Build(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svs, err := ensemble.BuildStream(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svs.Streamed() {
+		t.Fatal("BuildStream stats not streamed")
+	}
+	shape := compress.Shape{NLev: 1, NLat: src.g.NLat, NLon: src.g.NLon}
+
+	for _, name := range []string{"nc", "fpzip-24", "apax-4"} {
+		codec, err := compress.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, withBias := range []bool{false, true} {
+			mv := &Verifier{Stats: mvs, Shape: shape, Thr: Default(), WithBias: withBias}
+			sv := &Verifier{Stats: svs, Shape: shape, Thr: Default(), WithBias: withBias}
+			want, err := mv.Verify(codec)
+			if err != nil {
+				t.Fatalf("%s materialized: %v", name, err)
+			}
+			got, err := sv.Verify(codec)
+			if err != nil {
+				t.Fatalf("%s streamed: %v", name, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s withBias=%v: streamed Result differs\nmaterialized: %+v\nstreamed:     %+v",
+					name, withBias, want, got)
+			}
+		}
+	}
+}

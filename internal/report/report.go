@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"climcompress/internal/stats"
@@ -351,13 +352,20 @@ func HistogramChart(title string, h stats.Histogram, markers map[string]string, 
 			maxCount = c
 		}
 	}
-	// Group marker names by bin.
+	// Group marker names by bin, in sorted name order so the chart is
+	// byte-stable across runs (map iteration order is not).
+	names := make([]string, 0, len(markerVals))
+	for name := range markerVals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	byBin := make(map[int][]string)
-	for name, v := range markerVals {
+	for _, name := range names {
 		sym := markers[name]
 		if sym == "" {
 			sym = "*"
 		}
+		v := markerVals[name]
 		byBin[h.Bin(v)] = append(byBin[h.Bin(v)], sym)
 	}
 	var b strings.Builder
