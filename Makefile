@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff fuzz vet fmt verify experiments clean
+.PHONY: all build test race race-short bench bench-json bench-diff fuzz vet lint fmt fmt-check verify experiments clean
 
 all: build test
 
@@ -12,53 +12,95 @@ build:
 test:
 	$(GO) test ./...
 
-# The tier-1 gate plus static analysis: what CI runs on every change. When
-# both benchmark snapshots are present the benchdiff performance gate runs
-# too; otherwise it is skipped (fresh checkouts have no snapshots).
+# The tier-1 gate plus static analysis: what CI runs on every change.
+# Order is cheapest-first: formatting, vet, the repo's own analyzers
+# (cmd/climatelint), the full test suite, then the race detector over the
+# concurrent packages. When two benchmark snapshots are present the
+# benchdiff performance gate runs too; otherwise it is skipped (fresh
+# checkouts have no snapshots).
 verify:
 	$(GO) build ./...
 	$(GO) build ./cmd/benchdiff
+	$(GO) build ./cmd/climatelint
+	$(MAKE) fmt-check
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test ./...
-	@if [ -f $(BASE) ] && [ -f $(HEAD) ]; then \
+	$(MAKE) race-short
+	@if [ -n "$(BASE)" ] && [ -n "$(HEAD)" ] && [ "$(BASE)" != "$(HEAD)" ]; then \
 		$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD); \
 	else \
-		echo "benchdiff gate skipped: $(BASE) and/or $(HEAD) not present"; \
+		echo "benchdiff gate skipped: need two BENCH_PR*.json snapshots"; \
+	fi
+
+# Repo-specific static analysis: five stdlib-only analyzers enforcing the
+# pipeline's determinism and resource-pairing invariants (see
+# internal/lint and the README "Static analysis" section).
+lint:
+	$(GO) run ./cmd/climatelint ./...
+
+# gofmt as a gate, not a fixer: nonzero exit when any file needs
+# formatting. The lint testdata corpora are excluded — one of them is a
+# deliberately unparseable fixture for the loader's failure-path tests.
+fmt-check:
+	@out="$$(gofmt -l $$(find . -name '*.go' -not -path '*/testdata/*'))"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l reports unformatted files:"; echo "$$out"; exit 1; \
 	fi
 
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the packages that actually share memory across
+# goroutines (worker pool, parallel codec, streaming ensemble, runner).
+# Cheap enough to gate every change via `make verify`; `make race` still
+# covers the whole tree on demand.
+race-short:
+	$(GO) test -race ./internal/par ./internal/compress/parallel ./internal/ensemble ./internal/experiments
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark snapshots are named BENCH_PR<n>.json. The newest two are
+# detected automatically (version sort, so PR10 follows PR9), BASE being
+# the older: `make bench-diff` gates the newest snapshot against its
+# predecessor without Makefile edits each PR. Override BASE/HEAD/OUT
+# explicitly to compare arbitrary snapshots.
+SNAPSHOTS := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V)
+BASE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 2 | head -n 1)
+HEAD ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
+LATEST_PR := $(shell ls BENCH_PR*.json 2>/dev/null | sed -E 's/BENCH_PR([0-9]+)\.json/\1/' | sort -n | tail -n 1)
+OUT ?= BENCH_PR$(shell expr 0$(LATEST_PR) + 1).json
 
 # Machine-readable performance snapshot: per-experiment wall-clock and heap
 # allocation for cold / warm / incremental artifact-cache passes, plus
 # ns/op + allocs/op microbenchmarks for the RMSZ engine and every codec.
-OUT ?= BENCH_PR3.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(OUT)
 
 # Performance gate: compare two bench-json snapshots and fail on >15% codec
 # throughput regression, any allocs/op increase, or >25% growth in an
 # experiment's cumulative heap allocation.
-BASE ?= BENCH_PR2.json
-HEAD ?= BENCH_PR3.json
 bench-diff:
+	@if [ -z "$(BASE)" ] || [ "$(BASE)" = "$(HEAD)" ]; then \
+		echo "bench-diff: need two BENCH_PR*.json snapshots (have: $(SNAPSHOTS))"; exit 1; \
+	fi
 	$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD)
 
-# Short fuzzing pass over the decoder, container, and artifact-cache parsers.
+# Short fuzzing pass over the decoder, container, artifact-cache, and
+# lint-directive parsers.
 fuzz:
 	$(GO) test -fuzz=FuzzDecoders -fuzztime=30s ./internal/compress
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/cdf
 	$(GO) test -fuzz=FuzzStoreGet -fuzztime=30s ./internal/artifact
 	$(GO) test -fuzz=FuzzDec -fuzztime=30s ./internal/artifact
+	$(GO) test -fuzz=FuzzDirectives -fuzztime=30s ./internal/lint
 
 vet:
 	$(GO) vet ./...
 
 fmt:
-	gofmt -l -w .
+	gofmt -l -w $$(find . -name '*.go' -not -path '*/testdata/*')
 
 # Regenerate every table and figure of the paper (laptop-scale defaults).
 experiments:

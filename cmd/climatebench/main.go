@@ -213,9 +213,13 @@ func writeHeapProfile(path string) {
 		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
 		return
 	}
-	defer f.Close()
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+	}
+	// The profile was just written; a failed Close can drop its tail
+	// silently, so it is checked rather than deferred. (errdrop)
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: close %s: %v\n", path, err)
 	}
 }

@@ -98,10 +98,14 @@ func writeHeapProfile(path string) {
 		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
 		return
 	}
-	defer f.Close()
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintf(os.Stderr, "compresstool: %v\n", err)
+	}
+	// The profile was just written; a failed Close can drop its tail
+	// silently, so it is checked rather than deferred. (errdrop)
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "compresstool: close %s: %v\n", path, err)
 	}
 }
 

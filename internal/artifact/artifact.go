@@ -178,10 +178,12 @@ func (s *Store) Put(id ID, payload []byte) {
 	sum := sha256.Sum256(payload)
 	copy(hdr[16:], sum[:])
 	if _, err := tmp.Write(hdr[:]); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the temp file is removed by the deferred os.Remove
 		tmp.Close()
 		return
 	}
 	if _, err := tmp.Write(payload); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the temp file is removed by the deferred os.Remove
 		tmp.Close()
 		return
 	}
@@ -209,6 +211,7 @@ func readFile(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:errdrop read side; a Close error cannot lose data and the checksum guards the payload
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {

@@ -319,6 +319,7 @@ func (f *File) WriteFile(path string, opts WriteOptions) error {
 		return err
 	}
 	if err := f.Write(fh, opts); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the Write error is what the caller sees
 		fh.Close()
 		return err
 	}
@@ -430,6 +431,7 @@ func Open(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:errdrop read side; a Close error cannot lose data
 	defer fh.Close()
 	return Read(fh)
 }

@@ -201,6 +201,7 @@ func (f *File) ExportNetCDFFile(path string) error {
 		return err
 	}
 	if err := f.ExportNetCDF(fh); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the export error is what the caller sees
 		fh.Close()
 		return err
 	}
@@ -356,6 +357,7 @@ func ImportNetCDFFile(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:errdrop read side; a Close error cannot lose data
 	defer fh.Close()
 	return ImportNetCDF(fh)
 }

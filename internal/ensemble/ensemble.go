@@ -123,6 +123,7 @@ func Build(fields []*field.Field) (*VarStats, error) {
 	vs.FillMask = make([]bool, n)
 	if vs.HasFill {
 		for i := 0; i < n; i++ {
+			//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 			vs.FillMask[i] = f0.Data[i] == f0.Fill
 		}
 	}

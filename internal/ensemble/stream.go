@@ -166,6 +166,7 @@ func newStreamStats(f0 *field.Field, src Source, varIdx, nm int) *VarStats {
 	vs.FillMask = make([]bool, n)
 	if vs.HasFill {
 		for i := 0; i < n; i++ {
+			//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 			vs.FillMask[i] = f0.Data[i] == f0.Fill
 		}
 	}

@@ -125,6 +125,7 @@ func readCache(path string, p Params, cfg EnsembleConfig) (*Ensemble, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:errdrop read side; a Close error cannot lose data and the header checks below validate content
 	defer f.Close()
 	r := bufio.NewReader(f)
 	var hdr [7]uint64

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer is a stricter errcheck than go vet provides. It
+// reports a call whose error result is discarded when the callee is
+//
+//   - any function or method defined in this module (our own APIs
+//     return errors deliberately; dropping one is always a decision
+//     worth recording), or
+//   - any Close or Flush method, stdlib included — a dropped Close on
+//     a written file loses the last buffered bytes silently, which is
+//     exactly the failure a bit-reproducible pipeline cannot tolerate.
+//
+// "Discarded" covers a bare call statement, a `defer x.Close()`, and a
+// blank assignment `_ = x.Close()`. Read-side closes where no data can
+// be lost are suppressed with //lint:errdrop plus a justification.
+//
+// One contract-driven exemption: par.Each and par.EachLimit document
+// that the only error they return is the first non-nil error from fn,
+// so a call whose closure argument only ever returns the literal nil
+// cannot produce an error, and dropping that structurally-nil result is
+// the package's sanctioned collect-errors-per-index idiom.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently discarded errors from module APIs or Close/Flush",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDropped(p, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDropped(p, s.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDropped(p, s.Call, "spawned ")
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+					checkDropped(p, call, "blank-assigned ")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDropped reports call if its error result is being discarded and
+// the callee falls under this analyzer's contract.
+func checkDropped(p *Pass, call *ast.CallExpr, how string) {
+	fn := calleeFunc(p, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	name := fn.Name()
+	closeFlush := name == "Close" || name == "Flush"
+	if !closeFlush && !isModuleOwn(p, fn) {
+		return
+	}
+	if isNilOnlyParEach(p, call, fn) {
+		return
+	}
+	what := "error"
+	if closeFlush {
+		what = name + " error"
+	}
+	p.Reportf(call.Pos(), "%scall to %s discards its %s: handle it or annotate with //lint:errdrop", how, qualifiedName(p, fn), what)
+}
+
+// isNilOnlyParEach reports whether call is par.Each/par.EachLimit with
+// a function-literal worker that can only return the literal nil. By
+// those functions' documented contract their result is then
+// structurally nil and safe to drop.
+func isNilOnlyParEach(p *Pass, call *ast.CallExpr, fn *types.Func) bool {
+	if fn.Name() != "Each" && fn.Name() != "EachLimit" {
+		return false
+	}
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	nilOnly := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if !nilOnly {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // nested closures return to their own caller
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 {
+				nilOnly = false
+				return false
+			}
+			id, ok := ast.Unparen(s.Results[0]).(*ast.Ident)
+			if !ok || id.Name != "nil" {
+				nilOnly = false
+			}
+		}
+		return true
+	})
+	return nilOnly
+}
+
+// qualifiedName renders pkg.Fn for a diagnostic.
+func qualifiedName(p *Pass, fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Corpus expectation support: testdata files mark the diagnostics they
+// must produce with trailing comments of the form
+//
+//	x := a == b // want "floating-point"
+//	y := c == d // want "first" "second"
+//
+// Each quoted string is an anchored-nowhere regexp that must match one
+// diagnostic reported on that line. CheckExpectations diffs a run's
+// diagnostics against a package's expectations and returns one problem
+// description per mismatch — unmatched expectations and unexpected
+// diagnostics both count, so a corpus pins analyzer behavior from both
+// sides.
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWant extracts the quoted patterns from a want comment's text
+// (the part after "want"). It returns nil if nothing parses; a corpus
+// with a malformed want line fails its test through the "unexpected
+// diagnostic" side of the diff, which is much easier to debug than
+// silent acceptance.
+func parseWant(text string) []string {
+	var pats []string
+	rest := strings.TrimSpace(text)
+	for strings.HasPrefix(rest, `"`) {
+		// strconv.QuotedPrefix understands escapes so patterns may
+		// contain \" and friends.
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return pats
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return pats
+		}
+		pats = append(pats, unq)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats
+}
+
+// expectationsOf collects every want clause in the package's files.
+func expectationsOf(pkg *Package) ([]*expectation, error) {
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := commentText(c)
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				pats := parseWant(rest)
+				if len(pats) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", fname, line, text)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", fname, line, pat, err)
+					}
+					exps = append(exps, &expectation{file: fname, line: line, pattern: re})
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+func commentText(c *ast.Comment) string {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		return text[2:]
+	case strings.HasPrefix(text, "/*"):
+		return strings.TrimSuffix(text[2:], "*/")
+	}
+	return text
+}
+
+// CheckExpectations compares diagnostics against the package's want
+// comments and returns a sorted list of mismatches (empty means the
+// corpus and the analyzer agree exactly).
+func CheckExpectations(pkg *Package, diags []Diagnostic) ([]string, error) {
+	exps, err := expectationsOf(pkg)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, e := range exps {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

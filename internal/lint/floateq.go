@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer reports == and != between floating-point operands in
+// the numeric packages, where an accidental exact comparison silently
+// turns a tolerance check into a coin flip. Two idioms are exempt
+// because they are exact by construction:
+//
+//   - self-comparison (x != x), the NaN test;
+//   - comparison against a constant that is exactly zero, the
+//     pervasive degenerate-denominator guard (sxx == 0 and friends).
+//
+// Everything else — fill-value sentinels, bit-reproducibility checks,
+// tie detection on sorted data — must carry a //lint:floateq directive
+// stating why exact equality is intended.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no float == / != outside annotated sentinel comparisons",
+	Paths: []string{
+		"internal/stats",
+		"internal/metrics",
+		"internal/ensemble",
+		"internal/pvt",
+	},
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN idiom
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true // exact-zero guard
+			}
+			p.Reportf(be.OpPos, "%s on floating-point operands: compare with a tolerance, or annotate the sentinel with //lint:floateq", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDirectives hammers the two tiny parsers this package adds — the
+// //lint: suppression grammar and the // want expectation grammar —
+// with arbitrary comment text. Both must never panic, and every
+// accepted directive must satisfy the documented invariants.
+func FuzzDirectives(f *testing.F) {
+	f.Add("lint:floateq fill sentinels")
+	f.Add("lint:ignore poolpair handed off to caller")
+	f.Add("lint:")
+	f.Add("lint:ignore")
+	f.Add(`want "never sorted"`)
+	f.Add(`"a" "b" trailing prose`)
+	f.Add(`"esc\"aped \n pattern"`)
+	f.Add("\"unterminated")
+	f.Add(strings.Repeat(`"x" `, 50))
+	f.Fuzz(func(t *testing.T, text string) {
+		name, ok := parseDirectives(text)
+		if ok {
+			if !validAnalyzerName(name) {
+				t.Errorf("parseDirectives(%q) accepted invalid name %q", text, name)
+			}
+		} else if name != "" {
+			t.Errorf("parseDirectives(%q) rejected but returned name %q", text, name)
+		}
+		for i, pat := range parseWant(text) {
+			if pat == "" && i == 0 && !strings.HasPrefix(strings.TrimSpace(text), `""`) {
+				t.Errorf("parseWant(%q) invented an empty pattern", text)
+			}
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package lint is a small static-analysis driver built entirely on the
+// standard library (go/parser + go/types; no golang.org/x/tools). It
+// exists because this repo's correctness rests on invariants that go vet
+// cannot see: the experiment pipeline must be bit-reproducible (no map
+// iteration order leaking into output, no wall-clock or unseeded
+// randomness in deterministic packages), the zero-allocation codec
+// pipeline pairs every pooled Get with a Put on every path, and the
+// statistics packages never compare floats with == by accident.
+//
+// Each invariant is mechanized as an Analyzer; cmd/climatelint loads
+// every package in the module and runs all of them. Analyzers are driven
+// by testdata corpora with `// want "regexp"` expectation comments (see
+// expect.go) so their exact contract is pinned by tests.
+//
+// # Suppression
+//
+// A finding is suppressed with a `//lint:<analyzer>` comment — either at
+// the end of the offending line or alone on the line directly above it.
+// Everything after the analyzer name is a free-form justification, which
+// is mandatory by convention (the corpus tests accept a bare directive,
+// but every suppression in this repo states its reason):
+//
+//	if v == fill { // lint note: see parseDirectives for the exact grammar
+//	//lint:floateq fill values are exact sentinels, not computed floats
+//	if v == fill {
+//
+// The form `//lint:ignore <analyzer> reason` is accepted as an alias.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check. Run inspects a fully
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Paths restricts the analyzer to packages whose import path ends
+	// with one of these suffixes. Empty means every package. A package
+	// under testdata/src/<Name> always qualifies, so each analyzer's own
+	// corpus exercises it regardless of the restriction.
+	Paths []string
+	Run   func(*Pass)
+}
+
+// appliesTo reports whether the analyzer should run on a package.
+func (a *Analyzer) appliesTo(pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/src/"+a.Name) {
+		return true
+	}
+	if len(a.Paths) == 0 {
+		return true
+	}
+	for _, suf := range a.Paths {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Module is the module path ("climcompress"); analyzers use it to
+	// distinguish this repo's own APIs from the standard library.
+	Module string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless a //lint: directive on that
+// line (or the line above) suppresses this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Analyzers returns the full set, in deterministic (alphabetical) order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ErrDropAnalyzer,
+		FloatEqAnalyzer,
+		MapOrderAnalyzer,
+		NonDetAnalyzer,
+		PoolPairAnalyzer,
+	}
+}
+
+// Run applies each analyzer to each package it applies to and returns
+// every unsuppressed diagnostic, sorted by position then analyzer so the
+// output is byte-stable.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.appliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Module:   pkg.Module,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	line     int    // source line the comment sits on
+	analyzer string // analyzer name it suppresses
+}
+
+// parseDirectives extracts //lint: suppression directives from a
+// comment's text. Grammar (text is the comment with the // or /* */
+// markers already stripped):
+//
+//	lint:<name> [justification...]
+//	lint:ignore <name> [justification...]
+//
+// A single comment can hold only one directive. Unknown or malformed
+// directives are ignored — they suppress nothing — rather than being an
+// error, so ordinary prose mentioning "lint:" cannot break a build.
+func parseDirectives(text string) (analyzer string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lint:") {
+		return "", false
+	}
+	fields := strings.Fields(text[len("lint:"):])
+	if len(fields) == 0 {
+		return "", false
+	}
+	name := fields[0]
+	if name == "ignore" {
+		if len(fields) < 2 {
+			return "", false
+		}
+		name = fields[1]
+	}
+	if !validAnalyzerName(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// validAnalyzerName reports whether s looks like an analyzer name:
+// nonempty ASCII lower-case letters only. Keeping the charset tight
+// means a stray "lint:fixme(later)" comment is prose, not a directive.
+func validAnalyzerName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// fileDirectives collects every suppression directive in a parsed file.
+// The fset maps comment positions to lines.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var ds []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			switch {
+			case strings.HasPrefix(text, "//"):
+				text = text[2:]
+			case strings.HasPrefix(text, "/*"):
+				text = strings.TrimSuffix(text[2:], "*/")
+			}
+			if name, ok := parseDirectives(text); ok {
+				ds = append(ds, directive{line: fset.Position(c.Pos()).Line, analyzer: name})
+			}
+		}
+	}
+	return ds
+}

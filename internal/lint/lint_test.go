@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func position(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// loadCorpus loads one testdata package through the real loader.
+func loadCorpus(t *testing.T, rel string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(rel)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", rel, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s): got %d packages, want 1", rel, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestAnalyzerCorpus drives every analyzer over its own corpus and
+// diffs reported diagnostics against the // want expectations, in both
+// directions.
+func TestAnalyzerCorpus(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := loadCorpus(t, "testdata/src/"+a.Name)
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			problems, err := CheckExpectations(pkg, diags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestCorpusMakesClimatelintFail pins the acceptance contract that the
+// full analyzer set reports at least one finding on every corpus — the
+// binary must exit nonzero on each seeded testdata package.
+func TestCorpusMakesClimatelintFail(t *testing.T) {
+	for _, a := range Analyzers() {
+		pkg := loadCorpus(t, "testdata/src/"+a.Name)
+		if diags := Run([]*Package{pkg}, Analyzers()); len(diags) == 0 {
+			t.Errorf("corpus %s produced no diagnostics from the full analyzer set", a.Name)
+		}
+	}
+}
+
+// TestRepoIsLintClean is the golden gate: climatelint over the whole
+// module must report nothing. Any new finding is either a real bug (fix
+// it) or an intended sentinel (annotate it with //lint:<analyzer> and a
+// justification).
+func TestRepoIsLintClean(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join(l.ModuleDir, "..."))
+	if err != nil {
+		t.Fatalf("Load module: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadSyntaxError: a package that does not parse must surface a
+// LoadError naming the file, not a silent success.
+func TestLoadSyntaxError(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("testdata/broken/syntax")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	le, ok := AsLoadError(err)
+	if !ok {
+		t.Fatalf("got %T (%v), want *LoadError", err, err)
+	}
+	if !strings.Contains(le.Error(), "bad.go") {
+		t.Errorf("LoadError does not name the broken file: %v", le)
+	}
+}
+
+// TestLoadTypeError: parseable but ill-typed packages must fail too.
+func TestLoadTypeError(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("testdata/broken/types")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error")
+	}
+	le, ok := AsLoadError(err)
+	if !ok {
+		t.Fatalf("got %T (%v), want *LoadError", err, err)
+	}
+	if !strings.Contains(le.Error(), "undefined") && !strings.Contains(le.Error(), "cannot use") {
+		t.Errorf("LoadError does not carry the type-checker message: %v", le)
+	}
+}
+
+// TestLoadErrorIsCached: a second request for a broken package must
+// return the same failure, not a half-initialized package.
+func TestLoadErrorIsCached(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := l.Load("testdata/broken/types")
+	_, err2 := l.Load("testdata/broken/types")
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected both loads to fail")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("cached load error differs:\n  first:  %v\n  second: %v", err1, err2)
+	}
+}
+
+// TestParseDirectives covers the suppression grammar.
+func TestParseDirectives(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		ok   bool
+	}{
+		{"lint:floateq fill sentinels", "floateq", true},
+		{"lint:errdrop", "errdrop", true},
+		{" lint:maporder sorted by caller ", "maporder", true},
+		{"lint:ignore poolpair handed off", "poolpair", true},
+		{"lint:ignore", "", false},
+		{"lint:", "", false},
+		{"lint:FloatEq case matters", "", false},
+		{"lint:fixme(later)", "", false},
+		{"just prose about lint: tools", "", false},
+		{"nolint:floateq other tools' grammar", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirectives(c.in)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseDirectives(%q) = %q,%v; want %q,%v", c.in, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+// TestParseWant covers the expectation grammar used by the corpora.
+func TestParseWant(t *testing.T) {
+	if got := parseWant(`"one"`); len(got) != 1 || got[0] != "one" {
+		t.Errorf(`parseWant("one") = %q`, got)
+	}
+	if got := parseWant(`"a" "b"`); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf(`parseWant("a" "b") = %q`, got)
+	}
+	if got := parseWant(`"esc\"aped"`); len(got) != 1 || got[0] != `esc"aped` {
+		t.Errorf("parseWant escape = %q", got)
+	}
+	if got := parseWant("no quotes"); got != nil {
+		t.Errorf("parseWant(no quotes) = %q, want nil", got)
+	}
+}
+
+// TestSuppressionCoversDirectiveAndNextLine pins the directive scope:
+// the line it is on and the one below, nothing else.
+func TestSuppressionCoversDirectiveAndNextLine(t *testing.T) {
+	pkg := loadCorpus(t, "testdata/src/floateq")
+	var file string
+	var dirLine int
+	for k := range pkg.supp {
+		if k.analyzer == "floateq" {
+			file, dirLine = k.file, k.line
+			break
+		}
+	}
+	if file == "" {
+		t.Fatal("floateq corpus has no suppression directive")
+	}
+	pos := func(line int) bool {
+		return pkg.suppressed("floateq", position(file, line))
+	}
+	// The directive covers two lines; one of them is dirLine itself.
+	if !pos(dirLine) {
+		t.Errorf("directive line %d not suppressed", dirLine)
+	}
+	if pos(dirLine+5) || pos(dirLine-2) {
+		t.Error("suppression leaks beyond the directive's two-line scope")
+	}
+	if pkg.suppressed("maporder", position(file, dirLine)) {
+		t.Error("suppression leaks across analyzers")
+	}
+}
+
+// TestAnalyzerPathRestriction: floateq must not fire outside its
+// packages (or its own corpus).
+func TestAnalyzerPathRestriction(t *testing.T) {
+	a := FloatEqAnalyzer
+	if a.appliesTo("climcompress/internal/stats") != true {
+		t.Error("floateq must apply to internal/stats")
+	}
+	if a.appliesTo("climcompress/internal/report") {
+		t.Error("floateq must not apply to internal/report")
+	}
+	if !a.appliesTo("climcompress/internal/lint/testdata/src/floateq") {
+		t.Error("floateq must apply to its own corpus")
+	}
+	if MapOrderAnalyzer.appliesTo("climcompress/internal/report") != true {
+		t.Error("maporder is unrestricted and must apply everywhere")
+	}
+}

@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader turns directory patterns into fully type-checked Packages
+// using only the standard library. Imports inside this module are
+// resolved by recursively loading the imported directory; standard
+// library imports are delegated to go/importer's source importer, which
+// type-checks GOROOT packages from source and needs no pre-built export
+// data. All loaders share one FileSet (and therefore one stdlib
+// importer) so repeated loads in one process reuse the stdlib work.
+
+var (
+	sharedFset    = token.NewFileSet()
+	stdImportOnce sync.Once
+	stdImport     types.ImporterFrom
+)
+
+func stdImporter() types.ImporterFrom {
+	stdImportOnce.Do(func() {
+		stdImport = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdImport
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path   string // import path within the module
+	Dir    string // absolute directory
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	supp map[suppKey]bool
+}
+
+type suppKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressed reports whether a //lint: directive covers this position
+// for this analyzer. A directive covers its own line and the next line,
+// so it can sit at the end of the offending statement or alone above it.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	return p.supp[suppKey{file: pos.Filename, line: pos.Line, analyzer: analyzer}]
+}
+
+// LoadError aggregates everything that went wrong loading one package;
+// climatelint prints it and exits with a distinct status so a broken
+// tree is not mistaken for a clean one.
+type LoadError struct {
+	Path string
+	Msgs []string
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("loading %s: %s", e.Path, strings.Join(e.Msgs, "; "))
+}
+
+// Loader loads and caches packages of a single module.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	startDir string
+	pkgs     map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package
+	tpkg    *types.Package
+	err     error
+	loading bool
+}
+
+// NewLoader locates the enclosing module of startDir (by walking up to
+// go.mod) and returns a loader rooted there.
+func NewLoader(startDir string) (*Loader, error) {
+	abs, err := filepath.Abs(startDir)
+	if err != nil {
+		return nil, err
+	}
+	dir := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			modPath := modulePathFrom(string(data))
+			if modPath == "" {
+				return nil, fmt.Errorf("no module line in %s", filepath.Join(dir, "go.mod"))
+			}
+			return &Loader{
+				Fset:       sharedFset,
+				ModuleDir:  dir,
+				ModulePath: modPath,
+				startDir:   abs,
+				pkgs:       make(map[string]*loadEntry),
+			}, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		dir = parent
+	}
+}
+
+// modulePathFrom extracts the module path from go.mod contents.
+func modulePathFrom(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load resolves each pattern to package directories and type-checks
+// them. A pattern is a directory (absolute or relative to the loader's
+// start directory), optionally ending in "/..." to include every
+// package under it. Directories named testdata, or starting with "." or
+// "_", are skipped during "..." expansion — matching the go tool — but
+// can still be loaded by naming them explicitly.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.startDir, dir)
+		}
+		dir = filepath.Clean(dir)
+		if recursive {
+			sub, err := packageDirs(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+		} else {
+			add(dir)
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return pkgs, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// packageDirs finds every directory under root holding at least one
+// non-test Go file, applying the go tool's pruning rules.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor maps an absolute directory inside the module to its
+// import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor is the inverse of importPathFor, for module-internal imports.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModulePath {
+		return l.ModuleDir
+	}
+	rel := strings.TrimPrefix(importPath, l.ModulePath+"/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// loadDir parses and type-checks the package in dir, memoized.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := l.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	return entry.pkg, nil
+}
+
+// check loads import path from dir: parse, type-check, collect
+// suppression directives. Results (including failures) are cached.
+func (l *Loader) check(path, dir string) (*loadEntry, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, &LoadError{Path: path, Msgs: []string{"import cycle"}}
+		}
+		return e, e.err
+	}
+	e := &loadEntry{loading: true}
+	l.pkgs[path] = e
+	defer func() { e.loading = false }()
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		e.err = &LoadError{Path: path, Msgs: []string{err.Error()}}
+		return e, e.err
+	}
+
+	var msgs []string
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			msgs = append(msgs, err.Error())
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(msgs) > 0 {
+		e.err = &LoadError{Path: path, Msgs: msgs}
+		return e, e.err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(msgs) < 20 {
+				msgs = append(msgs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(msgs) > 0 {
+		e.err = &LoadError{Path: path, Msgs: msgs}
+		return e, e.err
+	}
+
+	pkg := &Package{
+		Path:   path,
+		Dir:    dir,
+		Module: l.ModulePath,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		supp:   make(map[suppKey]bool),
+	}
+	for _, f := range files {
+		fname := l.Fset.Position(f.Pos()).Filename
+		for _, d := range fileDirectives(l.Fset, f) {
+			// A directive covers its own line and the next one.
+			pkg.supp[suppKey{file: fname, line: d.line, analyzer: d.analyzer}] = true
+			pkg.supp[suppKey{file: fname, line: d.line + 1, analyzer: d.analyzer}] = true
+		}
+	}
+	e.pkg = pkg
+	e.tpkg = tpkg
+	return e, nil
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// imports load recursively through this loader; everything else is
+// assumed to be standard library and goes to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		e, err := l.check(path, l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return e.tpkg, nil
+	}
+	pkg, err := stdImporter().ImportFrom(path, l.ModuleDir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// AsLoadError unwraps err to a *LoadError if it is one.
+func AsLoadError(err error) (*LoadError, bool) {
+	var le *LoadError
+	if errors.As(err, &le) {
+		return le, true
+	}
+	return nil, false
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer mechanizes the bug class behind the PR 3
+// report.HistogramChart fix: Go map iteration order is deliberately
+// randomized, so a `range` over a map that feeds ordered output makes
+// that output differ run to run — fatal in a pipeline whose figures and
+// artifact digests are pinned by exact-byte tests.
+//
+// It reports a range over a map-typed value when the loop body
+//
+//   - writes through anything implementing io.Writer (including
+//     strings.Builder / bytes.Buffer method calls) or calls a
+//     fmt.Print/Fprint-family function, or
+//   - appends to a slice declared outside the loop that is never
+//     subsequently passed to a sort or slices call in the same function
+//     (the collect-then-sort idiom is the sanctioned fix and is not
+//     flagged).
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map must not feed ordered output without an intervening sort",
+	Run:  runMapOrder,
+}
+
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// fmtOutputFuncs are fmt functions that emit directly to a stream. The
+// Sprint family only builds a value, so it is order-sensitive only if
+// the result itself is accumulated — which the append rule covers.
+var fmtOutputFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					mapOrderBody(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				mapOrderBody(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mapOrderBody checks every map-range directly inside body (nested
+// function literals get their own pass).
+func mapOrderBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(rs.X); t == nil || !isMapType(t) {
+			return true
+		}
+		checkMapRange(p, body, rs)
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one range-over-map for order-sensitive sinks.
+func checkMapRange(p *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt) {
+	type appendSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var appends []appendSite
+	seen := make(map[types.Object]bool)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || len(call.Args) == 0 {
+					continue
+				}
+				if _, isBuiltin := p.ObjectOf(identOf(call.Fun)).(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if i >= len(s.Lhs) && len(s.Lhs) != 1 {
+					continue
+				}
+				lhs := s.Lhs[min(i, len(s.Lhs)-1)]
+				id := identOf(lhs)
+				if id == nil || id.Name == "_" {
+					continue // appending into a map element or field: order-independent storage
+				}
+				obj := p.ObjectOf(id)
+				if obj == nil || seen[obj] {
+					continue
+				}
+				// Only slices declared outside the loop accumulate
+				// across iterations in iteration order.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				seen[obj] = true
+				appends = append(appends, appendSite{obj: obj, pos: s.Pos()})
+			}
+		case *ast.CallExpr:
+			if importedPackage(p, s) == "fmt" && fmtOutputFuncs[calleeName(s)] {
+				p.Reportf(s.Pos(), "fmt.%s inside range over map: output order depends on map iteration order", calleeName(s))
+				return true
+			}
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				if implementsWriter(p.TypeOf(sel.X)) {
+					p.Reportf(s.Pos(), "%s on an io.Writer inside range over map: output order depends on map iteration order", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, site := range appends {
+		if !sortedAfter(p, enclosing, rs, site.obj) {
+			p.Reportf(site.pos, "slice %q is built from a range over a map and never sorted: element order depends on map iteration order", site.obj.Name())
+		}
+	}
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// sortedAfter reports whether obj is passed to any sort or slices call
+// after the range statement ends, within the same function body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		switch importedPackage(p, call) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(p, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

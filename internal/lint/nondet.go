@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NonDetAnalyzer guards the deterministic pipeline packages — the ones
+// whose outputs are pinned by exact-byte golden tests and whose
+// artifact-cache keys assume a run is a pure function of its inputs.
+// Inside them it reports:
+//
+//   - time.Now calls (wall-clock leaking into results or cache keys),
+//   - calls through math/rand's global source (unseeded; every process
+//     sees a different stream) — methods on an explicitly constructed
+//     *rand.Rand are fine because its seed is chosen by the caller,
+//   - fmt print/format calls passed a map-typed argument (rendered key
+//     order is a property of the fmt version, not of the data; callers
+//     must sort keys and format entries explicitly).
+var NonDetAnalyzer = &Analyzer{
+	Name: "nondet",
+	Doc:  "no wall-clock, unseeded randomness, or map formatting in deterministic packages",
+	Paths: []string{
+		"internal/ensemble",
+		"internal/experiments",
+		"internal/artifact",
+		"internal/report",
+	},
+	Run: runNonDet,
+}
+
+// fmtFormatFuncs is every fmt function that renders its operands,
+// including the Sprint family: a map formatted into a string is just as
+// order-sensitive as one printed to a stream.
+var fmtFormatFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runNonDet(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg := importedPackage(p, call)
+			name := calleeName(call)
+			switch pkg {
+			case "time":
+				if name == "Now" {
+					p.Reportf(call.Pos(), "time.Now in a deterministic package: wall clock must not influence pipeline output")
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewSource, NewZipf, ...) only build
+				// explicitly seeded generators; every other package-level
+				// function goes through the shared global source.
+				if !strings.HasPrefix(name, "New") {
+					p.Reportf(call.Pos(), "%s.%s uses the global random source: seed an explicit rand.Rand instead", pkgBase(pkg), name)
+				}
+			case "fmt":
+				if fmtFormatFuncs[name] {
+					for _, arg := range call.Args {
+						if t := p.TypeOf(arg); t != nil && isMapType(t) {
+							p.Reportf(arg.Pos(), "map passed to fmt.%s: formatted key order is not guaranteed; sort keys and format entries explicitly", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolPairAnalyzer enforces the zero-allocation codec pipeline's
+// ownership rule: every buffer taken from a scratch pool goes back.
+// Tracked acquisitions are
+//
+//   - compress.GetBytes / compress.GetInt64s, paired with PutBytes /
+//     PutInt64s, and
+//   - any module function named Acquire* that returns a release func()
+//     (e.g. ensemble.VarStats.AcquireOriginal), paired with calling or
+//     deferring that func.
+//
+// Within each function the analyzer walks statements in source order
+// and, at every exit edge — each return, each explicit panic, and
+// falling off the end of the body — reports tracked values that have
+// not been released, deferred for release, or returned to the caller
+// (returning the buffer transfers ownership). The walk is a linear
+// approximation, not a full CFG: a release anywhere earlier in source
+// order satisfies later exits. That is deliberately lenient — the
+// analyzer exists to catch the early-return and panic-before-Put leaks
+// that code review keeps missing, without false-positive noise on
+// branchy code.
+var PoolPairAnalyzer = &Analyzer{
+	Name: "poolpair",
+	Doc:  "every pooled Get/Acquire must be released on every exit path",
+	Run:  runPoolPair,
+}
+
+// poolPairs maps the compress package's pooled getters to the required
+// release call.
+var poolPairs = map[string]string{
+	"GetBytes":  "PutBytes",
+	"GetInt64s": "PutInt64s",
+}
+
+func runPoolPair(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					poolPairBody(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				poolPairBody(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// tracked is one live pooled value inside a function walk.
+type tracked struct {
+	pos      token.Pos // acquisition site
+	expect   string    // what a fix looks like, for the message
+	released bool
+	reported bool
+}
+
+type poolWalker struct {
+	p    *Pass
+	live map[types.Object]*tracked
+}
+
+func poolPairBody(p *Pass, body *ast.BlockStmt) {
+	w := &poolWalker{p: p, live: make(map[types.Object]*tracked)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate frame, checked on its own
+		case *ast.DeferStmt:
+			w.handleDefer(s)
+			return false
+		case *ast.AssignStmt:
+			w.handleAssign(s)
+		case *ast.CallExpr:
+			w.handleRelease(s)
+		case *ast.ReturnStmt:
+			w.handleExit(s.Pos(), s.Results)
+		case *ast.ExprStmt:
+			if isPanicCall(s) {
+				w.handleExit(s.Pos(), nil)
+			}
+		}
+		return true
+	})
+	if !terminates(body) {
+		w.handleExit(body.End(), nil)
+	}
+}
+
+// terminates reports whether the body's last statement is an exit edge
+// already handled during the walk.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	last := body.List[len(body.List)-1]
+	if _, ok := last.(*ast.ReturnStmt); ok {
+		return true
+	}
+	return isPanicCall(last)
+}
+
+// handleAssign records acquisitions: x := compress.GetBytes(n) and
+// data, release := obj.AcquireOriginal(m). It also recognizes ownership
+// transfer: an assignment that weaves a tracked value into a
+// longer-lived structure (an index, field, or pointer target on the
+// left-hand side) hands the buffer to whoever owns that structure —
+// the pattern behind parallel's payloads[i] slots, which a deferred
+// sweep releases in bulk.
+func (w *poolWalker) handleAssign(s *ast.AssignStmt) {
+	if len(w.live) > 0 && hasStructuredTarget(s.Lhs) {
+		for obj, t := range w.live {
+			for _, rhs := range s.Rhs {
+				if usesObject(w.p, rhs, obj) {
+					t.released = true
+				}
+			}
+		}
+	}
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(w.p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if put, ok := poolPairs[fn.Name()]; ok && strings.HasSuffix(fn.Pkg().Path(), "internal/compress") {
+		if obj := lhsObject(w.p, s.Lhs, 0); obj != nil {
+			w.live[obj] = &tracked{pos: s.Pos(), expect: fn.Pkg().Name() + "." + put}
+		}
+		return
+	}
+	if strings.HasPrefix(fn.Name(), "Acquire") && isModuleOwn(w.p, fn) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i := 0; i < sig.Results().Len() && i < len(s.Lhs); i++ {
+			if !isReleaseFunc(sig.Results().At(i).Type()) {
+				continue
+			}
+			if obj := lhsObject(w.p, s.Lhs, i); obj != nil {
+				w.live[obj] = &tracked{pos: s.Pos(), expect: "the release func returned by " + fn.Name()}
+			}
+		}
+	}
+}
+
+// hasStructuredTarget reports whether any assignment target is not a
+// plain identifier — i.e. the value lands in an index, field, or
+// dereference rather than a local.
+func hasStructuredTarget(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if identOf(e) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lhsObject resolves the i'th assignment target to a named object.
+func lhsObject(p *Pass, lhs []ast.Expr, i int) types.Object {
+	if i >= len(lhs) {
+		return nil
+	}
+	id := identOf(lhs[i])
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	return p.ObjectOf(id)
+}
+
+// isReleaseFunc matches func() — no parameters, no results.
+func isReleaseFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// handleRelease marks values released by a PutBytes/PutInt64s call or by
+// invoking a tracked release func.
+func (w *poolWalker) handleRelease(call *ast.CallExpr) {
+	if len(w.live) == 0 {
+		return
+	}
+	if id := identOf(call.Fun); id != nil {
+		if t, ok := w.live[w.p.ObjectOf(id)]; ok {
+			t.released = true // release()
+			return
+		}
+	}
+	fn := calleeFunc(w.p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if !isPutName(fn.Name()) || !strings.HasSuffix(fn.Pkg().Path(), "internal/compress") {
+		return
+	}
+	for obj, t := range w.live {
+		for _, arg := range call.Args {
+			if usesObject(w.p, arg, obj) {
+				t.released = true
+			}
+		}
+	}
+}
+
+func isPutName(name string) bool {
+	for _, put := range poolPairs {
+		if name == put {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDefer discharges releases scheduled with defer, both direct
+// (defer compress.PutBytes(b)) and wrapped (defer func(){ ... }()).
+func (w *poolWalker) handleDefer(d *ast.DeferStmt) {
+	w.handleRelease(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				w.handleRelease(call)
+			}
+			return true
+		})
+	}
+}
+
+// handleExit reports every live, unreleased value at an exit edge.
+// Values appearing in the return results are treated as handed to the
+// caller.
+func (w *poolWalker) handleExit(pos token.Pos, results []ast.Expr) {
+	for obj, t := range w.live {
+		if t.released || t.reported {
+			continue
+		}
+		escapes := false
+		for _, r := range results {
+			if usesObject(w.p, r, obj) {
+				escapes = true
+				break
+			}
+		}
+		if escapes {
+			continue
+		}
+		t.reported = true
+		w.p.Reportf(t.pos, "%q acquired here is not released on the exit path at line %d: call %s (or defer it) before returning",
+			obj.Name(), w.p.Pkg.Fset.Position(pos).Line, t.expect)
+	}
+}

@@ -1,0 +1,4 @@
+// A deliberately unparseable file for the loader's failure-path tests.
+package syntax
+
+func missingBrace( {

@@ -1,0 +1,7 @@
+// Parses fine, fails the type checker: exercises the loader's
+// type-error path.
+package types
+
+func addsStringToInt() int {
+	return 1 + undefinedIdentifier
+}

@@ -1,0 +1,67 @@
+// Corpus for the errdrop analyzer: no silently discarded errors from
+// module APIs or Close/Flush.
+package errdrop
+
+import (
+	"os"
+
+	"climcompress/internal/par"
+)
+
+func mightFail() error { return nil }
+
+type sink struct{}
+
+func (sink) Close() error                { return nil }
+func (sink) Flush() error                { return nil }
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+// Positive: a module API's error dropped on the floor.
+func dropModuleAPI() {
+	mightFail() // want "discards its error"
+}
+
+// Positive: blank-assigning a Close error.
+func dropClose(s sink) {
+	_ = s.Close() // want "blank-assigned call .* discards its Close error"
+}
+
+// Positive: deferring a Flush discards its error just as silently.
+func dropFlushDefer(s sink) {
+	defer s.Flush() // want "deferred call .* discards its Flush error"
+}
+
+// Positive: par.Each whose worker can actually fail.
+func errWorkers(n int) {
+	par.Each(n, func(i int) error { // want "discards its error"
+		return mightFail()
+	})
+}
+
+// Negative: handled error.
+func handled() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Negative: stdlib error-returning call that is neither Close nor Flush
+// (plain vet territory; this analyzer stays out of it).
+func stdlibNonClose(f *os.File) {
+	f.Sync()
+}
+
+// Negative: par.Each with a worker that only returns nil — by Each's
+// contract the dropped result is structurally nil.
+func nilOnlyWorkers(n int, errs []error) {
+	par.Each(n, func(i int) error {
+		errs[i] = mightFail()
+		return nil
+	})
+}
+
+// Negative: annotated read-side close.
+func annotatedClose(s sink) {
+	s.Close() //lint:errdrop read side; no buffered data to lose
+}

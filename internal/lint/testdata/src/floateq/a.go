@@ -1,0 +1,50 @@
+// Corpus for the floateq analyzer: no float == / != outside annotated
+// sentinel comparisons.
+package floateq
+
+// Positive: exact equality where a tolerance is almost surely meant.
+func approxEqual(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+// Positive: exact match against a computed value.
+func countTies(xs []float32, v float32) int {
+	n := 0
+	for _, x := range xs {
+		if x == v { // want "== on floating-point operands"
+			n++
+		}
+	}
+	return n
+}
+
+// Positive: != is just as suspect as ==.
+func drifted(prev, cur float64) bool {
+	return prev != cur // want "!= on floating-point operands"
+}
+
+// Positive: a nonzero constant is not the degenerate-guard idiom.
+func atUpperEdge(p float64) bool {
+	return p == 1 // want "== on floating-point operands"
+}
+
+// Negative: the NaN self-comparison idiom is exact by construction.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Negative: comparison against exactly zero guards degenerate inputs.
+func zeroGuard(sxx float64) bool {
+	return sxx == 0
+}
+
+// Negative: integer equality is exact; not this analyzer's business.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// Negative: an annotated sentinel comparison.
+func isFill(v, fill float32) bool {
+	//lint:floateq fill values are exact bit-pattern sentinels, never computed
+	return v == fill
+}

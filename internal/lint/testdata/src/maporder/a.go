@@ -1,0 +1,99 @@
+// Corpus for the maporder analyzer: range over a map must not feed
+// ordered output without an intervening sort.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Positive: keys collected from a map range and returned unsorted.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}
+
+// Positive: writing to a stream while iterating a map.
+func printDirect(m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%v\n", k, v) // want "output order depends on map iteration order"
+	}
+}
+
+// Positive: the PR 3 HistogramChart revert, distilled — building chart
+// text straight out of a marker map.
+func render(markers map[string]string) string {
+	var b strings.Builder
+	for name, sym := range markers {
+		b.WriteString(name) // want "WriteString on an io.Writer inside range over map"
+		b.WriteString(sym)  // want "WriteString on an io.Writer inside range over map"
+	}
+	return b.String()
+}
+
+// Positive: two slices built in one loop, only one sorted afterwards.
+func halfSorted(m map[string]int) ([]string, []int) {
+	var names []string
+	var vals []int
+	for k, v := range m {
+		names = append(names, k)
+		vals = append(vals, v) // want "\"vals\" is built from a range over a map"
+	}
+	sort.Strings(names)
+	return names, vals
+}
+
+// Negative: the sanctioned collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Negative: sort.Slice with the collected slice in its comparator.
+func sortedByValue(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return m[out[i]] < m[out[j]] })
+	return out
+}
+
+// Negative: ranging over a slice (already ordered) while writing.
+func renderSorted(names []string, m map[string]string) string {
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(m[n])
+	}
+	return b.String()
+}
+
+// Negative: order-insensitive aggregation over a map.
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Negative: an explicit suppression with justification.
+func annotated(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:maporder caller sorts; kept raw here to exercise suppression
+		keys = append(keys, k)
+	}
+	return keys
+}

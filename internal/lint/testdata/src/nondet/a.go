@@ -1,0 +1,51 @@
+// Corpus for the nondet analyzer: no wall-clock, unseeded randomness,
+// or map formatting in deterministic packages.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Positive: wall clock leaking into pipeline state.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// Positive: the global random source is differently seeded per process.
+func jitter() float64 {
+	return rand.Float64() // want "global random source"
+}
+
+// Positive: seeding the global source is still shared mutable state.
+func reseed(seed int64) {
+	rand.Seed(seed) // want "global random source"
+}
+
+// Positive: formatting a map bakes fmt's key ordering into the output.
+func describe(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "map passed to fmt.Sprintf"
+}
+
+// Negative: an explicitly seeded generator is reproducible.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Negative: formatting a slice preserves its order.
+func describeSlice(xs []int) string {
+	return fmt.Sprintf("%v", xs)
+}
+
+// Negative: arithmetic on timestamps passed in by the caller.
+func elapsed(start, end int64) int64 {
+	return end - start
+}
+
+// Negative: annotated wall-clock use (timing display only).
+func wallClock() time.Time {
+	//lint:nondet timing display only; never feeds results or cache keys
+	return time.Now()
+}

@@ -1,0 +1,105 @@
+// Corpus for the poolpair analyzer: every pooled Get/Acquire must be
+// released on every exit path.
+package poolpair
+
+import (
+	"errors"
+
+	"climcompress/internal/compress"
+)
+
+var errTooBig = errors.New("too big")
+
+func use(b []byte) { _ = len(b) }
+
+type source struct{}
+
+// AcquireView mimics ensemble.VarStats.AcquireOriginal: data plus a
+// release func the caller must invoke.
+func (source) AcquireView(i int) ([]float32, func()) { return nil, func() {} }
+
+// Positive: early return leaks the buffer.
+func leakEarlyReturn(n int) error {
+	b := compress.GetBytes(n) // want "\"b\" acquired here is not released"
+	if n > 4 {
+		return errTooBig
+	}
+	compress.PutBytes(b)
+	return nil
+}
+
+// Positive: a panic edge before the Put.
+func leakPanic(n int) {
+	s := compress.GetInt64s(n) // want "\"s\" acquired here is not released"
+	if n == 0 {
+		panic("n must be positive")
+	}
+	compress.PutInt64s(s)
+}
+
+// Positive: acquired and simply never released.
+func leakForgotten(n int) {
+	b := compress.GetBytes(n) // want "\"b\" acquired here is not released"
+	use(b)
+}
+
+// Positive: release func skipped on the early return.
+func leakAcquire(s source) int {
+	data, release := s.AcquireView(0) // want "\"release\" acquired here is not released"
+	if len(data) == 0 {
+		return 0
+	}
+	release()
+	return len(data)
+}
+
+// Negative: deferred Put covers every exit.
+func deferRelease(n int) int {
+	b := compress.GetBytes(n)
+	defer compress.PutBytes(b)
+	if n > 4 {
+		return 1
+	}
+	return 0
+}
+
+// Negative: straight-line Get/Put pairing.
+func putBeforeReturn(n int) int {
+	b := compress.GetBytes(n)
+	b = append(b, 1)
+	compress.PutBytes(b)
+	return len(b)
+}
+
+// Negative: returning the buffer transfers ownership to the caller.
+func handOff(n int) []byte {
+	b := compress.GetBytes(n)
+	return append(b, 0)
+}
+
+// Negative: storing into a shared structure transfers ownership (the
+// parallel-codec payloads pattern, released later by a bulk sweep).
+func stash(dst [][]byte, n int) {
+	b := compress.GetBytes(n)
+	dst[0] = append(b, 1)
+}
+
+// Negative: deferred closure releases the buffer.
+func deferWrapped(n int) {
+	b := compress.GetBytes(n)
+	defer func() { compress.PutBytes(b) }()
+	use(b)
+}
+
+// Negative: deferred release func.
+func acquireDefer(s source) int {
+	data, release := s.AcquireView(1)
+	defer release()
+	return len(data)
+}
+
+// Negative: explicit suppression.
+func annotatedLeak(n int) {
+	b := compress.GetBytes(n) //lint:poolpair ownership documented elsewhere; suppression under test
+	use(b)
+}

@@ -12,6 +12,7 @@ func GradientMagnitude(data []float32, levs, rows, cols int, fill float32, hasFi
 	out := make([]float32, len(data))
 	at := func(base, r, c int) (float32, bool) {
 		v := data[base+r*cols+c]
+		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 		if hasFill && v == fill {
 			return 0, false
 		}
@@ -22,6 +23,7 @@ func GradientMagnitude(data []float32, levs, rows, cols int, fill float32, hasFi
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
 				idx := base + r*cols + c
+				//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 				if hasFill && data[idx] == fill {
 					out[idx] = fill
 					continue
@@ -82,9 +84,11 @@ func GradientCompare(orig, recon []float32, levs, rows, cols int, fill float32, 
 	// union of both masks by copying orig's fill marks into recon's field.
 	if hasFill {
 		for i := range go1 {
+			//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 			if go1[i] == gFill && go2[i] != gFill {
 				go2[i] = gFill
 			}
+			//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 			if go2[i] == gFill && go1[i] != gFill {
 				go1[i] = gFill
 			}

@@ -41,7 +41,9 @@ func Compare(orig, recon []float32, fill float32, hasFill bool) Errors {
 		identical    = true
 	)
 	for i := range orig {
+		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 		if hasFill && orig[i] == fill {
+			//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 			if recon[i] != fill {
 				e.EMax = math.Inf(1)
 			}
@@ -65,6 +67,7 @@ func Compare(orig, recon []float32, fill float32, hasFill bool) Errors {
 		sumXX += x * x
 		sumYY += y * y
 		sumXY += x * y
+		//lint:floateq intentional exact comparison: detects bit-identical reconstruction, where correlation is defined as 1
 		if x != y {
 			identical = false
 		}
@@ -132,6 +135,7 @@ func SSIM(orig, recon []float32, rows, cols, win int, fill float32, hasFill bool
 	}
 	var lo, hi = math.Inf(1), math.Inf(-1)
 	for _, v := range orig {
+		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 		if hasFill && v == fill {
 			continue
 		}
@@ -160,6 +164,7 @@ func SSIM(orig, recon []float32, rows, cols, win int, fill float32, hasFill bool
 			for r := r0; r < r0+win && !skip; r++ {
 				for c := c0; c < c0+win; c++ {
 					i := r*cols + c
+					//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
 					if hasFill && (orig[i] == fill || recon[i] == fill) {
 						skip = true
 						break

@@ -114,6 +114,7 @@ func PortVerify(vs *ensemble.VarStats, newRuns [][]float32) (PortResult, error) 
 		case math.IsNaN(run.GlobalMean) || math.IsNaN(gmStd):
 			run.MeanOK = false
 		case gmStd == 0:
+			//lint:floateq zero ensemble spread demands bit-exact agreement; any tolerance would defeat the port check
 			run.MeanOK = run.GlobalMean == gmMean
 		default:
 			run.MeanOK = math.Abs(run.GlobalMean-gmMean)/gmStd <= meanZLimit

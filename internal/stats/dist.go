@@ -9,6 +9,7 @@ func NormQuantile(p float64) float64 {
 		switch {
 		case p == 0:
 			return math.Inf(-1)
+		//lint:floateq the quantile domain edge is the exact constant 1, not a computed value
 		case p == 1:
 			return math.Inf(1)
 		}
@@ -65,6 +66,7 @@ func TQuantile(p float64, df int) float64 {
 		switch {
 		case p == 0:
 			return math.Inf(-1)
+		//lint:floateq the quantile domain edge is the exact constant 1, not a computed value
 		case p == 1:
 			return math.Inf(1)
 		}

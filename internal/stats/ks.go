@@ -32,9 +32,11 @@ func KolmogorovSmirnov(a, b []float64) KSResult {
 		// ties move both CDFs together (otherwise identical samples would
 		// report spurious distance).
 		v := math.Min(x[i], y[j])
+		//lint:floateq tie groups advance over bit-identical sorted values; a tolerance would merge distinct samples
 		for i < n1 && x[i] == v {
 			i++
 		}
+		//lint:floateq tie groups advance over bit-identical sorted values; a tolerance would merge distinct samples
 		for j < n2 && y[j] == v {
 			j++
 		}

@@ -96,6 +96,7 @@ func Pearson(xs, ys []float64) float64 {
 	if sxx == 0 || syy == 0 {
 		identical := true
 		for i := range xs {
+			//lint:floateq intentional exact comparison: distinguishes bit-identical series (r=1) from degenerate variance (r=NaN)
 			if xs[i] != ys[i] {
 				identical = false
 				break
@@ -184,6 +185,7 @@ func NewHistogram(xs []float64, nbins int) Histogram {
 		nbins = 1
 	}
 	lo, hi := MinMax(xs)
+	//lint:floateq exact min==max detects a constant series, which gets the widened fallback range below
 	if math.IsNaN(lo) || lo == hi {
 		if math.IsNaN(lo) {
 			lo, hi = 0, 1
