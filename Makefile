@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-json bench-diff fuzz vet lint fmt fmt-check verify experiments clean
+.PHONY: all build test race race-short bench bench-json bench-diff bench-shard shard-smoke fuzz vet lint fmt fmt-check verify experiments clean
 
 all: build test
 
@@ -27,6 +27,7 @@ verify:
 	$(MAKE) lint
 	$(GO) test ./...
 	$(MAKE) race-short
+	$(MAKE) shard-smoke
 	@if [ -n "$(BASE)" ] && [ -n "$(HEAD)" ] && [ "$(BASE)" != "$(HEAD)" ]; then \
 		$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD); \
 	else \
@@ -86,6 +87,31 @@ bench-diff:
 		echo "bench-diff: need two BENCH_PR*.json snapshots (have: $(SNAPSHOTS))"; exit 1; \
 	fi
 	$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD)
+
+# Cross-process correctness smoke: a 2-shard supervised run (two real
+# climatebench children coordinating through one artifact cache) must
+# render byte-identical stdout to a plain single-process uncached run.
+shard-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/climatebench ./cmd/climatebench && \
+	common="-grid test -members 9 -vars U,FSDSC,Z3,CCN3,SST -q" && \
+	$$tmp/climatebench $$common -nocache table3 table6 > $$tmp/serial.txt 2>/dev/null && \
+	$$tmp/climatebench $$common -cachedir $$tmp/cache -supervise 2 table3 table6 > $$tmp/sharded.txt 2>/dev/null && \
+	if cmp -s $$tmp/serial.txt $$tmp/sharded.txt; then \
+		echo "shard-smoke: 2-shard supervised output byte-identical to serial"; \
+	else \
+		echo "shard-smoke: output differs:"; diff $$tmp/serial.txt $$tmp/sharded.txt; exit 1; \
+	fi
+
+# Shard-scale performance snapshot: cold and warm supervised runs at 1, 2
+# and 4 shards (one worker per child, so scaling reflects process
+# parallelism) appended to the newest BENCH_PR*.json via per-entry-best
+# merge. On a >=4-core host the 4-shard cold pass should be >=3x faster
+# than 1-shard; benchdiff then gates these entries like any other.
+bench-shard:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/climatebench ./cmd/climatebench && \
+	$(GO) run ./cmd/benchjson -shard-bin $$tmp/climatebench -shard-only -merge $(HEAD) -out $(HEAD)
 
 # Short fuzzing pass over the decoder, container, artifact-cache, and
 # lint-directive parsers.

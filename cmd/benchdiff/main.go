@@ -7,7 +7,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -92,15 +91,7 @@ func main() {
 }
 
 func readReport(path string) (*benchjson.Report, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rep benchjson.Report
-	if err := json.Unmarshal(buf, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &rep, nil
+	return benchjson.ReadFile(path)
 }
 
 // byName indexes entries, keeping the first occurrence of each name+note so

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -49,8 +50,15 @@ func main() {
 	sweeps := flag.Int("sweeps", 3, "microbenchmark sweeps; per-entry best is kept")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs")
 	memprofile := flag.String("memprofile", "", "write a heap profile on exit")
+	shardBin := flag.String("shard-bin", "", "path to a climatebench binary; when set, time 1/2/4-shard supervised cold+warm runs into shard/ entries")
+	shardOnly := flag.Bool("shard-only", false, "run only the shard-scale timings (requires -shard-bin)")
+	shardMembers := flag.Int("shard-members", 31, "ensemble size for the shard-scale timings")
+	mergeWith := flag.String("merge", "", "existing snapshot whose entries are folded into the output (per-entry best), e.g. to add shard/ entries to a full bench-json run")
 	flag.Parse()
 	par.SetWidth(*workers)
+	if *shardOnly {
+		*skipExperiments, *skipMicro = true, true
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -86,6 +94,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *shardBin != "" {
+		if err := timeShardScale(rep, *shardBin, *shardMembers); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *mergeWith != "" {
+		prev, err := benchjson.ReadFile(*mergeWith)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.MergeBest(prev)
 	}
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -165,6 +187,53 @@ func timeExperiments(rep *benchjson.Report, members int) error {
 			return err
 		}
 		rep.AddSecondsAlloc("experiments/table1+fig1", total, pass.note, totalAlloc)
+	}
+	return nil
+}
+
+// timeShardScale times the sharded multi-process runner end to end: for
+// each shard count, a cold supervised run of table6 on the small grid
+// against a fresh cache (the n children split the per-variable verification
+// units via the lease protocol, then the parent merge-renders), followed by
+// a warm rerun over the same cache (children skip everything; the render is
+// a pure reduction). Each child runs with one worker, so cold-run scaling
+// comes from process parallelism alone — on a >=4-core host the 4-shard
+// cold pass is expected to be >=3x faster than 1-shard; on fewer cores the
+// entries still pin the coordination overhead. Entries are stamped with the
+// shard count as their worker count.
+func timeShardScale(rep *benchjson.Report, bin string, members int) error {
+	for _, n := range []int{1, 2, 4} {
+		cacheDir, err := os.MkdirTemp("", "climshard")
+		if err != nil {
+			return err
+		}
+		run := func(note string) error {
+			cmd := exec.Command(bin,
+				"-grid", "small", "-members", fmt.Sprint(members),
+				"-workers", "1", "-q", "-cachedir", cacheDir,
+				"-supervise", fmt.Sprint(n), "table6")
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			t0 := time.Now()
+			if err := cmd.Run(); err != nil {
+				return fmt.Errorf("shard-scale %d-shard %s: %w", n, note, err)
+			}
+			sec := time.Since(t0).Seconds()
+			rep.Entries = append(rep.Entries, benchjson.Entry{
+				Name:    fmt.Sprintf("shard/supervise-%d/table6", n),
+				Seconds: sec, Note: note, Workers: n,
+			})
+			fmt.Printf("shard/supervise-%d/table6 %s: %.1fs\n", n, note, sec)
+			return nil
+		}
+		err = run("cold cache")
+		if err == nil {
+			err = run("warm cache")
+		}
+		os.RemoveAll(cacheDir)
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

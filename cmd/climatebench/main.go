@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +32,8 @@ import (
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
 	"climcompress/internal/par"
+	"climcompress/internal/report"
+	"climcompress/internal/shard"
 )
 
 var (
@@ -45,6 +49,11 @@ var (
 	noCache  = flag.Bool("nocache", false, "disable the artifact cache for this run (equivalent to -cachedir '')")
 	invalid  = flag.String("invalidate", "", "comma-separated codec variants whose cached records are removed before running (the incremental-rerun primitive)")
 	cacheMax = flag.Int64("cachemax", 0, "evict least-recently-used artifacts down to this many bytes after the run (0 = unbounded)")
+
+	shardSpec  = flag.String("shard", "", "compute only shard i of n (format i/n, 0-based) of the selected experiments' work units and exit without rendering; requires the artifact cache")
+	supervise  = flag.Int("supervise", 0, "fork n -shard children of this binary, restart crashed ones, then render the selected experiments from the shared cache")
+	shardTTL   = flag.Duration("shardttl", 2*time.Minute, "sharded runs: lease expiry; a shard whose lease goes untouched this long is presumed dead and its units are stolen")
+	cacheStats = flag.Bool("cachestats", false, "print a cache statistics snapshot (per-process counters plus on-disk footprint) at exit; with no experiments, probe the cache directory and exit")
 )
 
 // experimentSpec maps a name to its runner method and default grid.
@@ -92,6 +101,14 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
+		if *cacheStats {
+			// Standalone probe of a (possibly shared) cache directory.
+			if *noCache {
+				*cacheDir = ""
+			}
+			printCacheStats(artifact.Open(*cacheDir))
+			os.Exit(0)
+		}
 		fmt.Fprintln(os.Stderr, "usage: climatebench [flags] <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments: table1..table8 fig1..fig4 ssim gradient restart all")
 		flag.PrintDefaults()
@@ -172,6 +189,59 @@ func main() {
 		return r
 	}
 
+	// Work-unit enumeration for sharded runs: the selected experiments'
+	// units across their effective grids, in first-appearance order. Every
+	// process derives the identical list from the same flags, so the
+	// deterministic partition needs no coordination channel.
+	collectUnits := func() []shard.Unit {
+		var gridOrder []string
+		namesByGrid := map[string][]string{}
+		for _, s := range selected {
+			g := s.defaultGrid
+			if *gridName != "" {
+				g = *gridName
+			}
+			if _, ok := namesByGrid[g]; !ok {
+				gridOrder = append(gridOrder, g)
+			}
+			namesByGrid[g] = append(namesByGrid[g], s.name)
+		}
+		var units []shard.Unit
+		for _, g := range gridOrder {
+			units = append(units, runnerFor(g).UnitsFor(namesByGrid[g])...)
+		}
+		return units
+	}
+
+	if *shardSpec != "" {
+		code := runShard(store, collectUnits())
+		if *cacheStats {
+			printCacheStats(store)
+		}
+		if *cpuprof != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprof != "" {
+			writeHeapProfile(*memprof)
+		}
+		os.Exit(code)
+	}
+	var supervisedUnits []shard.Unit
+	if *supervise > 0 {
+		// Enumerating units here also applies -invalidate in the parent
+		// before any child starts.
+		supervisedUnits = collectUnits()
+		// Pre-warm the chaotic-core cache: one integration in the parent,
+		// loaded from <cachedir>/l96 by every child, instead of a thundering
+		// herd of n identical integrations on a cold cache.
+		l96Source()
+		if code := runSupervisor(store, *supervise, args); code != 0 {
+			os.Exit(code)
+		}
+		// Fall through: the merge step renders the selected experiments from
+		// the now-warm shared cache.
+	}
+
 	exitCode := 0
 	for _, s := range selected {
 		start := time.Now()
@@ -186,6 +256,9 @@ func main() {
 			fmt.Printf("[%s completed in %.1fs]\n\n", s.name, time.Since(start).Seconds())
 		}
 	}
+	if *supervise > 0 && !*quiet {
+		fmt.Println(shardManifest(store, supervisedUnits, *supervise))
+	}
 	if *cacheMax > 0 {
 		if n := store.Trim(*cacheMax); n > 0 && !*quiet {
 			fmt.Printf("[cache trimmed: %d artifacts evicted]\n", n)
@@ -196,6 +269,9 @@ func main() {
 		fmt.Printf("[cache %s: %d hits, %d misses, %d writes]\n",
 			store.Dir(), st.Hits, st.Misses, st.Puts)
 	}
+	if *cacheStats {
+		printCacheStats(store)
+	}
 	if *cpuprof != "" {
 		pprof.StopCPUProfile()
 	}
@@ -204,6 +280,167 @@ func main() {
 		writeHeapProfile(*memprof)
 	}
 	os.Exit(exitCode)
+}
+
+// parseShardSpec parses "-shard i/n" (0-based i).
+func parseShardSpec(spec string) (self, shards int, err error) {
+	a, b, ok := strings.Cut(spec, "/")
+	if ok {
+		self, err = strconv.Atoi(a)
+		if err == nil {
+			shards, err = strconv.Atoi(b)
+		}
+	}
+	if !ok || err != nil || shards < 1 || self < 0 || self >= shards {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", spec)
+	}
+	return self, shards, nil
+}
+
+// runShard computes one shard's slice of the unit space and exits without
+// rendering; results land in the shared cache, a summary record and a
+// stderr line report what happened. Stdout stays empty so the merge step's
+// output remains byte-comparable to a single-process run.
+func runShard(store *artifact.Store, units []shard.Unit) int {
+	self, shards, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+		return 2
+	}
+	if !store.Enabled() {
+		fmt.Fprintln(os.Stderr, "climatebench: -shard requires the artifact cache (-cachedir)")
+		return 2
+	}
+	owner := fmt.Sprintf("shard-%d", self)
+	var logf func(string, ...any)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "climatebench: "+format+"\n", args...)
+		}
+	}
+	res, err := shard.Run(units, shard.Options{
+		Store: store, Self: self, Shards: shards,
+		TTL: *shardTTL, Owner: owner, Logf: logf,
+	})
+	shard.PutSummary(store, owner, res)
+	fmt.Fprintf(os.Stderr, "[%s: %d units computed, %d skipped, %d stolen, %d expired leases, %d waits]\n",
+		owner, len(res.Computed), res.Skipped, res.Stolen, res.Expired, res.Waits)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSupervisor forks n -shard children of this binary over the shared
+// cache and restarts crashed ones (bounded per slot). Children's stdout is
+// routed to our stderr, so the parent's stdout carries only the merge
+// step's rendering. Returns 0 once every shard has exited cleanly.
+func runSupervisor(store *artifact.Store, n int, expNames []string) int {
+	if !store.Enabled() {
+		fmt.Fprintln(os.Stderr, "climatebench: -supervise requires the artifact cache (-cachedir)")
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebench: %v\n", err)
+		return 1
+	}
+	start := func(i int) (*exec.Cmd, error) {
+		cargs := []string{
+			"-shard", fmt.Sprintf("%d/%d", i, n),
+			"-members", fmt.Sprint(*members),
+			"-workers", fmt.Sprint(*workers),
+			"-seed", fmt.Sprint(*seed),
+			"-cachedir", *cacheDir,
+			"-shardttl", shardTTL.String(),
+		}
+		if *gridName != "" {
+			cargs = append(cargs, "-grid", *gridName)
+		}
+		if *vars != "" {
+			cargs = append(cargs, "-vars", *vars)
+		}
+		if *quiet {
+			cargs = append(cargs, "-q")
+		}
+		cargs = append(cargs, expNames...)
+		cmd := exec.Command(exe, cargs...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		return cmd, cmd.Start()
+	}
+	const maxRestarts = 3
+	cmds := make([]*exec.Cmd, n)
+	for i := range cmds {
+		if cmds[i], err = start(i); err != nil {
+			fmt.Fprintf(os.Stderr, "climatebench: starting shard %d/%d: %v\n", i, n, err)
+			return 1
+		}
+	}
+	// Sequential waits are fine: the children run concurrently regardless,
+	// and a crashed shard's units are stolen by its peers once the lease
+	// expires, so a delayed restart costs throughput, never correctness.
+	failed := false
+	for i := 0; i < n; i++ {
+		for restarts := 0; ; restarts++ {
+			err := cmds[i].Wait()
+			if err == nil {
+				break
+			}
+			if restarts >= maxRestarts {
+				fmt.Fprintf(os.Stderr, "climatebench: shard %d/%d failed permanently: %v\n", i, n, err)
+				failed = true
+				break
+			}
+			fmt.Fprintf(os.Stderr, "climatebench: shard %d/%d crashed (%v); restarting (%d/%d)\n",
+				i, n, err, restarts+1, maxRestarts)
+			if cmds[i], err = start(i); err != nil {
+				fmt.Fprintf(os.Stderr, "climatebench: restarting shard %d/%d: %v\n", i, n, err)
+				failed = true
+				break
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// shardManifest reconstructs the run manifest purely from the shared store:
+// done-record owners attribute every unit, the shards' persisted summaries
+// supply steal/expiry/wait counts.
+func shardManifest(store *artifact.Store, units []shard.Unit, n int) string {
+	counts := map[string]int{}
+	for _, u := range units {
+		if owner, ok := shard.OwnerOf(store, u); ok {
+			counts[owner]++
+		}
+	}
+	rows := make([]report.ShardRow, 0, n)
+	for i := 0; i < n; i++ {
+		owner := fmt.Sprintf("shard-%d", i)
+		row := report.ShardRow{Shard: owner, Units: counts[owner],
+			Stolen: -1, Expired: -1, Waits: -1}
+		if sum, ok := shard.LoadSummary(store, owner); ok {
+			row.Stolen, row.Expired, row.Waits = sum.Stolen, sum.Expired, sum.Waits
+		}
+		rows = append(rows, row)
+	}
+	return report.ShardManifest(rows)
+}
+
+// printCacheStats emits the cache snapshot: per-process counters plus the
+// cross-process on-disk footprint.
+func printCacheStats(store *artifact.Store) {
+	if !store.Enabled() {
+		fmt.Println("[cachestats: cache disabled]")
+		return
+	}
+	files, bytes := store.Usage()
+	fmt.Printf("[cachestats %s: %s; %d artifacts, %d bytes on disk]\n",
+		store.Dir(), store.Stats(), files, bytes)
 }
 
 // writeHeapProfile snapshots the heap into path.

@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -59,9 +60,20 @@ const (
 type ID string
 
 // Stats counts store traffic since Open. BadReads counts files that existed
-// but failed validation (corruption, truncation, version skew).
+// but failed validation (corruption, truncation, version skew). Claims and
+// ClaimLosses count PutExclusive outcomes: cross-process coordination
+// (internal/shard's lease protocol) claims records exclusively, and a lost
+// claim means another process holds the record.
 type Stats struct {
 	Hits, Misses, Puts, BadReads int64
+	Claims, ClaimLosses          int64
+}
+
+// String renders the snapshot as one human-readable line (the payload of
+// climatebench -cachestats).
+func (st Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses, %d puts, %d bad reads, %d claims (%d lost)",
+		st.Hits, st.Misses, st.Puts, st.BadReads, st.Claims, st.ClaimLosses)
 }
 
 // Store is a content-addressed artifact store rooted at one directory. All
@@ -71,6 +83,7 @@ type Store struct {
 	dir string
 
 	hits, misses, puts, badReads atomic.Int64
+	claims, claimLosses          atomic.Int64
 }
 
 // Open returns a store rooted at dir, creating the directory lazily on the
@@ -109,10 +122,12 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:     s.hits.Load(),
-		Misses:   s.misses.Load(),
-		Puts:     s.puts.Load(),
-		BadReads: s.badReads.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		BadReads:    s.badReads.Load(),
+		Claims:      s.claims.Load(),
+		ClaimLosses: s.claimLosses.Load(),
 	}
 }
 
@@ -155,6 +170,42 @@ func (s *Store) Get(id ID) ([]byte, bool) {
 	return payload, true
 }
 
+// writeTemp writes a fully framed artifact into a temp file next to path
+// and returns the temp name. The caller either renames or links it into
+// place and always removes the temp afterwards. Any failure returns "".
+func writeTemp(path string, payload []byte) string {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return ""
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
+	if err != nil {
+		return ""
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[16:], sum[:])
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the caller removes the temp file
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return ""
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		//lint:errdrop best-effort cleanup of an already-failed write; the caller removes the temp file
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return ""
+	}
+	if tmp.Close() != nil {
+		os.Remove(tmp.Name())
+		return ""
+	}
+	return tmp.Name()
+}
+
 // Put stores payload under id, atomically (temp file + rename) so a crashed
 // run never leaves a truncated artifact behind. I/O failures are silently
 // dropped: an unwritable cache degrades to plain recomputation.
@@ -163,36 +214,65 @@ func (s *Store) Put(id ID, payload []byte) {
 		return
 	}
 	path := s.path(id)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	tmp := writeTemp(path, payload)
+	if tmp == "" {
 		return
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
-	if err != nil {
-		return
-	}
-	defer os.Remove(tmp.Name())
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	binary.LittleEndian.PutUint32(hdr[4:], Version)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
-	sum := sha256.Sum256(payload)
-	copy(hdr[16:], sum[:])
-	if _, err := tmp.Write(hdr[:]); err != nil {
-		//lint:errdrop best-effort cleanup of an already-failed write; the temp file is removed by the deferred os.Remove
-		tmp.Close()
-		return
-	}
-	if _, err := tmp.Write(payload); err != nil {
-		//lint:errdrop best-effort cleanup of an already-failed write; the temp file is removed by the deferred os.Remove
-		tmp.Close()
-		return
-	}
-	if tmp.Close() != nil {
-		return
-	}
-	if os.Rename(tmp.Name(), path) == nil {
+	defer os.Remove(tmp)
+	if os.Rename(tmp, path) == nil {
 		s.puts.Add(1)
 	}
+}
+
+// PutExclusive stores payload under id only if no artifact exists there yet,
+// and reports whether this call won. Unlike Put (rename, which silently
+// replaces), the publish step is a hard link — an atomic create-exclusive —
+// so exactly one of N concurrent claimants across any number of processes
+// observes true. This is the claim primitive of the cross-process lease
+// protocol (internal/shard): a lease is an exclusive record keyed on the
+// work-unit digest.
+func (s *Store) PutExclusive(id ID, payload []byte) bool {
+	if !s.Enabled() || !valid(id) {
+		return false
+	}
+	path := s.path(id)
+	tmp := writeTemp(path, payload)
+	if tmp == "" {
+		return false
+	}
+	defer os.Remove(tmp)
+	if os.Link(tmp, path) == nil {
+		s.claims.Add(1)
+		return true
+	}
+	s.claimLosses.Add(1)
+	return false
+}
+
+// Mtime returns the modification time of the artifact stored under id. The
+// lease protocol ages leases by mtime: a lease older than the TTL is
+// presumed to belong to a dead process and may be broken.
+func (s *Store) Mtime(id ID) (time.Time, bool) {
+	if !s.Enabled() || !valid(id) {
+		return time.Time{}, false
+	}
+	st, err := os.Stat(s.path(id))
+	if err != nil {
+		return time.Time{}, false
+	}
+	return st.ModTime(), true
+}
+
+// Touch refreshes the artifact's mtime to now, reporting success. A
+// long-running lease holder touches its lease periodically so a short TTL
+// can coexist with long computations.
+func (s *Store) Touch(id ID) bool {
+	if !s.Enabled() || !valid(id) {
+		return false
+	}
+	//lint:nondet lease freshness is wall-clock by design; it never influences pipeline output or cache keys
+	now := time.Now()
+	return os.Chtimes(s.path(id), now, now) == nil
 }
 
 // Remove deletes the artifact stored under id, if present. This is the
@@ -243,10 +323,25 @@ func readFile(path string) ([]byte, error) {
 	return payload, nil
 }
 
+// DefaultTrimGrace is the eviction grace window applied by Trim: an
+// artifact younger than this is never evicted, no matter how far the tree
+// overshoots maxBytes. Without a grace window, Trim racing a concurrent run
+// (same process or another one) can evict a record — or a just-claimed
+// shard lease — between its Put and its first read, silently losing
+// coordination state mid-run.
+const DefaultTrimGrace = 5 * time.Minute
+
 // Trim evicts least-recently-modified artifacts until the objects tree fits
-// in maxBytes (payload + header sizes). maxBytes <= 0 is a no-op. Returns
-// the number of files removed.
+// in maxBytes (payload + header sizes), never touching artifacts younger
+// than DefaultTrimGrace. maxBytes <= 0 is a no-op. Returns the number of
+// files removed.
 func (s *Store) Trim(maxBytes int64) int {
+	return s.TrimWithGrace(maxBytes, DefaultTrimGrace)
+}
+
+// TrimWithGrace is Trim with an explicit grace window (0 evicts regardless
+// of age; tests and offline janitors may want that, live runs never do).
+func (s *Store) TrimWithGrace(maxBytes int64, grace time.Duration) int {
 	if !s.Enabled() || maxBytes <= 0 {
 		return 0
 	}
@@ -257,13 +352,17 @@ func (s *Store) Trim(maxBytes int64) int {
 	}
 	var objs []obj
 	var total int64
+	//lint:nondet the grace cutoff is an eviction policy input only; it never influences results or cache keys
+	cutoff := time.Now().Add(-grace).UnixNano()
 	root := filepath.Join(s.dir, "objects")
 	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || filepath.Ext(path) != ".art" {
 			return nil
 		}
-		objs = append(objs, obj{path, info.Size(), info.ModTime().UnixNano()})
 		total += info.Size()
+		if m := info.ModTime().UnixNano(); m < cutoff {
+			objs = append(objs, obj{path, info.Size(), m})
+		}
 		return nil
 	})
 	if total <= maxBytes {
@@ -281,6 +380,26 @@ func (s *Store) Trim(maxBytes int64) int {
 		}
 	}
 	return removed
+}
+
+// Usage reports the on-disk footprint of the objects tree: artifact count
+// and total bytes (payload + framing). It complements the per-process Stats
+// counters with cross-process state — any process can probe a shared cache
+// directory without having contributed to it.
+func (s *Store) Usage() (files int, bytes int64) {
+	if !s.Enabled() {
+		return 0, 0
+	}
+	root := filepath.Join(s.dir, "objects")
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".art" {
+			return nil
+		}
+		files++
+		bytes += info.Size()
+		return nil
+	})
+	return files, bytes
 }
 
 // ---------------------------------------------------------------------------

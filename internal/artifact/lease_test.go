@@ -1,0 +1,208 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chtimes backdates a file's mtime for lease-aging tests.
+func chtimes(path string, to time.Time) error {
+	return os.Chtimes(path, to, to)
+}
+
+func TestPutExclusiveSingleWinner(t *testing.T) {
+	s := Open(t.TempDir())
+	id := NewKey("lease").Str("unit-1").ID()
+	if !s.PutExclusive(id, []byte("owner-a")) {
+		t.Fatal("first exclusive put lost")
+	}
+	if s.PutExclusive(id, []byte("owner-b")) {
+		t.Fatal("second exclusive put won over an existing record")
+	}
+	got, ok := s.Get(id)
+	if !ok || string(got) != "owner-a" {
+		t.Fatalf("claimed payload overwritten: %q ok=%v", got, ok)
+	}
+	st := s.Stats()
+	if st.Claims != 1 || st.ClaimLosses != 1 {
+		t.Fatalf("claim counters %+v", st)
+	}
+}
+
+func TestPutExclusiveConcurrentClaimants(t *testing.T) {
+	s := Open(t.TempDir())
+	id := NewKey("lease").Str("contended").ID()
+	const claimants = 16
+	wins := make([]bool, claimants)
+	var wg sync.WaitGroup
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wins[i] = s.PutExclusive(id, []byte(fmt.Sprintf("owner-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d claimants won; exactly one must", won)
+	}
+}
+
+func TestPutExclusiveAfterRemove(t *testing.T) {
+	s := Open(t.TempDir())
+	id := NewKey("lease").Str("recycled").ID()
+	if !s.PutExclusive(id, []byte("a")) {
+		t.Fatal("claim")
+	}
+	s.Remove(id)
+	if !s.PutExclusive(id, []byte("b")) {
+		t.Fatal("reclaim after release")
+	}
+}
+
+func TestPutExclusiveNilAndInvalid(t *testing.T) {
+	var nilStore *Store
+	if nilStore.PutExclusive(NewKey("x").ID(), nil) {
+		t.Fatal("nil store claimed")
+	}
+	if nilStore.Touch(NewKey("x").ID()) {
+		t.Fatal("nil store touched")
+	}
+	if _, ok := nilStore.Mtime(NewKey("x").ID()); ok {
+		t.Fatal("nil store has mtimes")
+	}
+	s := Open(t.TempDir())
+	if s.PutExclusive("not-a-key", []byte("x")) {
+		t.Fatal("invalid id claimed")
+	}
+}
+
+func TestMtimeAndTouch(t *testing.T) {
+	s := Open(t.TempDir())
+	id := NewKey("lease").Str("aging").ID()
+	if _, ok := s.Mtime(id); ok {
+		t.Fatal("mtime of absent record")
+	}
+	s.Put(id, []byte("x"))
+	m0, ok := s.Mtime(id)
+	if !ok {
+		t.Fatal("no mtime after put")
+	}
+	// Backdate, then Touch must bring the record back to the present.
+	past := time.Now().Add(-time.Hour)
+	if err := chtimes(s.path(id), past); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Mtime(id)
+	if !m1.Before(m0) {
+		t.Fatal("backdating failed")
+	}
+	if !s.Touch(id) {
+		t.Fatal("touch failed")
+	}
+	m2, _ := s.Mtime(id)
+	if m2.Before(m0.Add(-time.Minute)) {
+		t.Fatalf("touch did not refresh mtime: %v", m2)
+	}
+	if s.Touch(NewKey("lease").Str("absent").ID()) {
+		t.Fatal("touched an absent record")
+	}
+}
+
+// TestTrimGraceProtectsYoungRecords is the regression test for the
+// Trim-vs-concurrent-Put interaction: records younger than the grace window
+// — e.g. a lease claimed by a shard an instant ago — must survive any Trim,
+// no matter how far over budget the store is.
+func TestTrimGraceProtectsYoungRecords(t *testing.T) {
+	s := Open(t.TempDir())
+	young := NewKey("test").Str("young").ID()
+	old := NewKey("test").Str("old").ID()
+	payload := make([]byte, 1000)
+	s.Put(old, payload)
+	s.Put(young, payload)
+	past := time.Now().Add(-time.Hour)
+	if err := chtimes(s.path(old), past); err != nil {
+		t.Fatal(err)
+	}
+	// Budget of one byte: without a grace window everything would go.
+	if n := s.Trim(1); n != 1 {
+		t.Fatalf("Trim removed %d records, want only the old one", n)
+	}
+	if _, ok := s.Get(old); ok {
+		t.Fatal("expired record survived")
+	}
+	if _, ok := s.Get(young); !ok {
+		t.Fatal("young record evicted inside the grace window")
+	}
+	// With the window explicitly zeroed the young record is fair game.
+	if n := s.TrimWithGrace(1, 0); n != 1 {
+		t.Fatalf("graceless trim removed %d records, want 1", n)
+	}
+	if _, ok := s.Get(young); ok {
+		t.Fatal("young record survived a graceless trim")
+	}
+}
+
+// TestTrimConcurrentPut hammers Put and Trim concurrently: every record
+// written during the storm is young, so none may be lost, and nothing may
+// crash or corrupt. (A corrupt survivor would read as a miss and fail the
+// presence check.)
+func TestTrimConcurrentPut(t *testing.T) {
+	s := Open(t.TempDir())
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Trim(1) // tiny budget: would evict everything but for the grace window
+			}
+		}
+	}()
+	ids := make([][]ID, writers)
+	for w := 0; w < writers; w++ {
+		ids[w] = make([]ID, perWriter)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := NewKey("storm").Int(w).Int(i).ID()
+				ids[w][i] = id
+				s.Put(id, []byte(fmt.Sprintf("payload %d/%d", w, i)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let the storm overlap for a moment, then stop the trimmer.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+	for w := 0; w < writers; w++ {
+		for i, id := range ids[w] {
+			if id == "" {
+				continue
+			}
+			if _, ok := s.Get(id); !ok {
+				t.Fatalf("young record %d/%d lost to a concurrent Trim", w, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/shard"
+)
+
+// TestShardedRunMatchesSerial is the end-to-end contract of the sharded
+// runner at the experiments layer: two shards (independent Runners sharing
+// one artifact store, as two processes would) split the verify + error
+// work-unit space via the lease protocol, and a subsequent merge render
+// from the shared store is byte-identical to a plain single-process run.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	// Serial baseline, no cache at all.
+	base := NewRunner(cacheCfg(nil), nil)
+	ens := base.L96()
+	want := renderPure(t, base)
+
+	// Sharded: every shard gets its own Runner (processes share nothing
+	// in memory), all against one store.
+	dir := t.TempDir()
+	const shards = 2
+	runners := make([]*Runner, shards)
+	for s := range runners {
+		runners[s] = NewRunner(cacheCfg(artifact.Open(dir)), ens)
+	}
+	var wg sync.WaitGroup
+	results := make([]shard.Result, shards)
+	errs := make([]error, shards)
+	experimentsList := []string{"table3", "table6", "table7", "thresholds"}
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			units := runners[s].UnitsFor(experimentsList)
+			results[s], errs[s] = shard.Run(units, shard.Options{
+				Store: runners[s].store(), Self: s, Shards: shards,
+				TTL: time.Minute,
+			})
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+
+	// Both shards enumerated the same unit space (keys agree across
+	// independent Runners — the partition contract).
+	u0, u1 := runners[0].UnitsFor(experimentsList), runners[1].UnitsFor(experimentsList)
+	if len(u0) != len(u1) {
+		t.Fatalf("unit counts differ: %d vs %d", len(u0), len(u1))
+	}
+	for i := range u0 {
+		if u0[i].Key != u1[i].Key || u0[i].Name != u1[i].Name {
+			t.Fatalf("unit %d differs across runners: %s vs %s", i, u0[i].Name, u1[i].Name)
+		}
+	}
+
+	// No unit computed twice, none lost.
+	var all []string
+	for _, res := range results {
+		all = append(all, res.Computed...)
+	}
+	sort.Strings(all)
+	if len(all) != len(u0) {
+		t.Fatalf("%d units computed across shards, want %d", len(all), len(u0))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("unit %s computed by both shards", all[i])
+		}
+	}
+	if done := shard.Done(runners[0].store(), u0); done != len(u0) {
+		t.Fatalf("%d/%d done records after the run", done, len(u0))
+	}
+
+	// Merge: a fresh Runner over the warm store renders byte-identically
+	// to the uncached serial baseline, without generating a single field.
+	mergeStore := artifact.Open(dir)
+	merge := NewRunner(cacheCfg(mergeStore), ens)
+	for name, got := range renderPure(t, merge) {
+		if got != want[name] {
+			t.Errorf("merged %s differs from serial run", name)
+		}
+	}
+	if merge.gen != nil {
+		t.Error("merge render built the field generator; expected a pure record reduction")
+	}
+	if st := mergeStore.Stats(); st.BadReads != 0 {
+		t.Fatalf("merge observed %d corrupt reads", st.BadReads)
+	}
+}
+
+// TestUnitsForClasses pins the experiment→unit-class mapping.
+func TestUnitsForClasses(t *testing.T) {
+	r := NewRunner(cacheCfg(artifact.Open(t.TempDir())), nil)
+	nvars := len(r.Catalog)
+	if got := len(r.UnitsFor([]string{"table6"})); got != nvars {
+		t.Fatalf("table6 units = %d, want %d", got, nvars)
+	}
+	if got := len(r.UnitsFor([]string{"table3", "table4", "fig1"})); got != nvars {
+		t.Fatalf("error units deduplicated = %d, want %d", got, nvars)
+	}
+	if got := len(r.UnitsFor([]string{"table6", "fig1"})); got != 2*nvars {
+		t.Fatalf("mixed classes = %d, want %d", got, 2*nvars)
+	}
+	if got := len(r.UnitsFor([]string{"table1", "restart"})); got != 0 {
+		t.Fatalf("cacheless experiments produced %d units", got)
+	}
+	// Costs reflect dimensionality: 3-D variables weigh NLev× a 2-D one.
+	units := r.VerifyUnits()
+	var has3D, has2D bool
+	for i, u := range units {
+		if r.Catalog[i].ThreeD {
+			has3D = u.Cost == float64(r.Cfg.Grid.NLev) || has3D
+		} else {
+			has2D = u.Cost == 1 || has2D
+		}
+	}
+	if !has3D || !has2D {
+		t.Fatal("unit costs do not reflect variable dimensionality")
+	}
+}

@@ -111,62 +111,75 @@ func (r *Runner) ErrorMatrix(varNames []string) (map[string]map[string]ErrorEntr
 	}
 	var mu sync.Mutex
 	err := r.forEachVar(indices, func(idx int) error {
-		spec := r.Catalog[idx]
-		s := r.store()
-		entries := make(map[string]ErrorEntry, len(Variants()))
-		missing := Variants()
-		if s.Enabled() {
-			missing = missing[:0:0]
-			for _, variant := range Variants() {
-				if payload, ok := s.Get(r.errmatKey(spec, variant)); ok {
-					if e, ok := decodeErrorEntry(payload); ok {
-						entries[variant] = e
-						continue
-					}
-				}
-				missing = append(missing, variant)
-			}
-		}
-		if len(missing) > 0 {
-			f := r.memberField(idx, 0)
-			summary := f.Summarize()
-			shape := r.shapeFor(spec)
-			// One stream buffer and one reconstruction buffer serve the
-			// whole variant sweep for this variable.
-			var buf []byte
-			var recon []float32
-			for _, variant := range missing {
-				codec, err := r.CodecFor(variant, spec, nil, summary.Range)
-				if err != nil {
-					return err
-				}
-				buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
-				if err != nil {
-					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-				}
-				recon, err = compress.DecompressInto(codec, recon, buf)
-				if err != nil {
-					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-				}
-				e := ErrorEntry{
-					Errors: metrics.Compare(f.Data, recon, f.Fill, f.HasFill),
-					CR:     compress.Ratio(len(buf), f.Len()),
-				}
-				entries[variant] = e
-				if s.Enabled() {
-					s.Put(r.errmatKey(spec, variant), encodeErrorEntry(e))
-				}
-			}
-			f.Release()
+		entries, err := r.computeErrorVariable(idx)
+		if err != nil {
+			return err
 		}
 		mu.Lock()
 		for variant, e := range entries {
-			out[spec.Name][variant] = e
+			out[r.Catalog[idx].Name][variant] = e
 		}
 		mu.Unlock()
 		return nil
 	})
 	return out, err
+}
+
+// computeErrorVariable produces one variable's row of the §5.2 error
+// matrix — every study variant's error measures and CR on member 0 —
+// reading cached cells where present and computing (and persisting) only
+// the missing ones. It is both the per-variable body of ErrorMatrix and
+// the work unit the sharded runner claims per variable (ErrorUnits).
+func (r *Runner) computeErrorVariable(idx int) (map[string]ErrorEntry, error) {
+	spec := r.Catalog[idx]
+	s := r.store()
+	entries := make(map[string]ErrorEntry, len(Variants()))
+	missing := Variants()
+	if s.Enabled() {
+		missing = missing[:0:0]
+		for _, variant := range Variants() {
+			if payload, ok := s.Get(r.errmatKey(spec, variant)); ok {
+				if e, ok := decodeErrorEntry(payload); ok {
+					entries[variant] = e
+					continue
+				}
+			}
+			missing = append(missing, variant)
+		}
+	}
+	if len(missing) > 0 {
+		f := r.memberField(idx, 0)
+		summary := f.Summarize()
+		shape := r.shapeFor(spec)
+		// One stream buffer and one reconstruction buffer serve the
+		// whole variant sweep for this variable.
+		var buf []byte
+		var recon []float32
+		for _, variant := range missing {
+			codec, err := r.CodecFor(variant, spec, nil, summary.Range)
+			if err != nil {
+				return nil, err
+			}
+			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+			}
+			recon, err = compress.DecompressInto(codec, recon, buf)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+			}
+			e := ErrorEntry{
+				Errors: metrics.Compare(f.Data, recon, f.Fill, f.HasFill),
+				CR:     compress.Ratio(len(buf), f.Len()),
+			}
+			entries[variant] = e
+			if s.Enabled() {
+				s.Put(r.errmatKey(spec, variant), encodeErrorEntry(e))
+			}
+		}
+		f.Release()
+	}
+	return entries, nil
 }
 
 // renderErrorTable renders Table 3 (NRMSE) or Table 4 (e_nmax).
@@ -410,120 +423,13 @@ func (r *Runner) RunTable6() (*Table6Result, error) {
 	}
 	var mu sync.Mutex
 	err := r.forEachVar(r.allIndices(), func(idx int) error {
-		spec := r.Catalog[idx]
-		s := r.store()
-		outcomes := make(map[string]VariantOutcome, len(t6.Variants))
-		fallbacks := make(map[string]float64, len(losslessFallbacks))
-		missing := t6.Variants
-		missingFB := losslessFallbacks
-		if s.Enabled() {
-			missing = missing[:0:0]
-			for _, variant := range t6.Variants {
-				if payload, ok := s.Get(r.outcomeKey(spec, variant)); ok {
-					if o, ok := decodeOutcome(payload); ok {
-						outcomes[variant] = o
-						continue
-					}
-				}
-				missing = append(missing, variant)
-			}
-			missingFB = missingFB[:0:0]
-			for _, lname := range losslessFallbacks {
-				if payload, ok := s.Get(r.fallbackKey(spec, lname)); ok {
-					if cr, ok := decodeFloat(payload); ok {
-						fallbacks[lname] = cr
-						continue
-					}
-				}
-				missingFB = append(missingFB, lname)
-			}
-		}
-		if len(missing) > 0 || len(missingFB) > 0 {
-			vs, err := r.streamStats(idx)
-			if err != nil {
-				return fmt.Errorf("%s: %w", spec.Name, err)
-			}
-			shape := r.shapeFor(spec)
-			testMembers := pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed)
-			verifier := &pvt.Verifier{
-				Stats: vs, Shape: shape, Thr: r.Cfg.Thr,
-				TestMembers: testMembers, WithBias: true, Workers: 1,
-			}
-			for _, variant := range missing {
-				codec, err := r.CodecFor(variant, spec, vs, 0)
-				if err != nil {
-					return err
-				}
-				res, err := verifier.Verify(codec)
-				if err != nil {
-					return fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-				}
-				o := VariantOutcome{
-					CR:        res.MeanCR,
-					RhoPass:   res.RhoPass,
-					RMSZPass:  res.RMSZPass,
-					EnmaxPass: res.EnmaxPass,
-					BiasPass:  res.BiasPass,
-					AllPass:   res.AllPass,
-					SlopeDist: res.Bias.SlopeWorstCaseDistance(),
-				}
-				if len(res.Checks) > 0 {
-					o.Rho = res.Checks[0].Errors.Pearson
-					o.NRMSE = res.Checks[0].Errors.NRMSE
-					o.Enmax = res.Checks[0].Errors.ENMax
-				}
-				// Worst-case raw quantities over the test members.
-				o.RhoMin = math.Inf(1)
-				o.RMSZWithin = true
-				slack := 0.01 * res.RMSZBox.Range()
-				for _, chk := range res.Checks {
-					if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
-						o.RhoMin = chk.Errors.Pearson
-					}
-					if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
-						o.RMSZDiffMax = d
-					}
-					if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
-						o.RMSZWithin = false
-					}
-					if res.EnmaxSpread > 0 {
-						if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
-							o.EnmaxRatio = ratio
-						}
-					} else {
-						o.EnmaxRatio = math.NaN()
-					}
-				}
-				outcomes[variant] = o
-				if s.Enabled() {
-					s.Put(r.outcomeKey(spec, variant), encodeOutcome(o))
-				}
-			}
-			// Lossless fallback CRs on the first test member.
-			for _, lname := range missingFB {
-				codec, err := r.CodecFor(lname, spec, vs, 0)
-				if err != nil {
-					return err
-				}
-				data, release := vs.AcquireOriginal(testMembers[0])
-				buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, shape)
-				if err != nil {
-					compress.PutBytes(buf)
-					release()
-					return err
-				}
-				cr := compress.Ratio(len(buf), len(data))
-				compress.PutBytes(buf)
-				release()
-				fallbacks[lname] = cr
-				if s.Enabled() {
-					s.Put(r.fallbackKey(spec, lname), encodeFloat(cr))
-				}
-			}
+		outcomes, fallbacks, err := r.computeVerifyVariable(idx)
+		if err != nil {
+			return err
 		}
 		mu.Lock()
-		t6.Outcomes[spec.Name] = outcomes
-		t6.FallbackCR[spec.Name] = fallbacks
+		t6.Outcomes[r.Catalog[idx].Name] = outcomes
+		t6.FallbackCR[r.Catalog[idx].Name] = fallbacks
 		mu.Unlock()
 		return nil
 	})
@@ -534,6 +440,127 @@ func (r *Runner) RunTable6() (*Table6Result, error) {
 	r.table6 = t6
 	r.mu.Unlock()
 	return t6, nil
+}
+
+// computeVerifyVariable produces the full verification sweep of one catalog
+// variable — every study variant's outcome plus the lossless fallback CRs —
+// reading cached records where present and computing (and persisting) only
+// the missing ones. It is both the per-variable body of RunTable6 and the
+// work unit the sharded runner claims per variable (VerifyUnits).
+func (r *Runner) computeVerifyVariable(idx int) (map[string]VariantOutcome, map[string]float64, error) {
+	spec := r.Catalog[idx]
+	s := r.store()
+	variants := Variants()
+	outcomes := make(map[string]VariantOutcome, len(variants))
+	fallbacks := make(map[string]float64, len(losslessFallbacks))
+	missing := variants
+	missingFB := losslessFallbacks
+	if s.Enabled() {
+		missing = missing[:0:0]
+		for _, variant := range variants {
+			if payload, ok := s.Get(r.outcomeKey(spec, variant)); ok {
+				if o, ok := decodeOutcome(payload); ok {
+					outcomes[variant] = o
+					continue
+				}
+			}
+			missing = append(missing, variant)
+		}
+		missingFB = missingFB[:0:0]
+		for _, lname := range losslessFallbacks {
+			if payload, ok := s.Get(r.fallbackKey(spec, lname)); ok {
+				if cr, ok := decodeFloat(payload); ok {
+					fallbacks[lname] = cr
+					continue
+				}
+			}
+			missingFB = append(missingFB, lname)
+		}
+	}
+	if len(missing) > 0 || len(missingFB) > 0 {
+		vs, err := r.streamStats(idx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		shape := r.shapeFor(spec)
+		testMembers := pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed)
+		verifier := &pvt.Verifier{
+			Stats: vs, Shape: shape, Thr: r.Cfg.Thr,
+			TestMembers: testMembers, WithBias: true, Workers: 1,
+		}
+		for _, variant := range missing {
+			codec, err := r.CodecFor(variant, spec, vs, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := verifier.Verify(codec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+			}
+			o := VariantOutcome{
+				CR:        res.MeanCR,
+				RhoPass:   res.RhoPass,
+				RMSZPass:  res.RMSZPass,
+				EnmaxPass: res.EnmaxPass,
+				BiasPass:  res.BiasPass,
+				AllPass:   res.AllPass,
+				SlopeDist: res.Bias.SlopeWorstCaseDistance(),
+			}
+			if len(res.Checks) > 0 {
+				o.Rho = res.Checks[0].Errors.Pearson
+				o.NRMSE = res.Checks[0].Errors.NRMSE
+				o.Enmax = res.Checks[0].Errors.ENMax
+			}
+			// Worst-case raw quantities over the test members.
+			o.RhoMin = math.Inf(1)
+			o.RMSZWithin = true
+			slack := 0.01 * res.RMSZBox.Range()
+			for _, chk := range res.Checks {
+				if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
+					o.RhoMin = chk.Errors.Pearson
+				}
+				if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
+					o.RMSZDiffMax = d
+				}
+				if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
+					o.RMSZWithin = false
+				}
+				if res.EnmaxSpread > 0 {
+					if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
+						o.EnmaxRatio = ratio
+					}
+				} else {
+					o.EnmaxRatio = math.NaN()
+				}
+			}
+			outcomes[variant] = o
+			if s.Enabled() {
+				s.Put(r.outcomeKey(spec, variant), encodeOutcome(o))
+			}
+		}
+		// Lossless fallback CRs on the first test member.
+		for _, lname := range missingFB {
+			codec, err := r.CodecFor(lname, spec, vs, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			data, release := vs.AcquireOriginal(testMembers[0])
+			buf, err := compress.CompressInto(codec, compress.GetBytes(len(data)), data, shape)
+			if err != nil {
+				compress.PutBytes(buf)
+				release()
+				return nil, nil, err
+			}
+			cr := compress.Ratio(len(buf), len(data))
+			compress.PutBytes(buf)
+			release()
+			fallbacks[lname] = cr
+			if s.Enabled() {
+				s.Put(r.fallbackKey(spec, lname), encodeFloat(cr))
+			}
+		}
+	}
+	return outcomes, fallbacks, nil
 }
 
 // PassesAt tallies pass counts at arbitrary thresholds from the retained

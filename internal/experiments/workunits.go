@@ -1,0 +1,106 @@
+// Work-unit enumeration: the bridge between the experiment pipeline and
+// the sharded multi-process runner (internal/shard).
+//
+// The unit space of the paper's methodology is member × variable × variant,
+// but its natural claim granularity is the variable: every variant's
+// verification shares the variable's in-memory ensemble statistics (one
+// O(members) streamed build), so splitting a variable's variants across
+// processes would rebuild those statistics once per process. Each work unit
+// therefore covers one variable's full sweep — all members, all variants —
+// and its digest folds the exact artifact-cache keys its records land
+// under, so a unit is "done" precisely when a warm run could serve it
+// without computing.
+package experiments
+
+import (
+	"fmt"
+
+	"climcompress/internal/shard"
+)
+
+// unitCost estimates a variable's relative work for partition balancing:
+// proportional to its field size (3-D variables carry NLev× the points of
+// 2-D ones).
+func (r *Runner) unitCost(idx int) float64 {
+	if r.Catalog[idx].ThreeD {
+		return float64(r.Cfg.Grid.NLev)
+	}
+	return 1
+}
+
+// VerifyUnits returns one work unit per catalog variable covering the full
+// verification sweep behind Tables 6–8, the ensemble figures and the
+// threshold sweep: the variable's ensemble score vectors, every study
+// variant's verification outcome, and the lossless fallback CRs. Running a
+// unit persists exactly the records a warm RunTable6 reads back.
+func (r *Runner) VerifyUnits() []shard.Unit {
+	units := make([]shard.Unit, 0, len(r.Catalog))
+	for idx := range r.Catalog {
+		idx := idx
+		spec := r.Catalog[idx]
+		units = append(units, shard.Unit{
+			Name: fmt.Sprintf("verify/%s/%s", r.Cfg.Grid.Name, spec.Name),
+			Key:  r.verifyKey("unit-verify", spec, "*all*"),
+			Cost: r.unitCost(idx),
+			Run: func() error {
+				_, _, err := r.computeVerifyVariable(idx)
+				return err
+			},
+		})
+	}
+	return units
+}
+
+// ErrorUnits returns one work unit per catalog variable covering the §5.2
+// error matrix behind Tables 3–4 and Figure 1: the variable's member-0
+// field record plus every study variant's error-measure cell.
+func (r *Runner) ErrorUnits() []shard.Unit {
+	units := make([]shard.Unit, 0, len(r.Catalog))
+	for idx := range r.Catalog {
+		idx := idx
+		spec := r.Catalog[idx]
+		units = append(units, shard.Unit{
+			Name: fmt.Sprintf("errmat/%s/%s", r.Cfg.Grid.Name, spec.Name),
+			Key:  r.specKey("unit-errmat", spec).ID(),
+			Cost: r.unitCost(idx),
+			Run: func() error {
+				_, err := r.computeErrorVariable(idx)
+				return err
+			},
+		})
+	}
+	return units
+}
+
+// unitClasses maps each experiment to the unit classes that precompute its
+// cached inputs. Experiments not listed here (table1, table5's timing
+// columns, the extension reports) either need no cache or measure
+// wall-clock locally and are rendered by the merge step directly.
+var unitClasses = map[string]string{
+	"table2": "error", "table3": "error", "table4": "error",
+	"fig1": "error", "ssim": "error",
+	"table6": "verify", "table7": "verify", "table8": "verify",
+	"fig2": "verify", "fig3": "verify", "fig4": "verify",
+	"thresholds": "verify",
+}
+
+// UnitsFor returns the units covering the named experiments on this
+// runner, deduplicated by class. Unknown names contribute nothing.
+func (r *Runner) UnitsFor(experiments []string) []shard.Unit {
+	var units []shard.Unit
+	seen := map[string]bool{}
+	for _, name := range experiments {
+		class, ok := unitClasses[name]
+		if !ok || seen[class] {
+			continue
+		}
+		seen[class] = true
+		switch class {
+		case "error":
+			units = append(units, r.ErrorUnits()...)
+		case "verify":
+			units = append(units, r.VerifyUnits()...)
+		}
+	}
+	return units
+}

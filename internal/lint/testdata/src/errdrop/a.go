@@ -65,3 +65,33 @@ func nilOnlyWorkers(n int, errs []error) {
 func annotatedClose(s sink) {
 	s.Close() //lint:errdrop read side; no buffered data to lose
 }
+
+// lease models the shard runner's claim records: Release returns an error
+// because a release that fails leaves the unit locked until TTL expiry.
+type lease struct{}
+
+func (lease) Release() error { return nil }
+func (lease) Renew() error   { return nil }
+
+// Positive: dropping a lease release on the unit-failure path silently
+// costs every peer a full TTL of wait before they can steal the unit.
+func dropLeaseRelease(l lease) {
+	l.Release() // want "discards its error"
+}
+
+// Positive: releasing in a defer is just as silent.
+func dropLeaseReleaseDefer(l lease) {
+	defer l.Release() // want "deferred call .* discards its error"
+}
+
+// Positive: a background lease-refresh goroutine that drops the renewal
+// error keeps computing a unit another shard will steal and recompute.
+func dropLeaseRenewSpawned(l lease) {
+	go l.Renew() // want "spawned call .* discards its error"
+}
+
+// Negative: annotated best-effort release — the unit already failed and
+// TTL expiry bounds the damage, a decision worth recording inline.
+func annotatedLeaseRelease(l lease) {
+	l.Release() //lint:errdrop best-effort; TTL expiry reclaims the unit if this fails
+}

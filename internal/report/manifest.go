@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardRow is one shard's contribution to a sharded run, as reconstructed
+// by the merge step from the shared artifact store (done-record owners plus
+// the shards' persisted run summaries).
+type ShardRow struct {
+	Shard string // owner tag, e.g. "shard-0"
+	Units int    // units whose done record this shard published
+	// Stolen/Expired/Waits come from the shard's last incarnation's
+	// summary; -1 marks a shard that left no summary (it crashed and was
+	// never restarted), rendered as "-".
+	Stolen, Expired, Waits int
+}
+
+// ShardManifest renders the merge-mode run manifest: one row per shard,
+// sorted by shard tag, plus a totals row. The rendering is deterministic in
+// its inputs; which shard computed which unit still depends on run timing,
+// so byte-stable output across runs requires fixed inputs (as in tests).
+func ShardManifest(rows []ShardRow) string {
+	sorted := append([]ShardRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	t := Table{
+		Title:   "Sharded run manifest",
+		Headers: []string{"shard", "units", "stolen", "expired", "waits"},
+	}
+	opt := func(v int) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprint(v)
+	}
+	var units int
+	for _, r := range sorted {
+		units += r.Units
+		t.AddRow(r.Shard, fmt.Sprint(r.Units), opt(r.Stolen), opt(r.Expired), opt(r.Waits))
+	}
+	t.AddRow("total", fmt.Sprint(units), "", "", "")
+	return t.String()
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardManifestDeterministicAndSorted(t *testing.T) {
+	rows := []ShardRow{
+		{Shard: "shard-1", Units: 3, Stolen: 1, Expired: 0, Waits: 2},
+		{Shard: "shard-0", Units: 7, Stolen: 0, Expired: 1, Waits: 0},
+	}
+	a := ShardManifest(rows)
+	b := ShardManifest([]ShardRow{rows[1], rows[0]})
+	if a != b {
+		t.Fatalf("manifest depends on input order:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	// Title, header, rule, two shard rows, totals.
+	if len(lines) != 6 {
+		t.Fatalf("manifest has %d lines, want 6:\n%s", len(lines), a)
+	}
+	if !strings.HasPrefix(lines[3], "shard-0") || !strings.HasPrefix(lines[4], "shard-1") {
+		t.Fatalf("shards not sorted:\n%s", a)
+	}
+	if !strings.HasPrefix(lines[5], "total") || !strings.Contains(lines[5], "10") {
+		t.Fatalf("totals row wrong:\n%s", a)
+	}
+	// Input must not be reordered in place.
+	if rows[0].Shard != "shard-1" {
+		t.Fatal("ShardManifest reordered its input slice")
+	}
+}
+
+func TestShardManifestMissingSummary(t *testing.T) {
+	out := ShardManifest([]ShardRow{{Shard: "shard-0", Units: 2, Stolen: -1, Expired: -1, Waits: -1}})
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "shard-0") && !strings.Contains(line, "-") {
+			t.Fatalf("missing summary not rendered as '-':\n%s", out)
+		}
+	}
+}

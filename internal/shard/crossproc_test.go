@@ -1,0 +1,266 @@
+package shard
+
+// Cross-process coordination tests: the satellite contract of the sharded
+// runner. Real child processes (the test binary re-exec'd with
+// GO_SHARD_HELPER=1) hammer one artifact store through the lease protocol,
+// and the parent asserts the three properties the supervisor relies on:
+// no corrupt reads, no double-computed units while every process is
+// healthy, and a merged output byte-identical to a serial run. A separate
+// test kills a shard mid-unit (while it holds the lease) and restarts it,
+// checking the run still completes with every unit computed exactly once.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"climcompress/internal/artifact"
+)
+
+const helperEnv = "GO_SHARD_HELPER"
+
+// helperUnits builds the unit set both the helper children and the serial
+// baseline use: unit i persists a deterministic payload under a digest all
+// processes agree on, and appends its name to logPath on completion.
+func helperUnits(store *artifact.Store, n int, logPath string, dieAfter int) []Unit {
+	var completed atomic.Int64
+	units := make([]Unit, n)
+	for i := 0; i < n; i++ {
+		i := i
+		units[i] = Unit{
+			Name: fmt.Sprintf("unit-%02d", i),
+			Key:  artifact.NewKey("xproc-unit").Int(i).ID(),
+			Cost: 1,
+			Run: func() error {
+				time.Sleep(15 * time.Millisecond) // force overlap between shards
+				if dieAfter >= 0 && completed.Load() >= int64(dieAfter) {
+					// Simulated crash: exit hard while holding the lease.
+					os.Exit(7)
+				}
+				store.Put(resultID(i), []byte(fmt.Sprintf("result-%02d\n", i)))
+				if logPath != "" {
+					f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+					if err != nil {
+						return err
+					}
+					if _, err := fmt.Fprintf(f, "unit-%02d\n", i); err != nil {
+						//lint:errdrop best-effort close of an already-failed log write
+						f.Close()
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+				}
+				completed.Add(1)
+				return nil
+			},
+		}
+	}
+	return units
+}
+
+func resultID(i int) artifact.ID {
+	return artifact.NewKey("xproc-result").Int(i).ID()
+}
+
+// mergeOutput renders the run's merged output purely from the store — the
+// same reduction a real merge step performs over cached experiment records.
+func mergeOutput(t *testing.T, store *artifact.Store, n int) string {
+	t.Helper()
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		payload, ok := store.Get(resultID(i))
+		if !ok {
+			t.Fatalf("result %d missing from store", i)
+		}
+		b.Write(payload)
+	}
+	return b.String()
+}
+
+// TestShardHelperProcess is the child-process entry point; it is a no-op
+// unless re-exec'd by the tests below.
+func TestShardHelperProcess(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process entry point")
+	}
+	dir := os.Getenv("SHARD_STORE")
+	self, _ := strconv.Atoi(os.Getenv("SHARD_SELF"))
+	shards, _ := strconv.Atoi(os.Getenv("SHARD_N"))
+	nunits, _ := strconv.Atoi(os.Getenv("SHARD_UNITS"))
+	ttlMS, _ := strconv.Atoi(os.Getenv("SHARD_TTL_MS"))
+	dieAfter := -1
+	if v := os.Getenv("SHARD_DIE_AFTER"); v != "" {
+		dieAfter, _ = strconv.Atoi(v)
+	}
+	store := artifact.Open(dir)
+	units := helperUnits(store, nunits, os.Getenv("SHARD_LOG"), dieAfter)
+	_, err := Run(units, Options{
+		Store: store, Self: self, Shards: shards,
+		TTL:   time.Duration(ttlMS) * time.Millisecond,
+		Owner: fmt.Sprintf("helper-%d", self),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper shard %d: %v\n", self, err)
+		os.Exit(1)
+	}
+	// A healthy run must never observe a corrupt record.
+	if st := store.Stats(); st.BadReads != 0 {
+		fmt.Fprintf(os.Stderr, "helper shard %d: %d corrupt reads\n", self, st.BadReads)
+		os.Exit(2)
+	}
+}
+
+// spawnHelper starts one shard child against the shared store.
+func spawnHelper(t *testing.T, dir string, self, shards, nunits, ttlMS int, logPath string, dieAfter int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestShardHelperProcess$", "-test.v=false")
+	cmd.Env = append(os.Environ(),
+		helperEnv+"=1",
+		"SHARD_STORE="+dir,
+		fmt.Sprintf("SHARD_SELF=%d", self),
+		fmt.Sprintf("SHARD_N=%d", shards),
+		fmt.Sprintf("SHARD_UNITS=%d", nunits),
+		fmt.Sprintf("SHARD_TTL_MS=%d", ttlMS),
+		"SHARD_LOG="+logPath,
+	)
+	if dieAfter >= 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("SHARD_DIE_AFTER=%d", dieAfter))
+	}
+	cmd.Stdout = os.Stderr // test-binary chatter must not pollute the parent's stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper shard %d: %v", self, err)
+	}
+	return cmd
+}
+
+// readLog returns the unit names a child logged as completed.
+func readLog(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestCrossProcessShardsCoordinate is the main two-process contract test.
+func TestCrossProcessShardsCoordinate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	const nunits = 14
+	// Serial baseline in-process, into its own store.
+	serialStore := artifact.Open(t.TempDir())
+	if _, err := Run(helperUnits(serialStore, nunits, "", -1), Options{
+		Store: serialStore, Self: 0, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := mergeOutput(t, serialStore, nunits)
+
+	// Two real processes against one shared store. Generous TTL: nobody
+	// dies, so nothing may expire and nothing may double-compute.
+	dir := t.TempDir()
+	logs := []string{filepath.Join(dir, "log-0"), filepath.Join(dir, "log-1")}
+	c0 := spawnHelper(t, dir, 0, 2, nunits, 60_000, logs[0], -1)
+	c1 := spawnHelper(t, dir, 1, 2, nunits, 60_000, logs[1], -1)
+	if err := c0.Wait(); err != nil {
+		t.Fatalf("shard 0: %v", err)
+	}
+	if err := c1.Wait(); err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+
+	// No double-computed units: the children's completion logs are
+	// disjoint and together cover every unit exactly once.
+	all := append(readLog(t, logs[0]), readLog(t, logs[1])...)
+	sort.Strings(all)
+	if len(all) != nunits {
+		t.Fatalf("children logged %d completions, want %d: %v", len(all), nunits, all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("unit %s computed by both children", all[i])
+		}
+	}
+
+	// Byte-identical merged output vs the serial run, and no corrupt
+	// reads while assembling it.
+	mergeStore := artifact.Open(dir)
+	if got := mergeOutput(t, mergeStore, nunits); got != want {
+		t.Errorf("merged output differs from serial run:\nserial:\n%s\nsharded:\n%s", want, got)
+	}
+	if st := mergeStore.Stats(); st.BadReads != 0 {
+		t.Fatalf("merge observed %d corrupt reads", st.BadReads)
+	}
+}
+
+// TestCrossProcessKillAndRestart kills shard 0 mid-unit (lease held) and
+// restarts it: the run must complete with no lost and no duplicated units.
+func TestCrossProcessKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	const nunits = 10
+	dir := t.TempDir()
+	logs := []string{filepath.Join(dir, "log-0"), filepath.Join(dir, "log-1"), filepath.Join(dir, "log-0b")}
+	// Short TTL so the dead shard's lease expires quickly; the refresh
+	// goroutine keeps live leases fresh regardless.
+	const ttlMS = 400
+	c0 := spawnHelper(t, dir, 0, 2, nunits, ttlMS, logs[0], 2)
+	c1 := spawnHelper(t, dir, 1, 2, nunits, ttlMS, logs[1], -1)
+	err0 := c0.Wait()
+	if err0 == nil {
+		t.Fatal("shard 0 was supposed to die")
+	}
+	// Restart the crashed shard (what the supervisor does).
+	c0b := spawnHelper(t, dir, 0, 2, nunits, ttlMS, logs[2], -1)
+	if err := c0b.Wait(); err != nil {
+		t.Fatalf("restarted shard 0: %v", err)
+	}
+	if err := c1.Wait(); err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+
+	// Every unit completed exactly once across all three incarnations:
+	// the kill happened before the in-flight unit logged, so no unit may
+	// appear twice and none may be missing.
+	var all []string
+	for _, lg := range logs {
+		all = append(all, readLog(t, lg)...)
+	}
+	sort.Strings(all)
+	if len(all) != nunits {
+		t.Fatalf("%d completions across incarnations, want %d: %v", len(all), nunits, all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("unit %s computed twice after kill+restart", all[i])
+		}
+	}
+	// And the merged output is complete and clean.
+	store := artifact.Open(dir)
+	mergeOutput(t, store, nunits)
+	if st := store.Stats(); st.BadReads != 0 {
+		t.Fatalf("%d corrupt reads after kill+restart", st.BadReads)
+	}
+}

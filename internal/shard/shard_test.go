@@ -1,0 +1,312 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"climcompress/internal/artifact"
+)
+
+// fakeUnits builds n synthetic units whose Run records invocations in
+// counts and persists a deterministic result artifact.
+func fakeUnits(store *artifact.Store, n int, counts []atomic.Int64, delay time.Duration) []Unit {
+	units := make([]Unit, n)
+	for i := 0; i < n; i++ {
+		i := i
+		key := artifact.NewKey("test-unit").Int(i).ID()
+		units[i] = Unit{
+			Name: fmt.Sprintf("unit-%02d", i),
+			Key:  key,
+			Cost: float64(1 + i%3),
+			Run: func() error {
+				if counts != nil {
+					counts[i].Add(1)
+				}
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				store.Put(artifact.NewKey("test-result").Int(i).ID(),
+					[]byte(fmt.Sprintf("result-%02d", i)))
+				return nil
+			},
+		}
+	}
+	return units
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	units := fakeUnits(nil, 17, nil, 0)
+	for _, n := range []int{1, 2, 4, 5, 17, 20} {
+		a := Partition(units, n)
+		b := Partition(units, n)
+		if len(a) != n {
+			t.Fatalf("n=%d: %d partitions", n, len(a))
+		}
+		seen := map[int]int{}
+		for s := range a {
+			if fmt.Sprint(a[s]) != fmt.Sprint(b[s]) {
+				t.Fatalf("n=%d: partition not deterministic", n)
+			}
+			for _, idx := range a[s] {
+				seen[idx]++
+			}
+		}
+		if len(seen) != len(units) {
+			t.Fatalf("n=%d: %d units assigned, want %d", n, len(seen), len(units))
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: unit %d assigned %d times", n, idx, c)
+			}
+		}
+	}
+}
+
+func TestPartitionBalancesCost(t *testing.T) {
+	units := make([]Unit, 12)
+	for i := range units {
+		units[i] = Unit{Name: fmt.Sprintf("u%02d", i), Cost: 1}
+	}
+	// One heavy unit: it must sit alone-ish, not stack onto a shard that
+	// already carries the others.
+	units[0].Cost = 6
+	parts := Partition(units, 4)
+	loads := make([]float64, 4)
+	for s, idxs := range parts {
+		for _, i := range idxs {
+			loads[s] += units[i].Cost
+		}
+	}
+	min, max := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// Total cost 17 over 4 shards: the heavy shard carries 6, the rest
+	// split 11. Max spread must stay near the heavy unit, not degenerate.
+	if max > 6+1 || min < 2 {
+		t.Fatalf("unbalanced partition: loads %v", loads)
+	}
+}
+
+// TestConcurrentShardsNoDoubleCompute runs every shard of a 4-way split
+// concurrently against one store and asserts each unit ran exactly once.
+func TestConcurrentShardsNoDoubleCompute(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	const n = 23
+	counts := make([]atomic.Int64, n)
+	units := fakeUnits(store, n, counts, time.Millisecond)
+	const shards = 4
+	var wg sync.WaitGroup
+	results := make([]Result, shards)
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = Run(units, Options{
+				Store: store, Self: s, Shards: shards,
+				TTL: time.Minute, Owner: fmt.Sprintf("t-%d", s),
+			})
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	total := 0
+	for i := range counts {
+		c := int(counts[i].Load())
+		if c != 1 {
+			t.Errorf("unit %d computed %d times", i, c)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("computed %d, want %d", total, n)
+	}
+	if Done(store, units) != n {
+		t.Fatal("not all units have done records")
+	}
+	// The computed sets across shards must partition the unit names.
+	seen := map[string]int{}
+	for _, r := range results {
+		for _, name := range r.Computed {
+			seen[name]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct computed units, want %d", len(seen), n)
+	}
+}
+
+// TestSecondRunIsAllSkips reruns a completed unit set: everything is
+// served by done records, nothing recomputes.
+func TestSecondRunIsAllSkips(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	const n = 7
+	counts := make([]atomic.Int64, n)
+	units := fakeUnits(store, n, counts, 0)
+	if _, err := Run(units, Options{Store: store, Self: 0, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(units, Options{Store: store, Self: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Computed) != 0 || res.Skipped != n {
+		t.Fatalf("warm rerun computed %v, skipped %d", res.Computed, res.Skipped)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("unit %d ran %d times across both runs", i, c)
+		}
+	}
+}
+
+// TestExpiredLeaseIsStolen plants a stale lease (its owner "crashed") and
+// checks the scheduler breaks it and computes the unit.
+func TestExpiredLeaseIsStolen(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	counts := make([]atomic.Int64, 1)
+	units := fakeUnits(store, 1, counts, 0)
+	lease := leaseID(units[0])
+	if !store.PutExclusive(lease, ownerPayload("dead-owner", units[0].Name)) {
+		t.Fatal("planting lease")
+	}
+	// Backdate past any TTL the scheduler might use.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(leasePath(t, store, lease), past, past); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(units, Options{Store: store, Self: 0, Shards: 1, TTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expired != 1 || counts[0].Load() != 1 {
+		t.Fatalf("expired=%d computed=%d, want 1/1", res.Expired, counts[0].Load())
+	}
+}
+
+// TestFreshLeaseBlocksUntilExpiry plants a live lease the scheduler must
+// wait out before stealing: polls happen, then the unit computes.
+func TestFreshLeaseBlocksUntilExpiry(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	counts := make([]atomic.Int64, 1)
+	units := fakeUnits(store, 1, counts, 0)
+	lease := leaseID(units[0])
+	if !store.PutExclusive(lease, ownerPayload("slow-owner", units[0].Name)) {
+		t.Fatal("planting lease")
+	}
+	start := time.Now()
+	res, err := Run(units, Options{Store: store, Self: 0, Shards: 1,
+		TTL: 300 * time.Millisecond, Poll: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].Load() != 1 {
+		t.Fatal("unit not computed after lease expiry")
+	}
+	if res.Waits == 0 {
+		t.Error("no waits recorded while blocked on a fresh lease")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Errorf("stole a fresh lease after only %v", elapsed)
+	}
+}
+
+// TestUnitErrorPropagatesButScanCompletes: one failing unit must not stop
+// the others, and the first error comes back.
+func TestUnitErrorPropagatesButScanCompletes(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	const n = 5
+	counts := make([]atomic.Int64, n)
+	units := fakeUnits(store, n, counts, 0)
+	boom := errors.New("boom")
+	units[2].Run = func() error { return boom }
+	res, err := Run(units, Options{Store: store, Self: 0, Shards: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "unit-02") {
+		t.Fatalf("error does not name the failing unit: %v", err)
+	}
+	if len(res.Computed) != n-1 {
+		t.Fatalf("computed %d units despite one failure, want %d", len(res.Computed), n-1)
+	}
+	// The failed unit's lease must be released so a retry can claim it.
+	if _, ok := store.Get(leaseID(units[2])); ok {
+		t.Fatal("failed unit's lease not released")
+	}
+	if Done(store, units) != n-1 {
+		t.Fatal("done records wrong after failure")
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	units := fakeUnits(store, 1, nil, 0)
+	if _, err := Run(units, Options{Store: store, Self: 3, Shards: 2}); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+	if _, err := Run(units, Options{Store: nil, Self: 0, Shards: 2}); err == nil {
+		t.Fatal("multi-shard run without a store accepted")
+	}
+	// Single shard without a store degrades to plain serial execution.
+	res, err := Run(units, Options{Store: nil, Self: 0, Shards: 1})
+	if err != nil || len(res.Computed) != 1 {
+		t.Fatalf("storeless single shard: %v %v", res, err)
+	}
+}
+
+// TestSummaryAndOwnerRoundTrip covers the merge step's store-only view of a
+// run: per-unit owner attribution and the persisted shard summaries.
+func TestSummaryAndOwnerRoundTrip(t *testing.T) {
+	store := artifact.Open(t.TempDir())
+	units := fakeUnits(store, 3, nil, 0)
+	res, err := Run(units, Options{Store: store, Self: 0, Shards: 1, Owner: "shard-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		owner, ok := OwnerOf(store, u)
+		if !ok || owner != "shard-0" {
+			t.Fatalf("OwnerOf(%s) = %q, %v", u.Name, owner, ok)
+		}
+	}
+	PutSummary(store, "shard-0", res)
+	sum, ok := LoadSummary(store, "shard-0")
+	if !ok {
+		t.Fatal("summary not found after PutSummary")
+	}
+	want := Summary{Computed: 3}
+	if sum != want {
+		t.Fatalf("summary = %+v, want %+v", sum, want)
+	}
+	if _, ok := LoadSummary(store, "shard-1"); ok {
+		t.Fatal("summary for a shard that never ran")
+	}
+	if _, ok := OwnerOf(store, Unit{Key: artifact.NewKey("test-unit").Int(99).ID()}); ok {
+		t.Fatal("owner for a unit that never completed")
+	}
+}
+
+// leasePath exposes the on-disk path of a lease record for mtime
+// manipulation in tests.
+func leasePath(t *testing.T, store *artifact.Store, id artifact.ID) string {
+	t.Helper()
+	k := string(id)
+	return store.Dir() + "/objects/" + k[:2] + "/" + k + ".art"
+}
