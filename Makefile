@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-json bench-diff bench-shard shard-smoke fuzz vet lint fmt fmt-check verify experiments clean
+.PHONY: all build test race race-short bench bench-json bench-diff bench-shard bench-serve shard-smoke serve-smoke fuzz vet lint fmt fmt-check verify experiments clean
 
 all: build test
 
@@ -28,6 +28,7 @@ verify:
 	$(GO) test ./...
 	$(MAKE) race-short
 	$(MAKE) shard-smoke
+	$(MAKE) serve-smoke
 	@if [ -n "$(BASE)" ] && [ -n "$(HEAD)" ] && [ "$(BASE)" != "$(HEAD)" ]; then \
 		$(GO) run ./cmd/benchdiff -base $(BASE) -head $(HEAD); \
 	else \
@@ -57,7 +58,7 @@ race:
 # Cheap enough to gate every change via `make verify`; `make race` still
 # covers the whole tree on demand.
 race-short:
-	$(GO) test -race ./internal/par ./internal/compress/parallel ./internal/ensemble ./internal/experiments
+	$(GO) test -race ./internal/par ./internal/compress/parallel ./internal/ensemble ./internal/experiments ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -112,6 +113,44 @@ bench-shard:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) build -o $$tmp/climatebench ./cmd/climatebench && \
 	$(GO) run ./cmd/benchjson -shard-bin $$tmp/climatebench -shard-only -merge $(HEAD) -out $(HEAD)
+
+# Serving correctness smoke: start climatebenchd on an ephemeral port, ask
+# it for one verdict through its built-in client, and require the response
+# body to be byte-identical to `climatebench -verdict` on the same
+# substrate flags; then a SIGINT must drain cleanly (exit 0). No curl — the
+# daemon binary is its own client.
+serve-smoke:
+	@tmp=$$(mktemp -d); dpid=; \
+	trap '[ -n "$$dpid" ] && kill $$dpid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/climatebench ./cmd/climatebench || exit 1; \
+	$(GO) build -o $$tmp/climatebenchd ./cmd/climatebenchd || exit 1; \
+	$$tmp/climatebenchd -grid test -members 9 -vars U,SST -q \
+		-cachedir $$tmp/cache -addr 127.0.0.1:0 -addrfile $$tmp/addr 2>$$tmp/daemon.log & \
+	dpid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 300 ]; do sleep 0.2; i=$$((i+1)); done; \
+	[ -s $$tmp/addr ] || { echo "serve-smoke: daemon never bound"; cat $$tmp/daemon.log; exit 1; }; \
+	addr=$$(head -n 1 $$tmp/addr); \
+	$$tmp/climatebenchd -call http://$$addr -var U -variant fpzip-24 > $$tmp/daemon.json || \
+		{ echo "serve-smoke: daemon query failed"; cat $$tmp/daemon.log; exit 1; }; \
+	$$tmp/climatebench -grid test -members 9 -vars U,SST -cachedir $$tmp/cache \
+		-verdict U/fpzip-24 > $$tmp/batch.json || exit 1; \
+	cmp -s $$tmp/daemon.json $$tmp/batch.json || \
+		{ echo "serve-smoke: daemon and batch verdicts differ:"; \
+		  diff $$tmp/daemon.json $$tmp/batch.json; exit 1; }; \
+	kill -INT $$dpid; \
+	wait $$dpid || { echo "serve-smoke: daemon exited nonzero on SIGINT"; cat $$tmp/daemon.log; exit 1; }; \
+	dpid=; \
+	echo "serve-smoke: daemon verdict byte-identical to batch; clean shutdown"
+
+# Serving performance snapshot: load-test the daemon cold (every pair a
+# fresh computation), warm (pure response-cache hits; the >=1000 verdicts/s
+# target lives here) and coalesced (100 concurrent identical requests, one
+# compute), appending serve/ entries with ops/sec and p50/p99 latency to
+# the newest BENCH_PR*.json via per-entry-best merge.
+bench-serve:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/climatebenchd ./cmd/climatebenchd && \
+	$(GO) run ./cmd/benchjson -serve-bin $$tmp/climatebenchd -serve-only -merge $(HEAD) -out $(HEAD)
 
 # Short fuzzing pass over the decoder, container, artifact-cache, and
 # lint-directive parsers.

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"climcompress/internal/benchjson"
 )
@@ -60,6 +61,9 @@ func main() {
 			}
 		} else {
 			line += fmt.Sprintf(" %8s", "-")
+		}
+		if h.P99Ns > 0 {
+			line += fmt.Sprintf("  p50 %s p99 %s", time.Duration(h.P50Ns), time.Duration(h.P99Ns))
 		}
 		switch {
 		case b.AllocsPerOp != nil && h.AllocsPerOp != nil:
@@ -110,10 +114,15 @@ func byName(rep *benchjson.Report) map[string]benchjson.Entry {
 	return out
 }
 
-// throughput reduces an entry to a comparable ops-oriented rate: MB/s when
-// recorded, else inverse ns/op, else inverse seconds.
+// throughput reduces an entry to a comparable ops-oriented rate: load-test
+// ops/sec or MB/s when recorded, else inverse ns/op, else inverse seconds.
+// serve/ load-test entries carry OpsPerSec; they are informational here
+// (the hard FAIL gates apply to codec/ entries only), so a snapshot that
+// adds serve entries diffs cleanly against a baseline without them.
 func throughput(e benchjson.Entry) float64 {
 	switch {
+	case e.OpsPerSec > 0:
+		return e.OpsPerSec
 	case e.MBPerSec > 0:
 		return e.MBPerSec
 	case e.NsPerOp > 0:
@@ -131,6 +140,8 @@ func mib(b uint64) string {
 
 func mbs(e benchjson.Entry) string {
 	switch {
+	case e.OpsPerSec > 0:
+		return fmt.Sprintf("%.0f/s", e.OpsPerSec)
 	case e.MBPerSec > 0:
 		return fmt.Sprintf("%.1f", e.MBPerSec)
 	case e.NsPerOp > 0:

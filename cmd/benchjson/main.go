@@ -17,8 +17,10 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"climcompress/internal/l96"
 	"climcompress/internal/model"
 	"climcompress/internal/par"
+	"climcompress/internal/serve"
 	"climcompress/internal/varcatalog"
 )
 
@@ -53,10 +56,12 @@ func main() {
 	shardBin := flag.String("shard-bin", "", "path to a climatebench binary; when set, time 1/2/4-shard supervised cold+warm runs into shard/ entries")
 	shardOnly := flag.Bool("shard-only", false, "run only the shard-scale timings (requires -shard-bin)")
 	shardMembers := flag.Int("shard-members", 31, "ensemble size for the shard-scale timings")
+	serveBin := flag.String("serve-bin", "", "path to a climatebenchd binary; when set, load-test the daemon cold, warm and coalesced into serve/ entries")
+	serveOnly := flag.Bool("serve-only", false, "run only the daemon load tests (requires -serve-bin)")
 	mergeWith := flag.String("merge", "", "existing snapshot whose entries are folded into the output (per-entry best), e.g. to add shard/ entries to a full bench-json run")
 	flag.Parse()
 	par.SetWidth(*workers)
-	if *shardOnly {
+	if *shardOnly || *serveOnly {
 		*skipExperiments, *skipMicro = true, true
 	}
 
@@ -97,6 +102,12 @@ func main() {
 	}
 	if *shardBin != "" {
 		if err := timeShardScale(rep, *shardBin, *shardMembers); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *serveBin != "" {
+		if err := timeServe(rep, *serveBin); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -236,6 +247,140 @@ func timeShardScale(rep *benchjson.Report, bin string, members int) error {
 		}
 	}
 	return nil
+}
+
+// serveVars is the variable mix for the daemon load tests: the shard-smoke
+// subset, small enough that a cold sweep finishes in seconds but covering
+// 2-D, 3-D and fill-valued variables.
+const serveVars = "U,FSDSC,Z3,CCN3,SST"
+
+// startServeDaemon launches a climatebenchd instance on an ephemeral port
+// against cacheDir and waits for its -addrfile readiness signal. The
+// returned stop function sends SIGINT and waits for the graceful drain.
+func startServeDaemon(bin, cacheDir string) (base string, stop func() error, err error) {
+	addrFile := filepath.Join(cacheDir, "climatebenchd.addr")
+	cmd := exec.Command(bin,
+		"-grid", "test", "-members", "9", "-vars", serveVars,
+		"-q", "-cachedir", cacheDir,
+		"-addr", "127.0.0.1:0", "-addrfile", addrFile)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop = func() error {
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			return err
+		}
+		return cmd.Wait()
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if buf, err := os.ReadFile(addrFile); err == nil && len(buf) > 0 {
+			addr := strings.TrimSpace(string(buf))
+			return "http://" + addr, stop, nil
+		}
+		if time.Now().After(deadline) {
+			//lint:errdrop best-effort teardown of a daemon that never became ready
+			stop()
+			return "", nil, fmt.Errorf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// timeServe load-tests the verdict daemon in the three regimes that define
+// its performance envelope:
+//
+//   - cold: every (variable, variant) pair requested once against an empty
+//     cache — throughput is bounded by verification compute and the
+//     admission gate;
+//   - warm: the same mix re-requested thousands of times — pure
+//     response-cache hits, the daemon's sustained serving rate;
+//   - coalesced: one cold pair hammered by many concurrent identical
+//     clients — exactly one compute, everyone else coalesces, so the run
+//     measures the singleflight path.
+//
+// Each regime records ops/sec and client-observed p50/p99 latency.
+func timeServe(rep *benchjson.Report, bin string) error {
+	cacheDir, err := os.MkdirTemp("", "climserve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	base, stop, err := startServeDaemon(bin, cacheDir)
+	if err != nil {
+		return err
+	}
+	variables := strings.Split(serveVars, ",")
+	variants := experiments.Variants()
+	pairs := len(variables) * len(variants)
+	record := func(name, note string, concurrency int, res serve.LoadResult) {
+		rep.Entries = append(rep.Entries, benchjson.Entry{
+			Name: name, Note: note,
+			OpsPerSec: res.OpsPerSec(),
+			P50Ns:     res.P50.Nanoseconds(),
+			P99Ns:     res.P99.Nanoseconds(),
+			Workers:   concurrency,
+		})
+		fmt.Printf("%s [%s]: %.0f verdicts/s, p50 %s, p99 %s (%d ok, %d shed, %d errors)\n",
+			name, note, res.OpsPerSec(), res.P50, res.P99, res.OK, res.Shed, res.Errors)
+	}
+
+	// Cold: one request per pair; every request is a fresh computation.
+	res, err := serve.Load(serve.LoadSpec{
+		URL: base, Variables: variables, Variants: variants,
+		Total: pairs, Concurrency: 8,
+	})
+	if err == nil && res.OK != pairs {
+		err = fmt.Errorf("cold sweep: %d/%d ok (%d shed, %d errors)", res.OK, pairs, res.Shed, res.Errors)
+	}
+	if err != nil {
+		//lint:errdrop best-effort teardown after a failed load run
+		stop()
+		return err
+	}
+	record("serve/verdict", "cold cache", 8, res)
+
+	// Warm: the whole mix is response-cache hits now.
+	res, err = serve.Load(serve.LoadSpec{
+		URL: base, Variables: variables, Variants: variants,
+		Total: 20000, Concurrency: 8,
+	})
+	if err != nil {
+		//lint:errdrop best-effort teardown after a failed load run
+		stop()
+		return err
+	}
+	record("serve/verdict", "warm cache", 8, res)
+	if err := stop(); err != nil {
+		return fmt.Errorf("daemon shutdown after warm run: %w", err)
+	}
+
+	// Coalesced: fresh cache and daemon, one pair, 100 concurrent clients.
+	coldDir, err := os.MkdirTemp("", "climserve-coalesce")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(coldDir)
+	base, stop, err = startServeDaemon(bin, coldDir)
+	if err != nil {
+		return err
+	}
+	res, err = serve.Load(serve.LoadSpec{
+		URL: base, Variables: []string{"U"}, Variants: []string{"fpzip-24"},
+		Total: 100, Concurrency: 100,
+	})
+	if err == nil && res.OK != 100 {
+		err = fmt.Errorf("coalesced run: %d/100 ok (%d shed, %d errors)", res.OK, res.Shed, res.Errors)
+	}
+	if err != nil {
+		//lint:errdrop best-effort teardown after a failed load run
+		stop()
+		return err
+	}
+	record("serve/verdict", "coalesced (100 identical, cold)", 100, res)
+	return stop()
 }
 
 // synthEnsemble builds a deterministic synthetic ensemble on the test grid

@@ -33,6 +33,7 @@ import (
 	"climcompress/internal/l96"
 	"climcompress/internal/par"
 	"climcompress/internal/report"
+	"climcompress/internal/serve"
 	"climcompress/internal/shard"
 )
 
@@ -49,6 +50,8 @@ var (
 	noCache  = flag.Bool("nocache", false, "disable the artifact cache for this run (equivalent to -cachedir '')")
 	invalid  = flag.String("invalidate", "", "comma-separated codec variants whose cached records are removed before running (the incremental-rerun primitive)")
 	cacheMax = flag.Int64("cachemax", 0, "evict least-recently-used artifacts down to this many bytes after the run (0 = unbounded)")
+
+	verdictSpec = flag.String("verdict", "", "compute one verification verdict VAR/VARIANT and print its JSON body; byte-identical to climatebenchd's POST /verdict response for the same substrate flags")
 
 	shardSpec  = flag.String("shard", "", "compute only shard i of n (format i/n, 0-based) of the selected experiments' work units and exit without rendering; requires the artifact cache")
 	supervise  = flag.Int("supervise", 0, "fork n -shard children of this binary, restart crashed ones, then render the selected experiments from the shared cache")
@@ -100,7 +103,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *verdictSpec == "" {
 		if *cacheStats {
 			// Standalone probe of a (possibly shared) cache directory.
 			if *noCache {
@@ -189,6 +192,26 @@ func main() {
 		return r
 	}
 
+	// One-verdict mode: the batch twin of climatebenchd's POST /verdict.
+	// Both sides render through serve.Verdict.AppendJSON on the same runner
+	// construction, so the serve-smoke gate can compare output bytes
+	// literally. The "small" grid matches the daemon's default and the
+	// ensemble experiments' default (tables 6-8).
+	if *verdictSpec != "" {
+		name, variant, ok := strings.Cut(*verdictSpec, "/")
+		if !ok || name == "" || variant == "" {
+			fmt.Fprintln(os.Stderr, "climatebench: -verdict wants VAR/VARIANT, e.g. -verdict U/fpzip-24")
+			os.Exit(2)
+		}
+		o, err := runnerFor("small").VerdictFor(name, variant)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "climatebench: -verdict: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(serve.FromOutcome(name, variant, o).AppendJSON(nil))
+		os.Exit(0)
+	}
+
 	// Work-unit enumeration for sharded runs: the selected experiments'
 	// units across their effective grids, in first-appearance order. Every
 	// process derives the identical list from the same flags, so the
@@ -265,9 +288,9 @@ func main() {
 		}
 	}
 	if !*quiet && store.Enabled() {
-		st := store.Stats()
-		fmt.Printf("[cache %s: %d hits, %d misses, %d writes]\n",
-			store.Dir(), st.Hits, st.Misses, st.Puts)
+		// Stats.String carries every counter, including the PR 5 claim
+		// counters — sharded runs through this path claim leases too.
+		fmt.Printf("[cache %s: %s]\n", store.Dir(), store.Stats())
 	}
 	if *cacheStats {
 		printCacheStats(store)

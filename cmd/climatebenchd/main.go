@@ -1,0 +1,225 @@
+// Command climatebenchd serves verification verdicts over HTTP: the
+// daemon twin of `climatebench -verdict`. It owns one experiments.Runner
+// (grid, ensemble, artifact cache), optionally preloads every variable's
+// ensemble statistics at startup, and then answers POST /verdict queries
+// through internal/serve's coalescing and admission machinery.
+//
+// Usage:
+//
+//	climatebenchd [flags]                      # run the daemon
+//	climatebenchd -call URL -var V -variant C  # built-in client, one query
+//	climatebenchd -call URL -stats             # built-in client, GET /stats
+//
+// Endpoints:
+//
+//	POST /verdict  {"variable":"U","variant":"fpzip-24","format":"json|binary"}
+//	GET  /stats    cache + serving counters (JSON)
+//	GET  /healthz  liveness
+//
+// The built-in client exists so the serve-smoke CI gate needs no curl: it
+// prints the raw response body to stdout, byte-comparable to the batch
+// CLI's output.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/experiments"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/par"
+	"climcompress/internal/serve"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:8437", "listen address; use 127.0.0.1:0 for an ephemeral port with -addrfile")
+	addrFile = flag.String("addrfile", "", "write the bound address to this file once listening (readiness signal for harnesses)")
+	gridName = flag.String("grid", "small", "grid preset (test|small|bench|ne30)")
+	members  = flag.Int("members", 101, "ensemble size")
+	workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	seed     = flag.Uint64("seed", 2014, "seed for test-member selection")
+	vars     = flag.String("vars", "", "comma-separated variable subset (default: all 170)")
+	cacheDir = flag.String("cachedir", ".climcache", "artifact cache directory (empty disables); verdicts computed by the daemon persist here")
+	noCache  = flag.Bool("nocache", false, "disable the artifact cache")
+	preload  = flag.Bool("preload", true, "build every variable's ensemble statistics before accepting traffic")
+	inflight = flag.Int("inflight", 0, "max concurrent verdict computations (0 = GOMAXPROCS)")
+	queue    = flag.Int("queue", 0, "max computations queued behind the inflight slots (0 = 4x inflight); overflow is shed with 429")
+	retry    = flag.Int("retryafter", 1, "Retry-After seconds advertised on shed responses")
+	quiet    = flag.Bool("q", false, "suppress startup progress lines")
+
+	callURL   = flag.String("call", "", "client mode: base URL of a running daemon; POST one verdict (or -stats) and print the response body")
+	callVar   = flag.String("var", "", "client mode: variable name")
+	callVari  = flag.String("variant", "", "client mode: codec variant")
+	callForm  = flag.String("format", "json", "client mode: response format (json|binary)")
+	callStats = flag.Bool("stats", false, "client mode: GET /stats instead of a verdict")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "climatebenchd: unexpected arguments; this daemon takes only flags")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *callURL != "" {
+		os.Exit(runCall())
+	}
+	os.Exit(runDaemon())
+}
+
+// logf writes startup progress to stderr (stdout stays clean for harnesses
+// that capture it).
+func logf(format string, args ...any) {
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "climatebenchd: "+format+"\n", args...)
+	}
+}
+
+func runDaemon() int {
+	par.SetWidth(*workers)
+	if *noCache {
+		*cacheDir = ""
+	}
+	store := artifact.Open(*cacheDir)
+
+	g := grid.ByName(*gridName)
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: unknown grid %q\n", *gridName)
+		return 2
+	}
+	cfg := experiments.DefaultConfig(g)
+	cfg.Members = *members
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	if *vars != "" {
+		cfg.Variables = strings.Split(*vars, ",")
+	}
+	cfg.Cache = store
+	var l96Once sync.Once
+	var sharedL96 *l96.Ensemble
+	cfg.L96Source = func() *l96.Ensemble {
+		l96Once.Do(func() {
+			lc := l96.DefaultEnsembleConfig(*members)
+			sharedL96, _ = l96.LoadOrCompute(l96.DefaultParams(), lc, store.L96Dir())
+		})
+		return sharedL96
+	}
+	runner := experiments.NewRunner(cfg, nil)
+
+	start := time.Now()
+	srv, err := serve.New(serve.Config{
+		Runner:        runner,
+		MaxInflight:   *inflight,
+		MaxQueue:      *queue,
+		RetryAfterSec: *retry,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: %v\n", err)
+		return 1
+	}
+	logf("key table ready: %d variables x %d variants in %.1fs",
+		len(runner.VariableNames()), len(experiments.Variants()), time.Since(start).Seconds())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *preload {
+		start = time.Now()
+		n, err := srv.Preload(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "climatebenchd: preload: %v\n", err)
+			return 1
+		}
+		logf("preloaded ensemble statistics for %d variables in %.1fs", n, time.Since(start).Seconds())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "climatebenchd: writing -addrfile: %v\n", err)
+			return 1
+		}
+	}
+	logf("listening on %s", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here; Shutdown's
+		// ErrServerClosed arrives through the other branch.
+		fmt.Fprintf(os.Stderr, "climatebenchd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	logf("signal received; draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "climatebenchd: %v\n", err)
+		return 1
+	}
+	st := srv.Stats()
+	logf("drained: %d requests (%d cache hits, %d coalesced, %d computes, %d shed)",
+		st.Serve.Requests, st.Serve.RespCacheHits, st.Serve.Coalesced, st.Serve.Computes, st.Serve.Shed)
+	return 0
+}
+
+// runCall is the built-in client: one request, raw body to stdout. The
+// serve-smoke gate pipes this next to `climatebench -verdict` output and
+// compares bytes, so nothing but the response body may reach stdout.
+func runCall() int {
+	base := strings.TrimSuffix(*callURL, "/")
+	var resp *http.Response
+	var err error
+	if *callStats {
+		resp, err = http.Get(base + "/stats")
+	} else {
+		if *callVar == "" || *callVari == "" {
+			fmt.Fprintln(os.Stderr, "climatebenchd: -call needs -var and -variant (or -stats)")
+			return 2
+		}
+		body := fmt.Sprintf(`{"variable":%q,"variant":%q,"format":%q}`, *callVar, *callVari, *callForm)
+		resp, err = http.Post(base+"/verdict", serve.ContentTypeJSON, strings.NewReader(body))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: %v\n", err)
+		return 1
+	}
+	_, copyErr := io.Copy(os.Stdout, resp.Body)
+	//lint:errdrop read side; the body was fully copied and a response Close cannot lose data
+	resp.Body.Close()
+	if copyErr != nil {
+		fmt.Fprintf(os.Stderr, "climatebenchd: reading response: %v\n", copyErr)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "climatebenchd: status %s\n", resp.Status)
+		return 1
+	}
+	return 0
+}

@@ -63,10 +63,15 @@ type ID string
 // but failed validation (corruption, truncation, version skew). Claims and
 // ClaimLosses count PutExclusive outcomes: cross-process coordination
 // (internal/shard's lease protocol) claims records exclusively, and a lost
-// claim means another process holds the record.
+// claim means another process holds the record. The JSON tags are a wire
+// contract: climatebenchd's GET /stats serves this struct verbatim.
 type Stats struct {
-	Hits, Misses, Puts, BadReads int64
-	Claims, ClaimLosses          int64
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	BadReads    int64 `json:"bad_reads"`
+	Claims      int64 `json:"claims"`
+	ClaimLosses int64 `json:"claim_losses"`
 }
 
 // String renders the snapshot as one human-readable line (the payload of
@@ -116,19 +121,35 @@ func (s *Store) L96Dir() string {
 	return filepath.Join(s.dir, "l96")
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. The read is
+// snapshot-consistent under brief contention: the counters are re-read
+// until two consecutive passes agree, so a served snapshot never pairs a
+// pre-increment hit count with a post-increment put count from the same
+// racing operation. Under sustained traffic the retry budget runs out and
+// the last read wins — each counter is still individually exact.
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		BadReads:    s.badReads.Load(),
-		Claims:      s.claims.Load(),
-		ClaimLosses: s.claimLosses.Load(),
+	read := func() Stats {
+		return Stats{
+			Hits:        s.hits.Load(),
+			Misses:      s.misses.Load(),
+			Puts:        s.puts.Load(),
+			BadReads:    s.badReads.Load(),
+			Claims:      s.claims.Load(),
+			ClaimLosses: s.claimLosses.Load(),
+		}
 	}
+	st := read()
+	for attempt := 0; attempt < 4; attempt++ {
+		again := read()
+		if again == st {
+			return st
+		}
+		st = again
+	}
+	return st
 }
 
 // path maps an ID to its object file, fanning out over 256 subdirectories

@@ -2,8 +2,11 @@ package artifact
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -277,5 +280,60 @@ func TestFloats32Into(t *testing.T) {
 	d2 := NewDec(e.Bytes())
 	if v := d2.Floats32Into(nil, 5); v != nil || d2.Err() == nil {
 		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	// The Stats struct is the wire schema of climatebenchd's GET /stats:
+	// every counter — including the PR 5 claim counters — must survive a
+	// JSON round-trip under its documented key.
+	want := Stats{Hits: 1, Misses: 2, Puts: 3, BadReads: 4, Claims: 5, ClaimLosses: 6}
+	buf, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hits", "misses", "puts", "bad_reads", "claims", "claim_losses"} {
+		if !bytes.Contains(buf, []byte(`"`+key+`"`)) {
+			t.Fatalf("marshalled stats %s lack key %q", buf, key)
+		}
+	}
+	var got Stats
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsSnapshotUnderTraffic(t *testing.T) {
+	// Stats must stay callable (and individually exact once quiescent)
+	// while other goroutines hammer the counters.
+	dir := t.TempDir()
+	s := Open(dir)
+	var wg sync.WaitGroup
+	const writers, rounds = 4, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := NewKey("stats-traffic").Int(w).Int(i).ID()
+				s.Get(id) // miss
+				s.Put(id, []byte("x"))
+				s.Get(id) // hit
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		_ = s.Stats() // must not race or tear
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Hits != writers*rounds || st.Misses != writers*rounds || st.Puts != writers*rounds {
+		t.Fatalf("quiescent stats %+v, want %d of each of hits/misses/puts", st, writers*rounds)
+	}
+	if st.String() == "" || !strings.Contains(st.String(), "claims") {
+		t.Fatalf("Stats.String() = %q lacks claim counters", st.String())
 	}
 }

@@ -34,6 +34,14 @@ type Entry struct {
 	// the same reason as AllocsPerOp: a zero-allocation run must survive
 	// omitempty.
 	TotalAllocBytes *uint64 `json:"total_alloc_bytes,omitempty"`
+	// OpsPerSec, P50Ns and P99Ns come from load tests against the serving
+	// daemon (`make bench-serve`): sustained successful-response throughput
+	// and client-observed latency quantiles. Wall-clock seconds cannot
+	// express a saturating open-loop run, so these are first-class fields
+	// rather than derived ones.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	P50Ns     int64   `json:"p50_ns,omitempty"`
+	P99Ns     int64   `json:"p99_ns,omitempty"`
 	// Workers records the concurrency this entry ran with, so single-core
 	// and multi-worker measurements of the same name are distinguishable.
 	Workers int `json:"workers,omitempty"`
@@ -127,6 +135,10 @@ func (r *Report) MergeBest(other *Report) {
 		have := &r.Entries[i]
 		switch {
 		case e.NsPerOp > 0 && (have.NsPerOp == 0 || e.NsPerOp < have.NsPerOp):
+			*have = e
+		case e.OpsPerSec > 0 && e.OpsPerSec > have.OpsPerSec:
+			// Load-test entries: higher sustained throughput is the better
+			// observation, mirroring the lower-ns/op rule.
 			*have = e
 		case e.Seconds > 0 && e.NsPerOp == 0 && e.Seconds < have.Seconds:
 			*have = e

@@ -1,0 +1,72 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMergeBestKeepsFasterObservation(t *testing.T) {
+	a := NewReport()
+	a.Entries = append(a.Entries,
+		Entry{Name: "codec/x/compress", NsPerOp: 100},
+		Entry{Name: "experiments/fig1", Seconds: 2.0, Note: "cold cache"},
+		Entry{Name: "serve/verdict", OpsPerSec: 900, P50Ns: 40, P99Ns: 80, Note: "warm cache"},
+	)
+	b := NewReport()
+	b.Entries = append(b.Entries,
+		Entry{Name: "codec/x/compress", NsPerOp: 90},
+		Entry{Name: "experiments/fig1", Seconds: 3.0, Note: "cold cache"},
+		// Higher sustained throughput is the better load-test observation.
+		Entry{Name: "serve/verdict", OpsPerSec: 1200, P50Ns: 30, P99Ns: 60, Note: "warm cache"},
+		Entry{Name: "serve/verdict", OpsPerSec: 50, Note: "cold cache"},
+	)
+	a.MergeBest(b)
+	got := map[string]Entry{}
+	for _, e := range a.Entries {
+		got[e.Name+"/"+e.Note] = e
+	}
+	if e := got["codec/x/compress/"]; e.NsPerOp != 90 {
+		t.Fatalf("ns/op merge kept %d, want 90", e.NsPerOp)
+	}
+	if e := got["experiments/fig1/cold cache"]; e.Seconds != 2.0 {
+		t.Fatalf("seconds merge kept %v, want 2.0", e.Seconds)
+	}
+	if e := got["serve/verdict/warm cache"]; e.OpsPerSec != 1200 || e.P99Ns != 60 {
+		t.Fatalf("ops/sec merge kept %+v, want the 1200 ops/s observation", e)
+	}
+	if e, ok := got["serve/verdict/cold cache"]; !ok || e.OpsPerSec != 50 {
+		t.Fatalf("unique entry not appended: %+v ok=%v", e, ok)
+	}
+	if len(a.Entries) != 4 {
+		t.Fatalf("%d entries after merge, want 4", len(a.Entries))
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_PRX.json")
+	rep := NewReport()
+	allocs := int64(0)
+	rep.Entries = append(rep.Entries,
+		Entry{Name: "codec/x/compress", NsPerOp: 7, AllocsPerOp: &allocs, Workers: 1},
+		Entry{Name: "serve/verdict", OpsPerSec: 1234.5, P50Ns: 1000, P99Ns: 9000, Note: "warm cache", Workers: 8},
+	)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("%d entries", len(got.Entries))
+	}
+	if e := got.Entries[0]; e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("zero allocs/op did not survive the round-trip: %+v", e)
+	}
+	if e := got.Entries[1]; e.OpsPerSec != 1234.5 || e.P50Ns != 1000 || e.P99Ns != 9000 {
+		t.Fatalf("load-test fields did not survive the round-trip: %+v", e)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("reading a missing snapshot must error")
+	}
+}

@@ -1,0 +1,126 @@
+// Serving API: the per-(variable, variant) entry points behind
+// climatebenchd (internal/serve). The batch tables sweep whole catalogs;
+// a verdict service answers one (variable, variant) query at a time, so
+// this file exposes exactly that granularity — the verdict itself, the
+// artifact-store digest it coalesces on, and the ensemble-statistics
+// preload that makes warm serving a pure cache reduction. Every code path
+// here reuses the batch machinery (newVerifier, verifyVariant, the cache
+// key builders), so a served verdict is bit-identical to the same cell of
+// Table 6.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/par"
+)
+
+// KnownVariant reports whether variant is one of the nine study variants.
+func KnownVariant(variant string) bool {
+	for _, v := range Variants() {
+		if v == variant {
+			return true
+		}
+	}
+	return false
+}
+
+// VariableNames returns the catalog's variable names in catalog order.
+func (r *Runner) VariableNames() []string {
+	out := make([]string, len(r.Catalog))
+	for i, s := range r.Catalog {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// VerdictKey returns the artifact-store digest of one (variable, variant)
+// verification outcome — the digest the batch sweep persists verdicts
+// under, and therefore the natural request-coalescing and response-cache
+// key of the serving layer: two requests with the same key are guaranteed
+// the same bytes.
+//
+// Deriving the key forces the substrate digest, which integrates (or
+// loads) the chaotic-core ensemble on first use; servers should derive
+// keys at startup, not per request.
+func (r *Runner) VerdictKey(name, variant string) (artifact.ID, error) {
+	if !KnownVariant(variant) {
+		return "", fmt.Errorf("experiments: unknown variant %q", variant)
+	}
+	idx, err := r.varIndex(name)
+	if err != nil {
+		return "", err
+	}
+	return r.outcomeKey(r.Catalog[idx], variant), nil
+}
+
+// VerdictFor returns the verification outcome of one study variant on one
+// catalog variable: the cached record when present, otherwise a fresh
+// four-test verification (persisted before returning). The in-process
+// VarStatsFor memo means concurrent verdicts for different variants of one
+// variable share a single ensemble-statistics build.
+func (r *Runner) VerdictFor(name, variant string) (VariantOutcome, error) {
+	if !KnownVariant(variant) {
+		return VariantOutcome{}, fmt.Errorf("experiments: unknown variant %q", variant)
+	}
+	idx, err := r.varIndex(name)
+	if err != nil {
+		return VariantOutcome{}, err
+	}
+	spec := r.Catalog[idx]
+	s := r.store()
+	if s.Enabled() {
+		if payload, ok := s.Get(r.outcomeKey(spec, variant)); ok {
+			if o, ok := decodeOutcome(payload); ok {
+				return o, nil
+			}
+		}
+	}
+	vs, err := r.VarStatsFor(name)
+	if err != nil {
+		return VariantOutcome{}, fmt.Errorf("%s: %w", name, err)
+	}
+	o, err := r.verifyVariant(r.newVerifier(spec, vs), spec, vs, variant)
+	if err != nil {
+		return VariantOutcome{}, err
+	}
+	if s.Enabled() {
+		s.Put(r.outcomeKey(spec, variant), encodeOutcome(o))
+	}
+	return o, nil
+}
+
+// PreloadStats builds the ensemble statistics of every catalog variable up
+// front, fanning out over the shared worker pool, and returns how many
+// variables are resident. This is the daemon's startup warm-up: after it
+// returns, every handler reads the leave-one-out aggregates from the
+// read-only VarStatsFor memo instead of paying a cold O(members) build on
+// the first request for each variable. Cancelling ctx aborts scheduling of
+// further variables; the ones already built stay resident.
+func (r *Runner) PreloadStats(ctx context.Context) (int, error) {
+	indices := r.allIndices()
+	errs := make([]error, len(indices))
+	err := par.EachLimitCtx(ctx, len(indices), r.workers(), func(k int) error {
+		_, errs[k] = r.VarStatsFor(r.Catalog[indices[k]].Name)
+		return nil
+	})
+	loaded := 0
+	r.mu.Lock()
+	for _, e := range r.varStats {
+		if e.vs != nil {
+			loaded++
+		}
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return loaded, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return loaded, e
+		}
+	}
+	return loaded, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"climcompress/internal/artifact"
+)
+
+func TestKnownVariant(t *testing.T) {
+	for _, v := range Variants() {
+		if !KnownVariant(v) {
+			t.Fatalf("study variant %q not known", v)
+		}
+	}
+	for _, v := range []string{"", "none", "fpzip-24 ", "FPZIP-24"} {
+		if KnownVariant(v) {
+			t.Fatalf("non-variant %q accepted", v)
+		}
+	}
+}
+
+func TestVerdictForMatchesBatch(t *testing.T) {
+	// A served verdict must be the exact record the batch Table 6 sweep
+	// computes for the same (variable, variant) cell.
+	store := artifact.Open(t.TempDir())
+	batch := NewRunner(cacheCfg(store), nil)
+	if _, err := batch.Table6(); err != nil {
+		t.Fatal(err)
+	}
+
+	serveStore := artifact.Open(t.TempDir())
+	serve := NewRunner(cacheCfg(serveStore), batch.L96())
+	for _, name := range []string{"U", "SST"} {
+		for _, variant := range []string{"fpzip-24", "grib2"} {
+			got, err := serve.VerdictFor(name, variant)
+			if err != nil {
+				t.Fatalf("VerdictFor(%s, %s): %v", name, variant, err)
+			}
+			key, err := batch.VerdictKey(name, variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, ok := store.Get(key)
+			if !ok {
+				t.Fatalf("batch sweep left no record under VerdictKey(%s, %s)", name, variant)
+			}
+			want, ok := decodeOutcome(payload)
+			if !ok {
+				t.Fatalf("batch record for (%s, %s) undecodable", name, variant)
+			}
+			if got != want {
+				t.Fatalf("VerdictFor(%s, %s) = %+v, batch computed %+v", name, variant, got, want)
+			}
+		}
+	}
+	// The serving path must have persisted its own records: a fresh runner
+	// on the same store serves them without touching the generator.
+	warm := NewRunner(cacheCfg(serveStore), nil)
+	if _, err := warm.VerdictFor("U", "fpzip-24"); err != nil {
+		t.Fatal(err)
+	}
+	if st := serveStore.Stats(); st.Hits == 0 {
+		t.Fatalf("warm VerdictFor did not hit the store: %+v", st)
+	}
+}
+
+func TestVerdictForUnknown(t *testing.T) {
+	r := NewRunner(cacheCfg(nil), nil)
+	if _, err := r.VerdictFor("U", "no-such-variant"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := r.VerdictFor("NOPE", "fpzip-24"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	if _, err := r.VerdictKey("U", "no-such-variant"); err == nil {
+		t.Fatal("VerdictKey accepted unknown variant")
+	}
+	if _, err := r.VerdictKey("NOPE", "fpzip-24"); err == nil {
+		t.Fatal("VerdictKey accepted unknown variable")
+	}
+}
+
+func TestPreloadStats(t *testing.T) {
+	r := NewRunner(cacheCfg(nil), nil)
+	n, err := r.PreloadStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(r.Catalog) {
+		t.Fatalf("preloaded %d variables, want %d", n, len(r.Catalog))
+	}
+	// After preload a verdict needs no new stats build: the memo entry is
+	// resident, so VarStatsFor returns the same pointer.
+	vs1, err := r.VarStatsFor("U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs2, _ := r.VarStatsFor("U")
+	if vs1 != vs2 {
+		t.Fatal("VarStatsFor rebuilt after preload")
+	}
+}
+
+func TestPreloadStatsCancelled(t *testing.T) {
+	r := NewRunner(cacheCfg(nil), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.PreloadStats(ctx); err == nil {
+		t.Fatal("cancelled preload reported success")
+	}
+}
+
+func TestVariableNames(t *testing.T) {
+	r := NewRunner(cacheCfg(nil), nil)
+	names := r.VariableNames()
+	if len(names) != len(r.Catalog) {
+		t.Fatalf("%d names for %d specs", len(names), len(r.Catalog))
+	}
+	for i, s := range r.Catalog {
+		if names[i] != s.Name {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], s.Name)
+		}
+	}
+}

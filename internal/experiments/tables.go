@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"climcompress/internal/compress"
+	"climcompress/internal/ensemble"
 	"climcompress/internal/hybrid"
 	"climcompress/internal/metrics"
 	"climcompress/internal/pvt"
@@ -483,55 +484,12 @@ func (r *Runner) computeVerifyVariable(idx int) (map[string]VariantOutcome, map[
 			return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		shape := r.shapeFor(spec)
-		testMembers := pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed)
-		verifier := &pvt.Verifier{
-			Stats: vs, Shape: shape, Thr: r.Cfg.Thr,
-			TestMembers: testMembers, WithBias: true, Workers: 1,
-		}
+		verifier := r.newVerifier(spec, vs)
+		testMembers := verifier.TestMembers
 		for _, variant := range missing {
-			codec, err := r.CodecFor(variant, spec, vs, 0)
+			o, err := r.verifyVariant(verifier, spec, vs, variant)
 			if err != nil {
 				return nil, nil, err
-			}
-			res, err := verifier.Verify(codec)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-			}
-			o := VariantOutcome{
-				CR:        res.MeanCR,
-				RhoPass:   res.RhoPass,
-				RMSZPass:  res.RMSZPass,
-				EnmaxPass: res.EnmaxPass,
-				BiasPass:  res.BiasPass,
-				AllPass:   res.AllPass,
-				SlopeDist: res.Bias.SlopeWorstCaseDistance(),
-			}
-			if len(res.Checks) > 0 {
-				o.Rho = res.Checks[0].Errors.Pearson
-				o.NRMSE = res.Checks[0].Errors.NRMSE
-				o.Enmax = res.Checks[0].Errors.ENMax
-			}
-			// Worst-case raw quantities over the test members.
-			o.RhoMin = math.Inf(1)
-			o.RMSZWithin = true
-			slack := 0.01 * res.RMSZBox.Range()
-			for _, chk := range res.Checks {
-				if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
-					o.RhoMin = chk.Errors.Pearson
-				}
-				if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
-					o.RMSZDiffMax = d
-				}
-				if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
-					o.RMSZWithin = false
-				}
-				if res.EnmaxSpread > 0 {
-					if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
-						o.EnmaxRatio = ratio
-					}
-				} else {
-					o.EnmaxRatio = math.NaN()
-				}
 			}
 			outcomes[variant] = o
 			if s.Enabled() {
@@ -561,6 +519,71 @@ func (r *Runner) computeVerifyVariable(idx int) (map[string]VariantOutcome, map[
 		}
 	}
 	return outcomes, fallbacks, nil
+}
+
+// newVerifier builds the four-test verifier exactly as the batch sweep
+// configures it: bias test on, serial codec loop (outer layers own the
+// parallelism), test members drawn from the run seed xor the variable's
+// synthesis seed. Every path that wants verdicts bit-identical to the
+// batch tables — computeVerifyVariable and the serving layer's VerdictFor —
+// must construct its verifier here.
+func (r *Runner) newVerifier(spec varcatalog.Spec, vs *ensemble.VarStats) *pvt.Verifier {
+	return &pvt.Verifier{
+		Stats: vs, Shape: r.shapeFor(spec), Thr: r.Cfg.Thr,
+		TestMembers: pvt.SelectTestMembers(vs.Members(), 3, r.Cfg.Seed^spec.Seed),
+		WithBias:    true, Workers: 1,
+	}
+}
+
+// verifyVariant runs one study variant through the verifier and condenses
+// the full pvt.Result into the compact VariantOutcome record the artifact
+// cache (and the serving layer) persists.
+func (r *Runner) verifyVariant(verifier *pvt.Verifier, spec varcatalog.Spec, vs *ensemble.VarStats, variant string) (VariantOutcome, error) {
+	codec, err := r.CodecFor(variant, spec, vs, 0)
+	if err != nil {
+		return VariantOutcome{}, err
+	}
+	res, err := verifier.Verify(codec)
+	if err != nil {
+		return VariantOutcome{}, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
+	}
+	o := VariantOutcome{
+		CR:        res.MeanCR,
+		RhoPass:   res.RhoPass,
+		RMSZPass:  res.RMSZPass,
+		EnmaxPass: res.EnmaxPass,
+		BiasPass:  res.BiasPass,
+		AllPass:   res.AllPass,
+		SlopeDist: res.Bias.SlopeWorstCaseDistance(),
+	}
+	if len(res.Checks) > 0 {
+		o.Rho = res.Checks[0].Errors.Pearson
+		o.NRMSE = res.Checks[0].Errors.NRMSE
+		o.Enmax = res.Checks[0].Errors.ENMax
+	}
+	// Worst-case raw quantities over the test members.
+	o.RhoMin = math.Inf(1)
+	o.RMSZWithin = true
+	slack := 0.01 * res.RMSZBox.Range()
+	for _, chk := range res.Checks {
+		if chk.Errors.Pearson < o.RhoMin || math.IsNaN(chk.Errors.Pearson) {
+			o.RhoMin = chk.Errors.Pearson
+		}
+		if d := math.Abs(chk.RMSZRecon - chk.RMSZOrig); d > o.RMSZDiffMax || math.IsNaN(d) {
+			o.RMSZDiffMax = d
+		}
+		if chk.RMSZRecon < res.RMSZBox.Min-slack || chk.RMSZRecon > res.RMSZBox.Max+slack {
+			o.RMSZWithin = false
+		}
+		if res.EnmaxSpread > 0 {
+			if ratio := chk.Errors.ENMax / res.EnmaxSpread; ratio > o.EnmaxRatio || math.IsNaN(ratio) {
+				o.EnmaxRatio = ratio
+			}
+		} else {
+			o.EnmaxRatio = math.NaN()
+		}
+	}
+	return o, nil
 }
 
 // PassesAt tallies pass counts at arbitrary thresholds from the retained

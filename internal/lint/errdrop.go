@@ -14,7 +14,13 @@ import (
 //     worth recording), or
 //   - any Close or Flush method, stdlib included — a dropped Close on
 //     a written file loses the last buffered bytes silently, which is
-//     exactly the failure a bit-reproducible pipeline cannot tolerate.
+//     exactly the failure a bit-reproducible pipeline cannot tolerate,
+//     or
+//   - net/http's serve entry points (Serve, ListenAndServe, their TLS
+//     twins, and Shutdown) — a dropped serve error is a daemon that
+//     died without anyone noticing, and a dropped Shutdown error is a
+//     drain that silently abandoned in-flight requests. climatebenchd
+//     made these paths load-bearing.
 //
 // "Discarded" covers a bare call statement, a `defer x.Close()`, and a
 // blank assignment `_ = x.Close()`. Read-side closes where no data can
@@ -75,17 +81,37 @@ func checkDropped(p *Pass, call *ast.CallExpr, how string) {
 	}
 	name := fn.Name()
 	closeFlush := name == "Close" || name == "Flush"
-	if !closeFlush && !isModuleOwn(p, fn) {
+	httpServe := isHTTPServeEntry(fn)
+	if !closeFlush && !httpServe && !isModuleOwn(p, fn) {
 		return
 	}
 	if isNilOnlyParEach(p, call, fn) {
 		return
 	}
 	what := "error"
-	if closeFlush {
+	if closeFlush || httpServe {
 		what = name + " error"
 	}
 	p.Reportf(call.Pos(), "%scall to %s discards its %s: handle it or annotate with //lint:errdrop", how, qualifiedName(p, fn), what)
+}
+
+// httpServeEntryFuncs are net/http's blocking serve entry points and the
+// graceful-drain call. Every one returns an error that means "the daemon
+// is not serving" (or "the drain gave up"), which no server may ignore.
+var httpServeEntryFuncs = map[string]bool{
+	"Serve": true, "ServeTLS": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Shutdown": true,
+}
+
+// isHTTPServeEntry reports whether fn is one of net/http's serve entry
+// points (package-level function or *http.Server method — both are
+// declared in package net/http, so one package check covers them).
+func isHTTPServeEntry(fn *types.Func) bool {
+	if !httpServeEntryFuncs[fn.Name()] {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "net/http"
 }
 
 // isNilOnlyParEach reports whether call is par.Each/par.EachLimit with

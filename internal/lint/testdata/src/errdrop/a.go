@@ -3,6 +3,10 @@
 package errdrop
 
 import (
+	"context"
+	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"climcompress/internal/par"
@@ -94,4 +98,60 @@ func dropLeaseRenewSpawned(l lease) {
 // TTL expiry bounds the damage, a decision worth recording inline.
 func annotatedLeaseRelease(l lease) {
 	l.Release() //lint:errdrop best-effort; TTL expiry reclaims the unit if this fails
+}
+
+// --- HTTP daemon cases (climatebenchd made these paths load-bearing) ---
+
+// Positive: an HTTP response body Close dropped after a read. The Close
+// rule already covers it; the case is pinned here because it is the
+// single most common error drop in HTTP client code.
+func dropRespBodyClose() {
+	resp, err := http.Get("http://127.0.0.1:0/stats")
+	if err != nil {
+		return
+	}
+	resp.Body.Close() // want "discards its Close error"
+}
+
+// Positive: a spawned http.Serve whose error vanishes with the
+// goroutine — the daemon stops serving and nobody finds out.
+func dropServeSpawned(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) // want "spawned call .* discards its Serve error"
+}
+
+// Positive: package-level ListenAndServe dropped on the floor.
+func dropListenAndServe() {
+	http.ListenAndServe("127.0.0.1:0", nil) // want "discards its ListenAndServe error"
+}
+
+// Positive: a graceful drain whose failure is silent abandons in-flight
+// requests without a trace.
+func dropShutdown(srv *http.Server, ctx context.Context) {
+	srv.Shutdown(ctx) // want "discards its Shutdown error"
+}
+
+// Positive: deferring the TLS variant is just as silent.
+func dropServeTLSDefer(srv *http.Server, ln net.Listener) {
+	defer srv.ServeTLS(ln, "cert.pem", "key.pem") // want "deferred call .* discards its ServeTLS error"
+}
+
+// Negative: serve error captured and inspected — the daemon idiom.
+func handledServe(srv *http.Server, ln net.Listener) error {
+	if err := srv.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Negative: annotated read-side body close after a full drain.
+func annotatedRespBodyClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	//lint:errdrop read side; the body was drained and a response Close cannot lose data
+	resp.Body.Close()
+}
+
+// Negative: http.Handler's ServeHTTP returns no error at all; the serve
+// rule must not fire on name proximity.
+func serveHTTPIsFine(h http.Handler, w http.ResponseWriter, r *http.Request) {
+	h.ServeHTTP(w, r)
 }

@@ -17,6 +17,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -99,14 +100,41 @@ func release(n int) {
 // invocation. Callers that need every index attempted must collect errors
 // per index and return nil from fn.
 func Each(n int, fn func(i int) error) error {
-	return EachLimit(n, 0, fn)
+	return eachLimit(nil, n, 0, fn)
 }
 
 // EachLimit is Each with an additional per-call cap on parallel workers
 // (0 = no extra cap beyond the pool). limit=1 forces a serial loop.
 func EachLimit(n, limit int, fn func(i int) error) error {
+	return eachLimit(nil, n, limit, fn)
+}
+
+// EachCtx is Each with cooperative cancellation: once ctx is done, no
+// further index is scheduled (in-flight invocations finish) and ctx's error
+// is returned unless an fn error was recorded first. fn itself is not
+// interrupted — long-running workers that should observe the deadline must
+// check ctx on their own.
+func EachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return eachLimit(ctx, n, 0, fn)
+}
+
+// EachLimitCtx is EachLimit with the cancellation behaviour of EachCtx.
+func EachLimitCtx(ctx context.Context, n, limit int, fn func(i int) error) error {
+	return eachLimit(ctx, n, limit, fn)
+}
+
+// eachLimit is the shared body. A nil ctx (the Each/EachLimit entry points)
+// compiles to the uncancellable fast path: no per-index channel poll.
+func eachLimit(ctx context.Context, n, limit int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = ctx.Done()
 	}
 	max := n - 1
 	if limit > 0 && limit-1 < max {
@@ -118,6 +146,13 @@ func EachLimit(n, limit int, fn func(i int) error) error {
 	}
 	if helpers == 0 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -130,8 +165,17 @@ func EachLimit(n, limit int, fn func(i int) error) error {
 	var firstErr atomic.Value
 	work := func() {
 		// Stop claiming indices once any worker has failed — mirroring the
-		// serial path, which also abandons the loop on the first error.
+		// serial path, which also abandons the loop on the first error —
+		// or once the context is done.
 		for firstErr.Load() == nil {
+			if done != nil {
+				select {
+				case <-done:
+					firstErr.CompareAndSwap(nil, errBox{ctx.Err()})
+					return
+				default:
+				}
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return

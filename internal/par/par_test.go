@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -153,5 +154,98 @@ func TestSetWidth(t *testing.T) {
 	SetWidth(0)
 	if Width() < 1 {
 		t.Fatalf("Width = %d, want >= 1", Width())
+	}
+}
+
+func TestEachCtxCompletesUncancelled(t *testing.T) {
+	// With a live context the ctx variants behave exactly like Each.
+	var hits atomic.Int64
+	err := EachCtx(context.Background(), 100, func(i int) error {
+		hits.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 100 {
+		t.Fatalf("%d indices visited, want 100", hits.Load())
+	}
+}
+
+func TestEachCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := EachCtx(ctx, 10, func(i int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("worker ran despite pre-cancelled context")
+	}
+}
+
+func TestEachCtxCancelMidRun(t *testing.T) {
+	// Cancelling after a gate index must stop scheduling of later indices,
+	// mirroring the first-error short-circuit.
+	old := Width()
+	SetWidth(4)
+	defer SetWidth(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	const gate = 64
+	var after atomic.Int64
+	err := EachCtx(ctx, n, func(i int) error {
+		if i == gate {
+			cancel()
+		}
+		if i > gate+Width() {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := after.Load(); got > n/10 {
+		t.Fatalf("%d indices ran after cancellation; ctx did not stop scheduling", got)
+	}
+}
+
+func TestEachCtxWorkerErrorBeatsCancellation(t *testing.T) {
+	// An fn error recorded before the cancellation is observed must win.
+	want := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := EachLimitCtx(ctx, 10, 1, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestEachLimitCtxSerialCancel(t *testing.T) {
+	// The serial path (limit=1) must also poll the context between indices.
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited int
+	err := EachLimitCtx(ctx, 100, 1, func(i int) error {
+		visited++
+		if i == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited != 6 {
+		t.Fatalf("visited = %d, want 6 (indices 0..5)", visited)
 	}
 }

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadResult is one load-test measurement: wall-clock throughput and the
+// client-observed latency quantiles. The bench harness copies these into
+// BENCH_PR6.json entries (OpsPerSec, P50Ns, P99Ns) that benchdiff tracks
+// across PRs.
+type LoadResult struct {
+	Requests int           // requests attempted
+	OK       int           // 2xx responses
+	Shed     int           // 429 responses
+	Errors   int           // transport errors and non-2xx/429 statuses
+	Elapsed  time.Duration // wall clock for the whole run
+	P50      time.Duration // median request latency
+	P99      time.Duration // 99th-percentile request latency
+}
+
+// OpsPerSec is the successful-response throughput of the run.
+func (r LoadResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// LoadSpec describes a load run against a running daemon.
+type LoadSpec struct {
+	URL         string   // base URL, e.g. http://127.0.0.1:8437
+	Variables   []string // request mix: variables, cycled
+	Variants    []string // request mix: variants, cycled
+	Total       int      // total requests
+	Concurrency int      // concurrent client workers
+	Binary      bool     // request the binary format
+}
+
+// Load drives the daemon with Total requests spread over Concurrency
+// workers, cycling through the Variables × Variants mix, and reports
+// throughput and latency quantiles. Requests reuse pooled bodies and one
+// shared transport with keep-alives, so the client side stays cheap enough
+// to saturate the server rather than itself.
+func Load(spec LoadSpec) (LoadResult, error) {
+	if spec.Total <= 0 || spec.Concurrency <= 0 {
+		return LoadResult{}, fmt.Errorf("serve: load spec needs Total and Concurrency > 0")
+	}
+	if len(spec.Variables) == 0 || len(spec.Variants) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load spec needs a variable/variant mix")
+	}
+	format := ""
+	if spec.Binary {
+		format = `,"format":"binary"`
+	}
+	bodies := make([][]byte, 0, len(spec.Variables)*len(spec.Variants))
+	for _, name := range spec.Variables {
+		for _, variant := range spec.Variants {
+			bodies = append(bodies,
+				fmt.Appendf(nil, `{"variable":%q,"variant":%q%s}`, name, variant, format))
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: spec.Concurrency,
+	}}
+	defer client.CloseIdleConnections()
+	url := spec.URL + "/verdict"
+
+	latencies := make([]time.Duration, spec.Total)
+	status := make([]int, spec.Total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < spec.Total; i += spec.Concurrency {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, ContentTypeJSON, bytes.NewReader(body))
+				if err != nil {
+					status[i] = -1
+					latencies[i] = time.Since(t0)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				//lint:errdrop read side; the body was drained and a response Close cannot lose data
+				resp.Body.Close()
+				status[i] = resp.StatusCode
+				latencies[i] = time.Since(t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := LoadResult{Requests: spec.Total, Elapsed: time.Since(start)}
+	for _, code := range status {
+		switch {
+		case code >= 200 && code < 300:
+			res.OK++
+		case code == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = quantile(latencies, 0.50)
+	res.P99 = quantile(latencies, 0.99)
+	return res, nil
+}
+
+// quantile reads the q-quantile from an ascending latency slice (nearest
+// rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/experiments"
+)
+
+// Config sizes the daemon. The zero value of every field has a sensible
+// default resolved by New.
+type Config struct {
+	// Runner owns the substrate: catalog, ensemble statistics, artifact
+	// cache, verification thresholds. Required.
+	Runner *experiments.Runner
+
+	// MaxInflight bounds concurrent verdict computations (not concurrent
+	// connections — cached responses bypass admission entirely). Default:
+	// GOMAXPROCS.
+	MaxInflight int
+
+	// MaxQueue bounds computations waiting for an inflight slot. A request
+	// arriving with the queue full is shed with 429. Default:
+	// 4×MaxInflight.
+	MaxQueue int
+
+	// RetryAfterSec is the Retry-After header value on shed responses.
+	// Default: 1.
+	RetryAfterSec int
+}
+
+// Server answers verdict queries. The hot path is lock-free: a request
+// resolves its (variable, variant) pair against a key table precomputed at
+// startup, then looks its rendered response up in a concurrent byte cache.
+// Only cache misses pass through admission control and the singleflight
+// group, so N concurrent identical cold requests cost one computation and
+// N-1 coalesced waits.
+type Server struct {
+	cfg Config
+
+	// keys maps (variable, variant) to the artifact-store digest of the
+	// verdict record. Built once in New; read-only afterwards — no SHA-256
+	// and no catalog scan on the request path.
+	keys map[reqKey]artifact.ID
+
+	// resp caches rendered response bytes per (digest, format). Values are
+	// immutable []byte written exactly once by the singleflight winner.
+	resp sync.Map
+
+	flights flightGroup
+	gate    *gate
+
+	requests  atomic.Int64
+	respHits  atomic.Int64
+	coalesced atomic.Int64
+	computes  atomic.Int64
+	shed      atomic.Int64
+	errors    atomic.Int64
+	preloaded atomic.Int64
+
+	// computeHook, when set, runs inside the admission slot before the
+	// verdict computation. Tests use it to hold slots open and saturate
+	// the gate deterministically.
+	computeHook func()
+}
+
+type reqKey struct {
+	variable string
+	variant  string
+}
+
+type respKey struct {
+	id     artifact.ID
+	binary bool
+}
+
+// rendered is a verdict in both wire formats, produced together by the
+// singleflight winner so requests that differ only in format still
+// coalesce.
+type rendered struct {
+	json   []byte
+	binary []byte
+}
+
+// gate is the admission controller: a semaphore of MaxInflight slots with
+// at most MaxQueue waiters. Acquisition never blocks on a client — once a
+// computation holds a slot it runs to completion, so waiters drain in
+// bounded time and anything beyond the queue bound is shed immediately.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newGate(inflight, maxQueue int) *gate {
+	return &gate{sem: make(chan struct{}, inflight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an inflight slot, reporting false (shed) when both the
+// slots and the queue are full.
+func (g *gate) acquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return false
+	}
+	g.sem <- struct{}{}
+	g.queued.Add(-1)
+	return true
+}
+
+func (g *gate) release() { <-g.sem }
+
+// New builds a Server and precomputes the request key table. Deriving the
+// first key forces the substrate content digest, which integrates (or
+// loads from cache) the chaotic-core ensemble — so New is deliberately the
+// expensive call and request handling is not.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("serve: Config.Runner is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInflight
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	s := &Server{
+		cfg:  cfg,
+		keys: make(map[reqKey]artifact.ID),
+		gate: newGate(cfg.MaxInflight, cfg.MaxQueue),
+	}
+	for _, name := range cfg.Runner.VariableNames() {
+		for _, variant := range experiments.Variants() {
+			id, err := cfg.Runner.VerdictKey(name, variant)
+			if err != nil {
+				return nil, fmt.Errorf("serve: key table: %w", err)
+			}
+			s.keys[reqKey{name, variant}] = id
+		}
+	}
+	return s, nil
+}
+
+// Preload builds the ensemble statistics of every catalog variable so the
+// first request for each variable pays no cold stats build. Returns the
+// number of variables resident.
+func (s *Server) Preload(ctx context.Context) (int, error) {
+	n, err := s.cfg.Runner.PreloadStats(ctx)
+	s.preloaded.Store(int64(n))
+	return n, err
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /verdict", s.handleVerdict)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// VerdictRequest is the POST /verdict body: the field (catalog variable)
+// and the codec+params recipe (study variant), plus the response format.
+type VerdictRequest struct {
+	Variable string `json:"variable"`
+	Variant  string `json:"variant"`
+	// Format selects the response encoding: "json" (default) or "binary"
+	// (length-framed, see AppendBinary).
+	Format string `json:"format,omitempty"`
+}
+
+// bodyPool recycles request read buffers; verdict request bodies are tiny
+// and a warm hit should not allocate per request beyond what
+// encoding/json needs for two short strings.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const maxBodyBytes = 1 << 16
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	bufp := bodyPool.Get().(*[]byte)
+	defer bodyPool.Put(bufp)
+	buf, err := readAll((*bufp)[:0], http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	*bufp = buf[:0]
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req VerdictRequest
+	if err := json.Unmarshal(buf, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	binary := false
+	switch req.Format {
+	case "", "json":
+	case "binary":
+		binary = true
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format %q", req.Format)
+		return
+	}
+	if req.Format == "" && r.Header.Get("Accept") == ContentTypeBinary {
+		binary = true
+	}
+	id, ok := s.keys[reqKey{req.Variable, req.Variant}]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown variable/variant %q/%q", req.Variable, req.Variant)
+		return
+	}
+
+	if b, ok := s.resp.Load(respKey{id, binary}); ok {
+		s.respHits.Add(1)
+		writeVerdict(w, binary, b.([]byte))
+		return
+	}
+
+	rend, err, shared := s.flights.Do(id, func() (*rendered, error) {
+		if !s.gate.acquire() {
+			return nil, errShed
+		}
+		defer s.gate.release()
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		s.computes.Add(1)
+		o, err := s.cfg.Runner.VerdictFor(req.Variable, req.Variant)
+		if err != nil {
+			return nil, err
+		}
+		v := FromOutcome(req.Variable, req.Variant, o)
+		rend := &rendered{json: v.AppendJSON(nil), binary: v.AppendBinary(nil)}
+		s.resp.Store(respKey{id, false}, rend.json)
+		s.resp.Store(respKey{id, true}, rend.binary)
+		return rend, nil
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	switch {
+	case err == errShed:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSec))
+		s.fail(w, http.StatusTooManyRequests, "server saturated, retry later")
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, "verdict: %v", err)
+	case binary:
+		writeVerdict(w, true, rend.binary)
+	default:
+		writeVerdict(w, false, rend.json)
+	}
+}
+
+var errShed = fmt.Errorf("serve: admission queue full")
+
+func writeVerdict(w http.ResponseWriter, binary bool, body []byte) {
+	if binary {
+		w.Header().Set("Content-Type", ContentTypeBinary)
+	} else {
+		w.Header().Set("Content-Type", ContentTypeJSON)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// fail writes a JSON error body. Shed and error responses are off the hot
+// path, so plain fmt/json is fine here.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= http.StatusInternalServerError {
+		s.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(code)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
+}
+
+// readAll is io.ReadAll into a caller-owned buffer (the pool above), so
+// repeated requests reuse one allocation.
+func readAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// StatsResponse is the GET /stats body: the artifact store's counters
+// (the exact struct internal/artifact serializes) plus the serving-layer
+// counters.
+type StatsResponse struct {
+	Cache artifact.Stats `json:"cache"`
+	Serve ServeStats     `json:"serve"`
+}
+
+// ServeStats are the serving-layer counters. Requests = RespCacheHits +
+// Coalesced + Computes + Shed + Errors + rejected-input requests; the
+// split is the daemon's whole performance story (how much traffic the
+// byte cache absorbed, how much coalescing absorbed, how little reached
+// the verifier).
+type ServeStats struct {
+	Requests      int64 `json:"requests"`
+	RespCacheHits int64 `json:"resp_cache_hits"`
+	Coalesced     int64 `json:"coalesced"`
+	Computes      int64 `json:"computes"`
+	Shed          int64 `json:"shed"`
+	Errors        int64 `json:"errors"`
+	Queued        int64 `json:"queued"`
+	Inflight      int64 `json:"inflight"`
+	PreloadedVars int64 `json:"preloaded_vars"`
+	Variables     int64 `json:"variables"`
+	Variants      int64 `json:"variants"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Cache: s.cfg.Runner.Cfg.Cache.Stats(),
+		Serve: ServeStats{
+			Requests:      s.requests.Load(),
+			RespCacheHits: s.respHits.Load(),
+			Coalesced:     s.coalesced.Load(),
+			Computes:      s.computes.Load(),
+			Shed:          s.shed.Load(),
+			Errors:        s.errors.Load(),
+			Queued:        s.gate.queued.Load(),
+			Inflight:      int64(len(s.gate.sem)),
+			PreloadedVars: s.preloaded.Load(),
+			Variables:     int64(len(s.cfg.Runner.VariableNames())),
+			Variants:      int64(len(experiments.Variants())),
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(s.Stats())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "stats: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"sync"
+
+	"climcompress/internal/artifact"
+)
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the same
+// key share one execution of fn. The stdlib has no singleflight and this
+// module takes no dependencies, so the ~40 lines live here. Keys are
+// artifact IDs — the same content digests the store files verdicts under —
+// so "identical request" is decided by the cache's own identity, not by
+// re-parsing request bodies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[artifact.ID]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *rendered
+	err error
+}
+
+// Do executes fn once per key among concurrent callers. shared reports
+// whether this caller piggybacked on another caller's execution.
+func (g *flightGroup) Do(key artifact.ID, fn func() (*rendered, error)) (val *rendered, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[artifact.ID]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,154 @@
+// Package serve is the verification-as-a-service layer: an HTTP daemon
+// (cmd/climatebenchd) answering single (variable, variant) verdict queries
+// from the same substrate the batch tables sweep. The design centre is the
+// hot path: verdicts are immutable once computed (the artifact store
+// already keys them by content digest), so the server renders each verdict
+// to bytes exactly once and every later request — and every concurrent
+// duplicate — is a lookup, a coalesced wait, or a shed, never a second
+// compute.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/experiments"
+)
+
+// Verdict is the wire form of one verification outcome: the four
+// pass/fail tests of the paper's methodology, the summary error metrics,
+// and the compression ratio. It is rendered by AppendJSON/AppendBinary
+// through explicit, deterministic encoders so that the daemon and the
+// batch CLI (climatebench -verdict) emit byte-identical output for the
+// same cell — the serve-smoke gate compares them literally.
+type Verdict struct {
+	Variable string
+	Variant  string
+	Outcome  experiments.VariantOutcome
+}
+
+// FromOutcome wraps a batch outcome in its wire form.
+func FromOutcome(variable, variant string, o experiments.VariantOutcome) Verdict {
+	return Verdict{Variable: variable, Variant: variant, Outcome: o}
+}
+
+// appendFloat renders a float as a JSON value. NaN and ±Inf have no JSON
+// representation; they become null (the decoder side maps null back to
+// NaN, which is how the verifier reports "no defined ratio" cases such as
+// zero ensemble spread).
+func appendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// AppendJSON renders the verdict as one JSON object with a fixed field
+// order and a trailing newline. The field order is part of the wire
+// contract (byte comparisons, response caching); do not reorder.
+func (v Verdict) AppendJSON(dst []byte) []byte {
+	o := v.Outcome
+	dst = append(dst, `{"variable":`...)
+	dst = strconv.AppendQuote(dst, v.Variable)
+	dst = append(dst, `,"variant":`...)
+	dst = strconv.AppendQuote(dst, v.Variant)
+	dst = append(dst, `,"pass":{"correlation":`...)
+	dst = appendBool(dst, o.RhoPass)
+	dst = append(dst, `,"rmsz":`...)
+	dst = appendBool(dst, o.RMSZPass)
+	dst = append(dst, `,"enmax":`...)
+	dst = appendBool(dst, o.EnmaxPass)
+	dst = append(dst, `,"bias":`...)
+	dst = appendBool(dst, o.BiasPass)
+	dst = append(dst, `,"all":`...)
+	dst = appendBool(dst, o.AllPass)
+	dst = append(dst, `},"metrics":{"rho":`...)
+	dst = appendFloat(dst, o.Rho)
+	dst = append(dst, `,"nrmse":`...)
+	dst = appendFloat(dst, o.NRMSE)
+	dst = append(dst, `,"enmax":`...)
+	dst = appendFloat(dst, o.Enmax)
+	dst = append(dst, `,"rho_min":`...)
+	dst = appendFloat(dst, o.RhoMin)
+	dst = append(dst, `,"rmsz_diff_max":`...)
+	dst = appendFloat(dst, o.RMSZDiffMax)
+	dst = append(dst, `,"rmsz_within":`...)
+	dst = appendBool(dst, o.RMSZWithin)
+	dst = append(dst, `,"enmax_ratio":`...)
+	dst = appendFloat(dst, o.EnmaxRatio)
+	dst = append(dst, `,"slope_dist":`...)
+	dst = appendFloat(dst, o.SlopeDist)
+	dst = append(dst, `},"cr":`...)
+	dst = appendFloat(dst, o.CR)
+	dst = append(dst, "}\n"...)
+	return dst
+}
+
+// Binary framing: a fixed 4-byte magic, a big-endian uint32 payload
+// length, then an artifact record (the same tagged encoding the store
+// uses on disk, so corruption is detected by the record decoder).
+const binaryMagic = "CBV1"
+
+// ContentTypeBinary is the media type of the length-framed binary verdict.
+const ContentTypeBinary = "application/x-climatebench-verdict"
+
+// ContentTypeJSON is the media type of the JSON verdict.
+const ContentTypeJSON = "application/json"
+
+// AppendBinary renders the verdict in the length-framed binary format.
+func (v Verdict) AppendBinary(dst []byte) []byte {
+	o := v.Outcome
+	var e artifact.Enc
+	e.Str(v.Variable).Str(v.Variant).
+		Float(o.Rho).Float(o.NRMSE).Float(o.Enmax).Float(o.CR).
+		Bool(o.RhoPass).Bool(o.RMSZPass).Bool(o.EnmaxPass).Bool(o.BiasPass).Bool(o.AllPass).
+		Float(o.RhoMin).Float(o.RMSZDiffMax).Bool(o.RMSZWithin).
+		Float(o.EnmaxRatio).Float(o.SlopeDist)
+	payload := e.Bytes()
+	dst = append(dst, binaryMagic...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeBinary parses one length-framed binary verdict. It is the inverse
+// of AppendBinary, used by the built-in client (climatebenchd -call) and
+// the tests.
+func DecodeBinary(buf []byte) (Verdict, error) {
+	if len(buf) < len(binaryMagic)+4 {
+		return Verdict{}, errors.New("serve: binary verdict truncated")
+	}
+	if string(buf[:len(binaryMagic)]) != binaryMagic {
+		return Verdict{}, fmt.Errorf("serve: bad verdict magic %q", buf[:len(binaryMagic)])
+	}
+	n := binary.BigEndian.Uint32(buf[len(binaryMagic) : len(binaryMagic)+4])
+	payload := buf[len(binaryMagic)+4:]
+	if uint32(len(payload)) != n {
+		return Verdict{}, fmt.Errorf("serve: verdict payload %d bytes, frame declares %d", len(payload), n)
+	}
+	d := artifact.NewDec(payload)
+	var v Verdict
+	o := &v.Outcome
+	v.Variable = d.Str()
+	v.Variant = d.Str()
+	o.Rho, o.NRMSE, o.Enmax, o.CR = d.Float(), d.Float(), d.Float(), d.Float()
+	o.RhoPass, o.RMSZPass, o.EnmaxPass, o.BiasPass, o.AllPass =
+		d.Bool(), d.Bool(), d.Bool(), d.Bool(), d.Bool()
+	o.RhoMin, o.RMSZDiffMax = d.Float(), d.Float()
+	o.RMSZWithin = d.Bool()
+	o.EnmaxRatio, o.SlopeDist = d.Float(), d.Float()
+	if err := d.Close(); err != nil {
+		return Verdict{}, fmt.Errorf("serve: binary verdict: %w", err)
+	}
+	return v, nil
+}
