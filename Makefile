@@ -14,8 +14,10 @@ test:
 
 # The tier-1 gate plus static analysis: what CI runs on every change.
 # Order is cheapest-first: formatting, vet, the repo's own analyzers
-# (cmd/climatelint), the full test suite, then the race detector over the
-# concurrent packages. When two benchmark snapshots are present the
+# (cmd/climatelint), the full test suite, then two named re-runs that
+# must stay visible in the verify log even when the suite is green — the
+# tsblob golden-stream bit-identity pin and the record v1→v2 migration
+# smoke — then the race detector over the concurrent packages. When two benchmark snapshots are present the
 # benchdiff performance gate runs too; otherwise it is skipped (fresh
 # checkouts have no snapshots).
 verify:
@@ -26,6 +28,8 @@ verify:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test ./...
+	$(GO) test ./internal/compress/tsblob/ -run TestGoldenStream
+	$(GO) test ./internal/experiments/ -run TestRecordV1MigrationSmoke
 	$(MAKE) race-short
 	$(MAKE) shard-smoke
 	$(MAKE) serve-smoke
@@ -35,9 +39,10 @@ verify:
 		echo "benchdiff gate skipped: need two BENCH_PR*.json snapshots"; \
 	fi
 
-# Repo-specific static analysis: five stdlib-only analyzers enforcing the
-# pipeline's determinism and resource-pairing invariants (see
-# internal/lint and the README "Static analysis" section).
+# Repo-specific static analysis: six stdlib-only analyzers enforcing the
+# pipeline's determinism, resource-pairing and buffer-ownership
+# invariants (see internal/lint and the README "Static analysis"
+# section).
 lint:
 	$(GO) run ./cmd/climatelint ./...
 
@@ -156,6 +161,7 @@ bench-serve:
 # lint-directive parsers.
 fuzz:
 	$(GO) test -fuzz=FuzzDecoders -fuzztime=30s ./internal/compress
+	$(GO) test -fuzz=FuzzTsblobDecode -fuzztime=30s ./internal/compress/tsblob
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/cdf
 	$(GO) test -fuzz=FuzzStoreGet -fuzztime=30s ./internal/artifact
 	$(GO) test -fuzz=FuzzDec -fuzztime=30s ./internal/artifact

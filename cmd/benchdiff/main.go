@@ -22,6 +22,8 @@ func main() {
 	head := flag.String("head", "BENCH_PR3.json", "candidate report")
 	threshold := flag.Float64("threshold", 0.15, "max allowed fractional throughput loss on codec entries")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "max allowed fractional increase in an experiment's cumulative heap allocation")
+	serveOpsThreshold := flag.Float64("serve-ops-threshold", 0.15, "max allowed fractional ops/sec loss on serve entries")
+	serveP99Threshold := flag.Float64("serve-p99-threshold", 0.25, "max allowed fractional p99 latency growth on serve entries")
 	flag.Parse()
 
 	baseRep, err := readReport(*base)
@@ -59,11 +61,23 @@ func main() {
 				line += fmt.Sprintf("  FAIL: throughput down more than %.0f%%", 100**threshold)
 				failures++
 			}
+			if strings.HasPrefix(name, "serve/") && delta < -*serveOpsThreshold {
+				line += fmt.Sprintf("  FAIL: ops/sec down more than %.0f%%", 100**serveOpsThreshold)
+				failures++
+			}
 		} else {
 			line += fmt.Sprintf(" %8s", "-")
 		}
 		if h.P99Ns > 0 {
 			line += fmt.Sprintf("  p50 %s p99 %s", time.Duration(h.P50Ns), time.Duration(h.P99Ns))
+			// Latency gate for the daemon's load-test entries: a tail-latency
+			// blowup fails even when ops/sec holds (coalescing can keep the
+			// rate up while queueing stretches the tail).
+			if strings.HasPrefix(name, "serve/") && b.P99Ns > 0 &&
+				float64(h.P99Ns) > float64(b.P99Ns)*(1+*serveP99Threshold) {
+				line += fmt.Sprintf("  FAIL: p99 up more than %.0f%%", 100**serveP99Threshold)
+				failures++
+			}
 		}
 		switch {
 		case b.AllocsPerOp != nil && h.AllocsPerOp != nil:
@@ -116,9 +130,10 @@ func byName(rep *benchjson.Report) map[string]benchjson.Entry {
 
 // throughput reduces an entry to a comparable ops-oriented rate: load-test
 // ops/sec or MB/s when recorded, else inverse ns/op, else inverse seconds.
-// serve/ load-test entries carry OpsPerSec; they are informational here
-// (the hard FAIL gates apply to codec/ entries only), so a snapshot that
-// adds serve entries diffs cleanly against a baseline without them.
+// serve/ load-test entries carry OpsPerSec and are gated on ops/sec and
+// p99 latency (size-oriented codec gates never apply to them); entries
+// present only in the head snapshot still diff cleanly against a baseline
+// without them.
 func throughput(e benchjson.Entry) float64 {
 	switch {
 	case e.OpsPerSec > 0:

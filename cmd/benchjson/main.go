@@ -12,9 +12,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -27,12 +29,14 @@ import (
 
 	"climcompress/internal/artifact"
 	"climcompress/internal/benchjson"
+	"climcompress/internal/blob"
 	"climcompress/internal/compress"
 	_ "climcompress/internal/compress/apax"
 	_ "climcompress/internal/compress/fpzip"
 	"climcompress/internal/compress/grib2"
 	_ "climcompress/internal/compress/isabela"
 	_ "climcompress/internal/compress/nclossless"
+	"climcompress/internal/compress/tsblob"
 	"climcompress/internal/ensemble"
 	"climcompress/internal/experiments"
 	"climcompress/internal/field"
@@ -512,6 +516,170 @@ func microbenchmarks(rep *benchjson.Report) {
 			}
 		})
 	}
+
+	// tsblob's third verb: iterating values straight off the compressed
+	// stream with no decode buffer. Bytes/op is the logical field size, so
+	// the entry is comparable to codec/tsblob/decompress.
+	tsStream, err := compress.CompressInto(tsblob.New(), nil, fdata, shape)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: tsblob: %v\n", err)
+		os.Exit(1)
+	}
+	rep.AddBenchmarkWorkers("codec/tsblob/iterate", 1, func(b *testing.B) {
+		b.SetBytes(int64(4 * len(fdata)))
+		for i := 0; i < b.N; i++ {
+			xc, err := tsblob.Iter(tsStream)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum float32
+			it := xc.Iter()
+			for it.Next() {
+				sum += it.Value()
+			}
+			if it.Err() != nil {
+				b.Fatal(it.Err())
+			}
+			if math.IsNaN(float64(sum)) {
+				b.Fatal("NaN checksum")
+			}
+		}
+	})
+
+	recordDecodeBenchmarks(rep)
+	serveInprocBenchmark(rep)
+}
+
+// recordDecodeBenchmarks compares the two artifact record formats on the
+// cache's hottest payload shape, a per-member score record (two float64
+// vectors at paper-scale ensemble size): v1 is a tagged scalar stream
+// decoded into freshly allocated slices, v2 is a columnar blob container
+// whose vectors are read in place through validated views.
+func recordDecodeBenchmarks(rep *benchjson.Report) {
+	const members = 101
+	rmsz := make([]float64, members)
+	enmax := make([]float64, members)
+	for i := range rmsz {
+		rmsz[i] = 1 + float64(i)/members
+		enmax[i] = 2 - float64(i)/members
+	}
+	var e artifact.Enc
+	e.Floats(rmsz).Floats(enmax)
+	v1 := e.Bytes()
+	w := blob.GetWriter()
+	w.AddF64s(rmsz)
+	w.AddF64s(enmax)
+	v2 := w.AppendTo(nil)
+	blob.PutWriter(w)
+
+	rep.AddBenchmarkWorkers("record/scores-decode-v1", 1, func(b *testing.B) {
+		b.SetBytes(int64(len(v1)))
+		for i := 0; i < b.N; i++ {
+			d := artifact.NewDec(v1)
+			r := d.Floats()
+			en := d.Floats()
+			if d.Close() != nil || len(r) != members || len(en) != members {
+				b.Fatal("v1 decode failed")
+			}
+		}
+	})
+	rep.AddBenchmarkWorkers("record/scores-decode-v2", 1, func(b *testing.B) {
+		b.SetBytes(int64(len(v2)))
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			bb, err := blob.Open(v2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rv, err1 := bb.F64(0)
+			ev, err2 := bb.F64(1)
+			if err1 != nil || err2 != nil || rv.Len() != members || ev.Len() != members {
+				b.Fatal("v2 open failed")
+			}
+			sum += rv.At(members-1) + ev.At(0)
+		}
+		if math.IsNaN(sum) {
+			b.Fatal("NaN checksum")
+		}
+	})
+}
+
+// inprocOnce builds the in-process verdict server once per benchjson run
+// (New integrates the chaotic core, so it is shared across sweeps).
+var (
+	inprocOnce sync.Once
+	inprocSrv  *serve.Server
+	inprocErr  error
+)
+
+func inprocServer() (*serve.Server, error) {
+	inprocOnce.Do(func() {
+		cfg := experiments.DefaultConfig(grid.Test())
+		cfg.Members = 9
+		cfg.L96 = l96.EnsembleConfig{
+			Members: 9, Dt: 0.002, SpinupSteps: 1000,
+			DivergeSteps: 6000, CalibSteps: 3000, Eps: 1e-14,
+		}
+		cfg.Variables = []string{"U"}
+		r := experiments.NewRunner(cfg, nil)
+		inprocSrv, inprocErr = serve.New(serve.Config{Runner: r})
+	})
+	return inprocSrv, inprocErr
+}
+
+// nopBody is a resettable request body so the benchmark request carries no
+// per-op reader allocation of its own.
+type nopBody struct{ *bytes.Reader }
+
+func (nopBody) Close() error { return nil }
+
+// nopResponseWriter swallows the response so the entry measures the
+// handler, not an HTTP transport.
+type nopResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// serveInprocBenchmark pins the warm verdict hot path — response-cache hit,
+// no admission, no singleflight — as in-process ns/op and allocs/op. The
+// serve/ load-test entries measure the same path through a real socket;
+// this entry isolates the handler so an allocation regression shows up as
+// an exact counter, not latency noise.
+func serveInprocBenchmark(rep *benchjson.Report) {
+	srv, err := inprocServer()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: inproc server: %v\n", err)
+		os.Exit(1)
+	}
+	h := srv.Handler()
+	body := []byte(`{"variable":"U","variant":"tsblob"}`)
+	rd := bytes.NewReader(body)
+	req, err := http.NewRequest("POST", "/verdict", nopBody{rd})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: inproc server: %v\n", err)
+		os.Exit(1)
+	}
+	// One real request computes the verdict and fills the response cache.
+	warm := &nopResponseWriter{h: make(http.Header)}
+	h.ServeHTTP(warm, req)
+	if warm.code != 0 && warm.code != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "benchjson: inproc warm-up request returned %d\n", warm.code)
+		os.Exit(1)
+	}
+	rep.AddBenchmarkWorkers("serve/verdict-inproc", 1, func(b *testing.B) {
+		w := &nopResponseWriter{h: make(http.Header)}
+		for i := 0; i < b.N; i++ {
+			rd.Reset(body)
+			h.ServeHTTP(w, req)
+			if w.code != 0 && w.code != http.StatusOK {
+				b.Fatalf("warm verdict returned %d", w.code)
+			}
+		}
+	})
 }
 
 // writeHeapProfile snapshots the heap into path.

@@ -26,6 +26,7 @@ import (
 	_ "climcompress/internal/compress/grib2"
 	_ "climcompress/internal/compress/isabela"
 	_ "climcompress/internal/compress/nclossless"
+	_ "climcompress/internal/compress/tsblob"
 	"climcompress/internal/convert"
 	"climcompress/internal/field"
 	"climcompress/internal/grid"

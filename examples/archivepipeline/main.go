@@ -23,6 +23,7 @@ import (
 	_ "climcompress/internal/compress/grib2"
 	_ "climcompress/internal/compress/isabela"
 	_ "climcompress/internal/compress/nclossless"
+	_ "climcompress/internal/compress/tsblob"
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
 	"climcompress/internal/model"

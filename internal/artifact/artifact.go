@@ -42,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -63,22 +64,27 @@ type ID string
 // but failed validation (corruption, truncation, version skew). Claims and
 // ClaimLosses count PutExclusive outcomes: cross-process coordination
 // (internal/shard's lease protocol) claims records exclusively, and a lost
-// claim means another process holds the record. The JSON tags are a wire
-// contract: climatebenchd's GET /stats serves this struct verbatim.
+// claim means another process holds the record. MemHits counts the subset
+// of Hits served from the in-process byte cache (no file read, no checksum
+// pass); MemEvictions counts entries pushed out by its byte budget. The
+// JSON tags are a wire contract: climatebenchd's GET /stats serves this
+// struct verbatim (new fields are additive).
 type Stats struct {
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Puts        int64 `json:"puts"`
-	BadReads    int64 `json:"bad_reads"`
-	Claims      int64 `json:"claims"`
-	ClaimLosses int64 `json:"claim_losses"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Puts         int64 `json:"puts"`
+	BadReads     int64 `json:"bad_reads"`
+	Claims       int64 `json:"claims"`
+	ClaimLosses  int64 `json:"claim_losses"`
+	MemHits      int64 `json:"mem_hits"`
+	MemEvictions int64 `json:"mem_evictions"`
 }
 
 // String renders the snapshot as one human-readable line (the payload of
 // climatebench -cachestats).
 func (st Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses, %d puts, %d bad reads, %d claims (%d lost)",
-		st.Hits, st.Misses, st.Puts, st.BadReads, st.Claims, st.ClaimLosses)
+	return fmt.Sprintf("%d hits (%d from memory), %d misses, %d puts, %d bad reads, %d claims (%d lost)",
+		st.Hits, st.MemHits, st.Misses, st.Puts, st.BadReads, st.Claims, st.ClaimLosses)
 }
 
 // Store is a content-addressed artifact store rooted at one directory. All
@@ -86,18 +92,22 @@ func (st Stats) String() string {
 // so callers thread a possibly-disabled cache without branching.
 type Store struct {
 	dir string
+	mem *memcache
 
 	hits, misses, puts, badReads atomic.Int64
 	claims, claimLosses          atomic.Int64
+	memHits, memEvictions        atomic.Int64
 }
 
 // Open returns a store rooted at dir, creating the directory lazily on the
-// first Put. An empty dir returns nil: the disabled store.
+// first Put. An empty dir returns nil: the disabled store. Records under
+// 4 KiB are additionally cached in process (DefaultMemCacheBytes budget)
+// so repeat Gets skip the file read and checksum pass.
 func Open(dir string) *Store {
 	if dir == "" {
 		return nil
 	}
-	return &Store{dir: dir}
+	return &Store{dir: dir, mem: newMemcache(DefaultMemCacheBytes)}
 }
 
 // Enabled reports whether the store can hold artifacts.
@@ -133,12 +143,14 @@ func (s *Store) Stats() Stats {
 	}
 	read := func() Stats {
 		return Stats{
-			Hits:        s.hits.Load(),
-			Misses:      s.misses.Load(),
-			Puts:        s.puts.Load(),
-			BadReads:    s.badReads.Load(),
-			Claims:      s.claims.Load(),
-			ClaimLosses: s.claimLosses.Load(),
+			Hits:         s.hits.Load(),
+			Misses:       s.misses.Load(),
+			Puts:         s.puts.Load(),
+			BadReads:     s.badReads.Load(),
+			Claims:       s.claims.Load(),
+			ClaimLosses:  s.claimLosses.Load(),
+			MemHits:      s.memHits.Load(),
+			MemEvictions: s.memEvictions.Load(),
 		}
 	}
 	st := read()
@@ -174,10 +186,17 @@ func valid(id ID) bool {
 }
 
 // Get returns the payload stored under id. Any failure — absent file,
-// truncation, corruption, format skew — is a miss.
+// truncation, corruption, format skew — is a miss. Small records may be
+// served from the in-process cache, in which case the returned slice is
+// shared across callers: treat it as read-only.
 func (s *Store) Get(id ID) ([]byte, bool) {
 	if !s.Enabled() || !valid(id) {
 		return nil, false
+	}
+	if payload, ok := s.mem.get(id); ok {
+		s.hits.Add(1)
+		s.memHits.Add(1)
+		return payload, true
 	}
 	payload, err := readFile(s.path(id))
 	if err != nil {
@@ -188,6 +207,9 @@ func (s *Store) Get(id ID) ([]byte, bool) {
 		return nil, false
 	}
 	s.hits.Add(1)
+	if n := s.mem.add(id, payload); n > 0 {
+		s.memEvictions.Add(int64(n))
+	}
 	return payload, true
 }
 
@@ -241,6 +263,7 @@ func (s *Store) Put(id ID, payload []byte) {
 	}
 	defer os.Remove(tmp)
 	if os.Rename(tmp, path) == nil {
+		s.mem.remove(id)
 		s.puts.Add(1)
 	}
 }
@@ -263,6 +286,7 @@ func (s *Store) PutExclusive(id ID, payload []byte) bool {
 	}
 	defer os.Remove(tmp)
 	if os.Link(tmp, path) == nil {
+		s.mem.remove(id)
 		s.claims.Add(1)
 		return true
 	}
@@ -303,6 +327,7 @@ func (s *Store) Remove(id ID) {
 	if !s.Enabled() || !valid(id) {
 		return
 	}
+	s.mem.remove(id)
 	os.Remove(s.path(id))
 }
 
@@ -396,6 +421,9 @@ func (s *Store) TrimWithGrace(maxBytes int64, grace time.Duration) int {
 			break
 		}
 		if os.Remove(o.path) == nil {
+			// The object filename is the ID; evict any in-process copy so a
+			// trimmed record reads as a miss, not a stale memory hit.
+			s.mem.remove(ID(strings.TrimSuffix(filepath.Base(o.path), ".art")))
 			total -= o.size
 			removed++
 		}

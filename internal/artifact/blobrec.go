@@ -1,0 +1,35 @@
+// Record format v2: the blob columnar container (internal/blob) as the
+// payload encoding. Version 1 records (records.go's tagged Enc/Dec
+// streams) remain in use where a stable wire format matters (the daemon's
+// binary verdict responses); v2 is the cache-record format, chosen so a
+// payload verified once by the store checksum can then be read entirely
+// in place — fields and score vectors are iterated off the record bytes
+// with zero copies and zero allocations.
+
+package artifact
+
+import "climcompress/internal/blob"
+
+// OpenRecord validates payload as a v2 (blob-framed) record and returns
+// the zero-copy view. Any v1, foreign or damaged payload returns an
+// error; cache callers treat that as a miss and recompute.
+func OpenRecord(payload []byte) (blob.Blob, error) {
+	return blob.Open(payload)
+}
+
+// GetBlob is Get plus OpenRecord: it returns a validated zero-copy view
+// over the record stored under id. Any failure — absent record, v1 or
+// foreign payload, damaged container — is a miss. The view aliases
+// store-owned bytes (possibly shared via the in-process cache); callers
+// must treat them as read-only.
+func (s *Store) GetBlob(id ID) (blob.Blob, bool) {
+	payload, ok := s.Get(id)
+	if !ok {
+		return blob.Blob{}, false
+	}
+	b, err := OpenRecord(payload)
+	if err != nil {
+		return blob.Blob{}, false
+	}
+	return b, true
+}

@@ -30,6 +30,9 @@ func FuzzStoreGet(f *testing.F) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Skip(err)
 		}
+		// The file was swapped out-of-band (bypassing Put, which would
+		// invalidate); drop the in-process entry so Get reads the new bytes.
+		s.mem.remove(id)
 		payload, ok := s.Get(id)
 		if !ok {
 			return

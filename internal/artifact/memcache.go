@@ -1,0 +1,110 @@
+package artifact
+
+import (
+	"container/list"
+	"sync"
+)
+
+const (
+	// memRecordLimit bounds which records the in-process cache will hold:
+	// small metadata records (score vectors, outcomes, error-matrix cells)
+	// are re-read on every warm-path hit and dominate Get traffic, while
+	// member fields are megabytes and read once. 4 KiB cleanly separates
+	// the two populations.
+	memRecordLimit = 4 << 10
+
+	// DefaultMemCacheBytes is the total payload budget of the in-process
+	// cache (ignoring map/list overhead): ~1k small records.
+	DefaultMemCacheBytes = 4 << 20
+)
+
+// memcache is a bounded LRU over small record payloads, saving the warm
+// path a file open, read and SHA-256 verification per hit. Payloads are
+// stored and returned by reference: the store is content-addressed (same
+// ID ⇒ same bytes), so sharing is safe as long as callers treat Get
+// results as read-only — which the zero-copy record API requires anyway.
+type memcache struct {
+	mu       sync.Mutex
+	entries  map[ID]*list.Element
+	order    *list.List // front = most recent
+	bytes    int
+	maxBytes int
+}
+
+type mementry struct {
+	id      ID
+	payload []byte
+}
+
+func newMemcache(maxBytes int) *memcache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &memcache{
+		entries:  make(map[ID]*list.Element),
+		order:    list.New(),
+		maxBytes: maxBytes,
+	}
+}
+
+// get returns the cached payload by reference, refreshing recency. All
+// methods are safe on a nil *memcache (cache disabled).
+func (m *memcache) get(id ID) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[id]
+	if !ok {
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*mementry).payload, true
+}
+
+// add inserts a payload (by reference), evicting least-recently-used
+// entries to stay under the byte budget. Oversized payloads are ignored.
+// Returns the number of entries evicted.
+func (m *memcache) add(id ID, payload []byte) int {
+	if m == nil || len(payload) > memRecordLimit || len(payload) > m.maxBytes {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[id]; ok {
+		m.order.MoveToFront(el)
+		return 0
+	}
+	m.entries[id] = m.order.PushFront(&mementry{id: id, payload: payload})
+	m.bytes += len(payload)
+	evicted := 0
+	for m.bytes > m.maxBytes {
+		el := m.order.Back()
+		if el == nil {
+			break
+		}
+		e := m.order.Remove(el).(*mementry)
+		delete(m.entries, e.id)
+		m.bytes -= len(e.payload)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops the entry for id, if cached. Put, PutExclusive and Remove
+// invalidate through here so the cache never outlives an explicit
+// replacement or invalidation (content-addressing makes staleness benign,
+// but Remove is the invalidation primitive and must be honoured).
+func (m *memcache) remove(id ID) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[id]; ok {
+		e := m.order.Remove(el).(*mementry)
+		delete(m.entries, e.id)
+		m.bytes -= len(e.payload)
+	}
+}

@@ -1,0 +1,143 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"climcompress/internal/blob"
+)
+
+// TestMemcacheHitMissAccounting pins the Stats contract of the in-process
+// byte cache: the first Get of a small record is a disk hit, repeat Gets
+// are memory hits, Hits counts both kinds, and invalidation (Put, Remove)
+// sends the next Get back to disk.
+func TestMemcacheHitMissAccounting(t *testing.T) {
+	s := Open(t.TempDir())
+	small := NewKey("test").Str("small").ID()
+	big := NewKey("test").Str("big").ID()
+	s.Put(small, []byte("tiny record"))
+	s.Put(big, make([]byte, memRecordLimit+1))
+
+	assert := func(step string, hits, memHits, misses int64) {
+		t.Helper()
+		st := s.Stats()
+		if st.Hits != hits || st.MemHits != memHits || st.Misses != misses {
+			t.Fatalf("%s: hits=%d memHits=%d misses=%d, want %d/%d/%d",
+				step, st.Hits, st.MemHits, st.Misses, hits, memHits, misses)
+		}
+	}
+
+	if _, ok := s.Get(small); !ok {
+		t.Fatal("small record missing")
+	}
+	assert("first get (disk)", 1, 0, 0)
+	for i := 0; i < 3; i++ {
+		p, ok := s.Get(small)
+		if !ok || string(p) != "tiny record" {
+			t.Fatalf("memory hit %d returned %q, %v", i, p, ok)
+		}
+	}
+	assert("repeat gets (memory)", 4, 3, 0)
+
+	// Records over the size limit never enter the memory cache.
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(big); !ok {
+			t.Fatal("big record missing")
+		}
+	}
+	assert("big record (always disk)", 6, 3, 0)
+
+	// Put invalidates: the next Get re-reads from disk, later ones from
+	// memory again.
+	s.Put(small, []byte("tiny record"))
+	if _, ok := s.Get(small); !ok {
+		t.Fatal("record lost after Put")
+	}
+	assert("get after put (disk)", 7, 3, 0)
+
+	// Remove invalidates both layers.
+	s.Remove(small)
+	if _, ok := s.Get(small); ok {
+		t.Fatal("removed record still readable")
+	}
+	assert("get after remove (miss)", 7, 3, 1)
+
+	// A nil store stays inert.
+	var nils *Store
+	if _, ok := nils.Get(small); ok {
+		t.Fatal("nil store returned a hit")
+	}
+}
+
+// TestMemcacheEviction pins the byte budget: inserting past the limit
+// evicts the least-recently-used entries and counts them.
+func TestMemcacheEviction(t *testing.T) {
+	m := newMemcache(3000)
+	ids := make([]ID, 4)
+	for i := range ids {
+		ids[i] = NewKey("evict").Int(i).ID()
+	}
+	payload := make([]byte, 1000)
+	evicted := 0
+	for _, id := range ids {
+		evicted += m.add(id, payload)
+	}
+	if evicted != 1 {
+		t.Fatalf("evicted %d entries, want 1", evicted)
+	}
+	if _, ok := m.get(ids[0]); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := m.get(id); !ok {
+			t.Fatalf("entry %s evicted prematurely", id)
+		}
+	}
+	// Touching an entry protects it from the next eviction round.
+	m.get(ids[1])
+	m.add(NewKey("evict").Int(99).ID(), payload)
+	if _, ok := m.get(ids[1]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := m.get(ids[2]); ok {
+		t.Fatal("LRU entry survived second eviction")
+	}
+}
+
+// TestGetBlobRoundTrip pins the v2 zero-copy read path: a blob-framed
+// record comes back as a validated view over the stored bytes, and v1 or
+// damaged payloads degrade to a miss.
+func TestGetBlobRoundTrip(t *testing.T) {
+	s := Open(t.TempDir())
+	w := blob.GetWriter()
+	w.AddF64s([]float64{1.5, -2.25, 3.75})
+	payload := w.AppendTo(nil)
+	blob.PutWriter(w)
+	id := NewKey("test").Str("blobrec").ID()
+	s.Put(id, payload)
+
+	b, ok := s.GetBlob(id)
+	if !ok {
+		t.Fatal("GetBlob missed a stored v2 record")
+	}
+	v, err := b.F64(0)
+	if err != nil || v.Len() != 3 || v.At(1) != -2.25 {
+		t.Fatalf("blob view wrong: err %v len %d", err, v.Len())
+	}
+
+	// A v1-style (non-blob) payload is a miss, not an error.
+	var e Enc
+	e.Uint(7).Float(1.5)
+	v1 := NewKey("test").Str("v1rec").ID()
+	s.Put(v1, e.Bytes())
+	if _, ok := s.GetBlob(v1); ok {
+		t.Fatal("GetBlob accepted a v1 record")
+	}
+	// Raw Get still serves it: the two read paths coexist.
+	if p, ok := s.Get(v1); !ok || !bytes.Equal(p, e.Bytes()) {
+		t.Fatal("v1 record unreadable through Get")
+	}
+	if _, ok := s.GetBlob(NewKey("test").Str("absent").ID()); ok {
+		t.Fatal("GetBlob hit an absent record")
+	}
+}

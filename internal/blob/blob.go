@@ -1,0 +1,315 @@
+// Package blob implements the columnar record container shared by the
+// tsblob codec family (internal/compress/tsblob) and artifact record
+// format v2 (internal/artifact): a fixed header, a typed column table with
+// absolute byte offsets, and per-column payloads that can be read in place
+// — every accessor returns a view over the original buffer, so a record
+// validated once (the artifact store's checksum, the codec's header) is
+// then iterated with zero copies and zero allocations.
+//
+// Container layout (all integers little-endian):
+//
+//	magic   u32   "CLB2"
+//	ncols   u16
+//	flags   u16   must be zero
+//	table   ncols × 16 bytes:
+//	          tag   u8    column type (ColF32, ColF64, ...)
+//	          pad   u8×3  must be zero
+//	          count u32   logical element count
+//	          off   u32   absolute byte offset of the column payload
+//	          size  u32   payload byte length
+//	payloads
+//
+// Column types:
+//
+//	ColBytes    opaque bytes (count == size)
+//	ColF32      raw float32 bit patterns, 4 bytes each
+//	ColF64      raw float64 bit patterns, 8 bytes each
+//	ColU32Delta non-decreasing uint32s, delta-packed as uvarints
+//	ColXORF32   XOR-compressed float32 blocks with an O(1) offset table
+//	            (see xor.go)
+//
+// Open validates the framing and every column's bounds once; the typed
+// accessors validate per-type invariants. All validation errors are
+// ErrBlob — a malformed container is indistinguishable from a foreign one,
+// and callers uniformly degrade to a cache miss or a corrupt-stream error.
+package blob
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrBlob is returned for any malformed container, column table, or
+// column payload.
+var ErrBlob = errors.New("blob: malformed container")
+
+const (
+	magic       = 0x32424c43 // bytes "CLB2" on disk
+	headerLen   = 8
+	colDescSize = 16
+	// maxCols bounds the column table a hostile header can demand.
+	maxCols = 1 << 12
+)
+
+// Column type tags.
+const (
+	ColBytes    byte = 'b'
+	ColF32      byte = 'f'
+	ColF64      byte = 'F'
+	ColU32Delta byte = 'd'
+	ColXORF32   byte = 'x'
+)
+
+// Blob is a validated read-only view over an encoded container. The zero
+// value is an empty container. Blob does not copy the buffer; callers must
+// treat the underlying bytes as immutable for the view's lifetime.
+type Blob struct {
+	buf []byte
+	n   int
+}
+
+// Open validates buf's framing and column table and returns a view.
+// Column payload bounds are checked here; per-type payload invariants are
+// checked by the typed accessors.
+func Open(buf []byte) (Blob, error) {
+	if len(buf) < headerLen {
+		return Blob{}, ErrBlob
+	}
+	if binary.LittleEndian.Uint32(buf) != magic {
+		return Blob{}, ErrBlob
+	}
+	n := int(binary.LittleEndian.Uint16(buf[4:]))
+	if binary.LittleEndian.Uint16(buf[6:]) != 0 || n > maxCols {
+		return Blob{}, ErrBlob
+	}
+	end := headerLen + n*colDescSize
+	if end > len(buf) {
+		return Blob{}, ErrBlob
+	}
+	for i := 0; i < n; i++ {
+		d := buf[headerLen+i*colDescSize:]
+		if d[1] != 0 || d[2] != 0 || d[3] != 0 {
+			return Blob{}, ErrBlob
+		}
+		count := uint64(binary.LittleEndian.Uint32(d[4:]))
+		off := uint64(binary.LittleEndian.Uint32(d[8:]))
+		size := uint64(binary.LittleEndian.Uint32(d[12:]))
+		if off < uint64(end) || off+size > uint64(len(buf)) {
+			return Blob{}, ErrBlob
+		}
+		switch d[0] {
+		case ColBytes:
+			if count != size {
+				return Blob{}, ErrBlob
+			}
+		case ColF32:
+			if size != 4*count {
+				return Blob{}, ErrBlob
+			}
+		case ColF64:
+			if size != 8*count {
+				return Blob{}, ErrBlob
+			}
+		case ColU32Delta:
+			// Each value takes at least one uvarint byte.
+			if count > size {
+				return Blob{}, ErrBlob
+			}
+		case ColXORF32:
+			// Detailed framing is validated by the XORF32 accessor.
+		default:
+			return Blob{}, ErrBlob
+		}
+	}
+	return Blob{buf: buf, n: n}, nil
+}
+
+// Cols returns the number of columns.
+func (b Blob) Cols() int { return b.n }
+
+// col returns column i's descriptor fields. Bounds were validated by Open.
+func (b Blob) col(i int) (tag byte, count int, payload []byte) {
+	d := b.buf[headerLen+i*colDescSize:]
+	count = int(binary.LittleEndian.Uint32(d[4:]))
+	off := binary.LittleEndian.Uint32(d[8:])
+	size := binary.LittleEndian.Uint32(d[12:])
+	return d[0], count, b.buf[off : off+size]
+}
+
+// Tag returns column i's type tag, or 0 when out of range.
+func (b Blob) Tag(i int) byte {
+	if i < 0 || i >= b.n {
+		return 0
+	}
+	tag, _, _ := b.col(i)
+	return tag
+}
+
+// Count returns column i's logical element count, or 0 when out of range.
+func (b Blob) Count(i int) int {
+	if i < 0 || i >= b.n {
+		return 0
+	}
+	_, count, _ := b.col(i)
+	return count
+}
+
+// Bytes returns column i's payload as an in-place byte view.
+func (b Blob) Bytes(i int) ([]byte, error) {
+	if i < 0 || i >= b.n {
+		return nil, ErrBlob
+	}
+	tag, _, p := b.col(i)
+	if tag != ColBytes {
+		return nil, ErrBlob
+	}
+	return p, nil
+}
+
+// F32 returns a zero-copy view of a float32 column.
+func (b Blob) F32(i int) (F32View, error) {
+	if i < 0 || i >= b.n {
+		return F32View{}, ErrBlob
+	}
+	tag, _, p := b.col(i)
+	if tag != ColF32 {
+		return F32View{}, ErrBlob
+	}
+	return F32View{p: p}, nil
+}
+
+// F64 returns a zero-copy view of a float64 column.
+func (b Blob) F64(i int) (F64View, error) {
+	if i < 0 || i >= b.n {
+		return F64View{}, ErrBlob
+	}
+	tag, _, p := b.col(i)
+	if tag != ColF64 {
+		return F64View{}, ErrBlob
+	}
+	return F64View{p: p}, nil
+}
+
+// U32Delta returns a sequential iterator over a delta-packed uint32
+// column.
+func (b Blob) U32Delta(i int) (DeltaIter, error) {
+	if i < 0 || i >= b.n {
+		return DeltaIter{}, ErrBlob
+	}
+	tag, count, p := b.col(i)
+	if tag != ColU32Delta {
+		return DeltaIter{}, ErrBlob
+	}
+	return DeltaIter{p: p, n: count}, nil
+}
+
+// F32View reads float32 values directly off a column payload.
+type F32View struct {
+	p []byte
+}
+
+// Len returns the number of values.
+func (v F32View) Len() int { return len(v.p) / 4 }
+
+// At returns value i. Callers must keep i in [0, Len()).
+func (v F32View) At(i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(v.p[4*i:]))
+}
+
+// CopyInto bulk-copies min(len(dst), Len()) values into dst and returns
+// how many were copied.
+func (v F32View) CopyInto(dst []float32) int {
+	n := v.Len()
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(v.p[4*i:]))
+	}
+	return n
+}
+
+// AppendTo appends every value to dst.
+func (v F32View) AppendTo(dst []float32) []float32 {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		dst = append(dst, v.At(i))
+	}
+	return dst
+}
+
+// F64View reads float64 values directly off a column payload.
+type F64View struct {
+	p []byte
+}
+
+// Len returns the number of values.
+func (v F64View) Len() int { return len(v.p) / 8 }
+
+// At returns value i. Callers must keep i in [0, Len()).
+func (v F64View) At(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.p[8*i:]))
+}
+
+// AppendTo appends every value to dst.
+func (v F64View) AppendTo(dst []float64) []float64 {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		dst = append(dst, v.At(i))
+	}
+	return dst
+}
+
+// DeltaIter decodes a delta-packed uint32 column value by value. The zero
+// value iterates an empty column.
+type DeltaIter struct {
+	p   []byte
+	n   int
+	i   int
+	pos int
+	cur uint32
+	err error
+}
+
+// Next advances to the next value, reporting whether one is available.
+func (it *DeltaIter) Next() bool {
+	if it.err != nil || it.i >= it.n {
+		return false
+	}
+	d, k := binary.Uvarint(it.p[it.pos:])
+	if k <= 0 {
+		it.err = ErrBlob
+		return false
+	}
+	it.pos += k
+	v := d
+	if it.i > 0 {
+		v += uint64(it.cur)
+	}
+	if v > math.MaxUint32 {
+		it.err = ErrBlob
+		return false
+	}
+	it.cur = uint32(v)
+	it.i++
+	return true
+}
+
+// Value returns the current value (valid after a true Next).
+func (it *DeltaIter) Value() uint32 { return it.cur }
+
+// Err returns the first decode error, if any.
+func (it *DeltaIter) Err() error { return it.err }
+
+// Done reports whether the column decoded cleanly end to end: every value
+// consumed, no error, no trailing bytes.
+func (it *DeltaIter) Done() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.i != it.n || it.pos != len(it.p) {
+		return ErrBlob
+	}
+	return nil
+}

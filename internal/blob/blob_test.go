@@ -1,0 +1,371 @@
+package blob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth returns a float32 field mixing smooth structure, noise, repeats,
+// exact zeros and sign flips — the mix XOR coding must survive.
+func synth(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		switch rng.Intn(8) {
+		case 0:
+			out[i] = 0
+		case 1:
+			if i > 0 {
+				out[i] = out[i-1] // exact repeat: the 1-bit XOR case
+			}
+		case 2:
+			out[i] = -float32(math.Ldexp(rng.Float64(), rng.Intn(40)-20))
+		default:
+			out[i] = float32(260 + 30*math.Sin(float64(i)/17) + rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func TestRoundTripAllColumns(t *testing.T) {
+	f32 := synth(1, 1000)
+	f64 := make([]float64, 257)
+	for i := range f64 {
+		f64[i] = math.Sqrt(float64(i)) * 1e-3
+	}
+	f64[0] = math.NaN()
+	u32 := []uint32{0, 0, 7, 7, 1000, 1 << 30, math.MaxUint32}
+	raw := []byte("opaque payload")
+
+	w := GetWriter()
+	defer PutWriter(w)
+	w.AddF32s(f32)
+	w.AddF64s(f64)
+	w.AddU32Delta(u32)
+	w.AddBytes(raw)
+	w.AddXORF32(f32, 64)
+	enc := w.AppendTo(nil)
+	if len(enc) != w.Size() {
+		t.Fatalf("Size() = %d, encoded %d bytes", w.Size(), len(enc))
+	}
+
+	b, err := Open(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cols() != 5 {
+		t.Fatalf("Cols() = %d, want 5", b.Cols())
+	}
+
+	v32, err := b.F32(0)
+	if err != nil || v32.Len() != len(f32) {
+		t.Fatalf("F32: err %v len %d", err, v32.Len())
+	}
+	for i, want := range f32 {
+		if math.Float32bits(v32.At(i)) != math.Float32bits(want) {
+			t.Fatalf("F32.At(%d) = %v, want %v", i, v32.At(i), want)
+		}
+	}
+	got32 := make([]float32, len(f32))
+	if n := v32.CopyInto(got32); n != len(f32) {
+		t.Fatalf("CopyInto copied %d, want %d", n, len(f32))
+	}
+
+	v64, err := b.F64(1)
+	if err != nil || v64.Len() != len(f64) {
+		t.Fatalf("F64: err %v len %d", err, v64.Len())
+	}
+	for i, want := range f64 {
+		if math.Float64bits(v64.At(i)) != math.Float64bits(want) {
+			t.Fatalf("F64.At(%d) differs", i)
+		}
+	}
+
+	di, err := b.U32Delta(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range u32 {
+		if !di.Next() {
+			t.Fatalf("U32Delta ended early at %d: %v", i, di.Err())
+		}
+		if di.Value() != want {
+			t.Fatalf("U32Delta[%d] = %d, want %d", i, di.Value(), want)
+		}
+	}
+	if di.Next() {
+		t.Fatal("U32Delta yielded an extra value")
+	}
+	if err := di.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := b.Bytes(3)
+	if err != nil || string(rb) != string(raw) {
+		t.Fatalf("Bytes: err %v, got %q", err, rb)
+	}
+
+	xc, err := b.XORF32(4)
+	if err != nil || xc.Len() != len(f32) {
+		t.Fatalf("XORF32: err %v len %d", err, xc.Len())
+	}
+	it := xc.Iter()
+	for i, want := range f32 {
+		if !it.Next() {
+			t.Fatalf("XOR iter ended early at %d: %v", i, it.Err())
+		}
+		if math.Float32bits(it.Value()) != math.Float32bits(want) {
+			t.Fatalf("XOR value %d = %v, want %v", i, it.Value(), want)
+		}
+		if it.Index() != i {
+			t.Fatalf("Index() = %d, want %d", it.Index(), i)
+		}
+	}
+	if it.Next() {
+		t.Fatal("XOR iter yielded an extra value")
+	}
+
+	// Wrong-type accessors must error, not misread.
+	if _, err := b.F64(0); err == nil {
+		t.Fatal("F64 over an f32 column did not error")
+	}
+	if _, err := b.XORF32(0); err == nil {
+		t.Fatal("XORF32 over an f32 column did not error")
+	}
+	if _, err := b.F32(99); err == nil {
+		t.Fatal("out-of-range column did not error")
+	}
+}
+
+// TestXORRoundTripProperty hammers the XOR column with random data across
+// block sizes, including blocks that divide the length unevenly.
+func TestXORRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 1 + int(seed*37%1500)
+		data := synth(seed, n)
+		for _, bs := range []int{1, 2, 7, 64, 512, 4096} {
+			w := GetWriter()
+			w.AddXORF32(data, bs)
+			enc := w.AppendTo(nil)
+			PutWriter(w)
+			b, err := Open(enc)
+			if err != nil {
+				t.Fatalf("seed %d bs %d: %v", seed, bs, err)
+			}
+			xc, err := b.XORF32(0)
+			if err != nil {
+				t.Fatalf("seed %d bs %d: %v", seed, bs, err)
+			}
+			it := xc.Iter()
+			for i := 0; i < n; i++ {
+				if !it.Next() {
+					t.Fatalf("seed %d bs %d: short at %d: %v", seed, bs, i, it.Err())
+				}
+				if math.Float32bits(it.Value()) != math.Float32bits(data[i]) {
+					t.Fatalf("seed %d bs %d: value %d differs", seed, bs, i)
+				}
+			}
+			if it.Next() {
+				t.Fatalf("seed %d bs %d: extra value", seed, bs)
+			}
+		}
+	}
+}
+
+// TestXORDeterministic pins that encoding is a pure function of the input.
+func TestXORDeterministic(t *testing.T) {
+	data := synth(7, 999)
+	w1, w2 := GetWriter(), GetWriter()
+	w1.AddXORF32(data, 128)
+	w2.AddXORF32(data, 128)
+	b1 := w1.AppendTo(nil)
+	b2 := w2.AppendTo(nil)
+	PutWriter(w1)
+	PutWriter(w2)
+	if string(b1) != string(b2) {
+		t.Fatal("identical input produced different streams")
+	}
+}
+
+func TestXORSeek(t *testing.T) {
+	data := synth(3, 700)
+	w := GetWriter()
+	w.AddXORF32(data, 64)
+	enc := w.AppendTo(nil)
+	PutWriter(w)
+	b, err := Open(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, err := b.XORF32(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 333, 699, 12} {
+		it := xc.Iter()
+		if !it.Seek(i) || !it.Next() {
+			t.Fatalf("Seek(%d) failed: %v", i, it.Err())
+		}
+		if math.Float32bits(it.Value()) != math.Float32bits(data[i]) {
+			t.Fatalf("Seek(%d): got %v, want %v", i, it.Value(), data[i])
+		}
+		// The iterator keeps going from there.
+		for j := i + 1; j < len(data) && j < i+70; j++ {
+			if !it.Next() || math.Float32bits(it.Value()) != math.Float32bits(data[j]) {
+				t.Fatalf("after Seek(%d): value %d differs", i, j)
+			}
+		}
+	}
+	it := xc.Iter()
+	if it.Seek(len(data)) || it.Seek(-1) == true {
+		t.Fatal("out-of-range Seek succeeded")
+	}
+}
+
+// TestIterSteadyStateAllocs pins the zero-allocation contract of the read
+// path: opening the container and iterating every value allocates nothing.
+func TestIterSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	data := synth(11, 4096)
+	w := GetWriter()
+	w.AddU32Delta([]uint32{0, 512, 1024})
+	w.AddXORF32(data, 512)
+	enc := w.AppendTo(nil)
+	PutWriter(w)
+	if allocs := testing.AllocsPerRun(10, func() {
+		b, err := Open(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xc, err := b.XORF32(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := xc.Iter()
+		var sum float32
+		for it.Next() {
+			sum += it.Value()
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	}); allocs > 0 {
+		t.Errorf("open+iterate allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWriterSteadyStateAllocs pins the pooled write path: re-encoding into
+// a reused dst allocates nothing once the scratch has grown.
+func TestWriterSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	data := synth(13, 4096)
+	w := GetWriter()
+	w.AddXORF32(data, 512)
+	dst := w.AppendTo(nil)
+	PutWriter(w)
+	if allocs := testing.AllocsPerRun(10, func() {
+		w := GetWriter()
+		w.AddXORF32(data, 512)
+		dst = w.AppendTo(dst[:0])
+		PutWriter(w)
+	}); allocs > 0 {
+		t.Errorf("pooled encode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestOpenRejectsCorruption truncates and bit-flips an encoded container
+// at every byte; Open plus full accessor-and-iteration sweeps must error
+// or decode cleanly — never panic, never loop.
+func TestOpenRejectsCorruption(t *testing.T) {
+	data := synth(5, 300)
+	w := GetWriter()
+	w.AddU32Delta([]uint32{0, 64, 128, 192, 256})
+	w.AddXORF32(data, 64)
+	enc := w.AppendTo(nil)
+	PutWriter(w)
+
+	exercise := func(buf []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on corrupt container: %v", r)
+			}
+		}()
+		b, err := Open(buf)
+		if err != nil {
+			return
+		}
+		for i := 0; i < b.Cols(); i++ {
+			switch b.Tag(i) {
+			case ColU32Delta:
+				di, err := b.U32Delta(i)
+				if err != nil {
+					continue
+				}
+				for di.Next() {
+				}
+			case ColXORF32:
+				xc, err := b.XORF32(i)
+				if err != nil {
+					continue
+				}
+				it := xc.Iter()
+				for it.Next() {
+				}
+			}
+		}
+	}
+
+	for cut := 0; cut < len(enc); cut += 7 {
+		exercise(enc[:cut])
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		bad := append([]byte(nil), enc...)
+		bad[rng.Intn(len(bad))] ^= 1 << rng.Intn(8)
+		exercise(bad)
+	}
+}
+
+func TestAddU32DeltaPanicsOnDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing sequence did not panic")
+		}
+	}()
+	w := GetWriter()
+	defer PutWriter(w)
+	w.AddU32Delta([]uint32{5, 3})
+}
+
+func TestEmptyColumns(t *testing.T) {
+	w := GetWriter()
+	defer PutWriter(w)
+	w.AddF32s(nil)
+	w.AddXORF32(nil, 0)
+	w.AddU32Delta(nil)
+	b, err := Open(w.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.F32(0)
+	if err != nil || v.Len() != 0 {
+		t.Fatalf("empty F32: err %v len %d", err, v.Len())
+	}
+	xc, err := b.XORF32(1)
+	if err != nil || xc.Len() != 0 {
+		t.Fatalf("empty XOR: err %v len %d", err, xc.Len())
+	}
+	it := xc.Iter()
+	if it.Next() {
+		t.Fatal("empty XOR column yielded a value")
+	}
+	di, err := b.U32Delta(2)
+	if err != nil || di.Next() || di.Done() != nil {
+		t.Fatalf("empty delta column misbehaved: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package blob
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"climcompress/internal/bitstream"
+)
+
+// Writer builds a container column by column and appends the encoded
+// bytes to a caller-supplied slice. A Writer holds reusable scratch (the
+// concatenated payloads and two bit writers for XOR mode selection); pair
+// GetWriter/PutWriter to recycle it and keep steady-state encoding
+// allocation-free.
+type Writer struct {
+	cols    []colDesc
+	payload []byte
+	gw, cw  *bitstream.Writer
+}
+
+type colDesc struct {
+	tag   byte
+	count uint32
+	off   uint32 // into payload
+	size  uint32
+}
+
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// GetWriter returns a reset Writer from the pool. Pair with PutWriter.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter hands a Writer back to the pool. The caller must not use it
+// (or any slice obtained from it) afterwards.
+func PutWriter(w *Writer) { writerPool.Put(w) }
+
+// Reset discards all columns, retaining scratch capacity.
+func (w *Writer) Reset() {
+	w.cols = w.cols[:0]
+	w.payload = w.payload[:0]
+}
+
+// add records a column whose payload bytes were appended starting at off.
+func (w *Writer) add(tag byte, count, off int) {
+	w.cols = append(w.cols, colDesc{
+		tag:   tag,
+		count: uint32(count),
+		off:   uint32(off),
+		size:  uint32(len(w.payload) - off),
+	})
+}
+
+// AddBytes appends an opaque byte column.
+func (w *Writer) AddBytes(p []byte) {
+	off := len(w.payload)
+	w.payload = append(w.payload, p...)
+	w.add(ColBytes, len(p), off)
+}
+
+// AddF32s appends a raw float32 column (exact bit patterns).
+func (w *Writer) AddF32s(vals []float32) {
+	off := len(w.payload)
+	var tmp [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		w.payload = append(w.payload, tmp[:]...)
+	}
+	w.add(ColF32, len(vals), off)
+}
+
+// AddF64s appends a raw float64 column (exact bit patterns).
+func (w *Writer) AddF64s(vals []float64) {
+	off := len(w.payload)
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		w.payload = append(w.payload, tmp[:]...)
+	}
+	w.add(ColF64, len(vals), off)
+}
+
+// AddU32Delta appends a delta-packed uint32 column. Values must be
+// non-decreasing (the delta encoding is unsigned); it panics otherwise —
+// a programming error, since callers control the sequence.
+func (w *Writer) AddU32Delta(vals []uint32) {
+	off := len(w.payload)
+	var tmp [binary.MaxVarintLen64]byte
+	prev := uint32(0)
+	for i, v := range vals {
+		d := uint64(v)
+		if i > 0 {
+			if v < prev {
+				panic("blob: AddU32Delta requires non-decreasing values")
+			}
+			d = uint64(v - prev)
+		}
+		k := binary.PutUvarint(tmp[:], d)
+		w.payload = append(w.payload, tmp[:k]...)
+		prev = v
+	}
+	w.add(ColU32Delta, len(vals), off)
+}
+
+// AddXORF32 appends an XOR-compressed float32 column. Each block is
+// encoded with both the Gorilla and the Chimp-style scheme and the
+// smaller stream is kept (ties go to Gorilla), so the choice — and the
+// output bytes — are a pure function of the input. blockSize <= 0 selects
+// DefaultBlockSize.
+func (w *Writer) AddXORF32(vals []float32, blockSize int) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxBlockSize {
+		blockSize = maxBlockSize
+	}
+	off := len(w.payload)
+	nblocks := (len(vals) + blockSize - 1) / blockSize
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(blockSize))
+	w.payload = append(w.payload, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:], uint32(nblocks))
+	w.payload = append(w.payload, tmp[:]...)
+	table := len(w.payload)
+	for b := 0; b < nblocks; b++ {
+		w.payload = append(w.payload, 0, 0, 0, 0)
+	}
+	if w.gw == nil {
+		w.gw = bitstream.NewWriter(0)
+		w.cw = bitstream.NewWriter(0)
+	}
+	areaStart := len(w.payload)
+	for b := 0; b < nblocks; b++ {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		block := vals[lo:hi]
+		w.gw.Reset()
+		appendGorilla(w.gw, block)
+		w.cw.Reset()
+		appendChimp(w.cw, block)
+		enc, mode := w.gw, modeGorilla
+		if w.cw.Len() < w.gw.Len() {
+			enc, mode = w.cw, modeChimp
+		}
+		binary.LittleEndian.PutUint32(w.payload[table+4*b:], uint32(len(w.payload)-areaStart))
+		w.payload = append(w.payload, mode)
+		w.payload = enc.AppendTo(w.payload)
+	}
+	w.add(ColXORF32, len(vals), off)
+}
+
+// Size returns the encoded container size in bytes.
+func (w *Writer) Size() int {
+	return headerLen + colDescSize*len(w.cols) + len(w.payload)
+}
+
+// AppendTo appends the encoded container to dst and returns the extended
+// slice. The Writer remains usable (further columns extend the same
+// container on a later AppendTo).
+func (w *Writer) AppendTo(dst []byte) []byte {
+	base := headerLen + colDescSize*len(w.cols)
+	var tmp [colDescSize]byte
+	binary.LittleEndian.PutUint32(tmp[:], magic)
+	binary.LittleEndian.PutUint16(tmp[4:], uint16(len(w.cols)))
+	binary.LittleEndian.PutUint16(tmp[6:], 0)
+	dst = append(dst, tmp[:headerLen]...)
+	for _, c := range w.cols {
+		tmp[0] = c.tag
+		tmp[1], tmp[2], tmp[3] = 0, 0, 0
+		binary.LittleEndian.PutUint32(tmp[4:], c.count)
+		binary.LittleEndian.PutUint32(tmp[8:], uint32(base)+c.off)
+		binary.LittleEndian.PutUint32(tmp[12:], c.size)
+		dst = append(dst, tmp[:]...)
+	}
+	return append(dst, w.payload...)
+}

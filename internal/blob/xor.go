@@ -1,0 +1,332 @@
+// XOR-compressed float32 columns. Values are grouped into fixed-size
+// blocks; each block is encoded twice — Gorilla-style (leading/trailing
+// -zero window) and Chimp-style (3-bit leading-zero class, no trailing
+// window) — and the smaller stream is kept, with a per-block mode byte
+// recording the choice. Block byte offsets are stored in an O(1) table so
+// an iterator can seek to any value by decoding at most one block prefix.
+// Encoding is lossless and deterministic: exact bit patterns round-trip
+// and identical input always yields identical bytes.
+//
+// Column payload layout (after the container's column descriptor):
+//
+//	blockSize u32
+//	nblocks   u32    must equal ceil(count / blockSize)
+//	offsets   nblocks × u32   byte offset of each block within the area
+//	area      per block: mode u8 (0 = gorilla, 1 = chimp), then the
+//	          zero-padded bitstream
+//
+// Per-value bit grammar, Gorilla mode (after a raw 32-bit first value):
+//
+//	0                  XOR with previous value is zero
+//	1 0 <m>            meaningful bits in the previous window
+//	1 1 <lead:5> <sig-1:5> <sig bits>   new window
+//
+// Chimp mode (after a raw 32-bit first value):
+//
+//	0                  XOR is zero
+//	1 0 <32-4c bits>   reuse previous leading-zero class c
+//	1 1 <c:3> <32-4c bits>              new class
+package blob
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"climcompress/internal/bitstream"
+)
+
+const (
+	modeGorilla byte = 0
+	modeChimp   byte = 1
+
+	// DefaultBlockSize balances offset-table overhead (4 bytes per block)
+	// against seek granularity.
+	DefaultBlockSize = 512
+
+	// maxBlockSize bounds the per-block decode work a hostile stream can
+	// demand through one offset-table entry.
+	maxBlockSize = 1 << 20
+
+	xorColHeader = 8 // blockSize + nblocks
+)
+
+// appendGorilla encodes block into w with Facebook Gorilla's windowed XOR
+// scheme, adapted to float32 (5-bit leading-zero and significant-bit
+// fields).
+func appendGorilla(w *bitstream.Writer, block []float32) {
+	prev := math.Float32bits(block[0])
+	w.WriteBits(uint64(prev), 32)
+	var prevLead, prevTrail uint
+	window := false
+	for _, v := range block[1:] {
+		cur := math.Float32bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros32(xor))
+		trail := uint(bits.TrailingZeros32(xor))
+		if window && lead >= prevLead && trail >= prevTrail {
+			w.WriteBit(0)
+			w.WriteBits(uint64(xor>>prevTrail), 32-prevLead-prevTrail)
+			continue
+		}
+		sig := 32 - lead - trail
+		w.WriteBit(1)
+		w.WriteBits(uint64(lead), 5)
+		w.WriteBits(uint64(sig-1), 5)
+		w.WriteBits(uint64(xor>>trail), sig)
+		prevLead, prevTrail = lead, trail
+		window = true
+	}
+}
+
+// appendChimp encodes block into w with a Chimp-style reduced-window
+// scheme: the leading-zero count is rounded down to one of eight 4-bit
+// classes and trailing zeros are stored explicitly, trading a few payload
+// bits for much cheaper window bookkeeping — it wins on noisy data where
+// Gorilla's trailing-zero window rarely sticks.
+func appendChimp(w *bitstream.Writer, block []float32) {
+	prev := math.Float32bits(block[0])
+	w.WriteBits(uint64(prev), 32)
+	prevClass := -1
+	for _, v := range block[1:] {
+		cur := math.Float32bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		c := bits.LeadingZeros32(xor) >> 2
+		if c > 7 {
+			c = 7
+		}
+		if c == prevClass {
+			w.WriteBit(0)
+		} else {
+			w.WriteBit(1)
+			w.WriteBits(uint64(c), 3)
+			prevClass = c
+		}
+		w.WriteBits(uint64(xor), uint(32-4*c))
+	}
+}
+
+// XORF32 validates and returns the XOR-compressed float32 column at index
+// i: block framing, offset-table monotonicity and bounds, and a
+// plausibility bound on the claimed value count (at least one bit per
+// value must exist in the block area).
+func (b Blob) XORF32(i int) (XORColumn, error) {
+	if i < 0 || i >= b.n {
+		return XORColumn{}, ErrBlob
+	}
+	tag, count, p := b.col(i)
+	if tag != ColXORF32 {
+		return XORColumn{}, ErrBlob
+	}
+	if len(p) < xorColHeader {
+		return XORColumn{}, ErrBlob
+	}
+	blockSize := int(binary.LittleEndian.Uint32(p))
+	nblocks := int(binary.LittleEndian.Uint32(p[4:]))
+	if blockSize < 1 || blockSize > maxBlockSize {
+		return XORColumn{}, ErrBlob
+	}
+	if nblocks != (count+blockSize-1)/blockSize {
+		return XORColumn{}, ErrBlob
+	}
+	tableEnd := xorColHeader + 4*nblocks
+	if tableEnd > len(p) {
+		return XORColumn{}, ErrBlob
+	}
+	offsets := p[xorColHeader:tableEnd]
+	area := p[tableEnd:]
+	if count > 8*len(area) {
+		return XORColumn{}, ErrBlob
+	}
+	prev := uint32(0)
+	for b := 0; b < nblocks; b++ {
+		off := binary.LittleEndian.Uint32(offsets[4*b:])
+		// Every block holds at least a mode byte and a raw first value.
+		if off < prev || uint64(off)+5 > uint64(len(area)) {
+			return XORColumn{}, ErrBlob
+		}
+		prev = off
+	}
+	return XORColumn{blockSize: blockSize, count: count, offsets: offsets, area: area}, nil
+}
+
+// XORColumn is a validated XOR-compressed float32 column. Values are read
+// through Iter; the column itself holds only views over the blob buffer.
+type XORColumn struct {
+	blockSize int
+	count     int
+	offsets   []byte
+	area      []byte
+}
+
+// Len returns the number of encoded values.
+func (c XORColumn) Len() int { return c.count }
+
+// BlockSize returns the values-per-block granularity of the offset table.
+func (c XORColumn) BlockSize() int { return c.blockSize }
+
+// Blocks returns the number of blocks.
+func (c XORColumn) Blocks() int { return len(c.offsets) / 4 }
+
+// blockBounds returns the [lo, hi) byte range of block b within the area.
+func (c XORColumn) blockBounds(b int) (int, int) {
+	lo := int(binary.LittleEndian.Uint32(c.offsets[4*b:]))
+	hi := len(c.area)
+	if 4*(b+1) < len(c.offsets) {
+		hi = int(binary.LittleEndian.Uint32(c.offsets[4*(b+1):]))
+	}
+	if hi > len(c.area) {
+		hi = len(c.area)
+	}
+	return lo, hi
+}
+
+// Iter returns a zero-allocation iterator positioned before the first
+// value. The iterator is a value type: it lives on the caller's stack and
+// reads directly off the blob buffer.
+func (c XORColumn) Iter() XORIter {
+	return XORIter{c: c}
+}
+
+// XORIter decodes an XORColumn value by value.
+type XORIter struct {
+	c XORColumn
+	r bitstream.Reader
+
+	i        int // values already returned
+	blockEnd int // first value index beyond the current block
+
+	mode      byte
+	prev      uint32
+	prevLead  uint
+	prevTrail uint
+	window    bool
+	prevClass int
+
+	val float32
+	err error
+}
+
+// startBlock positions the iterator at the beginning of block b.
+func (it *XORIter) startBlock(b int) bool {
+	lo, hi := it.c.blockBounds(b)
+	if lo >= hi {
+		it.err = ErrBlob
+		return false
+	}
+	it.mode = it.c.area[lo]
+	if it.mode != modeGorilla && it.mode != modeChimp {
+		it.err = ErrBlob
+		return false
+	}
+	it.r.Reset(it.c.area[lo+1 : hi])
+	it.prev = uint32(it.r.ReadBits(32))
+	it.window = false
+	it.prevClass = -1
+	it.blockEnd = (b + 1) * it.c.blockSize
+	if it.blockEnd > it.c.count {
+		it.blockEnd = it.c.count
+	}
+	if it.r.Err() != nil {
+		it.err = ErrBlob
+		return false
+	}
+	it.val = math.Float32frombits(it.prev)
+	return true
+}
+
+// Next advances to the next value, reporting whether one was decoded.
+func (it *XORIter) Next() bool {
+	if it.err != nil || it.i >= it.c.count {
+		return false
+	}
+	if it.i%it.c.blockSize == 0 {
+		if !it.startBlock(it.i / it.c.blockSize) {
+			return false
+		}
+		it.i++ // first value of the block is the raw 32-bit read
+		return true
+	}
+	var xor uint32
+	if it.r.ReadBit() == 1 {
+		if it.mode == modeGorilla {
+			if it.r.ReadBit() == 0 {
+				if !it.window {
+					it.err = ErrBlob
+					return false
+				}
+				xor = uint32(it.r.ReadBits(32-it.prevLead-it.prevTrail)) << it.prevTrail
+			} else {
+				lead := uint(it.r.ReadBits(5))
+				sig := uint(it.r.ReadBits(5)) + 1
+				if lead+sig > 32 {
+					it.err = ErrBlob
+					return false
+				}
+				trail := 32 - lead - sig
+				xor = uint32(it.r.ReadBits(sig)) << trail
+				it.prevLead, it.prevTrail = lead, trail
+				it.window = true
+			}
+		} else {
+			if it.r.ReadBit() == 1 {
+				it.prevClass = int(it.r.ReadBits(3))
+			} else if it.prevClass < 0 {
+				it.err = ErrBlob
+				return false
+			}
+			xor = uint32(it.r.ReadBits(uint(32 - 4*it.prevClass)))
+		}
+	}
+	if it.r.Err() != nil {
+		it.err = ErrBlob
+		return false
+	}
+	it.prev ^= xor
+	it.val = math.Float32frombits(it.prev)
+	it.i++
+	return true
+}
+
+// Value returns the current value (valid after a true Next).
+func (it *XORIter) Value() float32 { return it.val }
+
+// Index returns the index of the current value (valid after a true Next).
+func (it *XORIter) Index() int { return it.i - 1 }
+
+// Err returns the first decode error, if any.
+func (it *XORIter) Err() error { return it.err }
+
+// Seek positions the iterator so the next Next returns value i, using the
+// offset table to jump to value i's block and decoding at most
+// blockSize-1 values of prefix. It reports success; a failed seek poisons
+// the iterator.
+func (it *XORIter) Seek(i int) bool {
+	if it.err != nil || i < 0 || i >= it.c.count {
+		if it.err == nil {
+			it.err = ErrBlob
+		}
+		return false
+	}
+	b := i / it.c.blockSize
+	it.i = b * it.c.blockSize
+	it.blockEnd = 0 // force startBlock on the next Next
+	for it.i < i {
+		if !it.Next() {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,7 @@ const (
 	IDRaw        byte = 7
 	IDParallel   byte = 8
 	IDRaw64      byte = 9
+	IDTsBlob     byte = 10
 )
 
 // headerSize is the encoded size of a Header.

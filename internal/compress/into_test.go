@@ -14,6 +14,7 @@ import (
 	_ "climcompress/internal/compress/isabela"
 	_ "climcompress/internal/compress/nclossless"
 	"climcompress/internal/compress/parallel"
+	_ "climcompress/internal/compress/tsblob"
 )
 
 // goldenShape and goldenField pin the exact inputs whose compressed streams
@@ -65,6 +66,7 @@ var goldenHashes = map[string]string{
 	"nc-noshuffle":       "df244dcee8a60371a1eab744614b15ac38a38672bfa9659103f507b0ec59d17b",
 	"parallel(fpzip-24)": "523a38c7d88b2abd0a74ed0d898a540d78b4241293de5e47329ce5ab6ffc5897",
 	"nc+fill":            "6a333892746a80033128ca0234bebcea948af95d5a1131dd47b1cf8d1b39e2d8",
+	"tsblob":             "37b2dd645044e765ee1bb75a9a59b82b5e2028949082e2844b5b94cac0c3526f",
 }
 
 // goldenCodecs returns every codec under test by name: the registry plus the

@@ -39,7 +39,7 @@ func TestQuickLosslessCodecs(t *testing.T) {
 			NLon: int(c%16) + 2,
 		}
 		data := arbitraryField(seed, shape.Len())
-		for _, name := range []string{"fpzip-32", "fpzip64-64", "nc", "nc-noshuffle"} {
+		for _, name := range []string{"fpzip-32", "fpzip64-64", "nc", "nc-noshuffle", "tsblob"} {
 			codec, err := compress.New(name)
 			if err != nil {
 				return false
@@ -111,7 +111,7 @@ func TestQuickDeterministicStreams(t *testing.T) {
 	f := func(seed int64) bool {
 		shape := compress.Shape{NLev: 2, NLat: 6, NLon: 10}
 		data := arbitraryField(seed, shape.Len())
-		for _, name := range []string{"fpzip-24", "apax-4", "isa-0.5", "grib2", "nc"} {
+		for _, name := range []string{"fpzip-24", "apax-4", "isa-0.5", "grib2", "nc", "tsblob"} {
 			c1, _ := compress.New(name)
 			c2, _ := compress.New(name)
 			b1, err1 := c1.Compress(data, shape)

@@ -1,0 +1,97 @@
+package tsblob
+
+import (
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+// TestCorruptStreams mirrors internal/compress/corrupt_test.go for the
+// blob-framed format: truncated, bit-flipped and garbage streams must
+// error or decode to the right length — never panic, never hang — through
+// both the slice decoder and the zero-copy iterator.
+func TestCorruptStreams(t *testing.T) {
+	shape := compress.Shape{NLev: 2, NLat: 12, NLon: 20}
+	data := field(shape.Len())
+	c := New()
+	buf, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exercise := func(stream []byte, what string, checkLen bool) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %s: %v", what, r)
+			}
+		}()
+		out, err := c.Decompress(stream)
+		if err == nil && checkLen && len(out) != shape.Len() {
+			t.Fatalf("%s decoded to wrong length %d", what, len(out))
+		}
+		// The iterator path must degrade identically: either Iter errors,
+		// or iteration stops with Err() set, or the data decodes cleanly.
+		xc, err := Iter(stream)
+		if err != nil {
+			return
+		}
+		it := xc.Iter()
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if it.Err() == nil && checkLen && n != shape.Len() {
+			t.Fatalf("%s iterated to wrong length %d", what, n)
+		}
+	}
+
+	// Truncations at every structural region: codec header, blob header,
+	// column table, index column, XOR framing, offset table, bit area.
+	for cut := 0; cut <= len(buf); cut++ {
+		exercise(buf[:cut], "truncation", true)
+	}
+	// Random single-byte corruptions. Flips inside the 13-byte codec
+	// header may legitimately change the decoded shape.
+	rng := rand.New(rand.NewSource(2024))
+	trials := 4000
+	if testing.Short() {
+		trials = 400
+	}
+	for trial := 0; trial < trials; trial++ {
+		bad := append([]byte(nil), buf...)
+		idx := rng.Intn(len(bad))
+		bad[idx] ^= byte(1 + rng.Intn(255))
+		exercise(bad, "bit flip", idx >= 13)
+	}
+	// Garbage of assorted sizes.
+	for _, n := range []int{0, 1, 13, 21, 64, 500} {
+		junk := make([]byte, n)
+		rng.Read(junk)
+		exercise(junk, "garbage", false)
+	}
+}
+
+// TestHeaderShapeTamper inflates the shape in the stream header; the
+// decoder must reject rather than allocate absurd buffers.
+func TestHeaderShapeTamper(t *testing.T) {
+	shape := compress.Shape{NLev: 1, NLat: 8, NLon: 8}
+	c := New()
+	buf, err := c.Compress(make([]float32, shape.Len()), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[1], bad[2], bad[3], bad[4] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := c.Decompress(bad); err == nil {
+		t.Fatal("tampered shape accepted")
+	}
+	// A merely-inflated (but valid-range) count must also be rejected:
+	// the value column knows its own length.
+	bad = append([]byte(nil), buf...)
+	bad[1] = 2 // NLev 1 → 2 doubles the claimed value count
+	if _, err := c.Decompress(bad); err == nil {
+		t.Fatal("inflated value count accepted")
+	}
+}

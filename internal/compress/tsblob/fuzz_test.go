@@ -1,0 +1,68 @@
+package tsblob
+
+import (
+	"math"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+// FuzzTsblobDecode drives the header and column parsers with arbitrary
+// bytes plus mutations of valid streams: decoding must never panic, and
+// when it succeeds both read paths (slice decode and zero-copy iterator)
+// must agree bit for bit.
+func FuzzTsblobDecode(f *testing.F) {
+	c := New()
+	shape := compress.Shape{NLev: 1, NLat: 6, NLon: 10}
+	seed, err := c.Compress(field(shape.Len()), shape)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:13])
+	f.Add(seed[:len(seed)/2])
+	small, err := (&Codec{Block: 4}).Compress(field(25), compress.Shape{NLev: 1, NLat: 5, NLon: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small)
+	f.Add([]byte{})
+	f.Add([]byte{compress.IDTsBlob})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, err := c.Decompress(buf)
+		xc, ierr := Iter(buf)
+		if (err == nil) != (ierr == nil) {
+			t.Fatalf("decode err %v but iter err %v", err, ierr)
+		}
+		if err != nil {
+			return
+		}
+		if xc.Len() != len(out) {
+			t.Fatalf("iterator sees %d values, decoder %d", xc.Len(), len(out))
+		}
+		it := xc.Iter()
+		for i := range out {
+			if !it.Next() {
+				t.Fatalf("iterator ended early at %d: %v", i, it.Err())
+			}
+			if math.Float32bits(it.Value()) != math.Float32bits(out[i]) {
+				t.Fatalf("iterator value %d differs from decoder", i)
+			}
+		}
+		// Accepted streams must re-encode and round-trip losslessly.
+		re, err := c.Compress(out, compress.Shape{NLev: 1, NLat: 1, NLon: len(out)})
+		if err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		back, err := c.Decompress(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range out {
+			if math.Float32bits(back[i]) != math.Float32bits(out[i]) {
+				t.Fatalf("re-encoded value %d differs", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package tsblob implements a lossless columnar time-series codec: the
+// field is framed as a blob container (internal/blob) holding a
+// delta-packed block-index column and an XOR-compressed float32 value
+// column. Each value block is encoded with both a Gorilla-style
+// leading/trailing-zero window scheme and a Chimp-style reduced-window
+// scheme, keeping whichever is smaller, so smooth climate fields get the
+// window wins while noisy ones fall back to the cheaper class coding.
+// The blob's O(1) offset table lets Iter seek to any value without
+// materializing a slice, and both directions run allocation-free in
+// steady state through pooled scratch.
+package tsblob
+
+import (
+	"fmt"
+	"sync"
+
+	"climcompress/internal/blob"
+	"climcompress/internal/compress"
+)
+
+// DefaultBlockSize is the values-per-block granularity of the XOR column
+// (and of its seek offset table).
+const DefaultBlockSize = blob.DefaultBlockSize
+
+// Codec is the columnar XOR-float codec.
+type Codec struct {
+	// Block overrides DefaultBlockSize when positive (used by ablation
+	// benches).
+	Block int
+}
+
+// New returns a tsblob codec with the default block size.
+func New() *Codec { return &Codec{} }
+
+func init() {
+	compress.Register("tsblob", func() compress.Codec { return New() })
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "tsblob" }
+
+// Lossless implements compress.Codec: XOR coding stores exact bit
+// patterns, so reconstruction is always bit exact.
+func (c *Codec) Lossless() bool { return true }
+
+func (c *Codec) blockSize() int {
+	if c.Block > 0 {
+		return c.Block
+	}
+	return DefaultBlockSize
+}
+
+// indexPool recycles the block-start index scratch used by CompressInto.
+var indexPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(data []float32, shape compress.Shape) ([]byte, error) {
+	return c.CompressInto(nil, data, shape)
+}
+
+// CompressInto implements compress.AppendCodec with pooled scratch; the
+// appended stream is bit-identical to Compress's.
+func (c *Codec) CompressInto(dst []byte, data []float32, shape compress.Shape) ([]byte, error) {
+	if shape.Len() != len(data) {
+		return dst, fmt.Errorf("tsblob: shape %v does not match %d values", shape, len(data))
+	}
+	bs := c.blockSize()
+	nblocks := (len(data) + bs - 1) / bs
+
+	idxp := indexPool.Get().(*[]uint32)
+	idx := (*idxp)[:0]
+	for b := 0; b < nblocks; b++ {
+		idx = append(idx, uint32(b*bs))
+	}
+	*idxp = idx
+
+	w := blob.GetWriter()
+	w.AddU32Delta(idx)
+	w.AddXORF32(data, bs)
+	dst = compress.PutHeader(dst, compress.Header{CodecID: compress.IDTsBlob, Shape: shape})
+	dst = w.AppendTo(dst)
+	blob.PutWriter(w)
+	indexPool.Put(idxp)
+	return dst, nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(buf []byte) ([]float32, error) {
+	return c.DecompressInto(nil, buf)
+}
+
+// DecompressInto implements compress.AppendCodec, reconstructing into
+// dst's backing array when its capacity suffices.
+func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
+	xc, n, err := open(buf)
+	if err != nil {
+		return dst, err
+	}
+	out := compress.GrowFloats(dst, n)
+	it := xc.Iter()
+	for it.Next() {
+		out[it.Index()] = it.Value()
+	}
+	if it.Err() != nil {
+		return dst, fmt.Errorf("%w: %v", compress.ErrCorrupt, it.Err())
+	}
+	return out, nil
+}
+
+// Iter returns a zero-allocation iterator over a tsblob stream's values
+// without materializing a slice: the returned column reads directly off
+// buf, and its Iter/Seek decode at most one block prefix per jump.
+func Iter(buf []byte) (blob.XORColumn, error) {
+	xc, _, err := open(buf)
+	return xc, err
+}
+
+// open validates a tsblob stream end to end — codec header, blob
+// container, index column, value column — and returns the value column
+// and the declared value count.
+func open(buf []byte) (blob.XORColumn, int, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return blob.XORColumn{}, 0, err
+	}
+	if h.CodecID != compress.IDTsBlob {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: not a tsblob stream", compress.ErrCorrupt)
+	}
+	n := h.Shape.Len()
+	if err := compress.CheckPlausible(n, len(rest)); err != nil {
+		return blob.XORColumn{}, 0, err
+	}
+	b, err := blob.Open(rest)
+	if err != nil {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+	}
+	if b.Cols() != 2 {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: tsblob wants 2 columns, found %d", compress.ErrCorrupt, b.Cols())
+	}
+	xc, err := b.XORF32(1)
+	if err != nil {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+	}
+	if xc.Len() != n {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: value column holds %d of %d values", compress.ErrCorrupt, xc.Len(), n)
+	}
+	// The index column must list exactly the block start offsets.
+	di, err := b.U32Delta(0)
+	if err != nil {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+	}
+	for bi := 0; bi < xc.Blocks(); bi++ {
+		if !di.Next() || di.Value() != uint32(bi*xc.BlockSize()) {
+			return blob.XORColumn{}, 0, fmt.Errorf("%w: bad index column", compress.ErrCorrupt)
+		}
+	}
+	if err := di.Done(); err != nil {
+		return blob.XORColumn{}, 0, fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+	}
+	return xc, n, nil
+}

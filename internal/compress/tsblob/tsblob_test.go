@@ -1,0 +1,257 @@
+package tsblob
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+)
+
+// field mirrors the compress package's golden generator: smooth climate
+// structure with bounded noise, plus exact zeros.
+func field(n int) []float32 {
+	data := make([]float32, n)
+	x := uint64(2014)
+	for i := range data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		noise := float64(x%100000)/50000 - 1
+		data[i] = float32(260 + 30*math.Sin(float64(i)/17) + 5*math.Cos(float64(i)/5) + noise)
+	}
+	for i := 0; i < n; i += 97 {
+		data[i] = 0
+	}
+	return data
+}
+
+func TestRoundTripLossless(t *testing.T) {
+	c := New()
+	for _, shape := range []compress.Shape{
+		{NLev: 1, NLat: 1, NLon: 1},
+		{NLev: 1, NLat: 7, NLon: 13},
+		{NLev: 3, NLat: 24, NLon: 48},
+		{NLev: 2, NLat: 73, NLon: 144},
+	} {
+		data := field(shape.Len())
+		// Sprinkle special values: XOR coding must round-trip exact bits.
+		if len(data) > 10 {
+			data[1] = float32(math.NaN())
+			data[2] = float32(math.Inf(1))
+			data[3] = float32(math.Inf(-1))
+			data[4] = -0.0
+			data[5] = math.Float32frombits(1) // smallest denormal
+		}
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("shape %v: decoded %d of %d values", shape, len(out), len(data))
+		}
+		for i := range data {
+			if math.Float32bits(out[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("shape %v: value %d not bit exact: %x vs %x",
+					shape, i, math.Float32bits(out[i]), math.Float32bits(data[i]))
+			}
+		}
+	}
+}
+
+// TestGoldenStream pins the exact compressed bytes for the compress
+// package's golden field: the stream is a format contract, and encoding
+// must be deterministic across runs and platforms. make verify runs this
+// test by name.
+func TestGoldenStream(t *testing.T) {
+	const want = "37b2dd645044e765ee1bb75a9a59b82b5e2028949082e2844b5b94cac0c3526f"
+	shape := compress.Shape{NLev: 3, NLat: 24, NLon: 48}
+	data := field(shape.Len())
+	c := New()
+	var prev []byte
+	for run := 0; run < 3; run++ {
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(buf, prev) {
+			t.Fatal("tsblob output differs between runs")
+		}
+		prev = buf
+		h := sha256.Sum256(buf)
+		if got := hex.EncodeToString(h[:]); got != want {
+			t.Fatalf("golden stream hash %s, want %s", got, want)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	shape := compress.Shape{NLev: 2, NLat: 73, NLon: 144}
+	data := field(shape.Len())
+	buf, err := New().Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := compress.Ratio(len(buf), shape.Len())
+	if cr >= 1.0 {
+		t.Errorf("tsblob expanded smooth climate data: CR %.3f", cr)
+	}
+	t.Logf("tsblob CR on synthetic climate field: %.3f", cr)
+}
+
+func TestIter(t *testing.T) {
+	shape := compress.Shape{NLev: 2, NLat: 24, NLon: 48}
+	data := field(shape.Len())
+	buf, err := New().Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, err := Iter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xc.Len() != len(data) {
+		t.Fatalf("Iter column holds %d of %d values", xc.Len(), len(data))
+	}
+	it := xc.Iter()
+	for i := range data {
+		if !it.Next() {
+			t.Fatalf("iterator ended early at %d: %v", i, it.Err())
+		}
+		if math.Float32bits(it.Value()) != math.Float32bits(data[i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	if it.Next() {
+		t.Fatal("iterator yielded an extra value")
+	}
+	// Seek reads single values without a full decode.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		i := rng.Intn(len(data))
+		it := xc.Iter()
+		if !it.Seek(i) || !it.Next() {
+			t.Fatalf("Seek(%d) failed: %v", i, it.Err())
+		}
+		if math.Float32bits(it.Value()) != math.Float32bits(data[i]) {
+			t.Fatalf("Seek(%d) read wrong value", i)
+		}
+	}
+}
+
+func TestAppendContract(t *testing.T) {
+	shape := compress.Shape{NLev: 1, NLat: 24, NLon: 48}
+	data := field(shape.Len())
+	c := New()
+	plain, err := c.Compress(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("framed:")
+	dst, err := c.CompressInto(append([]byte(nil), prefix...), data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(dst, prefix) || !bytes.Equal(dst[len(prefix):], plain) {
+		t.Fatal("CompressInto violated the append contract")
+	}
+	want, err := c.Decompress(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, shape.Len())
+	got, err := c.DecompressInto(out, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &out[0] {
+		t.Error("DecompressInto did not reuse dst's backing array")
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+// TestSteadyStateAllocs pins the pooled-scratch contract: compress,
+// decompress and iterate all run allocation-free once warm.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless under -race")
+	}
+	shape := compress.Shape{NLev: 2, NLat: 32, NLon: 64}
+	data := field(shape.Len())
+	c := New()
+	buf, err := c.CompressInto(nil, data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.DecompressInto(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufCap := buf[:0:cap(buf)]
+	if allocs := testing.AllocsPerRun(10, func() {
+		var err error
+		buf, err = c.CompressInto(bufCap, data, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("CompressInto allocates %.1f/op in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		var err error
+		out, err = c.DecompressInto(out, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("DecompressInto allocates %.1f/op in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		xc, err := Iter(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := xc.Iter()
+		var sum float32
+		for it.Next() {
+			sum += it.Value()
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	}); allocs > 0 {
+		t.Errorf("Iter allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestBlockSizeAblation(t *testing.T) {
+	shape := compress.Shape{NLev: 1, NLat: 48, NLon: 96}
+	data := field(shape.Len())
+	for _, bs := range []int{16, 64, 512, 4096} {
+		c := &Codec{Block: bs}
+		buf, err := c.Compress(data, shape)
+		if err != nil {
+			t.Fatalf("block %d: %v", bs, err)
+		}
+		out, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("block %d: %v", bs, err)
+		}
+		for i := range data {
+			if math.Float32bits(out[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("block %d: value %d differs", bs, i)
+			}
+		}
+	}
+}

@@ -54,7 +54,7 @@ func chunkSize() int {
 // The returned VarStats does not retain member data; consumers use
 // AcquireOriginal, which regenerates on demand.
 func BuildStream(src Source, varIdx int) (*VarStats, error) {
-	return buildStream(src, varIdx, nil, nil)
+	return buildStream(src, varIdx, -1, nil)
 }
 
 // BuildStreamWithScores is BuildStream with the second pass short-circuited
@@ -62,10 +62,26 @@ func BuildStream(src Source, varIdx int) (*VarStats, error) {
 // from an artifact cache keyed on the same inputs). Both must have exactly
 // Members() entries; otherwise they are ignored and pass 2 runs normally.
 func BuildStreamWithScores(src Source, varIdx int, rmsz, enmax []float64) (*VarStats, error) {
-	return buildStream(src, varIdx, rmsz, enmax)
+	n := len(rmsz)
+	if len(enmax) != n {
+		return buildStream(src, varIdx, -1, nil)
+	}
+	return buildStream(src, varIdx, n, func(m int) (float64, float64) {
+		return rmsz[m], enmax[m]
+	})
 }
 
-func buildStream(src Source, varIdx int, rmsz, enmax []float64) (*VarStats, error) {
+// BuildStreamWithScoresFunc is BuildStreamWithScores with the vectors
+// supplied lazily: score(m) returns member m's (RMSZ, E_nmax) pair, and
+// nscores declares how many members it covers. It lets callers feed
+// scores straight from a zero-copy cache record view without
+// materializing slices. When nscores differs from Members(), score is
+// never called and pass 2 runs normally.
+func BuildStreamWithScoresFunc(src Source, varIdx, nscores int, score func(m int) (float64, float64)) (*VarStats, error) {
+	return buildStream(src, varIdx, nscores, score)
+}
+
+func buildStream(src Source, varIdx, nscores int, score func(m int) (float64, float64)) (*VarStats, error) {
 	nm := src.Members()
 	if nm < 3 {
 		return nil, fmt.Errorf("ensemble: need at least 3 members, got %d", nm)
@@ -122,9 +138,10 @@ func buildStream(src Source, varIdx int, rmsz, enmax []float64) (*VarStats, erro
 		return nil, err
 	}
 
-	if len(rmsz) == nm && len(enmax) == nm {
-		copy(vs.RMSZ, rmsz)
-		copy(vs.Enmax, enmax)
+	if nscores == nm && score != nil {
+		for m := 0; m < nm; m++ {
+			vs.RMSZ[m], vs.Enmax[m] = score(m)
+		}
 		return vs, nil
 	}
 

@@ -8,7 +8,10 @@
 package experiments
 
 import (
+	"encoding/binary"
+
 	"climcompress/internal/artifact"
+	"climcompress/internal/blob"
 	"climcompress/internal/ensemble"
 	"climcompress/internal/field"
 	"climcompress/internal/l96"
@@ -17,8 +20,11 @@ import (
 )
 
 // cacheSchema versions every record payload; bumping it invalidates all
-// cached experiment artifacts without touching the store format.
-const cacheSchema = 1
+// cached experiment artifacts without touching the store format. Schema 2
+// switched record payloads from v1 tagged Enc/Dec streams to the v2 blob
+// container (record format v2), whose columns are read in place — any
+// schema-1 record simply keys differently and ages out of the store.
+const cacheSchema = 2
 
 // store returns the configured artifact store (nil = disabled; every method
 // of a nil store degrades to recomputation).
@@ -142,51 +148,110 @@ func (r *Runner) InvalidateVariant(variant string) {
 // Record payloads
 // ---------------------------------------------------------------------------
 
-// encodeErrorEntry serializes one §5.2 error-matrix cell.
+// boolByte maps a bool to its record byte; decodeBool inverts it, treating
+// anything but 0/1 as corruption.
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func decodeBool(b byte, ok *bool) bool {
+	if b > 1 {
+		*ok = false
+	}
+	return b == 1
+}
+
+// encodeErrorEntry serializes one §5.2 error-matrix cell as a v2 record:
+// a float64 column of the eight metrics plus the cell's CR, and a bytes
+// column holding the point count.
 func encodeErrorEntry(e ErrorEntry) []byte {
-	var enc artifact.Enc
-	enc.Float(e.Errors.EMax).Float(e.Errors.ENMax).
-		Float(e.Errors.RMSE).Float(e.Errors.NRMSE).
-		Float(e.Errors.PSNR).Float(e.Errors.Pearson).
-		Float(e.Errors.Range).Int(e.Errors.N).
-		Float(e.CR)
-	return enc.Bytes()
+	w := blob.GetWriter()
+	w.AddF64s([]float64{
+		e.Errors.EMax, e.Errors.ENMax,
+		e.Errors.RMSE, e.Errors.NRMSE,
+		e.Errors.PSNR, e.Errors.Pearson,
+		e.Errors.Range, e.CR,
+	})
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(int64(e.Errors.N)))
+	w.AddBytes(n[:])
+	payload := w.AppendTo(nil)
+	blob.PutWriter(w)
+	return payload
 }
 
 func decodeErrorEntry(payload []byte) (ErrorEntry, bool) {
-	d := artifact.NewDec(payload)
+	b, err := artifact.OpenRecord(payload)
+	if err != nil || b.Cols() != 2 {
+		return ErrorEntry{}, false
+	}
+	fs, err := b.F64(0)
+	if err != nil || fs.Len() != 8 {
+		return ErrorEntry{}, false
+	}
+	nb, err := b.Bytes(1)
+	if err != nil || len(nb) != 8 {
+		return ErrorEntry{}, false
+	}
 	var e ErrorEntry
 	e.Errors = metrics.Errors{
-		EMax: d.Float(), ENMax: d.Float(),
-		RMSE: d.Float(), NRMSE: d.Float(),
-		PSNR: d.Float(), Pearson: d.Float(),
-		Range: d.Float(), N: d.Int(),
+		EMax: fs.At(0), ENMax: fs.At(1),
+		RMSE: fs.At(2), NRMSE: fs.At(3),
+		PSNR: fs.At(4), Pearson: fs.At(5),
+		Range: fs.At(6),
+		N:     int(int64(binary.LittleEndian.Uint64(nb))),
 	}
-	e.CR = d.Float()
-	return e, d.Close() == nil
+	e.CR = fs.At(7)
+	return e, true
 }
 
-// encodeOutcome serializes one verification verdict.
+// encodeOutcome serializes one verification verdict as a v2 record: a
+// float64 column of the eight scores and a bytes column of the six pass
+// flags.
 func encodeOutcome(o VariantOutcome) []byte {
-	var enc artifact.Enc
-	enc.Float(o.Rho).Float(o.NRMSE).Float(o.Enmax).Float(o.CR).
-		Bool(o.RhoPass).Bool(o.RMSZPass).Bool(o.EnmaxPass).
-		Bool(o.BiasPass).Bool(o.AllPass).
-		Float(o.RhoMin).Float(o.RMSZDiffMax).Bool(o.RMSZWithin).
-		Float(o.EnmaxRatio).Float(o.SlopeDist)
-	return enc.Bytes()
+	w := blob.GetWriter()
+	w.AddF64s([]float64{
+		o.Rho, o.NRMSE, o.Enmax, o.CR,
+		o.RhoMin, o.RMSZDiffMax, o.EnmaxRatio, o.SlopeDist,
+	})
+	w.AddBytes([]byte{
+		boolByte(o.RhoPass), boolByte(o.RMSZPass), boolByte(o.EnmaxPass),
+		boolByte(o.BiasPass), boolByte(o.AllPass), boolByte(o.RMSZWithin),
+	})
+	payload := w.AppendTo(nil)
+	blob.PutWriter(w)
+	return payload
 }
 
 func decodeOutcome(payload []byte) (VariantOutcome, bool) {
-	d := artifact.NewDec(payload)
-	o := VariantOutcome{
-		Rho: d.Float(), NRMSE: d.Float(), Enmax: d.Float(), CR: d.Float(),
-		RhoPass: d.Bool(), RMSZPass: d.Bool(), EnmaxPass: d.Bool(),
-		BiasPass: d.Bool(), AllPass: d.Bool(),
-		RhoMin: d.Float(), RMSZDiffMax: d.Float(), RMSZWithin: d.Bool(),
-		EnmaxRatio: d.Float(), SlopeDist: d.Float(),
+	b, err := artifact.OpenRecord(payload)
+	if err != nil || b.Cols() != 2 {
+		return VariantOutcome{}, false
 	}
-	return o, d.Close() == nil
+	fs, err := b.F64(0)
+	if err != nil || fs.Len() != 8 {
+		return VariantOutcome{}, false
+	}
+	flags, err := b.Bytes(1)
+	if err != nil || len(flags) != 6 {
+		return VariantOutcome{}, false
+	}
+	ok := true
+	o := VariantOutcome{
+		Rho: fs.At(0), NRMSE: fs.At(1), Enmax: fs.At(2), CR: fs.At(3),
+		RhoMin: fs.At(4), RMSZDiffMax: fs.At(5),
+		EnmaxRatio: fs.At(6), SlopeDist: fs.At(7),
+		RhoPass:    decodeBool(flags[0], &ok),
+		RMSZPass:   decodeBool(flags[1], &ok),
+		EnmaxPass:  decodeBool(flags[2], &ok),
+		BiasPass:   decodeBool(flags[3], &ok),
+		AllPass:    decodeBool(flags[4], &ok),
+		RMSZWithin: decodeBool(flags[5], &ok),
+	}
+	return o, ok
 }
 
 func encodeFloat(v float64) []byte {
@@ -201,18 +266,46 @@ func decodeFloat(payload []byte) (float64, bool) {
 	return v, d.Close() == nil
 }
 
-// encodeScores serializes the pass-2 outputs of a streamed build.
+// encodeScores serializes the pass-2 outputs of a streamed build as a v2
+// record: two float64 columns, RMSZ then E_nmax, iterated in place on the
+// warm path.
 func encodeScores(rmsz, enmax []float64) []byte {
-	var enc artifact.Enc
-	enc.Floats(rmsz).Floats(enmax)
-	return enc.Bytes()
+	w := blob.GetWriter()
+	w.AddF64s(rmsz)
+	w.AddF64s(enmax)
+	payload := w.AppendTo(nil)
+	blob.PutWriter(w)
+	return payload
 }
 
-func decodeScores(payload []byte) (rmsz, enmax []float64, ok bool) {
-	d := artifact.NewDec(payload)
-	rmsz = d.Floats()
-	enmax = d.Floats()
-	return rmsz, enmax, d.Close() == nil
+// scoreViews is the zero-copy decode of a scores record: two validated
+// float64 column views over store-owned bytes.
+type scoreViews struct {
+	rmsz, enmax blob.F64View
+}
+
+// at returns member m's (RMSZ, E_nmax) pair, matching the signature of
+// ensemble.BuildStreamWithScoresFunc's score argument.
+func (sv scoreViews) at(m int) (float64, float64) {
+	return sv.rmsz.At(m), sv.enmax.At(m)
+}
+
+// openScores validates a v2 scores record of exactly members entries per
+// column. Any v1, foreign or short record returns false (a miss).
+func openScores(payload []byte, members int) (scoreViews, bool) {
+	b, err := artifact.OpenRecord(payload)
+	if err != nil || b.Cols() != 2 {
+		return scoreViews{}, false
+	}
+	rmsz, err := b.F64(0)
+	if err != nil || rmsz.Len() != members {
+		return scoreViews{}, false
+	}
+	enmax, err := b.F64(1)
+	if err != nil || enmax.Len() != members {
+		return scoreViews{}, false
+	}
+	return scoreViews{rmsz: rmsz, enmax: enmax}, true
 }
 
 // ---------------------------------------------------------------------------
@@ -236,24 +329,31 @@ func (r *Runner) memberField(idx, m int) *field.Field {
 	}
 	f := r.Generator().Field(idx, m)
 	if cacheable {
-		var enc artifact.Enc
-		enc.Floats32(f.Data)
-		s.Put(id, enc.Bytes())
+		w := blob.GetWriter()
+		w.AddF32s(f.Data)
+		s.Put(id, w.AppendTo(nil))
+		blob.PutWriter(w)
 	}
 	return f
 }
 
-// decodeField materializes a cached member field, reconstructing the same
-// metadata the generator would set. Any decode problem is a miss.
+// decodeField materializes a cached member field from its v2 record,
+// reconstructing the same metadata the generator would set: the store
+// checksum was verified by Get, so the float column is bulk-copied
+// straight off the record bytes into the pooled field. Any decode problem
+// is a miss.
 func (r *Runner) decodeField(spec varcatalog.Spec, id artifact.ID) *field.Field {
-	payload, ok := r.store().Get(id)
-	if !ok {
+	b, ok := r.store().GetBlob(id)
+	if !ok || b.Cols() != 1 {
+		return nil
+	}
+	v, err := b.F32(0)
+	if err != nil {
 		return nil
 	}
 	f := field.New(spec.Name, spec.Units, r.Cfg.Grid, spec.ThreeD)
 	f.HasFill = spec.HasFill
-	d := artifact.NewDec(payload)
-	if d.Floats32Into(f.Data, f.Len()) == nil || d.Close() != nil {
+	if v.Len() != f.Len() || v.CopyInto(f.Data) != f.Len() {
 		f.Release()
 		return nil
 	}
@@ -287,9 +387,10 @@ func (r *Runner) streamStats(idx int) (*ensemble.VarStats, error) {
 	}
 	id := r.ensStatsKey(spec)
 	if payload, ok := s.Get(id); ok {
-		if rmsz, enmax, ok := decodeScores(payload); ok &&
-			len(rmsz) == r.Cfg.Members && len(enmax) == r.Cfg.Members {
-			return ensemble.BuildStreamWithScores(src, idx, rmsz, enmax)
+		if sv, ok := openScores(payload, r.Cfg.Members); ok {
+			// Zero-copy warm path: the score vectors are read in place off
+			// the record bytes, never materialized as slices.
+			return ensemble.BuildStreamWithScoresFunc(src, idx, r.Cfg.Members, sv.at)
 		}
 	}
 	vs, err := ensemble.BuildStream(src, idx)

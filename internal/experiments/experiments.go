@@ -19,6 +19,7 @@ import (
 	"climcompress/internal/compress/grib2"
 	_ "climcompress/internal/compress/isabela"
 	_ "climcompress/internal/compress/nclossless"
+	_ "climcompress/internal/compress/tsblob"
 	"climcompress/internal/ensemble"
 	"climcompress/internal/field"
 	"climcompress/internal/grid"
@@ -69,13 +70,16 @@ func DefaultConfig(g *grid.Grid) Config {
 	}
 }
 
-// Variants returns the paper's nine lossy study variants in table order,
-// by registry name.
+// Variants returns the evaluated variants in table order, by registry
+// name: the paper's nine lossy study variants plus the repo-native
+// lossless tsblob family, which runs through the same four-test
+// verification methodology.
 func Variants() []string {
 	return []string{
 		"grib2", "apax-2", "apax-4", "apax-5",
 		"fpzip-24", "fpzip-16",
 		"isa-0.1", "isa-0.5", "isa-1",
+		"tsblob",
 	}
 }
 
@@ -104,6 +108,8 @@ func Label(name string) string {
 		return "NetCDF-4"
 	case "fpzip-32":
 		return "fpzip-32"
+	case "tsblob":
+		return "tsblob"
 	}
 	return name
 }

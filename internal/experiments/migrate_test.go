@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"climcompress/internal/artifact"
+	"climcompress/internal/varcatalog"
+)
+
+// TestRecordV1MigrationSmoke pins the v1→v2 record migration contract:
+// a store holding old-format records — v1 tagged Enc payloads, garbage,
+// and records under the retired schema-1 keys — must degrade to misses
+// and recomputation, never error, and must render byte-identical output;
+// the run then leaves fresh v2 records behind that a warm re-run serves
+// purely. make verify runs this test by name.
+func TestRecordV1MigrationSmoke(t *testing.T) {
+	base := NewRunner(cacheCfg(nil), nil)
+	ens := base.L96()
+	want := renderPure(t, base)
+
+	store := artifact.Open(t.TempDir())
+	r := NewRunner(cacheCfg(store), ens)
+
+	// The schema-1 key derivation (the pre-v2 layout): same folds with the
+	// old schema number. The bump must have moved every key.
+	oldKey := func(kind string, spec varcatalog.Spec) *artifact.Key {
+		g := r.Cfg.Grid
+		k := artifact.NewKey(kind).
+			Int(1). // cacheSchema before the v2 record format
+			Str(r.substrate()).
+			Str(g.Name).Int(g.NLat).Int(g.NLon).Int(g.NLev).
+			Int(r.Cfg.Members)
+		return foldSpec(k, spec)
+	}
+
+	for _, spec := range r.Catalog {
+		if oldKey("ensstats", spec).ID() == r.ensStatsKey(spec) {
+			t.Fatal("schema bump did not change the ensstats key")
+		}
+		// v1 records under their own (schema-1) keys: invisible to a v2 run.
+		var v1 artifact.Enc
+		v1.Floats(make([]float64, r.Cfg.Members)).Floats(make([]float64, r.Cfg.Members))
+		store.Put(oldKey("ensstats", spec).ID(), v1.Bytes())
+
+		// Hostile case: v1/garbage payloads planted at the *current* keys.
+		// Decode must fail closed (miss + recompute), never error.
+		var scores artifact.Enc
+		scores.Floats(make([]float64, r.Cfg.Members)).Floats(make([]float64, r.Cfg.Members))
+		store.Put(r.ensStatsKey(spec), scores.Bytes())
+		store.Put(r.fieldKey(spec, 0), []byte{0x01, 0x02, 0x03})
+		for _, variant := range Variants() {
+			var oe artifact.Enc
+			oe.Float(1).Float(2).Float(3).Float(4).Bool(true)
+			store.Put(r.outcomeKey(spec, variant), oe.Bytes())
+			store.Put(r.errmatKey(spec, variant), []byte("not a record"))
+		}
+	}
+
+	for name, got := range renderPure(t, r) {
+		if got != want[name] {
+			t.Errorf("%s over planted v1 records differs from uncached baseline", name)
+		}
+	}
+	if st := store.Stats(); st.Puts == 0 {
+		t.Fatalf("migration run wrote no fresh v2 records: %+v", st)
+	}
+
+	// The recompute must have replaced the planted payloads with v2
+	// records a warm run serves purely (no generator, no puts).
+	warm := NewRunner(cacheCfg(artifact.Open(store.Dir())), ens)
+	for name, got := range renderPure(t, warm) {
+		if got != want[name] {
+			t.Errorf("warm %s after migration differs from uncached baseline", name)
+		}
+	}
+	if warm.gen != nil {
+		t.Error("warm run after migration built the field generator; records were not refreshed")
+	}
+}

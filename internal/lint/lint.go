@@ -111,6 +111,7 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		NonDetAnalyzer,
 		PoolPairAnalyzer,
+		SliceViewAnalyzer,
 	}
 }
 

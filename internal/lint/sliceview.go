@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SliceViewAnalyzer guards the boundary the zero-copy record path walks
+// along: a subslice of a pooled scratch buffer or a store-owned record
+// payload is a live view into memory the function does not own. Returning
+// such a view silently extends the buffer's lifetime past the Put (or
+// past the next cache eviction) from the caller's side, where nothing in
+// the signature says so.
+//
+// Tracked acquisitions are the compress package's pooled getters
+// (GetBytes, GetInt64s) and payloads handed out by the artifact store's
+// Get. A return whose results include a slice expression over a tracked
+// buffer is reported. Returning the whole buffer is not — that is the
+// poolpair analyzer's ownership-transfer convention — and deliberate
+// view-returning APIs document themselves with a //lint:sliceview
+// annotation stating the ownership story.
+var SliceViewAnalyzer = &Analyzer{
+	Name: "sliceview",
+	Doc:  "returning a subslice of a pooled or store-owned buffer leaks an unadvertised alias",
+	Run:  runSliceView,
+}
+
+func runSliceView(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					sliceViewBody(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				sliceViewBody(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// sliceViewBody walks one function frame, recording which locals hold
+// borrowed buffers and reporting subslice views of them in returns.
+func sliceViewBody(p *Pass, body *ast.BlockStmt) {
+	borrowed := make(map[types.Object]string) // object -> ownership label
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate frame, checked on its own
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind := borrowKind(p, call); kind != "" {
+				if obj := lhsObject(p, s.Lhs, 0); obj != nil {
+					borrowed[obj] = kind
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(borrowed) == 0 {
+				return true
+			}
+			for _, r := range s.Results {
+				ast.Inspect(r, func(c ast.Node) bool {
+					se, ok := c.(*ast.SliceExpr)
+					if !ok {
+						return true
+					}
+					id := identOf(se.X)
+					if id == nil {
+						return true
+					}
+					if kind, ok := borrowed[p.ObjectOf(id)]; ok {
+						p.Reportf(se.Pos(), "returning a subslice of %q hands out a view of a %s buffer the caller cannot see: copy the bytes, return the whole buffer, or annotate the ownership story with //lint:sliceview", id.Name, kind)
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// borrowKind classifies a call whose result is a buffer the function
+// borrows rather than owns: "" when it is neither.
+func borrowKind(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if _, pooled := poolPairs[fn.Name()]; pooled && strings.HasSuffix(fn.Pkg().Path(), "internal/compress") {
+		return "pooled"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if fn.Name() == "Get" && strings.HasSuffix(fn.Pkg().Path(), "internal/artifact") {
+		return "store-owned"
+	}
+	return ""
+}

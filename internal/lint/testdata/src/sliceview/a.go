@@ -1,0 +1,66 @@
+// Corpus for the sliceview analyzer: returning a subslice of a pooled
+// or store-owned buffer leaks an unadvertised alias.
+package sliceview
+
+import (
+	"climcompress/internal/artifact"
+	"climcompress/internal/compress"
+)
+
+// Positive: a window into pooled scratch escapes to the caller.
+func viewOfPooled(n int) []byte {
+	b := compress.GetBytes(n)
+	defer compress.PutBytes(b)
+	return b[:n] // want "view of a pooled buffer"
+}
+
+// Positive: the subslice hides inside a multi-result return.
+func viewWithErr(n int) ([]byte, error) {
+	b := compress.GetBytes(n)
+	defer compress.PutBytes(b)
+	return b[4:n], nil // want "view of a pooled buffer"
+}
+
+// Positive: a three-index slice is still a view.
+func viewFullSlice(n int) []int64 {
+	s := compress.GetInt64s(n)
+	defer compress.PutInt64s(s)
+	return s[0:n:n] // want "view of a pooled buffer"
+}
+
+// Positive: a window into a store payload.
+func headerOf(s *artifact.Store, id artifact.ID) []byte {
+	p, ok := s.Get(id)
+	if !ok {
+		return nil
+	}
+	return p[:8] // want "view of a store-owned buffer"
+}
+
+// Negative: returning the whole buffer transfers ownership (the
+// poolpair convention); only subslice views are flagged.
+func handOff(n int) []byte {
+	b := compress.GetBytes(n)
+	return b
+}
+
+// Negative: copying out breaks the alias.
+func copied(n int) []byte {
+	b := compress.GetBytes(n)
+	out := append([]byte(nil), b[:n]...)
+	compress.PutBytes(b)
+	return out
+}
+
+// Negative: an annotation states the ownership story.
+func annotatedView(s *artifact.Store, id artifact.ID) []byte {
+	p, _ := s.Get(id)
+	//lint:sliceview content-addressed records are immutable; read-only views are safe
+	return p[:4]
+}
+
+// Negative: subslices of locally owned slices are fine.
+func plainSlice(n int) []byte {
+	b := make([]byte, n)
+	return b[:n/2]
+}
