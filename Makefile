@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-json bench-diff bench-shard bench-serve shard-smoke serve-smoke fuzz vet lint fmt fmt-check verify experiments clean
+.PHONY: all build test race race-short bench bench-json bench-diff bench-shard bench-serve bench-fused shard-smoke serve-smoke fuzz vet lint fmt fmt-check verify experiments clean
 
 all: build test
 
@@ -16,8 +16,9 @@ test:
 # Order is cheapest-first: formatting, vet, the repo's own analyzers
 # (cmd/climatelint), the full test suite, then two named re-runs that
 # must stay visible in the verify log even when the suite is green — the
-# tsblob golden-stream bit-identity pin and the record v1→v2 migration
-# smoke — then the race detector over the concurrent packages. When two benchmark snapshots are present the
+# tsblob golden-stream bit-identity pin, the record v1→v2 migration
+# smoke, and the fused-vs-materialized verification equivalence pin —
+# then the race detector over the concurrent packages. When two benchmark snapshots are present the
 # benchdiff performance gate runs too; otherwise it is skipped (fresh
 # checkouts have no snapshots).
 verify:
@@ -30,6 +31,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test ./internal/compress/tsblob/ -run TestGoldenStream
 	$(GO) test ./internal/experiments/ -run TestRecordV1MigrationSmoke
+	$(GO) test ./internal/metrics/ -run TestFusedEquivalence
 	$(MAKE) race-short
 	$(MAKE) shard-smoke
 	$(MAKE) serve-smoke
@@ -156,6 +158,14 @@ bench-serve:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) build -o $$tmp/climatebenchd ./cmd/climatebenchd && \
 	$(GO) run ./cmd/benchjson -serve-bin $$tmp/climatebenchd -serve-only -merge $(HEAD) -out $(HEAD)
+
+# Fused-kernel performance snapshot: decode→compare ns/op micros (0
+# allocs/op target) for the natively-chunked codec families next to their
+# materialize-then-compare companions, plus the two peak-heap
+# error-matrix units (fused vs materialized residency on a bench-grid
+# field), appended to the newest BENCH_PR*.json via per-entry-best merge.
+bench-fused:
+	$(GO) run ./cmd/benchjson -fused-only -merge $(HEAD) -out $(HEAD)
 
 # Short fuzzing pass over the decoder, container, artifact-cache, and
 # lint-directive parsers.

@@ -24,6 +24,7 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "max allowed fractional increase in an experiment's cumulative heap allocation")
 	serveOpsThreshold := flag.Float64("serve-ops-threshold", 0.15, "max allowed fractional ops/sec loss on serve entries")
 	serveP99Threshold := flag.Float64("serve-p99-threshold", 0.25, "max allowed fractional p99 latency growth on serve entries")
+	peakThreshold := flag.Float64("peak-threshold", 0.25, "max allowed fractional increase in an entry's peak live-heap residency")
 	flag.Parse()
 
 	baseRep, err := readReport(*base)
@@ -92,12 +93,30 @@ func main() {
 		switch {
 		case b.TotalAllocBytes != nil && h.TotalAllocBytes != nil:
 			line += fmt.Sprintf("  heap %s -> %s", mib(*b.TotalAllocBytes), mib(*h.TotalAllocBytes))
-			if float64(*h.TotalAllocBytes) > float64(*b.TotalAllocBytes)*(1+*allocThreshold) {
+			if float64(*h.TotalAllocBytes) > float64(*b.TotalAllocBytes)*(1+*allocThreshold) &&
+				*h.TotalAllocBytes >= gateFloorBytes {
 				line += fmt.Sprintf("  FAIL: cumulative heap allocation up more than %.0f%%", 100**allocThreshold)
 				failures++
 			}
 		case h.TotalAllocBytes != nil:
 			line += fmt.Sprintf("  heap (new) %s", mib(*h.TotalAllocBytes))
+		}
+		// Peak residency is gated separately from cumulative churn: a fused
+		// streaming unit can churn the same bytes as a materializing one while
+		// holding several times less live — and a regression in what a unit
+		// keeps resident is invisible to the TotalAllocBytes gate. Entries only
+		// in the head snapshot (older baselines predate the field) report
+		// without gating.
+		switch {
+		case b.PeakHeapBytes != nil && h.PeakHeapBytes != nil:
+			line += fmt.Sprintf("  peak %s -> %s", mib(*b.PeakHeapBytes), mib(*h.PeakHeapBytes))
+			if float64(*h.PeakHeapBytes) > float64(*b.PeakHeapBytes)*(1+*peakThreshold) &&
+				*h.PeakHeapBytes >= gateFloorBytes {
+				line += fmt.Sprintf("  FAIL: peak live heap up more than %.0f%%", 100**peakThreshold)
+				failures++
+			}
+		case h.PeakHeapBytes != nil:
+			line += fmt.Sprintf("  peak (new) %s", mib(*h.PeakHeapBytes))
 		}
 		fmt.Println(line)
 	}
@@ -107,6 +126,14 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %d common entries, no regressions vs %s\n", len(names), *base)
 }
+
+// gateFloorBytes is the noise floor for the proportional memory gates: a
+// head measurement below 1 MiB is dominated by fixed instrumentation cost
+// (the heap sampler's own ticker, a stray GC boundary), so a percentage
+// comparison against an equally tiny baseline gates noise, not code. An
+// actual regression that matters pushes the head side past the floor and
+// is gated as usual.
+const gateFloorBytes = 1 << 20
 
 func readReport(path string) (*benchjson.Report, error) {
 	return benchjson.ReadFile(path)

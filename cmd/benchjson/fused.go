@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"climcompress/internal/benchjson"
+	"climcompress/internal/compress"
+	"climcompress/internal/grid"
+	"climcompress/internal/l96"
+	"climcompress/internal/metrics"
+	"climcompress/internal/model"
+	"climcompress/internal/varcatalog"
+)
+
+// fusedMicroCodecs are the natively-chunked representatives benchmarked at
+// ns/op: one per streaming decode family (XOR-float, blockwise affine,
+// depth-mapped codes).
+var fusedMicroCodecs = []string{"tsblob", "apax-4", "fpzip-24"}
+
+// fusedUnitVariants is the natively-chunked slice of the study matrix used
+// by the peak-heap error-matrix units. The deflate-bound families (nc,
+// grib2, isa) are excluded on purpose: their fallback chunk decode
+// materializes a pooled field internally, so a whole-matrix unit would
+// dilute the residency difference the entry exists to pin.
+var fusedUnitVariants = []string{"tsblob", "apax-2", "apax-4", "apax-5", "fpzip-24", "fpzip-16"}
+
+// fusedBenchmarks is the `-fused-only` entry point: the decode→compare
+// micros plus the two peak-heap error-matrix units (fused vs materialized).
+func fusedBenchmarks(rep *benchjson.Report) error {
+	fdata, shape := benchField()
+	fusedMicros(rep, fdata, shape)
+	big, bigShape := fusedUnitField()
+	for _, fused := range []bool{true, false} {
+		if err := fusedErrmatUnit(rep, big, bigShape, fused); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fusedMicros pins the fused chunked-decode→Comparer kernel against the
+// materialize-then-Compare shape it replaced, per codec family, on the
+// small-grid bench field. The fused entries target 0 allocs/op: the chunk
+// buffer, the accumulator and the yield closure all live outside the loop.
+func fusedMicros(rep *benchjson.Report, fdata []float32, shape compress.Shape) {
+	for _, name := range fusedMicroCodecs {
+		codec, err := compress.New(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := compress.CompressInto(codec, nil, fdata, shape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		chunk := make([]float32, compress.DefaultChunkLen)
+		var cmp metrics.Comparer
+		yield := func(off int, vals []float32) error {
+			cmp.Push(fdata[off:off+len(vals)], vals, off)
+			return nil
+		}
+		rep.AddBenchmarkWorkers("fused/"+name+"/decode-compare", 1, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(fdata)))
+			for i := 0; i < b.N; i++ {
+				cmp.Reset(0, false)
+				if err := compress.DecodeChunks(codec, buf, chunk, yield); err != nil {
+					b.Fatal(err)
+				}
+				if cmp.Total() != len(fdata) {
+					b.Fatalf("decoded %d of %d points", cmp.Total(), len(fdata))
+				}
+			}
+		})
+		out := make([]float32, len(fdata))
+		rep.AddBenchmarkWorkers("fused/"+name+"/materialize-compare", 1, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(fdata)))
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = compress.DecompressInto(codec, out, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e := metrics.Compare(fdata, out, 0, false); e.N != len(fdata) {
+					b.Fatalf("compared %d of %d points", e.N, len(fdata))
+				}
+			}
+		})
+	}
+}
+
+// fusedUnitField synthesizes one bench-grid 3-D variable (~650 KiB) so the
+// error-matrix units measure residency at the scale where it matters.
+func fusedUnitField() ([]float32, compress.Shape) {
+	g := grid.Bench()
+	ens := l96.NewEnsemble(l96.DefaultParams(), l96.EnsembleConfig{
+		Members: 3, Dt: 0.002, SpinupSteps: 1000,
+		DivergeSteps: 4000, CalibSteps: 2000, Eps: 1e-14,
+	})
+	catalog := varcatalog.Default()
+	gen := model.NewGenerator(g, catalog, ens)
+	_, idx, _ := varcatalog.ByName(catalog, "U")
+	f := gen.Field(idx, 0)
+	return f.Data, compress.Shape{NLev: f.NLev, NLat: g.NLat, NLon: g.NLon}
+}
+
+// fusedErrmatUnit runs the verification half of one cold error-matrix
+// unit — decode every natively-chunked variant of one bench-grid field
+// and reduce it to error metrics — and records its wall-clock, cumulative
+// allocation and peak live-heap delta over a post-GC baseline. The fused
+// pass streams chunks into a Comparer; the materialized pass is the
+// pre-fusion shape, holding a full reconstructed field per variant. The
+// compressed streams and the original field are built before the baseline
+// snapshot: compression is shape-identical in both passes (and pinned
+// separately by the codec/ entries), so keeping its churn out of the
+// watched region lets the delta isolate what each verification shape must
+// keep live. Collecting between variants likewise keeps one variant's
+// garbage out of the next one's peak.
+func fusedErrmatUnit(rep *benchjson.Report, fdata []float32, shape compress.Shape, fused bool) error {
+	note := "materialized"
+	if fused {
+		note = "fused"
+	}
+	codecs := make([]compress.Codec, len(fusedUnitVariants))
+	streams := make([][]byte, len(fusedUnitVariants))
+	for i, name := range fusedUnitVariants {
+		codec, err := compress.New(name)
+		if err != nil {
+			return err
+		}
+		buf, err := compress.CompressInto(codec, nil, fdata, shape)
+		if err != nil {
+			return fmt.Errorf("errmat-unit %s: %w", name, err)
+		}
+		codecs[i], streams[i] = codec, buf
+	}
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	hw := benchjson.WatchHeap(time.Millisecond)
+	t0 := time.Now()
+
+	// The original field is part of the unit's resident set in both passes
+	// (every comparison reads it), so it is acquired inside the watched
+	// region: the peaks then read as "orig + what the pass adds" — one
+	// reconstructed field for materialized, one chunk for fused — instead
+	// of near-zero deltas that a later gate could not compare robustly.
+	orig := append([]float32(nil), fdata...)
+	var out []float32
+	var chunk []float32
+	var cmp metrics.Comparer
+	if fused {
+		chunk = make([]float32, compress.DefaultChunkLen)
+	}
+	for i, name := range fusedUnitVariants {
+		var err error
+		cmp.Reset(0, false)
+		if fused {
+			err = compress.DecodeChunks(codecs[i], streams[i], chunk, func(off int, vals []float32) error {
+				cmp.Push(orig[off:off+len(vals)], vals, off)
+				return nil
+			})
+		} else {
+			out, err = compress.DecompressInto(codecs[i], out, streams[i])
+			if err == nil {
+				cmp.Push(orig, out, 0)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("errmat-unit %s: %w", name, err)
+		}
+		if e := cmp.Finish(); e.N != len(orig) {
+			return fmt.Errorf("errmat-unit %s: compared %d of %d points", name, e.N, len(orig))
+		}
+		runtime.GC()
+	}
+
+	sec := time.Since(t0).Seconds()
+	peak := hw.Stop()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	var delta uint64
+	if peak > m0.HeapAlloc {
+		delta = peak - m0.HeapAlloc
+	}
+	rep.AddSecondsAllocPeak("fused/errmat-unit", sec, note, m1.TotalAlloc-m0.TotalAlloc, delta)
+	fmt.Printf("fused/errmat-unit [%s]: %.2fs, peak +%.1f MiB\n", note, sec, float64(delta)/(1<<20))
+	return nil
+}

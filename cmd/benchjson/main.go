@@ -62,10 +62,11 @@ func main() {
 	shardMembers := flag.Int("shard-members", 31, "ensemble size for the shard-scale timings")
 	serveBin := flag.String("serve-bin", "", "path to a climatebenchd binary; when set, load-test the daemon cold, warm and coalesced into serve/ entries")
 	serveOnly := flag.Bool("serve-only", false, "run only the daemon load tests (requires -serve-bin)")
+	fusedOnly := flag.Bool("fused-only", false, "run only the fused streaming-verification benchmarks (decode-compare micros + peak-heap error-matrix units)")
 	mergeWith := flag.String("merge", "", "existing snapshot whose entries are folded into the output (per-entry best), e.g. to add shard/ entries to a full bench-json run")
 	flag.Parse()
 	par.SetWidth(*workers)
-	if *shardOnly || *serveOnly {
+	if *shardOnly || *serveOnly || *fusedOnly {
 		*skipExperiments, *skipMicro = true, true
 	}
 
@@ -112,6 +113,12 @@ func main() {
 	}
 	if *serveBin != "" {
 		if err := timeServe(rep, *serveBin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *fusedOnly {
+		if err := fusedBenchmarks(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -171,20 +178,26 @@ func timeExperiments(rep *benchjson.Report, members int) error {
 			r.InvalidateVariant(pass.invalidate)
 		}
 		total := 0.0
-		var totalAlloc uint64
+		var totalAlloc, maxPeak uint64
 		measure := func(name string, fn func() error) error {
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
+			hw := benchjson.WatchHeap(time.Millisecond)
 			t0 := time.Now()
-			if err := fn(); err != nil {
+			err := fn()
+			sec := time.Since(t0).Seconds()
+			peak := hw.Stop()
+			if err != nil {
 				return err
 			}
-			sec := time.Since(t0).Seconds()
 			runtime.ReadMemStats(&m1)
 			alloc := m1.TotalAlloc - m0.TotalAlloc
-			rep.AddSecondsAlloc("experiments/"+name, sec, pass.note, alloc)
+			rep.AddSecondsAllocPeak("experiments/"+name, sec, pass.note, alloc, peak)
 			total += sec
 			totalAlloc += alloc
+			if peak > maxPeak {
+				maxPeak = peak
+			}
 			return nil
 		}
 		if err := measure("table1", func() error {
@@ -201,7 +214,7 @@ func timeExperiments(rep *benchjson.Report, members int) error {
 		}); err != nil {
 			return err
 		}
-		rep.AddSecondsAlloc("experiments/table1+fig1", total, pass.note, totalAlloc)
+		rep.AddSecondsAllocPeak("experiments/table1+fig1", total, pass.note, totalAlloc, maxPeak)
 	}
 	return nil
 }
@@ -548,6 +561,7 @@ func microbenchmarks(rep *benchjson.Report) {
 
 	recordDecodeBenchmarks(rep)
 	serveInprocBenchmark(rep)
+	fusedMicros(rep, fdata, shape)
 }
 
 // recordDecodeBenchmarks compares the two artifact record formats on the

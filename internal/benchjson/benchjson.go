@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // Entry is one measured quantity.
@@ -34,6 +35,13 @@ type Entry struct {
 	// the same reason as AllocsPerOp: a zero-allocation run must survive
 	// omitempty.
 	TotalAllocBytes *uint64 `json:"total_alloc_bytes,omitempty"`
+	// PeakHeapBytes is the maximum live-heap (HeapAlloc) observed during an
+	// experiment-level entry, sampled by a HeapWatcher — residency rather
+	// than churn, which TotalAllocBytes cannot capture: a fused streaming
+	// unit and a materialize-then-measure unit can churn similar totals
+	// while differing several-fold in peak residency. Pointer for the same
+	// omitempty reason as AllocsPerOp.
+	PeakHeapBytes *uint64 `json:"peak_heap_bytes,omitempty"`
 	// OpsPerSec, P50Ns and P99Ns come from load tests against the serving
 	// daemon (`make bench-serve`): sustained successful-response throughput
 	// and client-observed latency quantiles. Wall-clock seconds cannot
@@ -79,6 +87,65 @@ func (r *Report) AddSecondsAlloc(name string, seconds float64, note string, allo
 		Name: name, Seconds: seconds, Note: note, Workers: runtime.GOMAXPROCS(0),
 		TotalAllocBytes: &allocBytes,
 	})
+}
+
+// AddSecondsAllocPeak is AddSecondsAlloc plus the run's peak live-heap
+// residency (a HeapWatcher maximum measured by the caller).
+func (r *Report) AddSecondsAllocPeak(name string, seconds float64, note string, allocBytes, peakBytes uint64) {
+	r.Entries = append(r.Entries, Entry{
+		Name: name, Seconds: seconds, Note: note, Workers: runtime.GOMAXPROCS(0),
+		TotalAllocBytes: &allocBytes,
+		PeakHeapBytes:   &peakBytes,
+	})
+}
+
+// HeapWatcher samples runtime.MemStats.HeapAlloc on a ticker and keeps the
+// maximum, approximating peak live-heap residency over a measured region.
+// Sampling can only under-report a short-lived spike, never over-report, so
+// the benchdiff peak-heap gate errs toward passing — acceptable for a gate
+// whose job is catching sustained regressions, not transients.
+type HeapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+// WatchHeap starts a background sampler at the given interval. Call Stop to
+// retrieve the observed maximum.
+func WatchHeap(interval time.Duration) *HeapWatcher {
+	w := &HeapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > w.peak {
+					w.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop halts the sampler, takes one final sample (so regions shorter than
+// the interval still record something), and returns the maximum HeapAlloc
+// observed.
+func (w *HeapWatcher) Stop() uint64 {
+	close(w.stop)
+	<-w.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > w.peak {
+		w.peak = ms.HeapAlloc
+	}
+	return w.peak
 }
 
 // AddBenchmark runs fn under testing.Benchmark and records its ns/op, MB/s

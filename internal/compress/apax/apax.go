@@ -222,6 +222,88 @@ func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	return out, nil
 }
 
+// DecodeChunks implements compress.ChunkDecoder natively: blocks are
+// dequantized straight off the bit reader into the chunk buffer, which is
+// flushed whenever the next block would not fit. The arithmetic is the
+// same expression sequence as DecompressInto, so chunked values are
+// bit-identical to the materialized ones.
+func (c *Codec) DecodeChunks(compressed []byte, chunk []float32, yield func(off int, vals []float32) error) error {
+	h, rest, err := compress.ParseHeader(compressed)
+	if err != nil {
+		return err
+	}
+	if h.CodecID != compress.IDAPAX {
+		return fmt.Errorf("%w: not an apax stream", compress.ErrCorrupt)
+	}
+	if len(rest) < 3 {
+		return fmt.Errorf("%w: missing apax parameters", compress.ErrCorrupt)
+	}
+	if rest[2] != 32 {
+		return fmt.Errorf("%w: not a single-precision apax stream", compress.ErrCorrupt)
+	}
+	bs := int(rest[1])
+	if bs <= 0 {
+		return fmt.Errorf("%w: bad block size", compress.ErrCorrupt)
+	}
+	n := h.Shape.Len()
+	if err := compress.CheckPlausible(n, len(rest)-3); err != nil {
+		return err
+	}
+	// Blocks decode whole, so the working buffer must hold at least one.
+	if len(chunk) < bs {
+		want := compress.DefaultChunkLen
+		if want < bs {
+			want = bs
+		}
+		chunk = compress.GetFloats(want)
+		defer compress.PutFloats(chunk)
+	}
+	var r bitstream.Reader
+	r.Reset(rest[3:])
+	base, w := 0, 0
+	for start := 0; start < n; start += bs {
+		end := start + bs
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		if w+bn > len(chunk) {
+			if err := yield(base, chunk[:w]); err != nil {
+				return err
+			}
+			base += w
+			w = 0
+		}
+		out := chunk[w : w+bn]
+		e := int(r.ReadBits(expBits))
+		k := int(r.ReadBits(widthBits))
+		mean := math.Float32frombits(uint32(r.ReadBits(meanBits)))
+		if k == 0 {
+			for i := range out {
+				out[i] = mean
+			}
+			w += bn
+			continue
+		}
+		lo := -(int64(1) << (k - 1))
+		inv := math.Ldexp(1, (e-126)-(k-1))
+		for i := range out {
+			q := int64(r.ReadBits(uint(k))) + lo
+			out[i] = mean + float32(float64(q)*inv)
+		}
+		if r.Err() != nil { // fail fast on truncated streams
+			return fmt.Errorf("%w: %v", compress.ErrCorrupt, r.Err())
+		}
+		w += bn
+	}
+	if w > 0 {
+		if err := yield(base, chunk[:w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // NominalCR returns the codec's nominal compression ratio (1/Rate); the
 // achieved ratio matches it up to the fixed stream header.
 func (c *Codec) NominalCR() float64 { return 1 / c.Rate }

@@ -133,3 +133,46 @@ func (f *fillMasked) DecompressInto(dst []float32, buf []byte) ([]float32, error
 	}
 	return vals, nil
 }
+
+// DecodeChunks implements ChunkDecoder by streaming the inner codec's
+// chunks and overlaying the fill sentinel per chunk — the wrapper adds no
+// whole-field buffer of its own, so a fill-masked tsblob/apax/fpzip stream
+// stays natively chunked end to end. The overlay mutates the yielded
+// values in place, which the chunk contract permits.
+func (f *fillMasked) DecodeChunks(compressed []byte, chunk []float32, yield func(off int, vals []float32) error) error {
+	h, rest, err := ParseHeader(compressed)
+	if err != nil {
+		return err
+	}
+	if h.CodecID != IDFillMask {
+		return fmt.Errorf("%w: not a fill-masked stream", ErrCorrupt)
+	}
+	n := h.Shape.Len()
+	need := 4 + (n+7)/8
+	if len(rest) < need {
+		return fmt.Errorf("%w: truncated fill mask", ErrCorrupt)
+	}
+	fill := math.Float32frombits(binary.LittleEndian.Uint32(rest))
+	bitmap := rest[4:need]
+	total := 0
+	err = DecodeChunks(f.inner, rest[need:], chunk, func(off int, vals []float32) error {
+		if off+len(vals) > n {
+			return fmt.Errorf("%w: inner chunk [%d,%d) outside field of %d points", ErrCorrupt, off, off+len(vals), n)
+		}
+		for j := range vals {
+			i := off + j
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				vals[j] = fill
+			}
+		}
+		total = off + len(vals)
+		return yield(off, vals)
+	})
+	if err != nil {
+		return err
+	}
+	if total != n {
+		return fmt.Errorf("%w: inner stream has %d values, want %d", ErrCorrupt, total, n)
+	}
+	return nil
+}

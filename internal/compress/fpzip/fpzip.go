@@ -204,29 +204,47 @@ func (c *Codec) Decompress(buf []byte) ([]float32, error) {
 // DecompressInto implements compress.AppendCodec, reconstructing into dst's
 // backing array when its capacity suffices.
 func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
-	h, rest, err := compress.ParseHeader(buf)
+	s := scratchPool.Get().(*fpzipScratch)
+	defer scratchPool.Put(s)
+	codes, drop, err := decodeCodes(s, buf)
 	if err != nil {
 		return dst, err
 	}
+	out := compress.GrowFloats(dst, len(codes))
+	for i, code := range codes {
+		out[i] = inverseMap(code, drop)
+	}
+	return out, nil
+}
+
+// decodeCodes validates buf and entropy-decodes the full monotonic integer
+// code array into s's scratch. Both the materialized and the chunked decode
+// paths run through it, so their residual checks and code values are
+// identical by construction. (The code array itself is unavoidable working
+// state: the Lorenzo predictor reads codes a full row and a full level
+// back. Only the float field is skippable.)
+func decodeCodes(s *fpzipScratch, buf []byte) ([]uint32, uint, error) {
+	h, rest, err := compress.ParseHeader(buf)
+	if err != nil {
+		return nil, 0, err
+	}
 	if h.CodecID != compress.IDFPZip {
-		return dst, fmt.Errorf("%w: not an fpzip stream", compress.ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: not an fpzip stream", compress.ErrCorrupt)
 	}
 	if len(rest) < 2 {
-		return dst, fmt.Errorf("%w: missing fpzip parameters", compress.ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: missing fpzip parameters", compress.ErrCorrupt)
 	}
 	bits := int(rest[0])
 	if bits != 8 && bits != 16 && bits != 24 && bits != 32 {
-		return dst, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
+		return nil, 0, fmt.Errorf("%w: bad precision %d", compress.ErrCorrupt, bits)
 	}
 	dc := Codec{Bits: bits, Predictor: Predictor(rest[1])}
 	drop := uint(32 - bits)
 	maxCode := int64(^uint32(0) >> drop)
 	if err := compress.CheckPlausible(h.Shape.Len(), len(rest)-2); err != nil {
-		return dst, err
+		return nil, 0, err
 	}
 
-	s := scratchPool.Get().(*fpzipScratch)
-	defer scratchPool.Put(s)
 	dec, model := s.dec, s.model
 	dec.Reset(rest[2:])
 	model.Reset()
@@ -246,20 +264,48 @@ func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 				pred := dc.predict(codes, i, lat, lon, nlon, levStride, maxCode)
 				v := pred + model.Decode(dec)
 				if v < 0 || v > maxCode {
-					return dst, fmt.Errorf("%w: residual out of range", compress.ErrCorrupt)
+					return nil, 0, fmt.Errorf("%w: residual out of range", compress.ErrCorrupt)
 				}
 				codes[i] = uint32(v)
 			}
 			if dec.Overrun() {
-				return dst, fmt.Errorf("%w: truncated fpzip stream", compress.ErrCorrupt)
+				return nil, 0, fmt.Errorf("%w: truncated fpzip stream", compress.ErrCorrupt)
 			}
 		}
 	}
-	out := compress.GrowFloats(dst, n)
-	for i, code := range codes {
-		out[i] = inverseMap(code, drop)
+	return codes, drop, nil
+}
+
+// DecodeChunks implements compress.ChunkDecoder: the truncation inverse map
+// runs chunk by chunk over the decoded code array, so the reconstructed
+// float field is never materialized (the uint32 scratch the predictor needs
+// is pooled and shared with the materialized path).
+func (c *Codec) DecodeChunks(compressed []byte, chunk []float32, yield func(off int, vals []float32) error) error {
+	s := scratchPool.Get().(*fpzipScratch)
+	defer scratchPool.Put(s)
+	codes, drop, err := decodeCodes(s, compressed)
+	if err != nil {
+		return err
 	}
-	return out, nil
+	if len(chunk) == 0 {
+		chunk = compress.GetFloats(compress.DefaultChunkLen)
+		defer compress.PutFloats(chunk)
+	}
+	n := len(codes)
+	for off := 0; off < n; off += len(chunk) {
+		end := off + len(chunk)
+		if end > n {
+			end = n
+		}
+		seg := chunk[:end-off]
+		for j := range seg {
+			seg[j] = inverseMap(codes[off+j], drop)
+		}
+		if err := yield(off, seg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MaxRelativeError returns the worst-case relative error of the codec's

@@ -11,6 +11,7 @@ import "sync"
 var (
 	bytePool  sync.Pool // *[]byte
 	int64Pool sync.Pool // *[]int64
+	floatPool sync.Pool // *[]float32
 )
 
 // GetBytes returns a zero-length byte slice with at least capHint capacity,
@@ -60,4 +61,29 @@ func PutInt64s(s []int64) {
 	}
 	s = s[:0]
 	int64Pool.Put(&s)
+}
+
+// GetFloats returns a float32 slice of length n with unspecified contents,
+// recycled when possible. It backs the chunked-decode fallback (a whole
+// decoded field held only for the duration of one DecodeChunks call) and
+// the default chunk buffer of the native chunk decoders. Pair with
+// PutFloats.
+func GetFloats(n int) []float32 {
+	if v := floatPool.Get(); v != nil {
+		s := *(v.(*[]float32))
+		if cap(s) >= n {
+			return s[:n]
+		}
+		floatPool.Put(v)
+	}
+	return make([]float32, n)
+}
+
+// PutFloats hands a buffer back to the pool.
+func PutFloats(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
 }

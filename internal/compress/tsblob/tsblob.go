@@ -107,6 +107,47 @@ func (c *Codec) DecompressInto(dst []float32, buf []byte) ([]float32, error) {
 	return out, nil
 }
 
+// DecodeChunks implements compress.ChunkDecoder natively: the XOR iterator
+// walks the value column straight off the compressed bytes, filling the
+// chunk buffer and yielding each window as it completes. No whole-field
+// buffer exists at any point.
+func (c *Codec) DecodeChunks(compressed []byte, chunk []float32, yield func(off int, vals []float32) error) error {
+	xc, n, err := open(compressed)
+	if err != nil {
+		return err
+	}
+	if len(chunk) == 0 {
+		chunk = compress.GetFloats(compress.DefaultChunkLen)
+		defer compress.PutFloats(chunk)
+	}
+	it := xc.Iter()
+	off, w := 0, 0
+	for it.Next() {
+		chunk[w] = it.Value()
+		w++
+		if w == len(chunk) {
+			if err := yield(off, chunk); err != nil {
+				return err
+			}
+			off += w
+			w = 0
+		}
+	}
+	if it.Err() != nil {
+		return fmt.Errorf("%w: %v", compress.ErrCorrupt, it.Err())
+	}
+	if w > 0 {
+		if err := yield(off, chunk[:w]); err != nil {
+			return err
+		}
+		off += w
+	}
+	if off != n {
+		return fmt.Errorf("%w: decoded %d of %d values", compress.ErrCorrupt, off, n)
+	}
+	return nil
+}
+
 // Iter returns a zero-allocation iterator over a tsblob stream's values
 // without materializing a slice: the returned column reads directly off
 // buf, and its Iter/Seek decode at most one block prefix per jump.

@@ -364,22 +364,33 @@ func (r *Runner) GradientReport() (string, error) {
 		spec := r.Catalog[idx]
 		f := r.Generator().Field(idx, 0)
 		shape := r.shapeFor(spec)
+		// Fused: the reconstruction streams through the 2-row-halo gradient
+		// comparer, so neither the reconstructed field nor the two gradient-
+		// magnitude fields of the whole-field path are materialized. Finish
+		// is bit-identical to GradientCompare (equivalence-tested).
 		var buf []byte
-		var recon []float32
 		for _, variant := range Variants() {
 			codec, err := r.CodecFor(variant, spec, nil, f.Summarize().Range)
 			if err != nil {
 				return "", err
 			}
-			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+			gc := metrics.NewGradientComparer(f.Data, shape.NLev, g.NLat, g.NLon, f.Fill, f.HasFill)
+			withStage("decode", func() {
+				buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+				if err != nil {
+					return
+				}
+				// Empty chunk: see computeErrorVariable.
+				err = compress.DecodeChunks(codec, buf, nil, func(off int, vals []float32) error {
+					gc.Push(vals, off)
+					return nil
+				})
+			})
 			if err != nil {
 				return "", err
 			}
-			recon, err = compress.DecompressInto(codec, recon, buf)
-			if err != nil {
-				return "", err
-			}
-			e := metrics.GradientCompare(f.Data, recon, shape.NLev, g.NLat, g.NLon, f.Fill, f.HasFill)
+			var e metrics.Errors
+			withStage("metrics", func() { e = gc.Finish() })
 			if cells[variant] == nil {
 				cells[variant] = make(map[string]string)
 			}

@@ -96,27 +96,43 @@ func (r *Runner) featuredRecon(name string) (*featuredRecon, error) {
 		if err != nil {
 			return err
 		}
+		// Fused: each test member's reconstruction decodes chunk by chunk
+		// into the streaming RMSZ and error accumulators (the excluded
+		// member of the RMSZ score is the acquired original, as before), so
+		// no reconstructed field is materialized on natively chunked
+		// variants. Scores stay bit-identical to the ScoreRMSZ/Compare pair.
 		var rz, en []float64
 		var buf []byte
-		var recon []float32
+		var cmp metrics.Comparer
+		var rzAcc ensemble.RMSZAccumulator
 		for _, m := range testM {
 			data, release := vs.AcquireOriginal(m)
-			buf, err = compress.CompressInto(codec, buf[:0], data, shape)
-			if err != nil {
-				release()
-				return fmt.Errorf("%s/%s: %w", name, variant, err)
-			}
-			recon, err = compress.DecompressInto(codec, recon, buf)
-			if err != nil {
-				release()
-				return fmt.Errorf("%s/%s: %w", name, variant, err)
-			}
-			// ScoreRMSZ with the acquired original as the excluded member is
-			// RMSZOf without a second regeneration of member m.
-			rz = append(rz, vs.ScoreRMSZ(data, recon))
-			e := metrics.Compare(data, recon, vs.Fill, vs.HasFill)
+			cmp.Reset(vs.Fill, vs.HasFill)
+			rzAcc.Reset(vs.Mom, vs.FillMask)
+			withStage("decode", func() {
+				buf, err = compress.CompressInto(codec, buf[:0], data, shape)
+				if err != nil {
+					return
+				}
+				// Empty chunk: see computeErrorVariable.
+				err = compress.DecodeChunks(codec, buf, nil, func(off int, vals []float32) error {
+					if off+len(vals) > len(data) {
+						return fmt.Errorf("%w: chunk [%d,%d) outside field of %d points", compress.ErrCorrupt, off, off+len(vals), len(data))
+					}
+					orig := data[off : off+len(vals)]
+					cmp.Push(orig, vals, off)
+					rzAcc.Push(orig, vals, off)
+					return nil
+				})
+			})
 			release()
-			en = append(en, e.ENMax)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, variant, err)
+			}
+			withStage("metrics", func() {
+				rz = append(rz, rzAcc.Finish(vs.NPoints))
+				en = append(en, cmp.Finish().ENMax)
+			})
 		}
 		mu.Lock()
 		fr.rmszRecon[variant] = rz

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// withStage runs fn under a pprof "stage" label, so CPU profiles of the
+// fused error-matrix / figure / gradient units split into their decode and
+// metrics phases (mirroring the labels on the pvt verification stages).
+func withStage(stage string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { fn() })
+}

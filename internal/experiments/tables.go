@@ -152,27 +152,46 @@ func (r *Runner) computeErrorVariable(idx int) (map[string]ErrorEntry, error) {
 		f := r.memberField(idx, 0)
 		summary := f.Summarize()
 		shape := r.shapeFor(spec)
-		// One stream buffer and one reconstruction buffer serve the
-		// whole variant sweep for this variable.
+		// Fused sweep: one stream buffer serves every variant, and each
+		// reconstruction decodes chunk by chunk straight
+		// into the streaming Comparer — the error measures are bit-identical
+		// to Compare over a materialized reconstruction (the chunk pushes
+		// replicate its index order), but no reconstructed field exists on
+		// natively chunked variants.
 		var buf []byte
-		var recon []float32
+		var cmp metrics.Comparer
 		for _, variant := range missing {
 			codec, err := r.CodecFor(variant, spec, nil, summary.Range)
 			if err != nil {
 				return nil, err
 			}
-			buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+			cmp.Reset(f.Fill, f.HasFill)
+			withStage("decode", func() {
+				buf, err = compress.CompressInto(codec, buf[:0], f.Data, shape)
+				if err != nil {
+					return
+				}
+				// Empty chunk: native decoders stream through their own
+				// pooled buffer; the fallback yields direct windows of its
+				// internal reconstruction instead of copying each one out.
+				err = compress.DecodeChunks(codec, buf, nil, func(off int, vals []float32) error {
+					if off+len(vals) > f.Len() {
+						return fmt.Errorf("%w: chunk [%d,%d) outside field of %d points", compress.ErrCorrupt, off, off+len(vals), f.Len())
+					}
+					cmp.Push(f.Data[off:off+len(vals)], vals, off)
+					return nil
+				})
+			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
 			}
-			recon, err = compress.DecompressInto(codec, recon, buf)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", spec.Name, variant, err)
-			}
-			e := ErrorEntry{
-				Errors: metrics.Compare(f.Data, recon, f.Fill, f.HasFill),
-				CR:     compress.Ratio(len(buf), f.Len()),
-			}
+			var e ErrorEntry
+			withStage("metrics", func() {
+				e = ErrorEntry{
+					Errors: cmp.Finish(),
+					CR:     compress.Ratio(len(buf), f.Len()),
+				}
+			})
 			entries[variant] = e
 			if s.Enabled() {
 				s.Put(r.errmatKey(spec, variant), encodeErrorEntry(e))

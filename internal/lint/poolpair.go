@@ -38,6 +38,7 @@ var PoolPairAnalyzer = &Analyzer{
 var poolPairs = map[string]string{
 	"GetBytes":  "PutBytes",
 	"GetInt64s": "PutInt64s",
+	"GetFloats": "PutFloats",
 }
 
 func runPoolPair(p *Pass) {

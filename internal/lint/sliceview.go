@@ -14,12 +14,20 @@ import (
 // the signature says so.
 //
 // Tracked acquisitions are the compress package's pooled getters
-// (GetBytes, GetInt64s) and payloads handed out by the artifact store's
-// Get. A return whose results include a slice expression over a tracked
-// buffer is reported. Returning the whole buffer is not — that is the
-// poolpair analyzer's ownership-transfer convention — and deliberate
-// view-returning APIs document themselves with a //lint:sliceview
-// annotation stating the ownership story.
+// (GetBytes, GetInt64s, GetFloats) and payloads handed out by the
+// artifact store's Get. A return whose results include a slice expression
+// over a tracked buffer is reported. Returning the whole buffer is not —
+// that is the poolpair analyzer's ownership-transfer convention — and
+// deliberate view-returning APIs document themselves with a
+// //lint:sliceview annotation stating the ownership story.
+//
+// The same borrow discipline applies to the chunked-decode boundary: the
+// slice a DecodeChunks yield callback receives is valid only for the
+// duration of the callback (the decoder rewrites it for the next chunk).
+// Assigning it — or a subslice of it — to a variable captured from an
+// enclosing scope retains a view that will be silently overwritten, so
+// such assignments are reported too; keep what you need with an
+// append-copy instead.
 var SliceViewAnalyzer = &Analyzer{
 	Name: "sliceview",
 	Doc:  "returning a subslice of a pooled or store-owned buffer leaks an unadvertised alias",
@@ -36,10 +44,71 @@ func runSliceView(p *Pass) {
 				}
 			case *ast.FuncLit:
 				sliceViewBody(p, fn.Body)
+			case *ast.CallExpr:
+				chunkYieldCheck(p, fn)
 			}
 			return true
 		})
 	}
+}
+
+// chunkYieldCheck enforces the DecodeChunks borrow contract on a call
+// site: inside the yield func literal, the chunk parameter (the slice the
+// decoder lends for one callback) must not escape into a variable
+// declared outside the literal, whole or sliced. Copies via append (or
+// any other call) pass; so does binding to locals of the literal itself,
+// which cannot outlive the callback.
+func chunkYieldCheck(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Name() != "DecodeChunks" {
+		return
+	}
+	var lit *ast.FuncLit
+	for _, arg := range call.Args {
+		if l, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			lit = l
+		}
+	}
+	if lit == nil || lit.Type.Params == nil {
+		return
+	}
+	borrowed := make(map[types.Object]bool)
+	for _, fld := range lit.Type.Params.List {
+		for _, name := range fld.Names {
+			obj := p.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				borrowed[obj] = true
+			}
+		}
+	}
+	if len(borrowed) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i := range s.Rhs {
+			rhs := ast.Unparen(s.Rhs[i])
+			if se, ok := rhs.(*ast.SliceExpr); ok {
+				rhs = ast.Unparen(se.X)
+			}
+			id, ok := rhs.(*ast.Ident)
+			if !ok || !borrowed[p.ObjectOf(id)] {
+				continue
+			}
+			dst := lhsObject(p, s.Lhs, i)
+			if dst == nil || (dst.Pos() >= lit.Pos() && dst.Pos() < lit.End()) {
+				continue
+			}
+			p.Reportf(s.Pos(), "retaining the chunk-iterator slice %q past its yield callback aliases a decoder-owned buffer that the next chunk overwrites: copy the values (append) or annotate the ownership story with //lint:sliceview", id.Name)
+		}
+		return true
+	})
 }
 
 // sliceViewBody walks one function frame, recording which locals hold

@@ -103,3 +103,23 @@ func annotatedLeak(n int) {
 	b := compress.GetBytes(n) //lint:poolpair ownership documented elsewhere; suppression under test
 	use(b)
 }
+
+// Positive: the float pool follows the same pairing rule.
+func leakFloats(n int) error {
+	f := compress.GetFloats(n) // want "\"f\" acquired here is not released"
+	if n > 4 {
+		return errTooBig
+	}
+	compress.PutFloats(f)
+	return nil
+}
+
+// Negative: deferred release of the float pool covers every exit.
+func floatsDeferred(n int) float32 {
+	f := compress.GetFloats(n)
+	defer compress.PutFloats(f)
+	if n == 0 {
+		return 0
+	}
+	return f[0]
+}

@@ -64,3 +64,60 @@ func plainSlice(n int) []byte {
 	b := make([]byte, n)
 	return b[:n/2]
 }
+
+// Positive: the yield callback's chunk slice escapes whole into a
+// captured variable — the decoder overwrites it on the next chunk.
+func retainWhole(c compress.Codec, buf []byte) []float32 {
+	var keep []float32
+	_ = compress.DecodeChunks(c, buf, nil, func(off int, vals []float32) error {
+		keep = vals // want "chunk-iterator slice"
+		return nil
+	})
+	return keep
+}
+
+// Positive: a subslice of the chunk is the same borrowed memory.
+func retainHead(c compress.Codec, buf []byte) []float32 {
+	var head []float32
+	_ = compress.DecodeChunks(c, buf, nil, func(off int, vals []float32) error {
+		if off == 0 {
+			head = vals[:1] // want "chunk-iterator slice"
+		}
+		return nil
+	})
+	return head
+}
+
+// Negative: an append-copy owns its memory.
+func copyOut(c compress.Codec, buf []byte) []float32 {
+	var all []float32
+	_ = compress.DecodeChunks(c, buf, nil, func(off int, vals []float32) error {
+		all = append(all, vals...)
+		return nil
+	})
+	return all
+}
+
+// Negative: a local of the callback cannot outlive it.
+func localAlias(c compress.Codec, buf []byte) float64 {
+	var sum float64
+	_ = compress.DecodeChunks(c, buf, nil, func(off int, vals []float32) error {
+		v := vals
+		for _, x := range v {
+			sum += float64(x)
+		}
+		return nil
+	})
+	return sum
+}
+
+// Negative: an annotation states why retaining is safe here.
+func annotatedRetain(c compress.Codec, buf []byte) int {
+	var last []float32
+	_ = compress.DecodeChunks(c, buf, nil, func(off int, vals []float32) error {
+		//lint:sliceview only the length is read after the loop, never the elements
+		last = vals
+		return nil
+	})
+	return len(last)
+}

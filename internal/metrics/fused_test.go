@@ -1,0 +1,172 @@
+package metrics_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"climcompress/internal/compress"
+	_ "climcompress/internal/compress/apax"
+	"climcompress/internal/compress/fpzip"
+	_ "climcompress/internal/compress/grib2"
+	_ "climcompress/internal/compress/isabela"
+	_ "climcompress/internal/compress/nclossless"
+	_ "climcompress/internal/compress/tsblob"
+	"climcompress/internal/metrics"
+)
+
+const testFill = float32(9.96921e36)
+
+// fusedShape is deliberately not a multiple of the chunk sizes below, so
+// partial trailing chunks are exercised.
+var fusedShape = compress.Shape{NLev: 3, NLat: 16, NLon: 24}
+
+// fusedFields builds the three field characters of the equivalence matrix:
+// fill-heavy (~50% sentinel), constant, and chaotic.
+func fusedFields() map[string][]float32 {
+	n := fusedShape.Len()
+	rng := rand.New(rand.NewSource(9))
+	fillHeavy := make([]float32, n)
+	for i := range fillHeavy {
+		if rng.Intn(2) == 0 {
+			fillHeavy[i] = testFill
+		} else {
+			fillHeavy[i] = float32(math.Sin(float64(i)/7)) * 40
+		}
+	}
+	constant := make([]float32, n)
+	for i := range constant {
+		constant[i] = 273.15
+	}
+	chaotic := make([]float32, n)
+	for i := range chaotic {
+		chaotic[i] = rng.Float32()*500 - 250
+	}
+	return map[string][]float32{"fill-heavy": fillHeavy, "constant": constant, "chaotic": chaotic}
+}
+
+// fusedCodecs covers all seven codec families: nclossless, grib2, apax,
+// fpzip, isabela, tsblob, and the fill-mask wrapper.
+func fusedCodecs(t *testing.T) map[string]compress.Codec {
+	out := map[string]compress.Codec{}
+	for _, name := range []string{"nc", "grib2", "apax-4", "fpzip-24", "isa-0.5", "tsblob"} {
+		c, err := compress.New(name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		out[name] = c
+	}
+	out["fillmask"] = compress.WithFill(fpzip.New(24), testFill)
+	return out
+}
+
+func errorsBits(e metrics.Errors) [8]uint64 {
+	return [8]uint64{
+		math.Float64bits(e.EMax), math.Float64bits(e.ENMax),
+		math.Float64bits(e.RMSE), math.Float64bits(e.NRMSE),
+		math.Float64bits(e.PSNR), math.Float64bits(e.Pearson),
+		math.Float64bits(e.Range), uint64(e.N),
+	}
+}
+
+// TestFusedEquivalence pins the tentpole invariant: for every codec family
+// and field character, the chunked decode yields exactly the materialized
+// reconstruction, and the streaming Comparer/GradientComparer produce
+// bit-identical Errors to Compare/GradientCompare. Wired into make verify
+// by name.
+func TestFusedEquivalence(t *testing.T) {
+	fields := fusedFields()
+	codecs := fusedCodecs(t)
+	chunkLens := []int{0, 7, 100, 4096}
+	for cname, c := range codecs {
+		for fname, orig := range fields {
+			// Lossy codecs cannot carry the sentinel through quantization;
+			// the pipeline wraps them in the fill mask, and so does the test.
+			if fname == "fill-heavy" && !c.Lossless() && cname != "fillmask" {
+				c = compress.WithFill(c, testFill)
+			}
+			buf, err := compress.CompressInto(c, nil, orig, fusedShape)
+			if err != nil {
+				t.Fatalf("%s/%s: compress: %v", cname, fname, err)
+			}
+			recon, err := compress.DecompressInto(c, nil, buf)
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", cname, fname, err)
+			}
+			wantCmp := metrics.Compare(orig, recon, testFill, true)
+			wantGrad := metrics.GradientCompare(orig, recon, fusedShape.NLev, fusedShape.NLat, fusedShape.NLon, testFill, true)
+			for _, cl := range chunkLens {
+				t.Run(fmt.Sprintf("%s/%s/chunk%d", cname, fname, cl), func(t *testing.T) {
+					var chunk []float32
+					if cl > 0 {
+						chunk = make([]float32, cl)
+					}
+					got := make([]float32, 0, len(orig))
+					var cmp metrics.Comparer
+					cmp.Reset(testFill, true)
+					gc := metrics.NewGradientComparer(orig, fusedShape.NLev, fusedShape.NLat, fusedShape.NLon, testFill, true)
+					err := compress.DecodeChunks(c, buf, chunk, func(off int, vals []float32) error {
+						if off != len(got) {
+							return fmt.Errorf("offset %d, want %d", off, len(got))
+						}
+						got = append(got, vals...)
+						cmp.Push(orig[off:off+len(vals)], vals, off)
+						gc.Push(vals, off)
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("DecodeChunks: %v", err)
+					}
+					if len(got) != len(recon) {
+						t.Fatalf("chunked decode yielded %d values, want %d", len(got), len(recon))
+					}
+					for i := range got {
+						if math.Float32bits(got[i]) != math.Float32bits(recon[i]) {
+							t.Fatalf("value %d: chunked %v != materialized %v", i, got[i], recon[i])
+						}
+					}
+					if g, w := errorsBits(cmp.Finish()), errorsBits(wantCmp); g != w {
+						t.Errorf("Comparer.Finish mismatch:\n got %+v\nwant %+v", cmp.Finish(), wantCmp)
+					}
+					if g, w := errorsBits(gc.Finish()), errorsBits(wantGrad); g != w {
+						t.Errorf("GradientComparer.Finish mismatch:\n got %+v\nwant %+v", gc.Finish(), wantGrad)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCompareAllFillNaN is the regression pin for the degenerate all-fill
+// field: zero valid points must yield the explicit NaN-filled Errors (the
+// same shape as the length-mismatch case), discarding even the infinite
+// EMax that a fill-point reconstruction mismatch sets — and the streaming
+// Comparer must match bit for bit.
+func TestCompareAllFillNaN(t *testing.T) {
+	orig := []float32{testFill, testFill, testFill, testFill}
+	for _, recon := range [][]float32{
+		{testFill, testFill, testFill, testFill}, // faithful fill reconstruction
+		{testFill, 1.5, testFill, testFill},      // fill point lost => transient Inf EMax
+	} {
+		e := metrics.Compare(orig, recon, testFill, true)
+		for name, v := range map[string]float64{
+			"EMax": e.EMax, "ENMax": e.ENMax, "RMSE": e.RMSE, "NRMSE": e.NRMSE,
+			"PSNR": e.PSNR, "Pearson": e.Pearson, "Range": e.Range,
+		} {
+			if !math.IsNaN(v) {
+				t.Errorf("all-fill Compare %s = %v, want NaN", name, v)
+			}
+		}
+		if e.N != 0 {
+			t.Errorf("all-fill Compare N = %d, want 0", e.N)
+		}
+		var cmp metrics.Comparer
+		cmp.Reset(testFill, true)
+		cmp.Push(orig[:2], recon[:2], 0)
+		cmp.Push(orig[2:], recon[2:], 2)
+		if g, w := errorsBits(cmp.Finish()), errorsBits(e); g != w {
+			t.Errorf("Comparer all-fill mismatch:\n got %+v\nwant %+v", cmp.Finish(), e)
+		}
+	}
+}

@@ -4,58 +4,64 @@ import (
 	"math"
 )
 
+// gradientRow computes one output row of the centered-difference gradient
+// magnitude: cur is the row being differentiated, prev/next its clamped
+// vertical neighbors (aliases of cur at the slab edges), and dyDen the
+// vertical denominator (2 in the interior, 1 at edges and single-row
+// slabs). Both the whole-field GradientMagnitude and the streaming
+// GradientComparer run through it, so their arithmetic is shared by
+// construction.
+func gradientRow(dst, prev, cur, next []float32, cols, dyDen int, fill float32, hasFill bool) {
+	for c := 0; c < cols; c++ {
+		v := cur[c]
+		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
+		if hasFill && v == fill {
+			dst[c] = fill
+			continue
+		}
+		// d/dx along the row.
+		c0, c1 := c-1, c+1
+		if c0 < 0 {
+			c0 = c
+		}
+		if c1 >= cols {
+			c1 = c
+		}
+		x0, x1 := cur[c0], cur[c1]
+		// d/dy along the column.
+		y0, y1 := prev[c], next[c]
+		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
+		if hasFill && (x0 == fill || x1 == fill || y0 == fill || y1 == fill) {
+			dst[c] = fill
+			continue
+		}
+		dx := float64(x1-x0) / float64(c1-c0+boolInt(c1 == c0))
+		dy := float64(y1-y0) / float64(dyDen)
+		dst[c] = float32(math.Sqrt(dx*dx + dy*dy))
+	}
+}
+
 // GradientMagnitude computes the centered-difference horizontal gradient
 // magnitude of each rows×cols slab of a (levs, rows, cols) field. One-sided
 // differences are used at the edges; points adjacent to fill values inherit
 // the fill sentinel.
 func GradientMagnitude(data []float32, levs, rows, cols int, fill float32, hasFill bool) []float32 {
 	out := make([]float32, len(data))
-	at := func(base, r, c int) (float32, bool) {
-		v := data[base+r*cols+c]
-		//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
-		if hasFill && v == fill {
-			return 0, false
-		}
-		return v, true
-	}
 	for lev := 0; lev < levs; lev++ {
 		base := lev * rows * cols
 		for r := 0; r < rows; r++ {
-			for c := 0; c < cols; c++ {
-				idx := base + r*cols + c
-				//lint:floateq fill values are exact bit-pattern sentinels copied verbatim, never computed
-				if hasFill && data[idx] == fill {
-					out[idx] = fill
-					continue
-				}
-				// d/dx along the row.
-				c0, c1 := c-1, c+1
-				if c0 < 0 {
-					c0 = c
-				}
-				if c1 >= cols {
-					c1 = c
-				}
-				x0, ok0 := at(base, r, c0)
-				x1, ok1 := at(base, r, c1)
-				// d/dy along the column.
-				r0, r1 := r-1, r+1
-				if r0 < 0 {
-					r0 = r
-				}
-				if r1 >= rows {
-					r1 = r
-				}
-				y0, ok2 := at(base, r0, c)
-				y1, ok3 := at(base, r1, c)
-				if !ok0 || !ok1 || !ok2 || !ok3 {
-					out[idx] = fill
-					continue
-				}
-				dx := float64(x1-x0) / float64(c1-c0+boolInt(c1 == c0))
-				dy := float64(y1-y0) / float64(r1-r0+boolInt(r1 == r0))
-				out[idx] = float32(math.Sqrt(dx*dx + dy*dy))
+			r0, r1 := r-1, r+1
+			if r0 < 0 {
+				r0 = r
 			}
+			if r1 >= rows {
+				r1 = r
+			}
+			cur := data[base+r*cols : base+(r+1)*cols]
+			prev := data[base+r0*cols : base+(r0+1)*cols]
+			next := data[base+r1*cols : base+(r1+1)*cols]
+			dst := out[base+r*cols : base+(r+1)*cols]
+			gradientRow(dst, prev, cur, next, cols, r1-r0+boolInt(r1 == r0), fill, hasFill)
 		}
 	}
 	return out

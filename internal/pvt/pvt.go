@@ -19,9 +19,10 @@
 package pvt
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync/atomic"
+	"runtime/pprof"
 
 	"climcompress/internal/compress"
 	"climcompress/internal/ensemble"
@@ -29,6 +30,12 @@ import (
 	"climcompress/internal/par"
 	"climcompress/internal/stats"
 )
+
+// withStage runs fn under a pprof "stage" label, so CPU profiles of the
+// fused verification path split into its decode / metrics / rmsz phases.
+func withStage(stage string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { fn() })
+}
 
 // Thresholds are the acceptance limits of the four tests.
 type Thresholds struct {
@@ -275,12 +282,16 @@ func rangeShiftOK(gmBox stats.Boxplot, rm float64) bool {
 	return rm >= gmBox.Min-slack && rm <= gmBox.Max+slack
 }
 
-// verifyStream is Verify for streamed ensemble statistics. Stage 1
-// compresses every needed member from a re-acquired original, retaining only
-// the compressed stream; stage 2 decompresses the test members one at a time
-// for the per-member checks; stage 3 streams the reconstructed ensemble
-// through the bias regression by decompressing each member on demand into a
-// pooled buffer. At no point are O(members) raw fields resident.
+// verifyStream is Verify for streamed ensemble statistics, running the
+// fused verification kernels. Stage 1 compresses every needed member from a
+// re-acquired original, retaining only the compressed stream; stage 2
+// chunk-decodes each test member straight into the streaming metric
+// accumulators (Comparer, RMSZAccumulator, MeanAccumulator); stage 3 feeds
+// the bias regression through the chunked RMSZ reduction. On natively
+// chunked codecs no reconstructed field is ever materialized — peak
+// residency per member is one DefaultChunkLen chunk — and the Result stays
+// bit-identical to Verify's materialized path (pinned by the stream tests).
+// CPU profile samples carry "stage" labels (decode / metrics / rmsz).
 func (v *Verifier) verifyStream(codec compress.Codec, testMembers []int) (Result, error) {
 	vs := v.Stats
 	nm := vs.Members()
@@ -330,63 +341,89 @@ func (v *Verifier) verifyStream(codec compress.Codec, testMembers []int) (Result
 		}
 	}
 
-	// Stage 2: per-test-member checks, one reconstruction resident at a time.
+	// Stage 2: fused per-test-member checks — each member's compressed
+	// stream decodes chunk by chunk straight into the streaming metric
+	// accumulators, so no reconstructed field is ever materialized. The
+	// accumulators replicate Compare/ScoreRMSZ/MaskedMean in index order,
+	// keeping the Result bit-identical to the materialized path.
+	// An empty chunk buffer lets each decoder pick its cheapest shape:
+	// native chunk decoders stream through their own pooled buffer, and
+	// the whole-field fallback yields direct windows of its internal
+	// reconstruction instead of copying every window out.
 	gmBox := stats.NewBoxplot(vs.ValidMean)
 	res.RhoPass, res.RMSZPass, res.EnmaxPass, res.RangeOK = true, true, true, true
+	var cmp metrics.Comparer
+	var rzAcc ensemble.RMSZAccumulator
+	var meanAcc ensemble.MeanAccumulator
 	for _, m := range testMembers {
 		data, release := vs.AcquireOriginal(m)
-		out, err := compress.DecompressInto(codec, par.GetFloats(len(data)), streams[m])
+		cmp.Reset(vs.Fill, vs.HasFill)
+		rzAcc.Reset(vs.Mom, vs.FillMask)
+		meanAcc.Reset(vs.FillMask)
+		var err error
+		withStage("decode", func() {
+			err = compress.DecodeChunks(codec, streams[m], nil, func(off int, vals []float32) error {
+				if off+len(vals) > len(data) {
+					return fmt.Errorf("%w: chunk [%d,%d) outside field of %d points", compress.ErrCorrupt, off, off+len(vals), len(data))
+				}
+				orig := data[off : off+len(vals)]
+				cmp.Push(orig, vals, off)
+				rzAcc.Push(orig, vals, off)
+				meanAcc.Push(vals, off)
+				return nil
+			})
+		})
+		release()
 		if err != nil {
-			par.PutFloats(out)
-			release()
 			return Result{}, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, err)
 		}
-		e := metrics.Compare(data, out, vs.Fill, vs.HasFill)
-		rz := vs.ScoreRMSZ(data, out)
-		res.Checks = append(res.Checks, MemberCheck{
-			Member:    m,
-			Errors:    e,
-			RMSZOrig:  vs.RMSZ[m],
-			RMSZRecon: rz,
-			CR:        crs[m],
+		withStage("metrics", func() {
+			e := cmp.Finish()
+			rz := rzAcc.Finish(vs.NPoints)
+			res.Checks = append(res.Checks, MemberCheck{
+				Member:    m,
+				Errors:    e,
+				RMSZOrig:  vs.RMSZ[m],
+				RMSZRecon: rz,
+				CR:        crs[m],
+			})
+			if !e.PassesCorrelation() {
+				res.RhoPass = false
+			}
+			slack := 0.01 * res.RMSZBox.Range()
+			within := rz >= res.RMSZBox.Min-slack && rz <= res.RMSZBox.Max+slack
+			if math.IsNaN(rz) || !within || math.Abs(rz-vs.RMSZ[m]) > v.Thr.RMSZDiff {
+				res.RMSZPass = false
+			}
+			if res.EnmaxSpread <= 0 || math.IsNaN(e.ENMax) ||
+				e.ENMax/res.EnmaxSpread > v.Thr.EnmaxRatio {
+				res.EnmaxPass = false
+			}
+			if !rangeShiftOK(gmBox, meanAcc.Finish()) {
+				res.RangeOK = false
+			}
 		})
-		if !e.PassesCorrelation() {
-			res.RhoPass = false
-		}
-		slack := 0.01 * res.RMSZBox.Range()
-		within := rz >= res.RMSZBox.Min-slack && rz <= res.RMSZBox.Max+slack
-		if math.IsNaN(rz) || !within || math.Abs(rz-vs.RMSZ[m]) > v.Thr.RMSZDiff {
-			res.RMSZPass = false
-		}
-		if res.EnmaxSpread <= 0 || math.IsNaN(e.ENMax) ||
-			e.ENMax/res.EnmaxSpread > v.Thr.EnmaxRatio {
-			res.EnmaxPass = false
-		}
-		if !rangeShiftOK(gmBox, ensemble.MaskedMean(out, vs.FillMask)) {
-			res.RangeOK = false
-		}
-		par.PutFloats(out)
-		release()
 	}
 
-	// Stage 3: bias over the reconstructed ensemble Ẽ, member at a time.
+	// Stage 3: bias over the reconstructed ensemble Ẽ, fused — each member
+	// decodes twice (moments pass, then self-scoring pass) chunk by chunk
+	// into the RMSZ accumulators.
 	if v.WithBias {
-		var decompErr atomic.Value
-		res.ReconRMSZ = ensemble.RMSZScoresStream(nm, vs.NPoints, vs.FillMask,
-			func(m int) ([]float32, func()) {
-				out, err := compress.DecompressInto(codec, par.GetFloats(vs.NPoints), streams[m])
-				if err != nil {
-					decompErr.CompareAndSwap(nil, fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, err))
-					if len(out) != vs.NPoints {
-						par.PutFloats(out)
-						out = par.GetFloats(vs.NPoints)
+		var scores []float64
+		var err error
+		withStage("rmsz", func() {
+			scores, err = ensemble.RMSZScoresChunked(nm, vs.NPoints, vs.FillMask,
+				func(m int, yield func(off int, vals []float32) error) error {
+					if derr := compress.DecodeChunks(codec, streams[m], nil, yield); derr != nil {
+						return fmt.Errorf("pvt: %s member %d: %w", codec.Name(), m, derr)
 					}
-				}
-				return out, func() { par.PutFloats(out) }
-			})
-		if err, ok := decompErr.Load().(error); ok {
+					return nil
+				})
+		})
+		if err != nil {
 			return Result{}, err
 		}
+		res.ReconRMSZ = scores
 		res.Bias = stats.LinearFit(vs.RMSZ, res.ReconRMSZ)
 		res.BiasPass = !math.IsNaN(res.Bias.Slope) &&
 			res.Bias.SlopeWorstCaseDistance() <= v.Thr.SlopeDistance

@@ -54,6 +54,36 @@ func (mo *Moments) AddMember(data []float32, mask []bool, lo, hi int) {
 	}
 }
 
+// AddMemberChunk folds one chunk of a member's values — the points
+// [off, off+len(vals)) — into the accumulator, with the same per-point
+// arithmetic as AddMember. Feeding a member's chunks in ascending offset
+// order is equivalent to one AddMember call over the whole field; the
+// fused decode path drives this straight from a codec's chunk iterator.
+// mask (indexed by absolute point, like off) may be nil.
+func (mo *Moments) AddMemberChunk(vals []float32, mask []bool, off int) {
+	sum, sumsq, cnt := mo.Sum, mo.SumSq, mo.N
+	if mask == nil {
+		for j, v := range vals {
+			i := off + j
+			x := float64(v)
+			cnt[i]++
+			sum[i] += x
+			sumsq[i] += x * x
+		}
+		return
+	}
+	for j, v := range vals {
+		i := off + j
+		if mask[i] {
+			continue
+		}
+		x := float64(v)
+		cnt[i]++
+		sum[i] += x
+		sumsq[i] += x * x
+	}
+}
+
 // Excluding returns the mean and unbiased sample standard deviation at
 // point i of the accumulated values with x (one previously added member
 // value) removed — the {E \ m} statistics of eq. 6. The arithmetic matches
