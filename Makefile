@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-short bench bench-json bench-diff bench-shard bench-serve bench-fused shard-smoke serve-smoke fuzz vet lint fmt fmt-check verify experiments clean
+.PHONY: all build test race race-short bench bench-json bench-diff bench-shard bench-serve bench-fused bench-lint shard-smoke serve-smoke fuzz vet lint lint-corpus fmt fmt-check verify experiments clean
 
 all: build test
 
@@ -28,6 +28,7 @@ verify:
 	$(MAKE) fmt-check
 	$(GO) vet ./...
 	$(MAKE) lint
+	$(MAKE) lint-corpus
 	$(GO) test ./...
 	$(GO) test ./internal/compress/tsblob/ -run TestGoldenStream
 	$(GO) test ./internal/experiments/ -run TestRecordV1MigrationSmoke
@@ -41,12 +42,19 @@ verify:
 		echo "benchdiff gate skipped: need two BENCH_PR*.json snapshots"; \
 	fi
 
-# Repo-specific static analysis: six stdlib-only analyzers enforcing the
-# pipeline's determinism, resource-pairing and buffer-ownership
-# invariants (see internal/lint and the README "Static analysis"
-# section).
+# Repo-specific static analysis: ten stdlib-only analyzers — syntactic
+# determinism/resource checks plus the CFG/dataflow-based concurrency
+# and contract analyzers — enforcing the pipeline's invariants (see
+# internal/lint and the README "Static analysis" section).
 lint:
 	$(GO) run ./cmd/climatelint ./...
+
+# Analyzer corpus gate: every analyzer's // want corpus must pass in
+# both directions (each expected finding reported, nothing extra), the
+# pre-1.22 loop-variable corpus must fire only under the old semantics,
+# and every corpus must make the full analyzer set fail.
+lint-corpus:
+	$(GO) test ./internal/lint -count=1 -run 'TestAnalyzerCorpus|TestGoCaptureOldLoopVars|TestCorpusMakesClimatelintFail'
 
 # gofmt as a gate, not a fixer: nonzero exit when any file needs
 # formatting. The lint testdata corpora are excluded — one of them is a
@@ -166,6 +174,13 @@ bench-serve:
 # field), appended to the newest BENCH_PR*.json via per-entry-best merge.
 bench-fused:
 	$(GO) run ./cmd/benchjson -fused-only -merge $(HEAD) -out $(HEAD)
+
+# Static-analysis wall-time snapshot: one lint/ entry timing a full
+# `climatelint ./...` pass (load + all analyzers), appended to the
+# newest BENCH_PR*.json via per-entry-best merge. Informational only —
+# benchdiff prints it with a "(not gated)" marker and never fails on it.
+bench-lint:
+	$(GO) run ./cmd/benchjson -lint-only -merge $(HEAD) -out $(HEAD)
 
 # Short fuzzing pass over the decoder, container, artifact-cache, and
 # lint-directive parsers.

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets the compiled test binary stand in for the real command:
+// with the re-exec variable set it runs main() on its arguments instead
+// of the test suite (see cmd/benchjson for the same pattern).
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHDIFF_SMOKE_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BENCHDIFF_SMOKE_RUN_MAIN=1")
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// TestStdoutCleanOnBadFlag: flag-parse errors belong on stderr; stdout
+// is reserved for the comparison table.
+func TestStdoutCleanOnBadFlag(t *testing.T) {
+	stdout, stderr, code := runSelf(t, "-definitely-not-a-flag")
+	if code == 0 {
+		t.Error("bad flag exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("bad flag wrote to stdout:\n%s", stdout)
+	}
+	if stderr == "" {
+		t.Error("bad flag produced no stderr diagnostic")
+	}
+}
+
+// TestStdoutCleanOnMissingReport: an unreadable snapshot path is a
+// diagnostic, not a report — stdout must stay empty.
+func TestStdoutCleanOnMissingReport(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "absent.json")
+	stdout, stderr, code := runSelf(t, "-base", missing, "-head", missing)
+	if code == 0 {
+		t.Error("missing report exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("missing report wrote to stdout:\n%s", stdout)
+	}
+	if stderr == "" {
+		t.Error("missing report produced no stderr diagnostic")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"climcompress/internal/field"
 	"climcompress/internal/grid"
 	"climcompress/internal/l96"
+	"climcompress/internal/lint"
 	"climcompress/internal/model"
 	"climcompress/internal/par"
 	"climcompress/internal/serve"
@@ -63,10 +64,11 @@ func main() {
 	serveBin := flag.String("serve-bin", "", "path to a climatebenchd binary; when set, load-test the daemon cold, warm and coalesced into serve/ entries")
 	serveOnly := flag.Bool("serve-only", false, "run only the daemon load tests (requires -serve-bin)")
 	fusedOnly := flag.Bool("fused-only", false, "run only the fused streaming-verification benchmarks (decode-compare micros + peak-heap error-matrix units)")
+	lintOnly := flag.Bool("lint-only", false, "run only the climatelint whole-module wall-time entry")
 	mergeWith := flag.String("merge", "", "existing snapshot whose entries are folded into the output (per-entry best), e.g. to add shard/ entries to a full bench-json run")
 	flag.Parse()
 	par.SetWidth(*workers)
-	if *shardOnly || *serveOnly || *fusedOnly {
+	if *shardOnly || *serveOnly || *fusedOnly || *lintOnly {
 		*skipExperiments, *skipMicro = true, true
 	}
 
@@ -123,6 +125,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *lintOnly {
+		if err := timeLint(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *mergeWith != "" {
 		prev, err := benchjson.ReadFile(*mergeWith)
 		if err != nil {
@@ -135,7 +143,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", *out, len(rep.Entries))
 }
 
 // timeExperiments runs table1 + fig1 at paper scale on the bench grid in
@@ -251,7 +259,7 @@ func timeShardScale(rep *benchjson.Report, bin string, members int) error {
 				Name:    fmt.Sprintf("shard/supervise-%d/table6", n),
 				Seconds: sec, Note: note, Workers: n,
 			})
-			fmt.Printf("shard/supervise-%d/table6 %s: %.1fs\n", n, note, sec)
+			fmt.Fprintf(os.Stderr, "shard/supervise-%d/table6 %s: %.1fs\n", n, note, sec)
 			return nil
 		}
 		err = run("cold cache")
@@ -340,7 +348,7 @@ func timeServe(rep *benchjson.Report, bin string) error {
 			P99Ns:     res.P99.Nanoseconds(),
 			Workers:   concurrency,
 		})
-		fmt.Printf("%s [%s]: %.0f verdicts/s, p50 %s, p99 %s (%d ok, %d shed, %d errors)\n",
+		fmt.Fprintf(os.Stderr, "%s [%s]: %.0f verdicts/s, p50 %s, p99 %s (%d ok, %d shed, %d errors)\n",
 			name, note, res.OpsPerSec(), res.P50, res.P99, res.OK, res.Shed, res.Errors)
 	}
 
@@ -398,6 +406,43 @@ func timeServe(rep *benchjson.Report, bin string) error {
 	}
 	record("serve/verdict", "coalesced (100 identical, cold)", 100, res)
 	return stop()
+}
+
+// timeLint records how long `climatelint ./...` takes over the whole
+// module — load (parse + type-check through the source importer) plus
+// all analyzers — as one informational lint/ entry. Not gated by
+// benchdiff (wall-clock over ~40 packages is too host-sensitive for a
+// percentage gate); the entry exists so a superlinear blowup in the
+// CFG/dataflow engine is visible in the snapshot diff, not discovered
+// as a mysteriously slow `make verify`. The run doubles as a clean-repo
+// assertion: any unsuppressed finding fails the snapshot.
+func timeLint(rep *benchjson.Report) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(filepath.Join(loader.ModuleDir, "..."))
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	sec := time.Since(t0).Seconds()
+	if len(diags) != 0 {
+		return fmt.Errorf("lint: %d unsuppressed finding(s) in the module; snapshot refused", len(diags))
+	}
+	rep.Entries = append(rep.Entries, benchjson.Entry{
+		Name:    "lint/climatelint-repo",
+		Seconds: sec,
+		Note:    fmt.Sprintf("load+analyze, %d packages, %d analyzers", len(pkgs), len(lint.Analyzers())),
+		Workers: 1,
+	})
+	fmt.Fprintf(os.Stderr, "lint/climatelint-repo: %.2fs (%d packages)\n", sec, len(pkgs))
+	return nil
 }
 
 // synthEnsemble builds a deterministic synthetic ensemble on the test grid

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets the compiled test binary stand in for the real command:
+// with the re-exec variable set it runs main() on its arguments instead
+// of the test suite. The smoke tests below use this to pin the binary's
+// stream discipline — stdout stays clean of diagnostics and progress —
+// without a separate `go build` step.
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHJSON_SMOKE_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runSelf re-executes this test binary as benchjson with the given
+// arguments, returning the captured streams and exit code.
+func runSelf(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BENCHJSON_SMOKE_RUN_MAIN=1")
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// TestStdoutCleanOnBadFlag: a flag-parse error must land on stderr only.
+// benchjson's snapshot can be requested on stdout (-out /dev/stdout), so
+// any diagnostic leaking there corrupts machine-readable output.
+func TestStdoutCleanOnBadFlag(t *testing.T) {
+	stdout, stderr, code := runSelf(t, "-definitely-not-a-flag")
+	if code == 0 {
+		t.Error("bad flag exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("bad flag wrote to stdout:\n%s", stdout)
+	}
+	if stderr == "" {
+		t.Error("bad flag produced no stderr diagnostic")
+	}
+}
+
+// TestStdoutCleanOnNoopRun: the cheapest real run (both phases skipped)
+// must write its snapshot file and keep stdout empty — the "wrote ..."
+// progress line belongs on stderr.
+func TestStdoutCleanOnNoopRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.json")
+	stdout, stderr, code := runSelf(t, "-micro-only", "-experiments-only", "-out", out)
+	if code != 0 {
+		t.Fatalf("no-op run exited %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("no-op run wrote to stdout:\n%s", stdout)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("snapshot file not written: %v", err)
+	}
+}

@@ -1,20 +1,34 @@
-// Command climatelint runs this repo's static-analysis pass: five
-// analyzers that mechanize the pipeline's determinism and
-// resource-pairing invariants (see internal/lint). It is stdlib-only —
-// packages are loaded with go/parser and type-checked with go/types, so
-// the tool needs nothing beyond the Go toolchain already required to
-// build the repo.
+// Command climatelint runs this repo's static-analysis pass: the
+// analyzers in internal/lint, from syntactic determinism checks through
+// the CFG/dataflow engine's concurrency and contract proofs. It is
+// stdlib-only — packages are loaded with go/parser and type-checked with
+// go/types, so the tool needs nothing beyond the Go toolchain already
+// required to build the repo.
 //
 // Usage:
 //
-//	climatelint [-list] pattern...
+//	climatelint [-list] [-json] [-baseline lint-baseline.json] pattern...
 //
 // A pattern is a package directory, optionally ending in /... to cover
 // the whole subtree; "./..." from the module root lints every package.
-// Exit status: 0 clean, 1 findings reported, 2 packages failed to load.
+//
+// -json prints every finding (including suppressed ones, flagged) as a
+// JSON array on stdout; nothing else is written there, so the output can
+// be piped or checked in directly as a baseline:
+//
+//	climatelint -json ./... > lint-baseline.json
+//
+// -baseline compares the run against such a file and fails only on
+// findings not present in it (matched by file/analyzer/message, so line
+// drift does not resurrect old findings). This lets a new analyzer land
+// before every annotation it demands has been written.
+//
+// Exit status: 0 clean, 1 findings reported (new findings, in baseline
+// mode), 2 packages failed to load or bad usage.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +38,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "fail only on findings absent from this baseline `file`")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: climatelint [-list] pattern...")
+		fmt.Fprintln(os.Stderr, "usage: climatelint [-list] [-json] [-baseline file] pattern...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,7 +49,7 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -42,28 +58,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "climatelint: %v\n", err)
 		os.Exit(2)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "climatelint: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
 	pkgs, err := loader.Load(flag.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "climatelint: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	all := lint.ToJSON(loader.ModuleDir, lint.RunAll(pkgs, analyzers))
+
+	// The failing set: every unsuppressed finding, narrowed to the ones
+	// the baseline does not already account for when -baseline is given.
+	var failing []lint.JSONDiagnostic
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		failing = lint.NewFindings(all, base)
+	} else {
+		failing = lint.NewFindings(all, nil)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "climatelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(failing) > 0 {
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "new finding(s) not in baseline"
+		}
+		fmt.Fprintf(os.Stderr, "climatelint: %d %s in %d package(s)\n", len(failing), what, len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AtomicMixAnalyzer catches the half-migrated counter: a variable or
+// struct field updated through sync/atomic in one function and read or
+// written plainly in another. The mixed pattern is worse than either
+// discipline alone — the atomic side looks audited, while the plain side
+// silently tears, reorders, or caches the value. (The serve/artifact
+// counters dodged this by using the atomic.Int64 wrapper types, whose
+// methods make plain access unrepresentable; this analyzer guards the
+// classic &x function style, which has no such guardrail.)
+//
+// Every identifier resolving to a variable that is the pointee of a
+// sync/atomic call argument is reported unless that use is itself part
+// of an atomic call. The declaration (including its initializer, which
+// runs before the variable is shared) is exempt. A use that is
+// deliberately unsynchronized — a final read after all goroutines are
+// joined, say — documents itself with //lint:atomicmix.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed through sync/atomic in one place and by plain load/store in another",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: collect every variable used as &v in a sync/atomic call,
+	// plus the identifiers that make up those calls (exempt from pass 2).
+	atomicAt := make(map[types.Object]token.Pos) // object -> earliest atomic site
+	exempt := make(map[*ast.Ident]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || importedPackage(p, call) != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			var id *ast.Ident
+			switch operand := ast.Unparen(un.X).(type) {
+			case *ast.Ident:
+				id = operand
+			case *ast.SelectorExpr:
+				id = operand.Sel
+				if base, ok := ast.Unparen(operand.X).(*ast.Ident); ok {
+					exempt[base] = true // the receiver itself is not a plain access
+				}
+			default:
+				return true
+			}
+			obj, ok := p.ObjectOf(id).(*types.Var)
+			if !ok {
+				return true
+			}
+			exempt[id] = true
+			if at, seen := atomicAt[obj]; !seen || id.Pos() < at {
+				atomicAt[obj] = id.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other use of those objects is a plain access.
+	var plain []*ast.Ident
+	for id, obj := range p.Pkg.Info.Uses {
+		if _, tracked := atomicAt[obj]; tracked && !exempt[id] {
+			plain = append(plain, id)
+		}
+	}
+	sort.Slice(plain, func(i, j int) bool { return plain[i].Pos() < plain[j].Pos() })
+	for _, id := range plain {
+		obj := p.Pkg.Info.Uses[id]
+		at := p.Pkg.Fset.Position(atomicAt[obj])
+		p.Reportf(id.Pos(), "%q is updated through sync/atomic (%s:%d) but accessed plainly here; mixing the two loses the atomicity of both: use sync/atomic for every access, or switch the field to an atomic.%s-style wrapper type", id.Name, filepath.Base(at.Filename), at.Line, wrapperHint(obj.Type()))
+	}
+}
+
+// wrapperHint names the atomic wrapper type matching a plain type, for
+// the diagnostic's suggestion.
+func wrapperHint(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		name := b.Name()
+		if len(name) > 0 {
+			return strings.ToUpper(name[:1]) + name[1:]
+		}
+	}
+	return "Value"
+}

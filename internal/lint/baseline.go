@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable output and baseline diffing. The JSON form exists for
+// two consumers: tooling that wants findings without parsing the text
+// format, and the baseline workflow — check in today's findings, then
+// fail the build only on *new* ones, so a new analyzer can land before
+// every annotation it demands has been written.
+
+// JSONDiagnostic is the wire form of one finding. File is
+// module-relative with forward slashes, so a baseline checked in on one
+// machine matches on every other.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// ToJSON converts diagnostics to their wire form, relativizing file
+// paths against the module root.
+func ToJSON(moduleDir string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:       relFile(moduleDir, d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	return out
+}
+
+func relFile(moduleDir, filename string) string {
+	if rel, err := filepath.Rel(moduleDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// ReadBaseline loads a baseline file written by `climatelint -json`.
+func ReadBaseline(path string) ([]JSONDiagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base []JSONDiagnostic
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// NewFindings returns the current findings not accounted for by the
+// baseline. Matching is a multiset diff on (file, analyzer, message) —
+// line and column are deliberately ignored, so edits that shift code
+// around do not resurrect baselined findings, while a second instance of
+// an identical finding in the same file still counts as new. Suppressed
+// entries on either side are ignored: a //lint: directive already
+// records the decision in the source.
+func NewFindings(current, baseline []JSONDiagnostic) []JSONDiagnostic {
+	credit := make(map[string]int)
+	for _, b := range baseline {
+		if !b.Suppressed {
+			credit[baselineKey(b)]++
+		}
+	}
+	var fresh []JSONDiagnostic
+	for _, d := range current {
+		if d.Suppressed {
+			continue
+		}
+		k := baselineKey(d)
+		if credit[k] > 0 {
+			credit[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+func baselineKey(d JSONDiagnostic) string {
+	return d.File + "\x00" + d.Analyzer + "\x00" + d.Message
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func jd(file, analyzer, msg string, line int) JSONDiagnostic {
+	return JSONDiagnostic{File: file, Line: line, Analyzer: analyzer, Message: msg}
+}
+
+func TestNewFindingsMultisetDiff(t *testing.T) {
+	base := []JSONDiagnostic{
+		jd("a.go", "floateq", "comparison", 10),
+		jd("a.go", "floateq", "comparison", 20),
+		jd("b.go", "errdrop", "dropped", 5),
+	}
+	cur := []JSONDiagnostic{
+		jd("a.go", "floateq", "comparison", 12), // moved: baselined
+		jd("a.go", "floateq", "comparison", 22), // moved: baselined
+		jd("a.go", "floateq", "comparison", 30), // third instance: new
+		jd("b.go", "maporder", "range over", 5), // new analyzer: new
+	}
+	fresh := NewFindings(cur, base)
+	if len(fresh) != 2 {
+		t.Fatalf("got %d new findings, want 2: %v", len(fresh), fresh)
+	}
+	if fresh[0].Line != 30 || fresh[1].Analyzer != "maporder" {
+		t.Errorf("wrong findings survived the diff: %v", fresh)
+	}
+}
+
+func TestNewFindingsIgnoresSuppressed(t *testing.T) {
+	cur := []JSONDiagnostic{
+		{File: "a.go", Analyzer: "gocapture", Message: "race", Suppressed: true},
+	}
+	if fresh := NewFindings(cur, nil); len(fresh) != 0 {
+		t.Errorf("suppressed finding treated as new: %v", fresh)
+	}
+	base := []JSONDiagnostic{
+		{File: "a.go", Analyzer: "gocapture", Message: "race", Suppressed: true},
+	}
+	cur2 := []JSONDiagnostic{
+		{File: "a.go", Analyzer: "gocapture", Message: "race"},
+	}
+	if fresh := NewFindings(cur2, base); len(fresh) != 1 {
+		t.Error("a suppressed baseline entry must not credit an active finding")
+	}
+}
+
+func TestToJSONRelativizesPaths(t *testing.T) {
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "x", "f.go"), Line: 3, Column: 7},
+		Analyzer: "nondet",
+		Message:  "m",
+	}}
+	out := ToJSON("/mod", diags)
+	if out[0].File != "internal/x/f.go" {
+		t.Errorf("File = %q, want module-relative slash path", out[0].File)
+	}
+	if out[0].Line != 3 || out[0].Col != 7 {
+		t.Errorf("position not carried: %+v", out[0])
+	}
+	// Outside the module: keep the absolute path rather than a ../ tangle.
+	out = ToJSON("/elsewhere/deep/dir", diags)
+	if out[0].File != "/mod/internal/x/f.go" {
+		t.Errorf("outside-module File = %q", out[0].File)
+	}
+}
+
+func TestReadBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint-baseline.json")
+	want := []JSONDiagnostic{jd("a.go", "floateq", "m", 1)}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("round trip mismatch: %v", got)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing baseline file must error, not read as empty")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("malformed baseline must error")
+	}
+}

@@ -1,0 +1,563 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs for the dataflow analyzers. A CFG is built per
+// function frame (a FuncDecl body or a FuncLit body — closures are
+// separate frames, exactly like the linear walkers treat them) from the
+// AST alone; no types are needed to build one, only to interpret the
+// statements inside its blocks.
+//
+// Blocks hold the nodes that execute when control reaches them, in
+// execution order. Control constructs are decomposed: an if statement
+// contributes its Init and Cond to the block that evaluates them, then
+// branches; a for statement contributes Init to the predecessor, Cond to
+// the head block, Post to the latch block. A RangeStmt node itself is
+// placed in its head block so analyses can see the per-iteration Key and
+// Value definitions, but consumers must not descend into its Body (the
+// body statements live in their own blocks) — nodeRefs below implements
+// that shallow traversal once for everyone.
+//
+// The builder is deliberately conservative where Go is tricky: a select
+// with no default still gets fall-through edges (an analysis sees more
+// paths than can execute, never fewer), and goto to a label that was
+// never declared simply ends the block. Panics and returns edge to the
+// single Exit block.
+
+// CFG is one function frame's control-flow graph.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // every return/panic/fall-off-the-end edges here
+	Blocks []*Block
+}
+
+// Block is a straight-line run of nodes with a single entry point.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// cfgBuilder carries the under-construction graph plus the targets that
+// break, continue and goto resolve against.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakTargets / continueTargets are stacks of enclosing loop (or
+	// switch/select, for break) exits, innermost last. The label is ""
+	// for unlabeled constructs.
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+
+	// labels maps a label name to its block, for goto. Forward gotos
+	// record a pending edge resolved when the label is declared.
+	labels       map[string]*Block
+	pendingGotos map[string][]*Block
+
+	// stmtLabels maps each labeled loop/switch statement to its label, so
+	// the lowering cases can register labeled break/continue targets (the
+	// AST does not link a statement back to its label).
+	stmtLabels map[ast.Stmt]string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:          &CFG{},
+		labels:       make(map[string]*Block),
+		pendingGotos: make(map[string][]*Block),
+		stmtLabels:   attachLabels(body),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches Exit.
+	if b.cur != nil {
+		b.cur.addSucc(b.cfg.Exit)
+	}
+	// Unresolved gotos (label never declared — ill-formed code the
+	// type-checker rejects, but the builder must not crash): drop them.
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock begins a new current block with an edge from the old one
+// (when the old one has not terminated).
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.cur.addSucc(blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// emit appends a node to the current block, resurrecting an unreachable
+// block after a terminator so later statements still get analyzed (dead
+// code keeps its facts; it simply has no predecessors).
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+
+		thenBlk := b.newBlock()
+		condBlk.addSucc(thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(join)
+		}
+
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			condBlk.addSucc(elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.cur.addSucc(join)
+			}
+		} else {
+			condBlk.addSucc(join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil || hasBreak(s.Body) {
+			head.addSucc(exit)
+		}
+		// An infinite loop without break never reaches exit; the edge
+		// above is omitted so reachability stays honest. (A break inside
+		// edges to exit explicitly.)
+		latch := b.newBlock()
+		if s.Post != nil {
+			latch.Nodes = append(latch.Nodes, s.Post)
+		}
+		latch.addSucc(head)
+
+		body := b.newBlock()
+		head.addSucc(body)
+		b.cur = body
+		b.pushLoop(b.labelOf(s), exit, latch)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(latch)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.startBlock()
+		// The RangeStmt node itself carries the per-iteration Key/Value
+		// definitions and the ranged expression; nodeRefs visits exactly
+		// those parts.
+		b.emit(s)
+		exit := b.newBlock()
+		head.addSucc(exit)
+		body := b.newBlock()
+		head.addSucc(body)
+		b.cur = body
+		b.pushLoop(b.labelOf(s), exit, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if b.cur != nil {
+			b.cur.addSucc(head)
+		}
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchBody(b.labelOf(s), s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(b.labelOf(s), s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		b.switchBody(b.labelOf(s), s.Body, nil)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto/continue can target it; the labeled
+		// statement itself handles loop/switch labels via labelOf.
+		blk := b.startBlock()
+		b.labels[s.Label.Name] = blk
+		for _, src := range b.pendingGotos[s.Label.Name] {
+			src.addSucc(blk)
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakTargets, label); t != nil && b.cur != nil {
+				b.cur.addSucc(t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := findTarget(b.continueTargets, label); t != nil && b.cur != nil {
+				b.cur.addSucc(t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				if t, ok := b.labels[label]; ok {
+					b.cur.addSucc(t)
+				} else {
+					b.pendingGotos[label] = append(b.pendingGotos[label], b.cur)
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody (case bodies chain); as a
+			// bare statement it just ends the block.
+		}
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		if b.cur != nil {
+			b.cur.addSucc(b.cfg.Exit)
+		}
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s) {
+			if b.cur != nil {
+				b.cur.addSucc(b.cfg.Exit)
+			}
+			b.cur = nil
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.emit(s)
+
+	default:
+		// Unknown statement kinds flow straight through.
+		b.emit(s)
+	}
+}
+
+// switchBody lowers the shared shape of switch / type switch / select:
+// each clause starts from the dispatch block, every clause body joins at
+// the exit, break targets the exit, and fallthrough chains a case body to
+// the next clause's body.
+func (b *cfgBuilder) switchBody(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.startBlock()
+	}
+	exit := b.newBlock()
+	b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: exit}, branchTarget{label: "", block: exit})
+
+	var clauseBlocks []*Block
+	var clauseStmts [][]ast.Stmt
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		var guard []ast.Node
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			stmts = cs.Body
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				guard = append(guard, e)
+			}
+		case *ast.CommClause:
+			stmts = cs.Body
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				guard = append(guard, cs.Comm)
+			}
+		default:
+			continue
+		}
+		blk := b.newBlock()
+		dispatch.addSucc(blk)
+		// The type-switch assign (x := y.(type)) and the case guard
+		// expressions evaluate on entry to the clause.
+		if assign != nil {
+			blk.Nodes = append(blk.Nodes, assign)
+		}
+		blk.Nodes = append(blk.Nodes, guard...)
+		clauseBlocks = append(clauseBlocks, blk)
+		clauseStmts = append(clauseStmts, stmts)
+	}
+	if !hasDefault {
+		dispatch.addSucc(exit)
+	}
+	for i, blk := range clauseBlocks {
+		b.cur = blk
+		b.stmtList(clauseStmts[i])
+		if b.cur != nil {
+			if fallsThrough(clauseStmts[i]) && i+1 < len(clauseBlocks) {
+				b.cur.addSucc(clauseBlocks[i+1])
+			} else {
+				b.cur.addSucc(exit)
+			}
+		}
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	b.cur = exit
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	br, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, branchTarget{label: "", block: brk})
+	b.continueTargets = append(b.continueTargets, branchTarget{label: "", block: cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: brk})
+		b.continueTargets = append(b.continueTargets, branchTarget{label: label, block: cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	trim := func(ts []branchTarget) []branchTarget {
+		// Unlabeled entry plus possibly a labeled one were pushed; pop
+		// until the unlabeled entry for this loop is gone.
+		for len(ts) > 0 {
+			last := ts[len(ts)-1]
+			ts = ts[:len(ts)-1]
+			if last.label == "" {
+				break
+			}
+		}
+		return ts
+	}
+	b.breakTargets = trim(b.breakTargets)
+	b.continueTargets = trim(b.continueTargets)
+}
+
+// findTarget resolves a break/continue label against a target stack,
+// innermost (last) first. label "" matches the innermost unlabeled entry.
+func findTarget(ts []branchTarget, label string) *Block {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ts[i].label == label {
+			return ts[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) labelOf(s ast.Stmt) string { return b.stmtLabels[s] }
+
+// attachLabels records the label of each labeled loop/switch statement in
+// the frame (not descending into closures).
+func attachLabels(body *ast.BlockStmt) map[ast.Stmt]string {
+	labels := make(map[ast.Stmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			switch ls.Stmt.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				labels[ls.Stmt] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	return labels
+}
+
+// hasBreak reports whether the loop body contains an unlabeled break not
+// swallowed by a nested loop/switch/select (which would capture it).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if found || c == nil {
+				return false
+			}
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if c != n {
+					return false // nested construct captures unlabeled break
+				}
+			case *ast.BranchStmt:
+				if c.Tok == token.BREAK {
+					// A labeled break may target an outer loop; treating it
+					// as "can exit this loop" only adds edges, never hides
+					// them, which is the conservative direction.
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return found
+}
+
+// FuncCFG builds the CFG of a function body, wiring labels first.
+func FuncCFG(body *ast.BlockStmt) *CFG {
+	attachLabels(body)
+	return BuildCFG(body)
+}
+
+// Reaches reports whether control can flow from block a to block b
+// through at least one edge (a block reaches itself only via a cycle).
+func (g *CFG) Reaches(a, b *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	push := func(x *Block) {
+		if !seen[x.Index] {
+			seen[x.Index] = true
+			stack = append(stack, x)
+		}
+	}
+	for _, s := range a.Succs {
+		push(s)
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		for _, s := range x.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// InCycle reports whether b sits on a control-flow cycle (a loop).
+func (g *CFG) InCycle(b *Block) bool { return g.Reaches(b, b) }
+
+// FindNested locates the emitted node containing n — n itself, or the
+// emitted ancestor whose subtree (per nodeRefs) holds it — so analyzers
+// can map an arbitrary expression back to its program point.
+func (g *CFG) FindNested(n ast.Node) (*Block, int) {
+	for _, b := range g.Blocks {
+		for i, have := range b.Nodes {
+			if have == n || contains(have, n) {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// BlockOf returns the block and node index holding the given node, or
+// (nil, -1). Identity match — the node must be one the builder emitted.
+func (g *CFG) BlockOf(n ast.Node) (*Block, int) {
+	for _, b := range g.Blocks {
+		for i, have := range b.Nodes {
+			if have == n {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// nodeRefs visits the parts of an emitted CFG node that execute with it,
+// without descending into nested function literals (separate frames) or
+// into the bodies of control statements (their statements live in other
+// blocks). This is the shallow traversal every dataflow transfer uses.
+func nodeRefs(n ast.Node, f func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		if n.Key != nil {
+			nodeRefs(n.Key, f)
+		}
+		if n.Value != nil {
+			nodeRefs(n.Value, f)
+		}
+		nodeRefs(n.X, f)
+	case nil:
+	default:
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, ok := c.(*ast.FuncLit); ok {
+				f(c) // let the callback see the literal itself, not inside
+				return false
+			}
+			if c == nil {
+				return true
+			}
+			return f(c)
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source for CFG shape tests (no
+// type information needed to build a graph).
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockWith finds the block holding a node matching pred.
+func blockWith(t *testing.T, g *CFG, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			nodeRefs(n, func(c ast.Node) bool {
+				if pred(c) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatal("no block matches predicate")
+	return nil
+}
+
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := FuncCFG(parseBody(t, "a(); b()"))
+	ab := blockWith(t, g, callNamed("a"))
+	if ab != blockWith(t, g, callNamed("b")) {
+		t.Error("straight-line statements must share a block")
+	}
+	if !g.Reaches(g.Entry, g.Exit) && ab != g.Entry {
+		t.Error("entry must reach exit")
+	}
+}
+
+func TestCFGIfBranches(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		if cond() {
+			a()
+		} else {
+			b()
+		}
+		c()`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	bc := blockWith(t, g, callNamed("c"))
+	if g.Reaches(ba, bb) || g.Reaches(bb, ba) {
+		t.Error("then and else branches must not reach each other")
+	}
+	if !g.Reaches(ba, bc) || !g.Reaches(bb, bc) {
+		t.Error("both branches must reach the join")
+	}
+}
+
+func TestCFGReturnCutsFlow(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		if cond() {
+			a()
+			return
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	if g.Reaches(ba, bb) {
+		t.Error("statements after return must be unreachable from the returning branch")
+	}
+	if !g.Reaches(ba, g.Exit) {
+		t.Error("return must reach Exit")
+	}
+}
+
+func TestCFGForLoopCycle(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		for i := 0; i < n; i++ {
+			a()
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	if !g.InCycle(ba) {
+		t.Error("loop body must be on a cycle")
+	}
+	if g.InCycle(bb) {
+		t.Error("statement after the loop must not be on a cycle")
+	}
+	if !g.Reaches(ba, bb) {
+		t.Error("loop body must reach the loop exit")
+	}
+	// The post statement (i++) must be inside the cycle too.
+	post := blockWith(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.IncDecStmt)
+		return ok
+	})
+	if !g.InCycle(post) {
+		t.Error("loop post statement must be on the cycle")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		for _, v := range xs {
+			a(v)
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	if !g.InCycle(ba) {
+		t.Error("range body must be on a cycle")
+	}
+	head := blockWith(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.RangeStmt)
+		return ok
+	})
+	if !g.InCycle(head) {
+		t.Error("range head must be on the cycle (per-iteration bindings)")
+	}
+}
+
+func TestCFGBreakExitsLoop(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		for {
+			if cond() {
+				break
+			}
+			a()
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	if !g.Reaches(ba, bb) {
+		t.Error("break must connect the loop to its exit")
+	}
+	if !g.InCycle(ba) {
+		t.Error("body of for{} must still be on a cycle")
+	}
+}
+
+func TestCFGInfiniteLoopWithoutBreak(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		for {
+			a()
+		}`))
+	ba := blockWith(t, g, callNamed("a"))
+	if g.Reaches(ba, g.Exit) {
+		t.Error("for{} without break must not reach Exit")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if cond() {
+					continue outer
+				}
+				a()
+			}
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	if !g.InCycle(ba) {
+		t.Error("inner loop body must be on a cycle")
+	}
+	if !g.Reaches(ba, blockWith(t, g, callNamed("b"))) {
+		t.Error("nested loops must reach the code after them")
+	}
+}
+
+func TestCFGSwitchClausesJoin(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+		case 2:
+			b()
+		}
+		c()`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	bc := blockWith(t, g, callNamed("c"))
+	if g.Reaches(ba, bb) || g.Reaches(bb, ba) {
+		t.Error("switch cases must not reach each other without fallthrough")
+	}
+	if !g.Reaches(ba, bc) || !g.Reaches(bb, bc) {
+		t.Error("both cases must join after the switch")
+	}
+}
+
+func TestCFGFallthroughChains(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		}`))
+	ba := blockWith(t, g, callNamed("a"))
+	bb := blockWith(t, g, callNamed("b"))
+	if !g.Reaches(ba, bb) {
+		t.Error("fallthrough must chain case bodies")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		select {
+		case <-ch:
+			a()
+		default:
+			b()
+		}
+		c()`))
+	if !g.Reaches(blockWith(t, g, callNamed("a")), blockWith(t, g, callNamed("c"))) {
+		t.Error("select clause must join after the select")
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+	again:
+		a()
+		if cond() {
+			goto again
+		}
+		b()`))
+	ba := blockWith(t, g, callNamed("a"))
+	if !g.InCycle(ba) {
+		t.Error("backward goto must form a cycle")
+	}
+}
+
+func TestCFGPanicReachesExit(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		if cond() {
+			panic("boom")
+		}
+		a()`))
+	pb := blockWith(t, g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if g.Reaches(pb, blockWith(t, g, callNamed("a"))) {
+		t.Error("panic must not fall through to the next statement")
+	}
+	if !g.Reaches(pb, g.Exit) {
+		t.Error("panic must edge to Exit")
+	}
+}
+
+func TestCFGClosureBodyExcluded(t *testing.T) {
+	g := FuncCFG(parseBody(t, `
+		f := func() { inner() }
+		outer()`))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			nodeRefs(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+						t.Error("closure body nodes must not leak into the enclosing frame's CFG")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

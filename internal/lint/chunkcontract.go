@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChunkContractAnalyzer proves violations of the DecodeChunks offset
+// contract (internal/compress.ChunkDecoder): the yield callback must see
+// offsets that start at 0, strictly increase, and tile [0, len(dst))
+// contiguously. The fused verification path and every streaming consumer
+// assume this — an offset that repeats or rewinds silently corrupts
+// metric accumulation rather than erroring.
+//
+// The analyzer is a dataflow proof, not a heuristic: it reports only
+// offsets whose reaching definitions make the violation certain on some
+// executable path, and stays silent the moment anything is unknown (a
+// computed offset, a yield forwarded into a helper closure, a value
+// flowing in from a parameter). Four provable shapes:
+//
+//   - the first yield on some path passes a nonzero constant offset;
+//   - a yield that always follows another yield passes constant 0 again;
+//   - a yield inside a loop whose offset variable is never reassigned
+//     anywhere on the cycle (consecutive iterations repeat the offset);
+//   - the offset variable is decremented (--, -= <positive literal>)
+//     and a later yield can still observe it.
+//
+// Implementations with a sanctioned non-contiguous layout would document
+// themselves with //lint:chunkcontract, though none should exist: the
+// contract is load-bearing for fused verification.
+var ChunkContractAnalyzer = &Analyzer{
+	Name: "chunkcontract",
+	Doc:  "DecodeChunks yields must be strictly increasing and contiguous from offset 0",
+	Run:  runChunkContract,
+}
+
+func runChunkContract(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "DecodeChunks" || fd.Body == nil {
+				continue
+			}
+			yield := yieldParam(p, fd)
+			if yield == nil {
+				continue
+			}
+			checkChunkContract(p, fd.Body, yield)
+		}
+	}
+}
+
+// yieldParam returns the object of the trailing yield-callback parameter
+// when the function matches the ChunkDecoder shape: last parameter of
+// type func(int, []float32) error.
+func yieldParam(p *Pass, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) != 1 {
+		return nil
+	}
+	sig, ok := p.TypeOf(last.Type).(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return nil
+	}
+	if !types.Identical(sig.Params().At(0).Type(), types.Typ[types.Int]) {
+		return nil
+	}
+	slice, ok := sig.Params().At(1).Type().(*types.Slice)
+	if !ok || !types.Identical(slice.Elem(), types.Typ[types.Float32]) {
+		return nil
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return nil
+	}
+	return p.ObjectOf(last.Names[0])
+}
+
+func checkChunkContract(p *Pass, body *ast.BlockStmt, yield types.Object) {
+	calls, confined := yieldCalls(p, body, yield)
+	if !confined || len(calls) == 0 {
+		return // yield escapes into a closure or is passed around: unknown
+	}
+	g := FuncCFG(body)
+	rd := ComputeReachingDefs(p, g)
+
+	// Map each yield call to its program point and collect, per block, the
+	// source positions of the yield calls it contains.
+	type site struct {
+		call *ast.CallExpr
+		blk  *Block
+		idx  int
+	}
+	var sites []site
+	yieldPosIn := make(map[*Block][]token.Pos)
+	for _, c := range calls {
+		blk, idx := g.FindNested(c)
+		if blk == nil {
+			return // a yield outside the frame graph: give up, stay silent
+		}
+		sites = append(sites, site{call: c, blk: blk, idx: idx})
+		yieldPosIn[blk] = append(yieldPosIn[blk], c.Pos())
+	}
+
+	// canBeFirst: is there a path from entry to this call crossing no
+	// earlier yield?
+	canBeFirst := func(s site) bool {
+		seen := make([]bool, len(g.Blocks))
+		var dfs func(b *Block) bool
+		dfs = func(b *Block) bool {
+			if seen[b.Index] {
+				return false
+			}
+			seen[b.Index] = true
+			if b == s.blk {
+				for _, pos := range yieldPosIn[b] {
+					if pos < s.call.Pos() {
+						return false
+					}
+				}
+				return true
+			}
+			if len(yieldPosIn[b]) > 0 {
+				return false // every path through here already yielded
+			}
+			for _, succ := range b.Succs {
+				if dfs(succ) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(g.Entry)
+	}
+
+	// offsetConst resolves a yield's offset argument to a constant: the
+	// literal itself, or an identifier all of whose reaching definitions
+	// are the same integer literal. ok=false means unknown.
+	offsetConst := func(s site) (int64, bool) {
+		arg := ast.Unparen(s.call.Args[0])
+		if v, ok := intLit(arg); ok {
+			return v, true
+		}
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		defs, ok := rd.At(p.ObjectOf(id), s.call)
+		if !ok {
+			return 0, false
+		}
+		var val int64
+		for i, d := range defs {
+			if d.Rhs == nil {
+				return 0, false
+			}
+			v, isLit := intLit(d.Rhs)
+			if !isLit || (i > 0 && v != val) {
+				return 0, false
+			}
+			val = v
+		}
+		return val, true
+	}
+
+	for _, s := range sites {
+		first := canBeFirst(s)
+		if v, known := offsetConst(s); known {
+			if first && v != 0 {
+				p.Reportf(s.call.Pos(), "the first offset this DecodeChunks can yield is %d, violating the contiguous-from-zero offset contract: the first chunk must start at offset 0", v)
+				continue
+			}
+			if !first && v == 0 {
+				p.Reportf(s.call.Pos(), "this yield always follows an earlier yield but passes offset 0 again, violating the strictly-increasing offset contract")
+				continue
+			}
+		}
+		if g.InCycle(s.blk) {
+			if stuck, name := offsetStuckInLoop(p, g, rd, s.blk, s.call); stuck {
+				p.Reportf(s.call.Pos(), "the %s offset never changes on the loop this yield sits in, so consecutive yields repeat the same offset, violating the strictly-increasing contract", name)
+				continue
+			}
+		}
+	}
+
+	// Backwards movement: a decrement of any variable used as a yield
+	// offset, observable by a later yield.
+	offsetObjs := make(map[types.Object]bool)
+	for _, s := range sites {
+		if id, ok := ast.Unparen(s.call.Args[0]).(*ast.Ident); ok {
+			if obj := p.ObjectOf(id); obj != nil {
+				offsetObjs[obj] = true
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			obj, pos, ok := decrements(p, n, offsetObjs)
+			if !ok {
+				continue
+			}
+			for _, s := range sites {
+				if id, isIdent := ast.Unparen(s.call.Args[0]).(*ast.Ident); !isIdent || p.ObjectOf(id) != obj {
+					continue
+				}
+				laterInBlock := s.blk == b && s.idx > i
+				if laterInBlock || g.Reaches(b, s.blk) {
+					p.Reportf(pos, "the yield offset %q moves backwards here and a later yield can observe it, violating the strictly-increasing offset contract", obj.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+// offsetStuckInLoop reports whether the yield's offset argument is a
+// tracked variable that no block on the call's cycle reassigns (or a
+// bare constant, which trivially never advances). name is the offset's
+// description for the diagnostic.
+func offsetStuckInLoop(p *Pass, g *CFG, rd *ReachingDefs, blk *Block, call *ast.CallExpr) (bool, string) {
+	arg := ast.Unparen(call.Args[0])
+	if _, ok := intLit(arg); ok {
+		return true, "constant"
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false, ""
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return false, ""
+	}
+	if _, known := rd.At(obj, call); !known {
+		return false, "" // parameter or capture: its mutation is invisible here
+	}
+	for _, b := range g.Blocks {
+		onCycle := b == blk || (g.Reaches(blk, b) && g.Reaches(b, blk))
+		if onCycle && assignsIn(p, b, obj) {
+			return false, ""
+		}
+	}
+	return true, `"` + obj.Name() + `"`
+}
+
+// decrements matches off-- and off -= <positive int literal> against the
+// set of known offset variables.
+func decrements(p *Pass, n ast.Node, offsets map[types.Object]bool) (types.Object, token.Pos, bool) {
+	var obj types.Object
+	var pos token.Pos
+	nodeRefs(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.IncDecStmt:
+			if c.Tok == token.DEC {
+				if id := identOf(c.X); id != nil && offsets[p.ObjectOf(id)] {
+					obj, pos = p.ObjectOf(id), c.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			if c.Tok == token.SUB_ASSIGN && len(c.Lhs) == 1 && len(c.Rhs) == 1 {
+				if v, ok := intLit(c.Rhs[0]); ok && v > 0 {
+					if id := identOf(c.Lhs[0]); id != nil && offsets[p.ObjectOf(id)] {
+						obj, pos = p.ObjectOf(id), c.Pos()
+					}
+				}
+			}
+		}
+		return obj == nil
+	})
+	return obj, pos, obj != nil
+}
+
+// yieldCalls collects every call through the yield parameter in the
+// function's own frame. confined is false when yield is referenced any
+// other way — inside a closure, passed as an argument, assigned — which
+// makes the call set incomplete and all proofs unsound.
+func yieldCalls(p *Pass, body *ast.BlockStmt, yield types.Object) (calls []*ast.CallExpr, confined bool) {
+	confined = true
+	var inLit int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if !confined {
+				return false
+			}
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				inLit++
+				walk(c.Body)
+				inLit--
+				return false
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && p.ObjectOf(id) == yield {
+					if inLit > 0 {
+						confined = false // yielding from a closure: frame CFG can't order it
+						return false
+					}
+					calls = append(calls, c)
+					// Arguments may still mention yield (they do not here,
+					// but stay safe): inspect them below via the normal walk
+					// of children minus Fun. Simplest: mark the Fun ident as
+					// accounted for by skipping it.
+					for _, a := range c.Args {
+						walk(a)
+					}
+					return false
+				}
+			case *ast.Ident:
+				if p.ObjectOf(c) == yield {
+					confined = false // any non-call use: escape
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return calls, confined
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the daemon's cancellation story. climatebenchd
+// promises that a dropped connection or SIGTERM stops in-flight
+// verification work; that promise only holds if every library path
+// threads the caller's context downward. Two rules:
+//
+//   - Constructing context.Background() (or TODO()) in a function that
+//     already has a caller's ctx in scope detaches everything below from
+//     cancellation. Thread the ctx that is already there. A deliberate
+//     detach (a shutdown grace timer, say) states its reason with
+//     //lint:ctxflow.
+//
+//   - A par.EachCtx / EachLimitCtx worker closure that loops without ever
+//     observing any context — no ctx.Done(), no ctx.Err(), not even
+//     passing ctx to a callee — keeps burning CPU after cancellation;
+//     EachCtx only stops *scheduling* workers, it cannot preempt one.
+//     Any reference to a context-typed value inside the loop counts as
+//     observing (a callee that receives ctx is assumed to check it), so
+//     the rule is silent wherever cancellation is plausibly handled.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background constructed where a caller ctx is in scope; ctx-blind loops in EachCtx workers",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					ctxScan(p, d.Body, hasCtxParam(p, d.Type))
+				}
+			case *ast.GenDecl:
+				// Package-level func-literal values (rare, but cheap to
+				// cover): each literal starts a fresh scope chain.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						ctxScan(p, lit.Body, hasCtxParam(p, lit.Type))
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// ctxScan walks one function body. haveCtx records whether some
+// enclosing function (this one or an outer literal chain) has a
+// context.Context parameter in scope.
+func ctxScan(p *Pass, body *ast.BlockStmt, haveCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctxScan(p, n.Body, haveCtx || hasCtxParam(p, n.Type))
+			return false
+		case *ast.CallExpr:
+			if haveCtx && importedPackage(p, n) == "context" {
+				switch calleeName(n) {
+				case "Background", "TODO":
+					p.Reportf(n.Pos(), "context.%s() constructed here discards the caller's ctx already in scope, detaching this path from cancellation: thread the existing context (or annotate a deliberate detach with //lint:ctxflow)", calleeName(n))
+				}
+			}
+			if name, lit := parWorker(p, n); lit != nil && (name == "EachCtx" || name == "EachLimitCtx") {
+				ctxBlindLoops(p, name, lit)
+			}
+		}
+		return true
+	})
+}
+
+// ctxBlindLoops reports loops in an EachCtx-family worker closure that
+// never reference any context-typed value.
+func ctxBlindLoops(p *Pass, parName string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate frame; if it is itself spawned, it gets its own pass
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !referencesContext(p, n) {
+				p.Reportf(n.Pos(), "this loop inside a par.%s worker never observes any context; a cancelled ctx stops scheduling new workers but cannot preempt this one, so long iterations keep running after shutdown: check ctx.Err() in the loop (or pass ctx to the work it calls)", parName)
+			}
+			return false // nested loops inherit the outer loop's finding
+		}
+		return true
+	})
+}
+
+// referencesContext reports whether any identifier under n has type
+// context.Context.
+func referencesContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := p.ObjectOf(id); obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCtxParam reports whether a function type declares a
+// context.Context parameter.
+func hasCtxParam(p *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		if t := p.TypeOf(fld.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType matches the named type context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A small forward-dataflow framework over the CFG: facts flow from a
+// block's IN (the join of its predecessors' OUTs) through a transfer
+// function to its OUT, iterated on a worklist until fixpoint. Analyzers
+// define their lattice with four functions; the framework owns the
+// iteration. Termination is the analyzer's contract: Join must be
+// monotone and the fact domain must have finite height (every lattice
+// here is a finite map of program variables to small sets, so height is
+// bounded by the function's size).
+
+// Problem defines one forward-dataflow analysis.
+type Problem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Bottom is the fact for blocks not yet visited (identity of Join).
+	Bottom func() F
+	// Join merges two facts at a control-flow merge point. It must not
+	// mutate its inputs.
+	Join func(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// worklist stops re-queuing when OUT facts stop changing.
+	Equal func(a, b F) bool
+	// Transfer pushes a fact through one block. It must not mutate in.
+	Transfer func(b *Block, in F) F
+}
+
+// Forward iterates the problem to fixpoint and returns each block's IN
+// fact. A block's state at a specific node is recovered by re-applying
+// the transfer from the IN fact (see the analyzers' per-node walks).
+func Forward[F any](g *CFG, p Problem[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Bottom()
+		out[b] = p.Bottom()
+	}
+	in[g.Entry] = p.Entry
+
+	// Seed with every block so unreachable blocks still get their Bottom
+	// facts transferred once (their nodes are dead code, but analyzers
+	// walking them should see a defined state).
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	pop := func() *Block {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		return b
+	}
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	for len(work) > 0 {
+		b := pop()
+		fact := p.Bottom()
+		if b == g.Entry {
+			fact = p.Join(fact, p.Entry)
+		}
+		for _, pr := range preds[b] {
+			fact = p.Join(fact, out[pr])
+		}
+		in[b] = fact
+		newOut := p.Transfer(b, fact)
+		if !p.Equal(newOut, out[b]) {
+			out[b] = newOut
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------------
+
+// DefSite is one definition of a variable. Rhs is the defining expression
+// when the definition binds exactly one value (x := e, x = e); it is nil
+// for opaque definitions — compound assignment, ++/--, range bindings,
+// multi-value unpacking — where no single expression describes the new
+// value. A variable with no recorded definition at a use site (parameter,
+// closure capture, named result) is unknown, which analyzers must treat
+// as "could be anything".
+type DefSite struct {
+	Pos token.Pos
+	Rhs ast.Expr
+}
+
+// defsFact maps each variable to the set of definitions that may reach a
+// program point. The per-variable set is keyed by definition position.
+type defsFact map[types.Object]map[token.Pos]DefSite
+
+func (f defsFact) clone() defsFact {
+	g := make(defsFact, len(f))
+	for obj, sites := range f {
+		m := make(map[token.Pos]DefSite, len(sites))
+		for pos, d := range sites {
+			m[pos] = d
+		}
+		g[obj] = m
+	}
+	return g
+}
+
+// ReachingDefs is the result of a reaching-definitions analysis over one
+// function frame, queryable at any emitted CFG node.
+type ReachingDefs struct {
+	p  *Pass
+	g  *CFG
+	in map[*Block]defsFact
+}
+
+// ComputeReachingDefs runs the analysis. Only identifiers resolving to
+// *types.Var objects are tracked; anything assigned through a selector,
+// index or dereference changes state the analysis does not model.
+func ComputeReachingDefs(p *Pass, g *CFG) *ReachingDefs {
+	prob := Problem[defsFact]{
+		Entry:  defsFact{},
+		Bottom: func() defsFact { return defsFact{} },
+		Join: func(a, b defsFact) defsFact {
+			m := a.clone()
+			for obj, sites := range b {
+				if m[obj] == nil {
+					m[obj] = make(map[token.Pos]DefSite, len(sites))
+				}
+				for pos, d := range sites {
+					m[obj][pos] = d
+				}
+			}
+			return m
+		},
+		Equal: func(a, b defsFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for obj, as := range a {
+				bs, ok := b[obj]
+				if !ok || len(as) != len(bs) {
+					return false
+				}
+				for pos := range as {
+					if _, ok := bs[pos]; !ok {
+						return false
+					}
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in defsFact) defsFact {
+			out := in.clone()
+			for _, n := range b.Nodes {
+				applyDefs(p, n, out)
+			}
+			return out
+		},
+	}
+	return &ReachingDefs{p: p, g: g, in: Forward(g, prob)}
+}
+
+// applyDefs folds one emitted node's definitions into the fact (kill the
+// old sites, gen the new one).
+func applyDefs(p *Pass, n ast.Node, fact defsFact) {
+	def := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := p.ObjectOf(id)
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		fact[obj] = map[token.Pos]DefSite{id.Pos(): {Pos: id.Pos(), Rhs: rhs}}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		oneToOne := len(n.Lhs) == len(n.Rhs)
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			if oneToOne && (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) {
+				rhs = n.Rhs[i]
+			}
+			def(id, rhs) // compound tokens (+=, …) record an opaque def
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			def(id, nil)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			oneToOne := len(vs.Names) == len(vs.Values)
+			for i, id := range vs.Names {
+				var rhs ast.Expr
+				if oneToOne {
+					rhs = vs.Values[i]
+				}
+				def(id, rhs)
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			def(id, nil)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			def(id, nil)
+		}
+	}
+}
+
+// At returns the definitions of obj that may reach the given node, which
+// must be one the CFG builder emitted (or an expression nested inside
+// one). ok is false when the node is not part of this CFG or obj has no
+// recorded definition (a parameter, capture, or untracked write) — both
+// mean "unknown", the conservative answer.
+func (r *ReachingDefs) At(obj types.Object, node ast.Node) (sites []DefSite, ok bool) {
+	blk, idx := r.g.FindNested(node)
+	if blk == nil {
+		return nil, false
+	}
+	fact := r.in[blk].clone()
+	for i := 0; i < idx; i++ {
+		applyDefs(r.p, blk.Nodes[i], fact)
+	}
+	m, have := fact[obj]
+	if !have || len(m) == 0 {
+		return nil, false
+	}
+	for _, d := range m {
+		sites = append(sites, d)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Pos < sites[j].Pos })
+	return sites, true
+}
+
+// contains reports whether needle appears in the subtree of root (not
+// descending into function literals — their nodes belong to other frames).
+func contains(root, needle ast.Node) bool {
+	found := false
+	nodeRefs(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsIn reports whether any emitted node of block b (re)defines obj.
+func assignsIn(p *Pass, b *Block, obj types.Object) bool {
+	fact := defsFact{}
+	for _, n := range b.Nodes {
+		applyDefs(p, n, fact)
+	}
+	_, ok := fact[obj]
+	return ok
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckFunc parses and type-checks a single-file package and returns
+// a Pass over it plus the named function's body.
+func typecheckFunc(t *testing.T, src, fn string) (*Pass, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "df.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("dftest", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &Package{
+		Path: "dftest", Module: "dftest", Fset: fset,
+		Files: []*ast.File{f}, Types: tpkg, Info: info,
+		supp: make(map[suppKey]bool),
+	}
+	pass := &Pass{Analyzer: &Analyzer{Name: "test"}, Pkg: pkg, Module: "dftest", report: func(Diagnostic) {}}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return pass, fd
+		}
+	}
+	t.Fatalf("no function %q", fn)
+	return nil, nil
+}
+
+// findCall locates the call to the named function inside a body.
+func findCall(t *testing.T, body *ast.BlockStmt, name string) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && found == nil {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = call
+			}
+		}
+		return found == nil
+	})
+	if found == nil {
+		t.Fatalf("no call to %q", name)
+	}
+	return found
+}
+
+func objOf(t *testing.T, p *Pass, body *ast.BlockStmt, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && obj == nil {
+			if o := p.ObjectOf(id); o != nil {
+				obj = o
+			}
+		}
+		return obj == nil
+	})
+	if obj == nil {
+		t.Fatalf("no object %q", name)
+	}
+	return obj
+}
+
+const dfSrc = `package dftest
+
+func sink(x int) {}
+
+func branches(c bool) {
+	x := 0
+	if c {
+		x = 1
+	}
+	sink(x)
+}
+
+func loop(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		sink(x)
+		x = i
+	}
+}
+
+func killed() {
+	x := 1
+	x = 2
+	sink(x)
+}
+
+func unknownParam(x int) {
+	sink(x)
+}
+`
+
+// litValues extracts the integer literal values of a def set; -1 stands
+// for an opaque definition.
+func litValues(sites []DefSite) map[string]bool {
+	vals := make(map[string]bool)
+	for _, d := range sites {
+		if lit, ok := d.Rhs.(*ast.BasicLit); ok {
+			vals[lit.Value] = true
+		} else {
+			vals["?"] = true
+		}
+	}
+	return vals
+}
+
+func TestReachingDefsBranchJoin(t *testing.T) {
+	p, fd := typecheckFunc(t, dfSrc, "branches")
+	g := FuncCFG(fd.Body)
+	rd := ComputeReachingDefs(p, g)
+	call := findCall(t, fd.Body, "sink")
+	x := objOf(t, p, fd.Body, "x")
+	sites, ok := rd.At(x, call.Args[0])
+	if !ok {
+		t.Fatal("x should have reaching defs at sink(x)")
+	}
+	vals := litValues(sites)
+	if !vals["0"] || !vals["1"] || len(sites) != 2 {
+		t.Errorf("want defs {0,1} to reach the join, got %v", vals)
+	}
+}
+
+func TestReachingDefsLoopCarried(t *testing.T) {
+	p, fd := typecheckFunc(t, dfSrc, "loop")
+	g := FuncCFG(fd.Body)
+	rd := ComputeReachingDefs(p, g)
+	call := findCall(t, fd.Body, "sink")
+	x := objOf(t, p, fd.Body, "x")
+	sites, ok := rd.At(x, call.Args[0])
+	if !ok {
+		t.Fatal("x should have reaching defs inside the loop")
+	}
+	vals := litValues(sites)
+	// Both the init (x := 0) and the loop-carried x = i reach the use.
+	if !vals["0"] || !vals["?"] {
+		t.Errorf("want init and loop-carried defs, got %v", vals)
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	p, fd := typecheckFunc(t, dfSrc, "killed")
+	g := FuncCFG(fd.Body)
+	rd := ComputeReachingDefs(p, g)
+	call := findCall(t, fd.Body, "sink")
+	x := objOf(t, p, fd.Body, "x")
+	sites, ok := rd.At(x, call.Args[0])
+	if !ok {
+		t.Fatal("x should have a reaching def")
+	}
+	if len(sites) != 1 || !litValues(sites)["2"] {
+		t.Errorf("x = 2 must kill x := 1; got %v", litValues(sites))
+	}
+}
+
+func TestReachingDefsUnknownParam(t *testing.T) {
+	p, fd := typecheckFunc(t, dfSrc, "unknownParam")
+	g := FuncCFG(fd.Body)
+	rd := ComputeReachingDefs(p, g)
+	call := findCall(t, fd.Body, "sink")
+	x := objOf(t, p, fd.Body, "x")
+	if _, ok := rd.At(x, call.Args[0]); ok {
+		t.Error("a parameter with no assignment must report unknown (ok=false)")
+	}
+}

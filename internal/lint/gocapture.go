@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// GoCaptureAnalyzer finds data races hiding in closure captures — the
+// class of bug the race detector only reports when a test happens to hit
+// the interleaving, and the one PR 5's fan-outs made structurally easy to
+// write. Three rules, all built on the CFG so "concurrent" means what the
+// control flow says, not what the source order suggests:
+//
+//   - A `go func(){...}()` closure that writes a captured variable races
+//     with the spawning function if the spawner can also write it after
+//     the goroutine starts (reachability from the spawn block), or if the
+//     spawn sits on a loop so multiple goroutine instances write the same
+//     variable.
+//
+//   - A par.Each / EachLimit / EachCtx / EachLimitCtx / Ranges worker
+//     closure that writes a captured variable races with its sibling
+//     invocations: the pool runs workers concurrently. Writes through an
+//     index (res[i] = ...) are the package's sanctioned pattern and are
+//     not captures of the variable itself. par's Each* functions block
+//     until every worker returns, so spawner writes *after* the call are
+//     ordered and never reported. EachLimit/EachLimitCtx with a literal
+//     limit of 1 runs workers serially and is exempt.
+//
+//   - Under a go.mod `go` directive older than 1.22, a goroutine capturing
+//     a loop variable observes whatever iteration the loop has advanced
+//     to — every instance likely sees the final value.
+//
+// Writes bracketed by a mutex Lock() earlier in the same region are
+// treated as synchronized and stay silent; so does everything done
+// through sync/atomic (those are calls, not assignments). A deliberate
+// single-writer handoff documents itself with //lint:gocapture.
+var GoCaptureAnalyzer = &Analyzer{
+	Name: "gocapture",
+	Doc:  "captured variables written concurrently by goroutines or par workers without synchronization",
+	Run:  runGoCapture,
+}
+
+// parEachFuncs are the internal/par entry points that invoke their
+// closure argument concurrently.
+var parEachFuncs = map[string]bool{
+	"Each": true, "EachLimit": true, "EachCtx": true, "EachLimitCtx": true, "Ranges": true,
+}
+
+// spawnSite is one place a frame starts concurrent execution of a closure.
+type spawnSite struct {
+	lit  *ast.FuncLit
+	kind string // "go" or the par function name
+	node ast.Node
+}
+
+func runGoCapture(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					goCaptureFrame(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				goCaptureFrame(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// goCaptureFrame analyzes one function frame's spawn sites.
+func goCaptureFrame(p *Pass, body *ast.BlockStmt) {
+	spawns := frameSpawns(p, body)
+	if len(spawns) == 0 {
+		return
+	}
+	g := FuncCFG(body)
+	oldLoopVars := !loopVarPerIteration(p.Pkg.GoVersion)
+	for _, s := range spawns {
+		blk, idx := g.FindNested(s.node)
+		if blk == nil {
+			continue
+		}
+		for _, w := range closureWrites(p, s.lit) {
+			obj := w.obj
+			switch {
+			case s.kind != "go":
+				p.Reportf(w.pos, "%q is captured and written by this par.%s worker closure; worker invocations run concurrently and race on it: write to a per-index slot, guard every write with a mutex, or use sync/atomic", obj.Name(), s.kind)
+			case g.InCycle(blk):
+				p.Reportf(w.pos, "%q is written by a goroutine spawned inside a loop; the goroutine instances race with each other on it: pass a per-iteration value or guard the writes with a mutex", obj.Name())
+			default:
+				if wpos, ok := outerWriteAfterSpawn(p, g, body, s, blk, idx, obj); ok {
+					p.Reportf(w.pos, "%q is written both by this goroutine and by the spawning function (line %d) with neither write synchronized: guard both with a mutex or use sync/atomic", obj.Name(), p.Pkg.Fset.Position(wpos).Line)
+				}
+			}
+		}
+		if oldLoopVars && s.kind == "go" {
+			for _, lv := range enclosingLoopVars(p, body, s.node) {
+				if usesObject(p, s.lit.Body, lv) {
+					p.Reportf(s.lit.Pos(), "loop variable %q is captured by a goroutine started in the loop; before Go 1.22 every iteration shares one variable, so the goroutines observe whatever value the loop has advanced to: pass it as an argument", lv.Name())
+				}
+			}
+		}
+	}
+}
+
+// frameSpawns collects the frame's spawn sites: go statements with a
+// closure, and par.Each*/Ranges calls with a closure worker. Nested
+// closures are separate frames and are skipped (nodeRefs does not
+// descend), so a spawn inside a worker belongs to the worker's frame.
+func frameSpawns(p *Pass, body *ast.BlockStmt) []spawnSite {
+	var spawns []spawnSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A nested closure is its own frame; runGoCapture visits it
+			// separately. (The go/par statements above are seen before the
+			// walk reaches their literal, so spawn targets are recorded.)
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				spawns = append(spawns, spawnSite{lit: lit, kind: "go", node: n})
+			}
+		case *ast.CallExpr:
+			if name, lit := parWorker(p, n); lit != nil {
+				spawns = append(spawns, spawnSite{lit: lit, kind: name, node: n})
+			}
+		}
+		return true
+	})
+	return spawns
+}
+
+// parWorker recognizes a call to one of internal/par's concurrent
+// entry points and returns the worker closure, or ("", nil). Calls whose
+// literal limit argument is 1 run serially and return nil.
+func parWorker(p *Pass, call *ast.CallExpr) (string, *ast.FuncLit) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
+		return "", nil
+	}
+	name := fn.Name()
+	if !parEachFuncs[name] {
+		return "", nil
+	}
+	if name == "EachLimit" || name == "EachLimitCtx" {
+		// The limit is the argument before the worker func.
+		if len(call.Args) >= 2 {
+			if v, ok := intLit(call.Args[len(call.Args)-2]); ok && v == 1 {
+				return "", nil
+			}
+		}
+	}
+	var lit *ast.FuncLit
+	for _, arg := range call.Args {
+		if l, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			lit = l
+		}
+	}
+	return name, lit
+}
+
+// capturedWrite is one unsynchronized write inside a closure to a
+// variable captured from an enclosing function.
+type capturedWrite struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// closureWrites finds direct writes (assignment or ++/--, not through an
+// index or field) inside lit's body to variables declared outside it.
+// Writes preceded by a mutex Lock() in the closure body are treated as
+// synchronized and skipped.
+func closureWrites(p *Pass, lit *ast.FuncLit) []capturedWrite {
+	var writes []capturedWrite
+	record := func(e ast.Expr, pos token.Pos) {
+		id := identOf(e)
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj, ok := p.ObjectOf(id).(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		// Must be function-local to some enclosing frame: declared outside
+		// the literal but not at package scope (package-level state has its
+		// own idioms and owners; the capture rules are about stack escape).
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return
+		}
+		if mutexHeldBefore(p, lit.Body, pos) {
+			return
+		}
+		writes = append(writes, capturedWrite{obj: obj, pos: pos})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				record(l, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			record(n.X, n.Pos())
+		}
+		return true
+	})
+	return writes
+}
+
+// outerWriteAfterSpawn reports a write to obj in the spawning frame that
+// can execute after the goroutine is live: in a block the spawn block
+// reaches, or later in the spawn block itself. Writes inside other
+// closures are not this frame's writes; writes under a mutex are
+// synchronized.
+func outerWriteAfterSpawn(p *Pass, g *CFG, body *ast.BlockStmt, s spawnSite, spawnBlk *Block, spawnIdx int, obj types.Object) (token.Pos, bool) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if b == spawnBlk && i <= spawnIdx {
+				continue
+			}
+			if b != spawnBlk && !g.Reaches(spawnBlk, b) {
+				continue
+			}
+			if pos, ok := writesObj(p, n, obj); ok && !mutexHeldBefore(p, body, pos) {
+				return pos, true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// writesObj reports whether emitted node n directly assigns obj.
+func writesObj(p *Pass, n ast.Node, obj types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	check := func(e ast.Expr) {
+		if id := identOf(e); id != nil && p.ObjectOf(id) == obj {
+			found, pos = true, id.Pos()
+		}
+	}
+	nodeRefs(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for _, l := range c.Lhs {
+				check(l)
+			}
+		case *ast.IncDecStmt:
+			check(c.X)
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// mutexHeldBefore is the synchronization heuristic: somewhere in region,
+// before pos, a sync.Mutex/RWMutex Lock (or RLock) is taken. It is
+// deliberately coarse — a Lock anywhere earlier in the same region
+// counts — because the analyzer's job is flagging code with *no*
+// synchronization story, not auditing lock scopes.
+func mutexHeldBefore(p *Pass, region ast.Node, pos token.Pos) bool {
+	held := false
+	ast.Inspect(region, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if t := p.TypeOf(sel.X); t != nil && isMutexType(t) {
+			held = true
+		}
+		return !held
+	})
+	return held
+}
+
+// isMutexType matches sync.Mutex / sync.RWMutex, by value or pointer.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// enclosingLoopVars returns the loop variables (for-init or range
+// key/value) of every loop in body whose subtree contains node.
+func enclosingLoopVars(p *Pass, body *ast.BlockStmt, node ast.Node) []types.Object {
+	var vars []types.Object
+	addIdent := func(e ast.Expr) {
+		if id := identOf(e); id != nil && id.Name != "_" {
+			if obj, ok := p.ObjectOf(id).(*types.Var); ok {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	encloses := func(n ast.Node) bool {
+		return n.Pos() <= node.Pos() && node.End() <= n.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // the spawn lives in this frame, not a closure
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE && encloses(n) {
+				for _, l := range init.Lhs {
+					addIdent(l)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE && encloses(n) {
+				addIdent(n.Key)
+				addIdent(n.Value)
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// loopVarPerIteration reports whether the module's Go version gives each
+// loop iteration its own variable (go1.22+). Unknown versions are
+// assumed modern — the conservative direction for a linter is silence.
+func loopVarPerIteration(version string) bool {
+	if version == "" {
+		return true
+	}
+	parts := strings.SplitN(version, ".", 3)
+	if len(parts) < 2 {
+		return true
+	}
+	major, err1 := strconv.Atoi(parts[0])
+	minor, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return true
+	}
+	return major > 1 || (major == 1 && minor >= 22)
+}
+
+// intLit evaluates an integer literal expression.
+func intLit(e ast.Expr) (int64, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	return v, err == nil
+}

@@ -36,11 +36,14 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding reported by an analyzer.
+// Diagnostic is one finding reported by an analyzer. Suppressed marks a
+// finding covered by a //lint: directive; Run drops those, RunAll keeps
+// them so machine consumers (-json) can audit what the directives hide.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -87,14 +90,17 @@ type Pass struct {
 	report func(Diagnostic)
 }
 
-// Reportf records a finding at pos unless a //lint: directive on that
-// line (or the line above) suppresses this analyzer.
+// Reportf records a finding at pos. A //lint: directive on that line (or
+// the line above) marks it suppressed; the driver decides whether
+// suppressed findings are dropped (Run) or surfaced flagged (RunAll).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.suppressed(p.Analyzer.Name, position) {
-		return
-	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.report(Diagnostic{
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.Pkg.suppressed(p.Analyzer.Name, position),
+	})
 }
 
 // TypeOf returns the type of e, or nil if unknown.
@@ -106,8 +112,12 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf
 // Analyzers returns the full set, in deterministic (alphabetical) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		AtomicMixAnalyzer,
+		ChunkContractAnalyzer,
+		CtxFlowAnalyzer,
 		ErrDropAnalyzer,
 		FloatEqAnalyzer,
+		GoCaptureAnalyzer,
 		MapOrderAnalyzer,
 		NonDetAnalyzer,
 		PoolPairAnalyzer,
@@ -119,6 +129,18 @@ func Analyzers() []*Analyzer {
 // every unsuppressed diagnostic, sorted by position then analyzer so the
 // output is byte-stable.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range RunAll(pkgs, analyzers) {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// RunAll is Run including suppressed findings (flagged, not dropped):
+// the raw feed for machine-readable output and baseline diffing.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {

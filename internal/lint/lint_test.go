@@ -47,6 +47,51 @@ func TestAnalyzerCorpus(t *testing.T) {
 	}
 }
 
+// TestGoCaptureOldLoopVars drives the pre-1.22 corpus with the module
+// version forced back to 1.21, exercising the shared-loop-variable rule,
+// then re-runs at the module's real version to pin that go1.22 per-
+// iteration semantics silence it.
+func TestGoCaptureOldLoopVars(t *testing.T) {
+	pkg := loadCorpus(t, "testdata/src/gocaptureold")
+	pkg.GoVersion = "1.21"
+	diags := Run([]*Package{pkg}, []*Analyzer{GoCaptureAnalyzer})
+	problems, err := CheckExpectations(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+
+	modern := loadCorpus(t, "testdata/src/gocaptureold")
+	if modern.GoVersion != "1.22" {
+		t.Fatalf("module go directive = %q, want 1.22 (update this test with go.mod)", modern.GoVersion)
+	}
+	if diags := Run([]*Package{modern}, []*Analyzer{GoCaptureAnalyzer}); len(diags) != 0 {
+		t.Errorf("loop-variable rule fired under go1.22 semantics: %v", diags)
+	}
+}
+
+// TestLoopVarPerIteration pins the version gate's parsing.
+func TestLoopVarPerIteration(t *testing.T) {
+	cases := []struct {
+		ver string
+		per bool
+	}{
+		{"1.22", true}, {"1.22.4", true}, {"1.23", true}, {"2.0", true},
+		{"1.21", false}, {"1.21.9", false}, {"1.9", false},
+		{"", true}, {"weird", true}, // unknown: assume modern, stay silent
+	}
+	for _, c := range cases {
+		if got := loopVarPerIteration(c.ver); got != c.per {
+			t.Errorf("loopVarPerIteration(%q) = %v, want %v", c.ver, got, c.per)
+		}
+	}
+	if v := goVersionFrom("module m\n\ngo 1.22\n"); v != "1.22" {
+		t.Errorf("goVersionFrom = %q, want 1.22", v)
+	}
+}
+
 // TestCorpusMakesClimatelintFail pins the acceptance contract that the
 // full analyzer set reports at least one finding on every corpus — the
 // binary must exit nonzero on each seeded testdata package.

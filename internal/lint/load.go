@@ -43,10 +43,14 @@ type Package struct {
 	Path   string // import path within the module
 	Dir    string // absolute directory
 	Module string // module path from go.mod
-	Fset   *token.FileSet
-	Files  []*ast.File
-	Types  *types.Package
-	Info   *types.Info
+	// GoVersion is the module's `go` directive ("1.22"); analyzers whose
+	// rules depend on language semantics that changed across releases
+	// (loop-variable scoping) consult it. Empty when go.mod has none.
+	GoVersion string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 
 	supp map[suppKey]bool
 }
@@ -81,6 +85,7 @@ type Loader struct {
 	Fset       *token.FileSet
 	ModuleDir  string
 	ModulePath string
+	GoVersion  string
 
 	startDir string
 	pkgs     map[string]*loadEntry
@@ -112,6 +117,7 @@ func NewLoader(startDir string) (*Loader, error) {
 				Fset:       sharedFset,
 				ModuleDir:  dir,
 				ModulePath: modPath,
+				GoVersion:  goVersionFrom(string(data)),
 				startDir:   abs,
 				pkgs:       make(map[string]*loadEntry),
 			}, nil
@@ -130,6 +136,17 @@ func modulePathFrom(gomod string) string {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module"); ok {
 			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// goVersionFrom extracts the `go` directive value from go.mod contents.
+func goVersionFrom(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			return strings.TrimSpace(rest)
 		}
 	}
 	return ""
@@ -312,14 +329,15 @@ func (l *Loader) check(path, dir string) (*loadEntry, error) {
 	}
 
 	pkg := &Package{
-		Path:   path,
-		Dir:    dir,
-		Module: l.ModulePath,
-		Fset:   l.Fset,
-		Files:  files,
-		Types:  tpkg,
-		Info:   info,
-		supp:   make(map[suppKey]bool),
+		Path:      path,
+		Dir:       dir,
+		Module:    l.ModulePath,
+		GoVersion: l.GoVersion,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		supp:      make(map[suppKey]bool),
 	}
 	for _, f := range files {
 		fname := l.Fset.Position(f.Pos()).Filename

@@ -111,50 +111,126 @@ func chunkYieldCheck(p *Pass, call *ast.CallExpr) {
 	})
 }
 
-// sliceViewBody walks one function frame, recording which locals hold
-// borrowed buffers and reporting subslice views of them in returns.
+// borrowFact maps each local to the ownership label of the borrowed
+// buffer it currently holds ("pooled", "store-owned").
+type borrowFact map[types.Object]string
+
+func (f borrowFact) clone() borrowFact {
+	g := make(borrowFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+// sliceViewBody runs the borrow analysis over one function frame as a
+// forward-dataflow problem on its CFG: a variable holds a borrow from
+// the assignment that acquires it until a reassignment kills it, along
+// every path — so a return only fires when a borrowed view actually
+// reaches it, and rebinding the variable to an owned buffer clears the
+// taint (the linear walker this replaces tainted the name for the whole
+// body, path-insensitively).
 func sliceViewBody(p *Pass, body *ast.BlockStmt) {
-	borrowed := make(map[types.Object]string) // object -> ownership label
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.FuncLit:
-			return false // separate frame, checked on its own
-		case *ast.AssignStmt:
-			if len(s.Rhs) != 1 {
-				return true
+	g := FuncCFG(body)
+	in := Forward(g, Problem[borrowFact]{
+		Entry:  borrowFact{},
+		Bottom: func() borrowFact { return borrowFact{} },
+		Join: func(a, b borrowFact) borrowFact {
+			m := a.clone()
+			for k, v := range b {
+				m[k] = v // a buffer borrowed on any path is borrowed at the join
 			}
-			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			return m
+		},
+		Equal: func(a, b borrowFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in borrowFact) borrowFact {
+			out := in.clone()
+			for _, n := range b.Nodes {
+				applyBorrows(p, n, out)
+			}
+			return out
+		},
+	})
+	for _, b := range g.Blocks {
+		fact := in[b].clone()
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				checkBorrowReturn(p, ret, fact)
+			}
+			applyBorrows(p, n, fact)
+		}
+	}
+}
+
+// applyBorrows is the transfer function for one emitted node: an
+// assignment from a borrow-returning call gens the label, any other
+// direct rebinding of a tracked variable kills it.
+func applyBorrows(p *Pass, n ast.Node, fact borrowFact) {
+	kill := func(e ast.Expr) {
+		if id := identOf(e); id != nil {
+			if obj := p.ObjectOf(id); obj != nil {
+				delete(fact, obj)
+			}
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				if kind := borrowKind(p, call); kind != "" {
+					for _, l := range s.Lhs {
+						kill(l)
+					}
+					if obj := lhsObject(p, s.Lhs, 0); obj != nil {
+						fact[obj] = kind
+					}
+					return
+				}
+			}
+		}
+		for _, l := range s.Lhs {
+			kill(l)
+		}
+	case *ast.IncDecStmt:
+		kill(s.X)
+	case *ast.RangeStmt:
+		kill(s.Key)
+		kill(s.Value)
+	}
+}
+
+// checkBorrowReturn reports subslice views of currently-borrowed buffers
+// among a return's results.
+func checkBorrowReturn(p *Pass, ret *ast.ReturnStmt, fact borrowFact) {
+	if len(fact) == 0 {
+		return
+	}
+	for _, r := range ret.Results {
+		ast.Inspect(r, func(c ast.Node) bool {
+			se, ok := c.(*ast.SliceExpr)
 			if !ok {
 				return true
 			}
-			if kind := borrowKind(p, call); kind != "" {
-				if obj := lhsObject(p, s.Lhs, 0); obj != nil {
-					borrowed[obj] = kind
-				}
-			}
-		case *ast.ReturnStmt:
-			if len(borrowed) == 0 {
+			id := identOf(se.X)
+			if id == nil {
 				return true
 			}
-			for _, r := range s.Results {
-				ast.Inspect(r, func(c ast.Node) bool {
-					se, ok := c.(*ast.SliceExpr)
-					if !ok {
-						return true
-					}
-					id := identOf(se.X)
-					if id == nil {
-						return true
-					}
-					if kind, ok := borrowed[p.ObjectOf(id)]; ok {
-						p.Reportf(se.Pos(), "returning a subslice of %q hands out a view of a %s buffer the caller cannot see: copy the bytes, return the whole buffer, or annotate the ownership story with //lint:sliceview", id.Name, kind)
-					}
-					return true
-				})
+			if kind, ok := fact[p.ObjectOf(id)]; ok {
+				p.Reportf(se.Pos(), "returning a subslice of %q hands out a view of a %s buffer the caller cannot see: copy the bytes, return the whole buffer, or annotate the ownership story with //lint:sliceview", id.Name, kind)
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 }
 
 // borrowKind classifies a call whose result is a buffer the function

@@ -1,0 +1,81 @@
+// Corpus for the atomicmix analyzer: a variable must be all-atomic or
+// all-plain. Positives mix the two disciplines; negatives stick to one,
+// use the wrapper types, or document a joined-writers read.
+package atomicmix
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// --- positives -------------------------------------------------------------
+
+func report() int64 {
+	return hits // want "updated through sync/atomic"
+}
+
+func reset() {
+	hits = 0 // want "updated through sync/atomic"
+}
+
+func drain() int64 {
+	old := hits // want "updated through sync/atomic"
+	atomic.StoreInt64(&hits, 0)
+	return old
+}
+
+type counters struct {
+	served int64
+	errs   uint32
+}
+
+func (c *counters) serve(failed bool) {
+	atomic.AddInt64(&c.served, 1)
+	if failed {
+		atomic.AddUint32(&c.errs, 1)
+	}
+}
+
+func (c *counters) snapshot() (int64, uint32) {
+	c.errs++                // want "updated through sync/atomic"
+	return c.served, c.errs // want "updated through sync/atomic" "updated through sync/atomic"
+}
+
+// --- negatives -------------------------------------------------------------
+
+// All-atomic discipline: every access goes through sync/atomic.
+var clean int64
+
+func cleanBump()       { atomic.AddInt64(&clean, 1) }
+func cleanRead() int64 { return atomic.LoadInt64(&clean) }
+
+// All-plain discipline: never touched atomically, nothing to mix.
+var plainOnly int
+
+func incPlain() int {
+	plainOnly++
+	return plainOnly
+}
+
+// The wrapper types make plain access unrepresentable — method calls are
+// not loads or stores of the field.
+var wrapped atomic.Int64
+
+func wrappedOps() int64 {
+	wrapped.Add(1)
+	return wrapped.Load()
+}
+
+// A read after every writer goroutine is joined is ordered; it documents
+// itself rather than paying for an atomic load.
+var final int64
+
+func bumpFinal() { atomic.AddInt64(&final, 1) }
+
+func afterJoin() int64 {
+	//lint:atomicmix read after all writers are joined by the caller
+	return final
+}

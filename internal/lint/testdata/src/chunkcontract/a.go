@@ -1,0 +1,131 @@
+// Corpus for the chunkcontract analyzer: DecodeChunks offsets must be
+// strictly increasing and contiguous from 0. Positives are provable
+// violations; negatives are the repo's real decode shapes plus the
+// conservative-unknown cases the analyzer must stay silent on.
+package chunkcontract
+
+// --- positives -------------------------------------------------------------
+
+type badFirstLit struct{}
+
+func (badFirstLit) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	var chunk []float32
+	return yield(1, chunk) // want "first chunk must start at offset 0"
+}
+
+type badFirstVar struct{}
+
+func (badFirstVar) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	off := 4
+	var chunk []float32
+	return yield(off, chunk) // want "first chunk must start at offset 0"
+}
+
+type badRepeatZero struct{}
+
+func (badRepeatZero) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	var chunk []float32
+	if err := yield(0, chunk); err != nil {
+		return err
+	}
+	return yield(0, chunk) // want "passes offset 0 again"
+}
+
+type badStuckVar struct{}
+
+func (badStuckVar) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	off := 0
+	var chunk []float32
+	for i := 0; i < len(data); i++ {
+		if err := yield(off, chunk); err != nil { // want "never changes on the loop"
+			return err
+		}
+	}
+	return nil
+}
+
+type badStuckConst struct{}
+
+func (badStuckConst) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	var chunk []float32
+	for range data {
+		if err := yield(0, chunk); err != nil { // want "never changes on the loop"
+			return err
+		}
+	}
+	return nil
+}
+
+type badBackwards struct{}
+
+func (badBackwards) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	off := 0
+	var chunk []float32
+	for i := 0; i < len(data); i += 8 {
+		if err := yield(off, chunk); err != nil {
+			return err
+		}
+		off += 8
+		off-- // want "moves backwards"
+	}
+	return nil
+}
+
+// --- negatives -------------------------------------------------------------
+
+// The canonical decode loop: offset advances by the chunk width each
+// iteration (fallbackChunks' shape).
+type okLoop struct{}
+
+func (okLoop) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	chunk := make([]float32, 8)
+	for off := 0; off < len(data); off += len(chunk) {
+		if err := yield(off, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conditional advance inside the loop body (tsblob's shape): the offset
+// is reassigned on the cycle, so the proof obligation fails — silence.
+type okConditional struct{}
+
+func (okConditional) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	off := 0
+	chunk := make([]float32, 8)
+	for off < len(data) {
+		if err := yield(off, chunk); err != nil {
+			return err
+		}
+		off += len(chunk)
+	}
+	return nil
+}
+
+// Yield forwarded through a closure (fillmask's shape): the frame CFG
+// cannot order the calls, so everything is unknown — silence, even
+// though the literal 5 would be damning if it were provably first.
+type okClosure struct{}
+
+func (okClosure) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	emit := func(off int, c []float32) error { return yield(off, c) }
+	return emit(5, nil)
+}
+
+// Yield escaping into a helper: the call set is incomplete — silence.
+func replay(yield func(int, []float32) error) error { return yield(0, nil) }
+
+type okEscape struct{}
+
+func (okEscape) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	return replay(yield)
+}
+
+// A sanctioned non-contiguous probe documents itself.
+type okSuppressed struct{}
+
+func (okSuppressed) DecodeChunks(data []byte, yield func(int, []float32) error) error {
+	//lint:chunkcontract header probe yields the trailer block first by design
+	return yield(8, nil)
+}

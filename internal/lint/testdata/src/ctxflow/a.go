@@ -1,0 +1,95 @@
+// Corpus for the ctxflow analyzer: context threading and cancellation
+// observation. Positives detach from the caller's ctx or loop blind to
+// it; negatives thread it, observe it, or have no caller ctx to lose.
+package ctxflow
+
+import (
+	"context"
+
+	"climcompress/internal/par"
+)
+
+func work(a, b int)                          {}
+func workCtx(ctx context.Context, i int)     {}
+func fetch(ctx context.Context) (int, error) { return 0, nil }
+
+// --- positives -------------------------------------------------------------
+
+func detach(ctx context.Context) (int, error) {
+	return fetch(context.Background()) // want "discards the caller's ctx"
+}
+
+func todoInstead(ctx context.Context, n int) {
+	c := context.TODO() // want "discards the caller's ctx"
+	workCtx(c, n)
+}
+
+func detachInClosure(ctx context.Context) func() (int, error) {
+	return func() (int, error) {
+		return fetch(context.Background()) // want "discards the caller's ctx"
+	}
+}
+
+func blindFor(ctx context.Context, n int) error {
+	return par.EachCtx(ctx, n, func(i int) error {
+		for j := 0; j < 1000; j++ { // want "never observes any context"
+			work(i, j)
+		}
+		return nil
+	})
+}
+
+func blindRange(ctx context.Context, xs []int) error {
+	return par.EachLimitCtx(ctx, len(xs), 4, func(i int) error {
+		for _, v := range xs { // want "never observes any context"
+			work(i, v)
+		}
+		return nil
+	})
+}
+
+// --- negatives -------------------------------------------------------------
+
+// No caller ctx in scope: constructing the root context is main()'s job.
+func mainStyle() {
+	ctx := context.Background()
+	workCtx(ctx, 0)
+}
+
+// The worker loop polls ctx.Err(): cancellation is observed.
+func politeLoop(ctx context.Context, n int) error {
+	return par.EachCtx(ctx, n, func(i int) error {
+		for j := 0; j < 1000; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			work(i, j)
+		}
+		return nil
+	})
+}
+
+// No loop in the worker: EachCtx's own scheduling check bounds the work.
+func noLoop(ctx context.Context, n int) error {
+	return par.EachLimitCtx(ctx, n, 2, func(i int) error {
+		work(i, 0)
+		return nil
+	})
+}
+
+// Passing ctx into the loop body counts as observing it: the callee is
+// assumed to honor cancellation.
+func threadsThrough(ctx context.Context, xs []int) error {
+	return par.EachCtx(ctx, len(xs), func(i int) error {
+		for range xs {
+			workCtx(ctx, i)
+		}
+		return nil
+	})
+}
+
+// A deliberate detach states its reason.
+func detachJanitor(ctx context.Context) context.Context {
+	//lint:ctxflow the janitor outlives request contexts by design
+	return context.Background()
+}

@@ -1,0 +1,151 @@
+// Corpus for the gocapture analyzer: captured variables written
+// concurrently. Positive cases race; negative cases synchronize, write
+// per-index slots, run serially, or order the writes by happens-before.
+package gocapture
+
+import (
+	"sync"
+
+	"climcompress/internal/par"
+)
+
+// --- positives -------------------------------------------------------------
+
+func bothSides() {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1 // want "written both by this goroutine and by the spawning function"
+		close(done)
+	}()
+	x = 2
+	<-done
+	_ = x
+}
+
+func incBothSides() {
+	hits := 0
+	done := make(chan struct{})
+	go func() {
+		hits++ // want "written both by this goroutine"
+		close(done)
+	}()
+	hits++
+	<-done
+}
+
+func loopSpawn() {
+	total := 0
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++ // want "goroutine spawned inside a loop"
+		}()
+	}
+	_ = total
+}
+
+func parEachShared(n int) error {
+	sum := 0
+	err := par.Each(n, func(i int) error {
+		sum += i // want "par.Each worker closure"
+		return nil
+	})
+	_ = sum
+	return err
+}
+
+func parRangesShared(n int) {
+	last := 0
+	par.Ranges(n, 8, func(lo, hi int) {
+		last = hi // want "par.Ranges worker closure"
+	})
+	_ = last
+}
+
+func parLimitShared(n int) error {
+	count := 0
+	err := par.EachLimit(n, 4, func(i int) error {
+		count++ // want "par.EachLimit worker closure"
+		return nil
+	})
+	_ = count
+	return err
+}
+
+// --- negatives -------------------------------------------------------------
+
+// Per-index writes are the package's sanctioned result pattern: each
+// worker owns its slot, no two invocations touch the same element.
+func perIndexSlots(n int) ([]int, error) {
+	res := make([]int, n)
+	err := par.Each(n, func(i int) error {
+		res[i] = i * i
+		return nil
+	})
+	return res, err
+}
+
+// Both sides hold the mutex: synchronized, not a race.
+func guarded() int {
+	var mu sync.Mutex
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		x++
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	x++
+	mu.Unlock()
+	<-done
+	return x
+}
+
+// The outer write happens before the spawn: the go statement orders it.
+func writeBeforeSpawn() {
+	x := 0
+	x = 1
+	done := make(chan struct{})
+	go func() {
+		x++
+		close(done)
+	}()
+	<-done
+}
+
+// EachLimit with limit 1 runs workers serially; the closure is the only
+// writer at any moment.
+func serialLimit(n int) error {
+	acc := 0
+	err := par.EachLimit(n, 1, func(i int) error {
+		acc += i
+		return nil
+	})
+	_ = acc
+	return err
+}
+
+// Writes to the closure's own locals never leave the goroutine.
+func closureLocal() {
+	go func() {
+		y := 0
+		y++
+		_ = y
+	}()
+}
+
+// A documented single-writer handoff suppresses the finding.
+func suppressedHandoff() {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		//lint:gocapture single writer until done closes, then ownership returns
+		x = 1
+		close(done)
+	}()
+	<-done
+	x = 2
+	_ = x
+}

@@ -1,0 +1,83 @@
+// Corpus for gocapture's pre-Go-1.22 loop-variable rule. This package is
+// evaluated by its test with the module version forced to 1.21, where
+// every loop iteration shares a single variable, so a goroutine capturing
+// it observes whatever iteration the loop has advanced to.
+package gocaptureold
+
+func use(int) {}
+
+// --- positives -------------------------------------------------------------
+
+func spawnRangeValue(xs []int) {
+	for _, v := range xs {
+		go func() { // want "loop variable \"v\""
+			use(v)
+		}()
+	}
+}
+
+func spawnRangeKey(xs []int) {
+	for i := range xs {
+		go func() { // want "loop variable \"i\""
+			use(i)
+		}()
+	}
+}
+
+func spawnForInit(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want "loop variable \"i\""
+			use(i)
+		}()
+	}
+}
+
+func spawnNested(xs, ys []int) {
+	for _, x := range xs {
+		for _, y := range ys {
+			go func() { // want "loop variable \"x\"" "loop variable \"y\""
+				use(x + y)
+			}()
+		}
+	}
+}
+
+func spawnDeepUse(xs []int) {
+	for _, v := range xs {
+		go func() { // want "loop variable \"v\""
+			if v > 0 {
+				use(v)
+			}
+		}()
+	}
+}
+
+// --- negatives -------------------------------------------------------------
+
+// Passing the variable as an argument snapshots it at spawn time.
+func passedAsArg(xs []int) {
+	for _, v := range xs {
+		go func(v int) { use(v) }(v)
+	}
+}
+
+// The classic v := v shadow gives each iteration its own variable.
+func shadowed(xs []int) {
+	for _, v := range xs {
+		v := v
+		go func() { use(v) }()
+	}
+}
+
+// Not a loop variable at all.
+func notALoop(v int) {
+	go func() { use(v) }()
+}
+
+// A deliberate last-value capture documents itself.
+func suppressedCapture(xs []int) {
+	for _, v := range xs {
+		//lint:gocapture the goroutine only runs after the loop completes
+		go func() { use(v) }()
+	}
+}
